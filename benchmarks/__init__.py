@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating every figure in the paper's evaluation."""

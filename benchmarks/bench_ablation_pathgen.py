@@ -1,0 +1,63 @@
+"""Ablation A1 — the §2.4 path-generation design choice.
+
+Paper §2.4 argues that querying three targeted alternatives (global / local /
+link-local) is "the best tradeoff between speed and solution quality".  This
+ablation compares:
+
+* ``three-alternatives`` — the paper's design (also reusing known paths),
+* ``fresh-alternatives-only`` — the narrowest reading of Listing 2 (only the
+  three freshly generated paths are tested, never previously added ones),
+
+on the same underprovisioned scenario, reporting final utility, steps and
+traffic-model evaluations (the cost driver).
+"""
+
+from benchmarks.conftest import BENCH_SEED, print_header, run_once
+from repro.core.config import FubarConfig
+from repro.core.controller import Fubar
+from repro.experiments.scenarios import underprovisioned_scenario
+from repro.metrics.reporting import format_table
+
+
+def _run_variant(consider_existing_paths: bool):
+    scenario = underprovisioned_scenario(seed=BENCH_SEED)
+    base = scenario.fubar_config
+    config = FubarConfig(
+        move_fraction=base.move_fraction,
+        small_aggregate_flows=base.small_aggregate_flows,
+        escalation_multipliers=base.escalation_multipliers,
+        consider_existing_paths=consider_existing_paths,
+        priority_weights=base.priority_weights,
+    )
+    plan = Fubar(scenario.network, config=config).optimize(scenario.traffic_matrix)
+    return plan
+
+
+def test_ablation_path_generation(benchmark):
+    def run_both():
+        return _run_variant(True), _run_variant(False)
+
+    with_existing, fresh_only = run_once(benchmark, run_both)
+
+    print_header("Ablation A1: path candidate sets (paper §2.4)")
+    rows = []
+    for name, plan in (
+        ("three-alternatives + known paths", with_existing),
+        ("fresh-alternatives-only", fresh_only),
+    ):
+        rows.append(
+            (
+                name,
+                f"{plan.network_utility:.4f}",
+                plan.result.num_steps,
+                plan.result.model_evaluations,
+                f"{plan.result.wall_clock_s:.2f}",
+            )
+        )
+    print(format_table(("variant", "utility", "steps", "model_evals", "wall_clock_s"), rows))
+
+    # Both variants must at least match their shortest-path starting point;
+    # reusing known paths can only widen the candidate set.
+    for plan in (with_existing, fresh_only):
+        assert plan.improvement_over_shortest_path >= -1e-9
+    assert with_existing.network_utility >= fresh_only.network_utility - 0.02

@@ -1,0 +1,42 @@
+"""Experiment E1/E2 — Figures 1 and 2: utility function components.
+
+Prints the bandwidth and delay component curves of the real-time and bulk
+traffic classes, i.e. the data behind Figures 1 and 2.
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.experiments.figures import run_figure1_figure2
+from repro.metrics.reporting import format_table
+
+
+def test_figure1_figure2_utility_curves(benchmark):
+    curves = run_once(benchmark, run_figure1_figure2, num_points=11)
+
+    print_header("Figures 1 & 2: utility function components")
+    for name, data in curves.items():
+        rows = [
+            (
+                f"{bandwidth:.0f}",
+                f"{bandwidth_utility:.3f}",
+                f"{delay:.0f}",
+                f"{delay_utility:.3f}",
+            )
+            for bandwidth, bandwidth_utility, delay, delay_utility in zip(
+                data["bandwidth_kbps"],
+                data["bandwidth_utility"],
+                data["delay_ms"],
+                data["delay_utility"],
+            )
+        ]
+        print(f"\n[{name}]")
+        print(
+            format_table(
+                ("bandwidth_kbps", "bw_utility", "delay_ms", "delay_utility"), rows
+            )
+        )
+
+    # Shape checks mirroring the figures.
+    real_time = curves["real-time"]
+    assert max(real_time["bandwidth_utility"]) == 1.0
+    assert real_time["delay_utility"][-1] == 0.0
+    assert curves["bulk"]["delay_utility"][-1] > 0.0

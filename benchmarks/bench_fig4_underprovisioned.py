@@ -1,0 +1,58 @@
+"""Experiment E4 — Figure 4: a run of the underprovisioned case.
+
+Same series as Figure 3 but with 75 Mbps links.  Paper expectation: FUBAR
+still improves on shortest-path routing, but the upper bound is unreachable
+and congestion cannot be fully eliminated; large flows are sacrificed for the
+numerous small ones.
+"""
+
+from benchmarks.conftest import BENCH_SEED, print_header, run_once
+from repro.experiments.figures import run_figure3, run_figure4
+from repro.metrics.reporting import format_table, format_utility_timeline
+
+
+def test_figure4_underprovisioned_case(benchmark):
+    result = run_once(benchmark, run_figure4, seed=BENCH_SEED)
+
+    print_header("Figure 4: underprovisioned case (75 Mbps links)")
+    print(result.scenario.summary())
+    print("\nOptimization timeline:")
+    print(format_utility_timeline(result.plan.result.recorder))
+    summary = result.summary()
+    print("\nReference lines:")
+    print(
+        format_table(
+            ("series", "value"),
+            [
+                ("shortest path (lower bound)", f"{summary['shortest_path_utility']:.4f}"),
+                ("FUBAR final", f"{summary['fubar_utility']:.4f}"),
+                ("upper bound", f"{summary['upper_bound_utility']:.4f}"),
+                ("large flows final", f"{summary['large_flow_utility']:.4f}"),
+                ("actual utilization", f"{summary['final_total_utilization']:.4f}"),
+                ("demanded utilization", f"{summary['final_demanded_utilization']:.4f}"),
+            ],
+        )
+    )
+
+    # Shape assertions from the paper: better than shortest path, but the
+    # bound is unreachable and congestion remains.
+    assert result.final_utility >= result.shortest_path_utility - 1e-9
+    assert result.final_utility < result.upper_bound
+    assert summary["congested_links_remaining"] >= 1
+    assert summary["final_demanded_utilization"] > summary["final_total_utilization"]
+
+
+def test_figure4_vs_figure3_contrast(benchmark):
+    """The provisioned case must end closer to its bound than the underprovisioned one."""
+    def run_both():
+        return run_figure3(seed=BENCH_SEED), run_figure4(seed=BENCH_SEED)
+
+    provisioned, underprovisioned = run_once(benchmark, run_both)
+    gap_provisioned = provisioned.upper_bound - provisioned.final_utility
+    gap_underprovisioned = underprovisioned.upper_bound - underprovisioned.final_utility
+    print_header("Figure 3 vs Figure 4 contrast")
+    print(
+        f"gap to bound: provisioned={gap_provisioned:.4f} "
+        f"underprovisioned={gap_underprovisioned:.4f}"
+    )
+    assert gap_underprovisioned >= gap_provisioned - 1e-9

@@ -1,0 +1,40 @@
+"""Experiment E7 — Figure 7: repeatability across random traffic matrices.
+
+Repeats the provisioned case over several random traffic matrices and prints
+the CDFs of FUBAR utility, shortest-path utility and the maximal (upper
+bound) utility.  The paper uses 100 runs; the benchmark default is
+``FUBAR_BENCH_FIG7_RUNS`` (5) so the suite stays quick — pass 100 and
+``FUBAR_FULL_SCALE=1`` to reproduce the exact configuration.
+
+Paper expectation: in every run FUBAR closely approaches the theoretical
+limit and clearly beats shortest-path routing.
+"""
+
+from benchmarks.conftest import BENCH_FIG7_RUNS, print_header, run_once
+from repro.experiments.figures import run_figure7
+from repro.metrics.reporting import format_cdf, format_table
+
+
+def test_figure7_repeatability(benchmark):
+    result = run_once(benchmark, run_figure7, num_runs=BENCH_FIG7_RUNS, base_seed=0)
+
+    print_header(f"Figure 7: CDF over {result.num_runs} random traffic matrices")
+    print("\nFUBAR utility CDF:")
+    print(format_cdf(result.fubar_cdf()))
+    print("\nShortest-path utility CDF:")
+    print(format_cdf(result.shortest_path_cdf()))
+    print("\nUpper-bound utility CDF:")
+    print(format_cdf(result.upper_bound_cdf()))
+    summary = result.summary()
+    print("\nSummary:")
+    print(
+        format_table(
+            ("metric", "value"),
+            [(key, f"{value:.4f}") for key, value in summary.items()],
+        )
+    )
+
+    # Shape assertions from the paper.
+    assert summary["fraction_above_shortest_path"] == 1.0
+    assert summary["fubar_median"] >= summary["shortest_path_median"]
+    assert summary["median_gap_to_bound"] <= 0.1

@@ -1,0 +1,44 @@
+"""Experiment E8 — §3 "Running time".
+
+The paper reports that the provisioned case converges in under a minute and
+the underprovisioned case in about five minutes (single-threaded Java,
+1.3 GHz Core i5).  Absolute numbers are not comparable with a pure-Python
+reimplementation on different hardware and (by default) a reduced topology;
+the property that carries over is the *relationship*: the underprovisioned
+case needs more steps/time because the optimizer keeps spreading traffic over
+more lightly-congested links before giving up.
+"""
+
+from benchmarks.conftest import BENCH_SEED, print_header, run_once
+from repro.experiments.figures import run_running_time
+from repro.metrics.reporting import format_table
+
+
+def test_running_time(benchmark):
+    result = run_once(benchmark, run_running_time, seed=BENCH_SEED)
+
+    summary = result.summary()
+    print_header("Running time: provisioned vs underprovisioned")
+    print(
+        format_table(
+            ("case", "wall_clock_s", "steps", "model_evaluations"),
+            [
+                (
+                    "provisioned",
+                    f"{summary['provisioned_wall_clock_s']:.2f}",
+                    summary["provisioned_steps"],
+                    result.provisioned.plan.result.model_evaluations,
+                ),
+                (
+                    "underprovisioned",
+                    f"{summary['underprovisioned_wall_clock_s']:.2f}",
+                    summary["underprovisioned_steps"],
+                    result.underprovisioned.plan.result.model_evaluations,
+                ),
+            ],
+        )
+    )
+    print(f"\nunderprovisioned / provisioned wall-clock ratio: {summary['underprovisioned_slower_by']:.2f}x")
+
+    assert summary["provisioned_wall_clock_s"] > 0.0
+    assert summary["underprovisioned_steps"] >= 1

@@ -1,0 +1,50 @@
+"""Micro-benchmark of the traffic model (the optimizer's hot loop).
+
+Every candidate move the optimizer considers costs one traffic-model
+evaluation, so the model's speed determines how large a network FUBAR can
+optimize offline.  This benchmark times a single evaluation on a
+shortest-path allocation of the full 31-POP core — roughly the workload the
+optimizer runs hundreds to thousands of times per optimization.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.core.state import AllocationState
+from repro.topology.hurricane_electric import provisioned_core
+from repro.traffic.generators import paper_traffic_matrix
+from repro.trafficmodel.waterfill import TrafficModel
+
+
+@pytest.fixture(scope="module")
+def full_core_bundles():
+    network = provisioned_core()
+    matrix = paper_traffic_matrix(network, seed=0)
+    state = AllocationState.initial(network, matrix)
+    return network, state.bundles()
+
+
+def test_traffic_model_evaluation_full_core(benchmark, full_core_bundles):
+    network, bundles = full_core_bundles
+    model = TrafficModel(network)
+
+    result = benchmark(model.evaluate, bundles)
+
+    print_header("Traffic model micro-benchmark (31-POP core, all-pairs shortest paths)")
+    print(
+        f"bundles: {len(bundles)}, links: {network.num_links}, "
+        f"congested links: {len(result.congested_links)}, "
+        f"network utility: {result.network_utility():.4f}"
+    )
+    assert len(result.outcomes) == len(bundles)
+
+
+def test_shortest_path_allocation_build_full_core(benchmark):
+    network = provisioned_core()
+    matrix = paper_traffic_matrix(network, seed=0)
+
+    state = benchmark(AllocationState.initial, network, matrix)
+
+    print_header("Initial allocation build (31-POP core)")
+    print(f"aggregates: {len(state)}, bundles: {len(state.bundles())}")
+    assert state.total_flows() == matrix.total_flows

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or an ablation) at
+the scale selected by the ``FUBAR_FULL_SCALE`` environment variable — the
+reduced 8-POP configuration by default, the paper's full 31-POP core when the
+variable is set (see EXPERIMENTS.md).  Benchmarks print the same rows/series
+the paper plots so the output can be compared side by side with the figures.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Seed used by the single-run figure benchmarks.
+BENCH_SEED = int(os.environ.get("FUBAR_BENCH_SEED", "1"))
+
+#: Number of repeated runs used by the Figure 7 repeatability benchmark.
+BENCH_FIG7_RUNS = int(os.environ.get("FUBAR_BENCH_FIG7_RUNS", "5"))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under pytest-benchmark timing.
+
+    The figure experiments are full optimizer runs (seconds each), so a
+    single timed round keeps the suite's total wall-clock reasonable while
+    still recording the runtime alongside the reproduced series.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_header(title: str) -> None:
+    """Print a banner separating one benchmark's output from the next."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture
+def bench_seed():
+    return BENCH_SEED

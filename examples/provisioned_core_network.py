@@ -1,0 +1,55 @@
+"""The paper's provisioned evaluation scenario on a core network.
+
+Builds the (reduced, by default) Hurricane Electric-like core with 100 Mbps
+links, generates the paper's synthetic all-pairs traffic matrix, runs FUBAR
+and compares the outcome against shortest-path routing, ECMP, a classic
+min-max-utilization LP and the isolated-aggregate upper bound.
+
+Run with:  python examples/provisioned_core_network.py
+Set FUBAR_FULL_SCALE=1 for the full 31-POP core (much slower in pure Python).
+"""
+
+from repro.baselines import (
+    ecmp_routing,
+    minmax_lp_routing,
+    shortest_path_routing,
+    upper_bound_utility,
+)
+from repro.core import Fubar
+from repro.experiments import provisioned_scenario
+from repro.metrics import format_comparison, format_utility_timeline
+
+
+def main() -> None:
+    scenario = provisioned_scenario(seed=1)
+    print("scenario:", scenario.summary())
+
+    plan = Fubar(scenario.network, config=scenario.fubar_config).optimize(
+        scenario.traffic_matrix
+    )
+    print("\nFUBAR optimization timeline (Figure 3 panels, in text form):")
+    print(format_utility_timeline(plan.result.recorder))
+
+    results = {
+        "shortest-path": shortest_path_routing(
+            scenario.network, scenario.traffic_matrix
+        ).network_utility,
+        "ecmp": ecmp_routing(scenario.network, scenario.traffic_matrix).network_utility,
+        "minmax-lp": minmax_lp_routing(
+            scenario.network, scenario.traffic_matrix
+        ).network_utility,
+        "fubar": plan.network_utility,
+        "upper-bound": upper_bound_utility(scenario.network, scenario.traffic_matrix),
+    }
+    print("\nScheme comparison (network utility):")
+    print(format_comparison(results, reference="shortest-path"))
+
+    print(
+        f"\nFUBAR split {len(plan.routing.multipath_aggregates())} of "
+        f"{len(plan.routing)} aggregates over multiple paths "
+        f"(max {plan.routing.max_paths_per_aggregate()} paths per aggregate)."
+    )
+
+
+if __name__ == "__main__":
+    main()

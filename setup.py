@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package needed for PEP 660 editable installs (pip falls back to the legacy
+``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

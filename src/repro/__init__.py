@@ -1,0 +1,93 @@
+"""FUBAR: Flow Utility Based Routing — a full Python reproduction.
+
+This package reimplements the system described in
+
+    Nikola Gvozdiev, Brad Karp, Mark Handley.
+    "FUBAR: Flow Utility Based Routing."  HotNets-XIII, 2014.
+
+from scratch: the utility model, the TCP-like traffic model, congestion-aware
+path generation, the greedy flow-allocation optimizer with its local-optimum
+escape, the baselines it is compared against, a simulated SDN substrate, and
+the experiment harness that regenerates every figure in the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import Fubar, hurricane_electric_core, paper_traffic_matrix
+
+    network = hurricane_electric_core()
+    traffic = paper_traffic_matrix(network, seed=0)
+    plan = Fubar(network).optimize(traffic)
+    print(plan.summary())
+
+See README.md for the architecture overview and DESIGN.md for the full
+system inventory.
+"""
+
+from repro.core import (
+    Fubar,
+    FubarConfig,
+    FubarOptimizer,
+    FubarPlan,
+    FubarResult,
+    RoutingTable,
+    optimize,
+)
+from repro.topology import (
+    Network,
+    abilene,
+    geant,
+    hurricane_electric_core,
+    provisioned_core,
+    reduced_core,
+    triangle_topology,
+    underprovisioned_core,
+)
+from repro.traffic import (
+    Aggregate,
+    TrafficMatrix,
+    paper_traffic_matrix,
+)
+from repro.trafficmodel import TrafficModel, evaluate_bundles
+from repro.utility import (
+    BandwidthComponent,
+    DelayComponent,
+    PriorityWeights,
+    UtilityFunction,
+    bulk_transfer_utility,
+    large_transfer_utility,
+    real_time_utility,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "BandwidthComponent",
+    "DelayComponent",
+    "Fubar",
+    "FubarConfig",
+    "FubarOptimizer",
+    "FubarPlan",
+    "FubarResult",
+    "Network",
+    "PriorityWeights",
+    "RoutingTable",
+    "TrafficMatrix",
+    "TrafficModel",
+    "UtilityFunction",
+    "__version__",
+    "abilene",
+    "bulk_transfer_utility",
+    "evaluate_bundles",
+    "geant",
+    "hurricane_electric_core",
+    "large_transfer_utility",
+    "optimize",
+    "paper_traffic_matrix",
+    "provisioned_core",
+    "real_time_utility",
+    "reduced_core",
+    "triangle_topology",
+    "underprovisioned_core",
+]

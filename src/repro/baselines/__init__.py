@@ -1,0 +1,23 @@
+"""Baseline routing schemes FUBAR is compared against."""
+
+from repro.baselines.common import BaselineResult
+from repro.baselines.ecmp import ecmp_routing, equal_cost_paths
+from repro.baselines.minmax_lp import minmax_lp_routing, solve_minmax_fractions
+from repro.baselines.shortest_path import shortest_path_routing
+from repro.baselines.upper_bound import (
+    isolated_aggregate_utility,
+    per_aggregate_upper_bounds,
+    upper_bound_utility,
+)
+
+__all__ = [
+    "BaselineResult",
+    "ecmp_routing",
+    "equal_cost_paths",
+    "isolated_aggregate_utility",
+    "minmax_lp_routing",
+    "per_aggregate_upper_bounds",
+    "shortest_path_routing",
+    "solve_minmax_fractions",
+    "upper_bound_utility",
+]

@@ -1,0 +1,49 @@
+"""Shared result type for routing baselines.
+
+Every baseline produces an :class:`AllocationState` (so it can be inspected
+and deployed exactly like a FUBAR plan) plus the traffic-model evaluation of
+that state, wrapped in a :class:`BaselineResult` for uniform comparison in
+the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.state import AllocationState
+from repro.trafficmodel.result import TrafficModelResult
+from repro.utility.aggregation import PriorityWeights
+
+
+@dataclass
+class BaselineResult:
+    """The outcome of running one baseline routing scheme."""
+
+    name: str
+    state: AllocationState
+    model_result: TrafficModelResult
+
+    @property
+    def network_utility(self) -> float:
+        """Flow-weighted network utility of the baseline's allocation."""
+        return self.model_result.network_utility()
+
+    def weighted_utility(self, weights: Optional[PriorityWeights] = None) -> float:
+        """Network utility under explicit priority weights."""
+        return self.model_result.network_utility(weights)
+
+    @property
+    def has_congestion(self) -> bool:
+        """True when the baseline's allocation leaves congested links."""
+        return self.model_result.has_congestion
+
+    def summary(self) -> Dict[str, object]:
+        """Compact summary used by the experiment harness."""
+        return {
+            "name": self.name,
+            "utility": self.network_utility,
+            "total_utilization": self.model_result.total_utilization(),
+            "demanded_utilization": self.model_result.demanded_utilization(),
+            "congested_links": len(self.model_result.congested_links),
+        }

@@ -1,0 +1,34 @@
+"""Shortest-path routing baseline.
+
+The paper uses conventional lowest-delay shortest-path routing as the lower
+bound in every figure: *"The 'shortest path' line shows what utility would be
+if all the traffic takes its shortest path through the network."*  Because
+FUBAR itself starts from this allocation, its utility can never be below it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.common import BaselineResult
+from repro.core.state import AllocationState
+from repro.paths.generator import PathGenerator
+from repro.paths.policy import PathPolicy
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+from repro.trafficmodel.waterfill import TrafficModel, TrafficModelConfig
+
+
+def shortest_path_routing(
+    network: Network,
+    traffic_matrix: TrafficMatrix,
+    policy: Optional[PathPolicy] = None,
+    model_config: Optional[TrafficModelConfig] = None,
+) -> BaselineResult:
+    """Route every aggregate over its lowest-delay path and evaluate the result."""
+    traffic_matrix.require_routable_on(network)
+    generator = PathGenerator(network, policy)
+    state = AllocationState.initial(network, traffic_matrix, generator)
+    model = TrafficModel(network, model_config)
+    result = model.evaluate(state.bundles())
+    return BaselineResult(name="shortest-path", state=state, model_result=result)

@@ -1,0 +1,41 @@
+"""FUBAR's primary contribution: the flow-allocation optimizer and controller."""
+
+from repro.core.config import FubarConfig
+from repro.core.controller import Fubar, FubarPlan
+from repro.core.optimizer import (
+    FubarOptimizer,
+    FubarResult,
+    TERMINATED_LOCAL_OPTIMUM,
+    TERMINATED_NO_CONGESTION,
+    TERMINATED_STEP_LIMIT,
+    TERMINATED_TIME_LIMIT,
+    optimize,
+)
+from repro.core.recorder import OptimizationRecorder, TracePoint
+from repro.core.routing import AggregateRoute, PathSplit, RoutingTable
+from repro.core.state import AllocationState, build_path_sets
+from repro.core.step import StepResult, candidate_paths_for_bundle, flows_to_move, perform_step
+
+__all__ = [
+    "AggregateRoute",
+    "AllocationState",
+    "Fubar",
+    "FubarConfig",
+    "FubarOptimizer",
+    "FubarPlan",
+    "FubarResult",
+    "OptimizationRecorder",
+    "PathSplit",
+    "RoutingTable",
+    "StepResult",
+    "TERMINATED_LOCAL_OPTIMUM",
+    "TERMINATED_NO_CONGESTION",
+    "TERMINATED_STEP_LIMIT",
+    "TERMINATED_TIME_LIMIT",
+    "TracePoint",
+    "build_path_sets",
+    "candidate_paths_for_bundle",
+    "flows_to_move",
+    "optimize",
+    "perform_step",
+]

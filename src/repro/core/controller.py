@@ -1,0 +1,114 @@
+"""The FUBAR offline controller facade.
+
+The paper positions FUBAR as "an offline controller in SDN or MPLS networks,
+in conjunction with an online controller to actually admit flows to the
+paths that have been computed" (§5).  :class:`Fubar` is that offline
+controller: it takes a topology and a (possibly measured) traffic matrix,
+runs the optimizer, and hands back both the optimization result and a
+deployable :class:`~repro.core.routing.RoutingTable`.
+
+This is the top of the public API and what the quickstart example uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import FubarConfig
+from repro.core.optimizer import FubarOptimizer, FubarResult
+from repro.core.routing import RoutingTable
+from repro.paths.generator import PathGenerator
+from repro.paths.policy import PathPolicy
+from repro.topology.graph import Network
+from repro.topology.validation import require_routable
+from repro.traffic.matrix import TrafficMatrix
+from repro.trafficmodel.waterfill import TrafficModelConfig
+from repro.utility.aggregation import PriorityWeights
+
+
+@dataclass
+class FubarPlan:
+    """The deployable output of one controller cycle."""
+
+    result: FubarResult
+    routing: RoutingTable
+
+    @property
+    def network_utility(self) -> float:
+        """Final network utility of the computed plan."""
+        return self.result.network_utility
+
+    @property
+    def improvement_over_shortest_path(self) -> float:
+        """Utility gained relative to the shortest-path starting point."""
+        initial = self.result.initial_point
+        if initial is None:
+            return 0.0
+        return self.result.network_utility - initial.network_utility
+
+    def summary(self) -> dict:
+        """Merge the optimizer summary with routing statistics."""
+        summary = self.result.summary()
+        summary.update(
+            {
+                "aggregates_split": len(self.routing.multipath_aggregates()),
+                "max_paths_per_aggregate": self.routing.max_paths_per_aggregate(),
+            }
+        )
+        return summary
+
+
+class Fubar:
+    """The offline FUBAR controller.
+
+    Parameters
+    ----------
+    network:
+        The topology to optimize (validated to be routable on construction).
+    config:
+        Optimizer configuration; defaults to the paper's settings.
+    policy:
+        Path policy applied to every generated path.
+    model_config:
+        Traffic-model configuration (RTT floor, RTT fairness on/off).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        config: Optional[FubarConfig] = None,
+        policy: Optional[PathPolicy] = None,
+        model_config: Optional[TrafficModelConfig] = None,
+    ) -> None:
+        require_routable(network)
+        self.network = network
+        self.config = config or FubarConfig()
+        self.policy = policy or PathPolicy.unrestricted()
+        self.model_config = model_config
+
+    def optimize(self, traffic_matrix: TrafficMatrix) -> FubarPlan:
+        """Run one offline optimization cycle on *traffic_matrix*."""
+        generator = PathGenerator(self.network, self.policy)
+        optimizer = FubarOptimizer(
+            self.network,
+            traffic_matrix,
+            config=self.config,
+            path_generator=generator,
+            model_config=self.model_config,
+        )
+        result = optimizer.run()
+        routing = RoutingTable.from_state(result.state)
+        return FubarPlan(result=result, routing=routing)
+
+    def optimize_with_priority(
+        self, traffic_matrix: TrafficMatrix, weights: PriorityWeights
+    ) -> FubarPlan:
+        """Run a cycle with non-default priority weights (the Figure 5 scenario)."""
+        controller = Fubar(
+            self.network,
+            config=self.config.with_priority(weights),
+            policy=self.policy,
+            model_config=self.model_config,
+        )
+        return controller.optimize(traffic_matrix)

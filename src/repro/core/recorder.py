@@ -1,0 +1,143 @@
+"""Optimization trace recording.
+
+Figures 3–5 of the paper are time series: network utility, large-flow
+utility and link utilization plotted against the optimizer's wall-clock
+progress.  The :class:`OptimizationRecorder` captures exactly those series —
+one :class:`TracePoint` per committed move — so the benchmark harness can
+regenerate the figures from any run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.traffic.classes import LARGE_TRANSFER
+from repro.trafficmodel.result import TrafficModelResult
+from repro.utility.aggregation import PriorityWeights
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One sample of the optimizer's progress."""
+
+    wall_clock_s: float
+    step: int
+    network_utility: float
+    weighted_utility: float
+    class_utilities: Dict[str, float]
+    total_utilization: float
+    demanded_utilization: float
+    num_congested_links: int
+    event: str
+
+    @property
+    def large_flow_utility(self) -> Optional[float]:
+        """Utility of the large-transfer class, when present (Figures 3–5, middle)."""
+        return self.class_utilities.get(LARGE_TRANSFER)
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_clock_s": self.wall_clock_s,
+            "step": self.step,
+            "network_utility": self.network_utility,
+            "weighted_utility": self.weighted_utility,
+            "class_utilities": dict(self.class_utilities),
+            "total_utilization": self.total_utilization,
+            "demanded_utilization": self.demanded_utilization,
+            "num_congested_links": self.num_congested_links,
+            "event": self.event,
+        }
+
+
+class OptimizationRecorder:
+    """Captures the optimizer's progress as a series of :class:`TracePoint`."""
+
+    def __init__(self, weights: Optional[PriorityWeights] = None) -> None:
+        self.weights = weights or PriorityWeights.uniform()
+        self._points: List[TracePoint] = []
+        self._start: Optional[float] = None
+
+    # ----------------------------------------------------------------- write
+
+    def start(self) -> None:
+        """Mark the beginning of the run (wall-clock zero)."""
+        self._start = time.perf_counter()
+
+    def elapsed_s(self) -> float:
+        """Seconds since :meth:`start` (0 when not started)."""
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
+    def record(self, step: int, result: TrafficModelResult, event: str) -> TracePoint:
+        """Capture one trace point from a traffic-model result."""
+        point = TracePoint(
+            wall_clock_s=self.elapsed_s(),
+            step=step,
+            network_utility=result.network_utility(),
+            weighted_utility=result.network_utility(self.weights),
+            class_utilities=result.per_class_utilities(),
+            total_utilization=result.total_utilization(),
+            demanded_utilization=result.demanded_utilization(),
+            num_congested_links=len(result.congested_links),
+            event=event,
+        )
+        self._points.append(point)
+        return point
+
+    # ------------------------------------------------------------------ read
+
+    @property
+    def points(self) -> Tuple[TracePoint, ...]:
+        """All recorded trace points, oldest first."""
+        return tuple(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def final(self) -> Optional[TracePoint]:
+        """The last trace point, or None when nothing was recorded."""
+        return self._points[-1] if self._points else None
+
+    @property
+    def initial(self) -> Optional[TracePoint]:
+        """The first trace point, or None when nothing was recorded."""
+        return self._points[0] if self._points else None
+
+    def utility_series(self) -> Tuple[List[float], List[float]]:
+        """(wall-clock seconds, network utility) series — Figures 3–5, left panel."""
+        return (
+            [p.wall_clock_s for p in self._points],
+            [p.network_utility for p in self._points],
+        )
+
+    def class_utility_series(self, traffic_class: str) -> Tuple[List[float], List[float]]:
+        """(wall-clock seconds, class utility) series — Figures 3–5, middle panel."""
+        times: List[float] = []
+        values: List[float] = []
+        for point in self._points:
+            if traffic_class in point.class_utilities:
+                times.append(point.wall_clock_s)
+                values.append(point.class_utilities[traffic_class])
+        return times, values
+
+    def utilization_series(self) -> Tuple[List[float], List[float], List[float]]:
+        """(wall-clock, actual utilization, demanded utilization) — right panel."""
+        return (
+            [p.wall_clock_s for p in self._points],
+            [p.total_utilization for p in self._points],
+            [p.demanded_utilization for p in self._points],
+        )
+
+    def utility_improvement(self) -> float:
+        """Final minus initial network utility (0 when fewer than 2 points)."""
+        if len(self._points) < 2:
+            return 0.0
+        return self._points[-1].network_utility - self._points[0].network_utility
+
+    def as_dicts(self) -> List[dict]:
+        """All trace points as plain dictionaries (for JSON reports)."""
+        return [point.as_dict() for point in self._points]

@@ -1,0 +1,146 @@
+"""Routing output of a FUBAR run.
+
+The optimizer's final :class:`~repro.core.state.AllocationState` says how
+many flows of each aggregate travel each path.  Deployments (the SDN
+substrate, or an MPLS controller) want the same information as *split
+weights* — the fraction of the aggregate routed over each path — which is
+what a :class:`RoutingTable` holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.state import AllocationState
+from repro.exceptions import AllocationError
+from repro.topology.graph import Path
+from repro.traffic.aggregate import AggregateKey
+
+#: Weights are normalized so this tolerance bounds the rounding error.
+_WEIGHT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class PathSplit:
+    """One path of an aggregate together with its share of the aggregate's flows."""
+
+    path: Path
+    weight: float
+    num_flows: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0 + _WEIGHT_TOLERANCE:
+            raise AllocationError(f"split weight must be in (0, 1], got {self.weight!r}")
+        if self.num_flows <= 0:
+            raise AllocationError(f"split must carry flows, got {self.num_flows!r}")
+
+
+@dataclass(frozen=True)
+class AggregateRoute:
+    """The complete multipath route of one aggregate."""
+
+    key: AggregateKey
+    splits: Tuple[PathSplit, ...]
+
+    def __post_init__(self) -> None:
+        if not self.splits:
+            raise AllocationError(f"aggregate {self.key!r} has no path splits")
+        total = sum(split.weight for split in self.splits)
+        if abs(total - 1.0) > 1e-6:
+            raise AllocationError(
+                f"split weights of {self.key!r} sum to {total}, expected 1.0"
+            )
+
+    @property
+    def num_paths(self) -> int:
+        """Number of paths the aggregate is split across."""
+        return len(self.splits)
+
+    @property
+    def primary_path(self) -> Path:
+        """The path carrying the largest share of the aggregate."""
+        return max(self.splits, key=lambda split: split.weight).path
+
+    def weight_of(self, path: Path) -> float:
+        """The share routed over *path* (0 when the path is unused)."""
+        for split in self.splits:
+            if split.path == tuple(path):
+                return split.weight
+        return 0.0
+
+
+class RoutingTable:
+    """Per-aggregate multipath routes produced from an allocation state."""
+
+    def __init__(self, routes: Mapping[AggregateKey, AggregateRoute]) -> None:
+        self._routes: Dict[AggregateKey, AggregateRoute] = dict(routes)
+
+    @classmethod
+    def from_state(cls, state: AllocationState) -> "RoutingTable":
+        """Convert an allocation state into split-weight routes."""
+        routes: Dict[AggregateKey, AggregateRoute] = {}
+        for key in state.aggregate_keys:
+            allocation = state.allocation_of(key)
+            total_flows = sum(allocation.values())
+            splits = tuple(
+                PathSplit(path=path, weight=flows / total_flows, num_flows=flows)
+                for path, flows in allocation.items()
+            )
+            routes[key] = AggregateRoute(key=key, splits=splits)
+        return cls(routes)
+
+    # ---------------------------------------------------------------- access
+
+    def route_of(self, key: AggregateKey) -> AggregateRoute:
+        """The route of one aggregate, raising when it is unknown."""
+        if key not in self._routes:
+            raise AllocationError(f"no route for aggregate {key!r}")
+        return self._routes[key]
+
+    @property
+    def keys(self) -> Tuple[AggregateKey, ...]:
+        """Keys of every routed aggregate."""
+        return tuple(self._routes.keys())
+
+    def __contains__(self, key: AggregateKey) -> bool:
+        return key in self._routes
+
+    def __iter__(self) -> Iterator[AggregateRoute]:
+        return iter(self._routes.values())
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    # --------------------------------------------------------------- queries
+
+    def multipath_aggregates(self) -> List[AggregateRoute]:
+        """Routes that split their aggregate across more than one path."""
+        return [route for route in self._routes.values() if route.num_paths > 1]
+
+    def max_paths_per_aggregate(self) -> int:
+        """The largest number of paths any aggregate is split across."""
+        if not self._routes:
+            return 0
+        return max(route.num_paths for route in self._routes.values())
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dictionary (for JSON export / SDN hand-off)."""
+        return {
+            "routes": [
+                {
+                    "source": key[0],
+                    "destination": key[1],
+                    "traffic_class": key[2],
+                    "splits": [
+                        {
+                            "path": list(split.path),
+                            "weight": split.weight,
+                            "num_flows": split.num_flows,
+                        }
+                        for split in route.splits
+                    ],
+                }
+                for key, route in self._routes.items()
+            ]
+        }

@@ -1,0 +1,217 @@
+"""Allocation state: which flows of which aggregate travel over which path.
+
+The optimizer's unit of work is a move — take N flows of one aggregate off
+one path and put them on another — and :class:`AllocationState` is the
+immutable-ish record those moves are applied to.  A state knows how to turn
+itself into the bundle list the traffic model consumes.
+
+States are cheap to fork (:meth:`AllocationState.with_move` copies only the
+allocation of the affected aggregate), because the optimizer forks one for
+every candidate move it evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import AllocationError, NoPathError
+from repro.paths.generator import PathGenerator
+from repro.paths.pathset import PathSet
+from repro.topology.graph import Network, Path
+from repro.traffic.aggregate import Aggregate, AggregateKey
+from repro.traffic.matrix import TrafficMatrix
+from repro.trafficmodel.bundle import Bundle
+
+#: One aggregate's allocation: path -> number of flows on that path.
+AggregateAllocation = Dict[Path, int]
+
+
+class AllocationState:
+    """Maps every aggregate to a distribution of its flows over paths."""
+
+    def __init__(
+        self,
+        network: Network,
+        traffic_matrix: TrafficMatrix,
+        allocations: Mapping[AggregateKey, AggregateAllocation],
+    ) -> None:
+        self.network = network
+        self.traffic_matrix = traffic_matrix
+        self._allocations: Dict[AggregateKey, AggregateAllocation] = {
+            key: dict(paths) for key, paths in allocations.items()
+        }
+        self._validate()
+
+    # ------------------------------------------------------------ validation
+
+    def _validate(self) -> None:
+        for key, allocation in self._allocations.items():
+            aggregate = self.traffic_matrix.get(key)
+            if not allocation:
+                raise AllocationError(f"aggregate {key!r} has no paths allocated")
+            total = 0
+            for path, flows in allocation.items():
+                if flows <= 0:
+                    raise AllocationError(
+                        f"aggregate {key!r} has a non-positive flow count "
+                        f"({flows}) on path {path!r}"
+                    )
+                if path[0] != aggregate.source or path[-1] != aggregate.destination:
+                    raise AllocationError(
+                        f"path {path!r} does not connect the endpoints of {key!r}"
+                    )
+                total += flows
+            if total != aggregate.num_flows:
+                raise AllocationError(
+                    f"aggregate {key!r} allocates {total} flows but has "
+                    f"{aggregate.num_flows}"
+                )
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def initial(
+        cls,
+        network: Network,
+        traffic_matrix: TrafficMatrix,
+        path_generator: Optional[PathGenerator] = None,
+    ) -> "AllocationState":
+        """All flows of every aggregate on its lowest-delay path (Listing 1, line 1)."""
+        generator = path_generator or PathGenerator(network)
+        allocations: Dict[AggregateKey, AggregateAllocation] = {}
+        for aggregate in traffic_matrix:
+            path = generator.lowest_delay_path(aggregate.source, aggregate.destination)
+            if path is None:
+                raise NoPathError(
+                    aggregate.source,
+                    aggregate.destination,
+                    "aggregate cannot be routed at all",
+                )
+            allocations[aggregate.key] = {path: aggregate.num_flows}
+        return cls(network, traffic_matrix, allocations)
+
+    # ----------------------------------------------------------------- reads
+
+    @property
+    def aggregate_keys(self) -> Tuple[AggregateKey, ...]:
+        """Keys of every allocated aggregate."""
+        return tuple(self._allocations.keys())
+
+    def allocation_of(self, key: AggregateKey) -> AggregateAllocation:
+        """A copy of one aggregate's path -> flows mapping."""
+        if key not in self._allocations:
+            raise AllocationError(f"no allocation for aggregate {key!r}")
+        return dict(self._allocations[key])
+
+    def paths_of(self, key: AggregateKey) -> Tuple[Path, ...]:
+        """The paths currently carrying flows of one aggregate."""
+        return tuple(self.allocation_of(key).keys())
+
+    def flows_on(self, key: AggregateKey, path: Path) -> int:
+        """Number of flows of *key* currently on *path* (0 when none)."""
+        if key not in self._allocations:
+            raise AllocationError(f"no allocation for aggregate {key!r}")
+        return self._allocations[key].get(tuple(path), 0)
+
+    def num_paths(self, key: AggregateKey) -> int:
+        """Number of distinct paths carrying flows of one aggregate."""
+        return len(self.allocation_of(key))
+
+    def bundles(self) -> List[Bundle]:
+        """The bundle list the traffic model consumes (one bundle per used path)."""
+        bundles: List[Bundle] = []
+        for key, allocation in self._allocations.items():
+            aggregate = self.traffic_matrix.get(key)
+            for path, flows in allocation.items():
+                bundles.append(Bundle(aggregate=aggregate, path=path, num_flows=flows))
+        return bundles
+
+    def bundles_of(self, key: AggregateKey) -> List[Bundle]:
+        """The bundles of a single aggregate."""
+        aggregate = self.traffic_matrix.get(key)
+        return [
+            Bundle(aggregate=aggregate, path=path, num_flows=flows)
+            for path, flows in self.allocation_of(key).items()
+        ]
+
+    def total_flows(self) -> int:
+        """Total flows across all aggregates (invariant: equals the traffic matrix)."""
+        return sum(
+            flows
+            for allocation in self._allocations.values()
+            for flows in allocation.values()
+        )
+
+    def split_summary(self) -> Dict[AggregateKey, int]:
+        """Number of paths used per aggregate (handy for reports and tests)."""
+        return {key: len(allocation) for key, allocation in self._allocations.items()}
+
+    # ----------------------------------------------------------------- moves
+
+    def with_move(
+        self,
+        key: AggregateKey,
+        from_path: Path,
+        to_path: Path,
+        num_flows: int,
+    ) -> "AllocationState":
+        """Return a new state with *num_flows* of *key* moved between two paths.
+
+        Moving every flow off ``from_path`` removes that path from the
+        aggregate's allocation.  The source path must currently carry at
+        least *num_flows*; the destination path may be new.
+        """
+        if num_flows <= 0:
+            raise AllocationError(f"must move a positive number of flows, got {num_flows}")
+        from_path = tuple(from_path)
+        to_path = tuple(to_path)
+        if from_path == to_path:
+            raise AllocationError("cannot move flows onto the path they are already on")
+        current = self.flows_on(key, from_path)
+        if current < num_flows:
+            raise AllocationError(
+                f"aggregate {key!r} only has {current} flows on {from_path!r}, "
+                f"cannot move {num_flows}"
+            )
+        aggregate = self.traffic_matrix.get(key)
+        if to_path[0] != aggregate.source or to_path[-1] != aggregate.destination:
+            raise AllocationError(
+                f"target path {to_path!r} does not connect the endpoints of {key!r}"
+            )
+
+        new_allocation = dict(self._allocations[key])
+        if current == num_flows:
+            del new_allocation[from_path]
+        else:
+            new_allocation[from_path] = current - num_flows
+        new_allocation[to_path] = new_allocation.get(to_path, 0) + num_flows
+
+        allocations = dict(self._allocations)
+        allocations[key] = new_allocation
+        clone = AllocationState.__new__(AllocationState)
+        clone.network = self.network
+        clone.traffic_matrix = self.traffic_matrix
+        clone._allocations = allocations
+        return clone
+
+    # --------------------------------------------------------------- dunders
+
+    def __len__(self) -> int:
+        return len(self._allocations)
+
+    def __repr__(self) -> str:
+        num_bundles = sum(len(a) for a in self._allocations.values())
+        return (
+            f"AllocationState(aggregates={len(self._allocations)}, bundles={num_bundles})"
+        )
+
+
+def build_path_sets(
+    network: Network,
+    state: AllocationState,
+) -> Dict[AggregateKey, PathSet]:
+    """Create one :class:`PathSet` per aggregate seeded with its allocated paths."""
+    path_sets: Dict[AggregateKey, PathSet] = {}
+    for key in state.aggregate_keys:
+        path_sets[key] = PathSet(network, state.paths_of(key))
+    return path_sets

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the FUBAR reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class.  The more
+specific subclasses mirror the major subsystems described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class TopologyError(ReproError):
+    """Raised when a network topology is malformed or violates an invariant."""
+
+
+class UnknownNodeError(TopologyError):
+    """Raised when a node name is not present in the network."""
+
+    def __init__(self, node: str) -> None:
+        super().__init__(f"unknown node: {node!r}")
+        self.node = node
+
+
+class UnknownLinkError(TopologyError):
+    """Raised when a link identifier is not present in the network."""
+
+    def __init__(self, link: object) -> None:
+        super().__init__(f"unknown link: {link!r}")
+        self.link = link
+
+
+class DuplicateNodeError(TopologyError):
+    """Raised when a node with the same name is added twice."""
+
+    def __init__(self, node: str) -> None:
+        super().__init__(f"duplicate node: {node!r}")
+        self.node = node
+
+
+class DuplicateLinkError(TopologyError):
+    """Raised when a link between the same pair of nodes is added twice."""
+
+    def __init__(self, src: str, dst: str) -> None:
+        super().__init__(f"duplicate link: {src!r} -> {dst!r}")
+        self.src = src
+        self.dst = dst
+
+
+class UtilityError(ReproError):
+    """Raised when a utility function is malformed (non-monotone, out of range...)."""
+
+
+class TrafficError(ReproError):
+    """Raised for malformed traffic matrices or aggregates."""
+
+
+class PathError(ReproError):
+    """Raised when a requested path cannot be built or does not exist."""
+
+
+class NoPathError(PathError):
+    """Raised when no policy-compliant path exists between two nodes."""
+
+    def __init__(self, src: str, dst: str, reason: str = "") -> None:
+        message = f"no path from {src!r} to {dst!r}"
+        if reason:
+            message = f"{message} ({reason})"
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.reason = reason
+
+
+class TrafficModelError(ReproError):
+    """Raised when the progressive-filling traffic model is given invalid input."""
+
+
+class AllocationError(ReproError):
+    """Raised when an allocation state update is inconsistent."""
+
+
+class OptimizationError(ReproError):
+    """Raised when the FUBAR optimizer is configured or driven incorrectly."""
+
+
+class MeasurementError(ReproError):
+    """Raised by the simulated SDN measurement pipeline."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness when a scenario is misconfigured."""

@@ -1,0 +1,296 @@
+"""Runners that regenerate the paper's figures.
+
+Each ``run_figureN`` function executes the corresponding experiment and
+returns a structured result holding the same series the paper plots; the
+benchmark harness (``benchmarks/``) wraps these runners and prints the rows,
+and EXPERIMENTS.md records the measured numbers next to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.shortest_path import shortest_path_routing
+from repro.baselines.upper_bound import upper_bound_utility
+from repro.core.controller import Fubar, FubarPlan
+from repro.experiments.scenarios import (
+    Scenario,
+    prioritized_scenario,
+    provisioned_scenario,
+    relaxed_delay_scenario,
+    underprovisioned_scenario,
+)
+from repro.metrics.cdf import EmpiricalCDF
+from repro.metrics.delay_metrics import DelayShift, delay_shift, flow_delay_cdf
+from repro.traffic.classes import LARGE_TRANSFER
+from repro.utility.presets import bulk_transfer_utility, real_time_utility
+
+
+@dataclass
+class SingleRunResult:
+    """Result of one FUBAR run plus the paper's two reference lines."""
+
+    scenario: Scenario
+    plan: FubarPlan
+    shortest_path_utility: float
+    upper_bound: float
+
+    @property
+    def final_utility(self) -> float:
+        """Final "total average" network utility."""
+        return self.plan.network_utility
+
+    @property
+    def large_flow_utility(self) -> Optional[float]:
+        """Final utility of the large-transfer class (middle panels of Figures 3–5)."""
+        return self.plan.result.model_result.class_utility(LARGE_TRANSFER)
+
+    def utility_series(self) -> Tuple[List[float], List[float]]:
+        """(time, network utility) — the left panel."""
+        return self.plan.result.recorder.utility_series()
+
+    def large_flow_series(self) -> Tuple[List[float], List[float]]:
+        """(time, large-flow utility) — the middle panel."""
+        return self.plan.result.recorder.class_utility_series(LARGE_TRANSFER)
+
+    def utilization_series(self) -> Tuple[List[float], List[float], List[float]]:
+        """(time, actual, demanded utilization) — the right panel."""
+        return self.plan.result.recorder.utilization_series()
+
+    def improvement_over_shortest_path(self) -> float:
+        """Relative utility improvement over shortest-path routing."""
+        if self.shortest_path_utility <= 0.0:
+            return 0.0
+        return (self.final_utility - self.shortest_path_utility) / self.shortest_path_utility
+
+    def summary(self) -> dict:
+        """Scalar summary of the run (what EXPERIMENTS.md tabulates)."""
+        result = self.plan.result
+        return {
+            "scenario": self.scenario.name,
+            "shortest_path_utility": self.shortest_path_utility,
+            "fubar_utility": self.final_utility,
+            "upper_bound_utility": self.upper_bound,
+            "large_flow_utility": self.large_flow_utility,
+            "improvement_over_shortest_path": self.improvement_over_shortest_path(),
+            "final_total_utilization": result.model_result.total_utilization(),
+            "final_demanded_utilization": result.model_result.demanded_utilization(),
+            "congested_links_remaining": len(result.model_result.congested_links),
+            "steps": result.num_steps,
+            "wall_clock_s": result.wall_clock_s,
+            "termination": result.termination_reason,
+        }
+
+
+def run_scenario(scenario: Scenario) -> SingleRunResult:
+    """Run FUBAR on *scenario* and compute the shortest-path / upper-bound references."""
+    controller = Fubar(scenario.network, config=scenario.fubar_config)
+    plan = controller.optimize(scenario.traffic_matrix)
+    shortest = shortest_path_routing(scenario.network, scenario.traffic_matrix)
+    bound = upper_bound_utility(scenario.network, scenario.traffic_matrix)
+    return SingleRunResult(
+        scenario=scenario,
+        plan=plan,
+        shortest_path_utility=shortest.network_utility,
+        upper_bound=bound,
+    )
+
+
+# --------------------------------------------------------------------- figures
+
+
+def run_figure1_figure2(num_points: int = 21) -> Dict[str, Dict[str, List[float]]]:
+    """Sample the Figure 1 / Figure 2 utility-function components.
+
+    Returns, per class, the bandwidth sweep (kbps vs utility) and the delay
+    sweep (ms vs utility) — the exact curves the paper plots.
+    """
+    curves: Dict[str, Dict[str, List[float]]] = {}
+    for name, utility in (
+        ("real-time", real_time_utility()),
+        ("bulk", bulk_transfer_utility()),
+    ):
+        bandwidths = np.linspace(0.0, 250_000.0, num_points)
+        delays = np.linspace(0.0, 0.250, num_points)
+        curves[name] = {
+            "bandwidth_kbps": [b / 1e3 for b in bandwidths],
+            "bandwidth_utility": list(utility.bandwidth.evaluate_many(bandwidths)),
+            "delay_ms": [d * 1e3 for d in delays],
+            "delay_utility": list(utility.delay.evaluate_many(delays)),
+        }
+    return curves
+
+
+def run_figure3(seed: int = 0, **scenario_kwargs) -> SingleRunResult:
+    """Figure 3: a single run of the provisioned case."""
+    return run_scenario(provisioned_scenario(seed=seed, **scenario_kwargs))
+
+
+def run_figure4(seed: int = 0, **scenario_kwargs) -> SingleRunResult:
+    """Figure 4: a single run of the underprovisioned case."""
+    return run_scenario(underprovisioned_scenario(seed=seed, **scenario_kwargs))
+
+
+def run_figure5(seed: int = 0, **scenario_kwargs) -> SingleRunResult:
+    """Figure 5: the underprovisioned case with large flows prioritized."""
+    return run_scenario(prioritized_scenario(seed=seed, **scenario_kwargs))
+
+
+@dataclass
+class DelayExperimentResult:
+    """Figure 6: delay CDFs of the original and relaxed-delay configurations."""
+
+    original: SingleRunResult
+    relaxed: SingleRunResult
+    original_cdf: EmpiricalCDF
+    relaxed_cdf: EmpiricalCDF
+    shift: DelayShift
+
+    def summary(self) -> dict:
+        return {
+            "original_utility": self.original.final_utility,
+            "relaxed_utility": self.relaxed.final_utility,
+            "original_median_delay_ms": self.original_cdf.median * 1e3,
+            "relaxed_median_delay_ms": self.relaxed_cdf.median * 1e3,
+            **self.shift.as_dict(),
+        }
+
+
+#: Delay-cutoff scale used by the Figure 6 experiment at reduced scale.  The
+#: paper's 100 ms real-time cut-off is sized for an intercontinental core; a
+#: reduced US-only core never approaches it, so the cut-offs are shrunk until
+#: they bind (see EXPERIMENTS.md, E6).  At full scale the paper's values are
+#: used unchanged.
+REDUCED_SCALE_DELAY_CUTOFF_SCALE = 0.2
+
+
+def run_figure6(
+    seed: int = 0,
+    relax_factor: float = 2.0,
+    delay_cutoff_scale: Optional[float] = None,
+    **scenario_kwargs,
+) -> DelayExperimentResult:
+    """Figure 6: flow-delay CDFs, underprovisioned vs relaxed-delay."""
+    from repro.experiments.scenarios import full_scale_enabled
+
+    if delay_cutoff_scale is None:
+        explicit_pops = scenario_kwargs.get("num_pops")
+        at_full_scale = (
+            explicit_pops >= 31 if explicit_pops is not None else full_scale_enabled()
+        )
+        delay_cutoff_scale = 1.0 if at_full_scale else REDUCED_SCALE_DELAY_CUTOFF_SCALE
+    original = run_scenario(
+        underprovisioned_scenario(
+            seed=seed, delay_cutoff_scale=delay_cutoff_scale, **scenario_kwargs
+        )
+    )
+    relaxed = run_scenario(
+        relaxed_delay_scenario(
+            seed=seed,
+            factor=relax_factor,
+            delay_cutoff_scale=delay_cutoff_scale,
+            **scenario_kwargs,
+        )
+    )
+    original_cdf = flow_delay_cdf(original.plan.result.model_result)
+    relaxed_cdf = flow_delay_cdf(relaxed.plan.result.model_result)
+    return DelayExperimentResult(
+        original=original,
+        relaxed=relaxed,
+        original_cdf=original_cdf,
+        relaxed_cdf=relaxed_cdf,
+        shift=delay_shift(
+            original.plan.result.model_result, relaxed.plan.result.model_result
+        ),
+    )
+
+
+@dataclass
+class RepeatabilityResult:
+    """Figure 7: utility distributions across many random traffic matrices."""
+
+    fubar_utilities: List[float]
+    shortest_path_utilities: List[float]
+    upper_bound_utilities: List[float]
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.fubar_utilities)
+
+    def fubar_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF(self.fubar_utilities)
+
+    def shortest_path_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF(self.shortest_path_utilities)
+
+    def upper_bound_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF(self.upper_bound_utilities)
+
+    def summary(self) -> dict:
+        fubar = np.asarray(self.fubar_utilities)
+        shortest = np.asarray(self.shortest_path_utilities)
+        bound = np.asarray(self.upper_bound_utilities)
+        gap_to_bound = bound - fubar
+        return {
+            "runs": self.num_runs,
+            "fubar_median": float(np.median(fubar)),
+            "shortest_path_median": float(np.median(shortest)),
+            "upper_bound_median": float(np.median(bound)),
+            "median_gap_to_bound": float(np.median(gap_to_bound)),
+            "fraction_above_shortest_path": float(np.mean(fubar >= shortest - 1e-9)),
+        }
+
+
+def run_figure7(
+    num_runs: int = 10, base_seed: int = 0, **scenario_kwargs
+) -> RepeatabilityResult:
+    """Figure 7: repeat the provisioned case over many random traffic matrices.
+
+    The paper uses 100 runs; the default here is smaller so the benchmark
+    completes in reasonable pure-Python time — pass ``num_runs=100`` (and
+    ``FUBAR_FULL_SCALE=1``) for the paper's exact configuration.
+    """
+    fubar_values: List[float] = []
+    shortest_values: List[float] = []
+    bound_values: List[float] = []
+    for run_index in range(num_runs):
+        result = run_figure3(seed=base_seed + run_index, **scenario_kwargs)
+        fubar_values.append(result.final_utility)
+        shortest_values.append(result.shortest_path_utility)
+        bound_values.append(result.upper_bound)
+    return RepeatabilityResult(
+        fubar_utilities=fubar_values,
+        shortest_path_utilities=shortest_values,
+        upper_bound_utilities=bound_values,
+    )
+
+
+@dataclass
+class RunningTimeResult:
+    """§3 "Running time": wall-clock to convergence in both provisioning regimes."""
+
+    provisioned: SingleRunResult
+    underprovisioned: SingleRunResult
+
+    def summary(self) -> dict:
+        return {
+            "provisioned_wall_clock_s": self.provisioned.plan.result.wall_clock_s,
+            "provisioned_steps": self.provisioned.plan.result.num_steps,
+            "underprovisioned_wall_clock_s": self.underprovisioned.plan.result.wall_clock_s,
+            "underprovisioned_steps": self.underprovisioned.plan.result.num_steps,
+            "underprovisioned_slower_by": (
+                self.underprovisioned.plan.result.wall_clock_s
+                / max(self.provisioned.plan.result.wall_clock_s, 1e-9)
+            ),
+        }
+
+
+def run_running_time(seed: int = 0, **scenario_kwargs) -> RunningTimeResult:
+    """Measure convergence wall-clock for the provisioned and underprovisioned cases."""
+    return RunningTimeResult(
+        provisioned=run_figure3(seed=seed, **scenario_kwargs),
+        underprovisioned=run_figure4(seed=seed, **scenario_kwargs),
+    )

@@ -1,0 +1,271 @@
+"""Evaluation scenarios (paper §3).
+
+The paper's evaluation runs FUBAR on Hurricane Electric's core with an
+all-pairs synthetic traffic matrix in two provisioning regimes:
+
+* **provisioned** — every link at 100 Mbps: "enough capacity to make it
+  possible to alleviate congestion, but not enough capacity for every flow to
+  be satisfied on its shortest path";
+* **underprovisioned** — every link at 75 Mbps: "not enough capacity to
+  completely eliminate congestion".
+
+This module builds those scenarios — at full scale (31 POPs, all-pairs
+aggregates) or at a reduced scale for affordable pure-Python benchmark runs.
+Reduced scenarios keep the provisioning *story* intact by calibrating flow
+counts so the shortest-path demanded utilization matches a target, instead of
+hard-coding capacities that only make sense at full scale.
+
+Set the environment variable ``FUBAR_FULL_SCALE=1`` to make every scenario
+default to the paper's full 31-POP configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.baselines.shortest_path import shortest_path_routing
+from repro.core.config import FubarConfig
+from repro.exceptions import ExperimentError
+from repro.topology.graph import Network
+from repro.topology.hurricane_electric import (
+    PROVISIONED_CAPACITY_BPS,
+    UNDERPROVISIONED_CAPACITY_BPS,
+    hurricane_electric_core,
+    reduced_core,
+)
+from repro.traffic.classes import LARGE_TRANSFER
+from repro.traffic.generators import PaperTrafficConfig, paper_traffic_matrix
+from repro.traffic.matrix import TrafficMatrix
+from repro.utility.aggregation import PriorityWeights
+
+#: Environment variable that switches every scenario to the paper's full scale.
+FULL_SCALE_ENV_VAR = "FUBAR_FULL_SCALE"
+
+#: POP count used by the reduced (default) scenarios.  Eight POPs (the US
+#: west/central portion of the core) keep a pure-Python optimizer run in the
+#: one-second range while still exhibiting the paper's provisioned /
+#: underprovisioned contrast; see EXPERIMENTS.md for the calibration notes.
+REDUCED_NUM_POPS = 8
+
+#: Shortest-path demanded utilization the reduced scenarios are calibrated to,
+#: always measured against the *provisioned* (100 Mbps) capacities.  The same
+#: flow counts are then reused by the underprovisioned case, whose 75 Mbps
+#: links are automatically ~4/3 as loaded — exactly the paper's construction.
+DEFAULT_TARGET_DEMANDED_UTILIZATION = 0.55
+
+#: Priority factor used for the Figure 5 scenario (large flows weighted up).
+#: Chosen so that, at the reduced benchmark scale, large-transfer aggregates
+#: reach their peak utility as in the paper's Figure 5.
+DEFAULT_PRIORITY_FACTOR = 16.0
+
+
+def full_scale_enabled() -> bool:
+    """True when the paper's full 31-POP configuration was requested via env var."""
+    return os.environ.get(FULL_SCALE_ENV_VAR, "").strip() in {"1", "true", "yes", "on"}
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run evaluation scenario."""
+
+    name: str
+    network: Network
+    traffic_matrix: TrafficMatrix
+    fubar_config: FubarConfig
+    description: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """Compact description used by reports and EXPERIMENTS.md."""
+        return {
+            "name": self.name,
+            "network": self.network.name,
+            "num_pops": self.network.num_nodes,
+            "num_links": self.network.num_links,
+            "num_aggregates": self.traffic_matrix.num_aggregates,
+            "total_flows": self.traffic_matrix.total_flows,
+            "total_demand_bps": self.traffic_matrix.total_demand_bps,
+            **self.metadata,
+        }
+
+
+def calibrate_flow_counts(
+    network: Network,
+    traffic_matrix: TrafficMatrix,
+    target_demanded_utilization: float,
+) -> TrafficMatrix:
+    """Scale flow counts so shortest-path demanded utilization hits a target.
+
+    The paper's absolute numbers (961 aggregates, 100 Mbps links) fix the
+    offered-load-to-capacity ratio; reduced topologies need their flow counts
+    rescaled to recreate the same pressure.  The calibration routes the matrix
+    over shortest paths, reads the demanded utilization and scales flow
+    counts by the ratio to the target.
+    """
+    if not 0.0 < target_demanded_utilization < 2.0:
+        raise ExperimentError(
+            "target demanded utilization must be in (0, 2), got "
+            f"{target_demanded_utilization!r}"
+        )
+    baseline = shortest_path_routing(network, traffic_matrix)
+    demanded = baseline.model_result.demanded_utilization()
+    if demanded <= 0.0:
+        raise ExperimentError("traffic matrix has no demand; cannot calibrate")
+    factor = target_demanded_utilization / demanded
+    if abs(factor - 1.0) < 0.05:
+        return traffic_matrix
+    return traffic_matrix.scaled_flows(factor, name=f"{traffic_matrix.name}-calibrated")
+
+
+def _build_network(provisioned: bool, num_pops: Optional[int]) -> Network:
+    capacity = PROVISIONED_CAPACITY_BPS if provisioned else UNDERPROVISIONED_CAPACITY_BPS
+    if num_pops is None:
+        label = "provisioned" if provisioned else "underprovisioned"
+        return hurricane_electric_core(capacity_bps=capacity, name=f"he-{label}")
+    return reduced_core(num_pops, capacity_bps=capacity)
+
+
+def build_paper_scenario(
+    provisioned: bool = True,
+    seed: int = 0,
+    num_pops: Optional[int] = None,
+    relax_delay_factor: Optional[float] = None,
+    delay_cutoff_scale: float = 1.0,
+    prioritize_large_flows: bool = False,
+    priority_factor: float = DEFAULT_PRIORITY_FACTOR,
+    target_demanded_utilization: float = DEFAULT_TARGET_DEMANDED_UTILIZATION,
+    traffic_config: Optional[PaperTrafficConfig] = None,
+    fubar_config: Optional[FubarConfig] = None,
+    max_wall_clock_s: Optional[float] = None,
+) -> Scenario:
+    """Build one of the paper's evaluation scenarios.
+
+    Parameters
+    ----------
+    provisioned:
+        True for the 100 Mbps case, False for the 75 Mbps case.
+    seed:
+        Seed of the synthetic traffic matrix (Figure 7 varies this).
+    num_pops:
+        None uses the scale selected by :func:`default_num_pops` (the full 31
+        POPs when ``FUBAR_FULL_SCALE=1``, a reduced core otherwise).  Pass an
+        explicit value to override.
+    relax_delay_factor:
+        Relaxes the small-flow delay curves (Figure 6 uses 2.0).
+    delay_cutoff_scale:
+        Rescales every class's delay cut-off before the relax factor is
+        applied.  Reduced-scale delay experiments use a value below 1 so the
+        delay component binds on continental-only paths.
+    prioritize_large_flows:
+        Weights large-transfer aggregates up in the objective (Figure 5).
+    target_demanded_utilization:
+        Calibration target applied to reduced-scale scenarios (ignored at
+        full scale, which uses the paper's absolute numbers).
+    max_wall_clock_s:
+        Optional optimizer time budget.
+    """
+    resolved_pops = num_pops if num_pops is not None else default_num_pops()
+    at_full_scale = resolved_pops >= 31
+    network = _build_network(provisioned, None if at_full_scale else resolved_pops)
+
+    config = traffic_config or PaperTrafficConfig()
+    config = replace(
+        config,
+        relax_delay_factor=relax_delay_factor,
+        delay_cutoff_scale=delay_cutoff_scale,
+    )
+    traffic_matrix = paper_traffic_matrix(network, seed=seed, config=config)
+    if not at_full_scale:
+        # Calibrate against the provisioned capacities regardless of which
+        # case is being built: the paper keeps the traffic matrix fixed and
+        # only changes link capacity between the two cases.
+        calibration_network = (
+            network
+            if provisioned
+            else network.with_uniform_capacity(PROVISIONED_CAPACITY_BPS)
+        )
+        traffic_matrix = calibrate_flow_counts(
+            calibration_network, traffic_matrix, target_demanded_utilization
+        )
+
+    weights = (
+        PriorityWeights.prioritize(LARGE_TRANSFER, priority_factor)
+        if prioritize_large_flows
+        else PriorityWeights.uniform()
+    )
+    base_config = fubar_config or FubarConfig()
+    base_config = base_config.with_priority(weights)
+    if max_wall_clock_s is not None:
+        base_config = FubarConfig(
+            move_fraction=base_config.move_fraction,
+            small_aggregate_flows=base_config.small_aggregate_flows,
+            escalation_multipliers=base_config.escalation_multipliers,
+            min_utility_improvement=base_config.min_utility_improvement,
+            consider_existing_paths=base_config.consider_existing_paths,
+            max_steps=base_config.max_steps,
+            max_wall_clock_s=max_wall_clock_s,
+            priority_weights=base_config.priority_weights,
+            record_every_step=base_config.record_every_step,
+        )
+
+    parts = ["provisioned" if provisioned else "underprovisioned"]
+    if prioritize_large_flows:
+        parts.append("prioritized")
+    if relax_delay_factor is not None:
+        parts.append(f"relaxed-delay-x{relax_delay_factor:g}")
+    name = "-".join(parts) + f"-seed{seed}"
+    return Scenario(
+        name=name,
+        network=network,
+        traffic_matrix=traffic_matrix,
+        fubar_config=base_config,
+        description=(
+            "Paper §3 scenario: "
+            + ("100 Mbps links" if provisioned else "75 Mbps links")
+            + (", large flows prioritized" if prioritize_large_flows else "")
+            + (
+                f", small-flow delay curves relaxed x{relax_delay_factor:g}"
+                if relax_delay_factor is not None
+                else ""
+            )
+        ),
+        metadata={
+            "provisioned": provisioned,
+            "seed": seed,
+            "full_scale": at_full_scale,
+            "priority_factor": priority_factor if prioritize_large_flows else 1.0,
+            "relax_delay_factor": relax_delay_factor,
+            "delay_cutoff_scale": delay_cutoff_scale,
+        },
+    )
+
+
+def default_num_pops() -> int:
+    """POP count scenarios use by default (31 at full scale, reduced otherwise)."""
+    return 31 if full_scale_enabled() else REDUCED_NUM_POPS
+
+
+def provisioned_scenario(seed: int = 0, **kwargs) -> Scenario:
+    """The Figure 3 scenario."""
+    return build_paper_scenario(provisioned=True, seed=seed, **kwargs)
+
+
+def underprovisioned_scenario(seed: int = 0, **kwargs) -> Scenario:
+    """The Figure 4 scenario."""
+    return build_paper_scenario(provisioned=False, seed=seed, **kwargs)
+
+
+def prioritized_scenario(seed: int = 0, **kwargs) -> Scenario:
+    """The Figure 5 scenario (underprovisioned, large flows weighted up)."""
+    return build_paper_scenario(
+        provisioned=False, seed=seed, prioritize_large_flows=True, **kwargs
+    )
+
+
+def relaxed_delay_scenario(seed: int = 0, factor: float = 2.0, **kwargs) -> Scenario:
+    """The Figure 6 comparison scenario (small-flow delay parameter doubled)."""
+    return build_paper_scenario(
+        provisioned=False, seed=seed, relax_delay_factor=factor, **kwargs
+    )

@@ -1,0 +1,32 @@
+"""Metrics and reporting: CDFs, delay shifts, utilization summaries, tables."""
+
+from repro.metrics.cdf import EmpiricalCDF, shift_between
+from repro.metrics.delay_metrics import DelayShift, delay_shift, flow_delay_cdf
+from repro.metrics.link_metrics import (
+    UtilizationSummary,
+    hottest_links,
+    utilization_gap,
+    utilization_summary,
+)
+from repro.metrics.reporting import (
+    format_cdf,
+    format_comparison,
+    format_table,
+    format_utility_timeline,
+)
+
+__all__ = [
+    "DelayShift",
+    "EmpiricalCDF",
+    "UtilizationSummary",
+    "delay_shift",
+    "flow_delay_cdf",
+    "format_cdf",
+    "format_comparison",
+    "format_table",
+    "format_utility_timeline",
+    "hottest_links",
+    "shift_between",
+    "utilization_gap",
+    "utilization_summary",
+]

@@ -1,0 +1,102 @@
+"""Weighted empirical CDFs.
+
+Figures 6 and 7 of the paper are CDFs — of per-flow delay and of per-run
+utility respectively.  :class:`EmpiricalCDF` supports both, including flow
+weighting (a bundle of 20 flows should count 20 times in the delay CDF).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+class EmpiricalCDF:
+    """A weighted empirical cumulative distribution function."""
+
+    def __init__(
+        self,
+        values: Iterable[float],
+        weights: Optional[Iterable[float]] = None,
+    ) -> None:
+        value_array = np.asarray(list(values), dtype=float)
+        if value_array.size == 0:
+            raise ReproError("cannot build a CDF from an empty sample")
+        if weights is None:
+            weight_array = np.ones_like(value_array)
+        else:
+            weight_array = np.asarray(list(weights), dtype=float)
+            if weight_array.shape != value_array.shape:
+                raise ReproError(
+                    f"values and weights must have the same length, got "
+                    f"{value_array.shape} and {weight_array.shape}"
+                )
+            if np.any(weight_array < 0.0):
+                raise ReproError("weights must be non-negative")
+            if weight_array.sum() <= 0.0:
+                raise ReproError("weights must not all be zero")
+        order = np.argsort(value_array, kind="stable")
+        self._values = value_array[order]
+        self._weights = weight_array[order]
+        self._cumulative = np.cumsum(self._weights) / self._weights.sum()
+
+    # ------------------------------------------------------------ evaluation
+
+    def evaluate(self, x: float) -> float:
+        """P(value <= x)."""
+        index = np.searchsorted(self._values, float(x), side="right")
+        if index == 0:
+            return 0.0
+        return float(self._cumulative[index - 1])
+
+    def percentile(self, q: float) -> float:
+        """The smallest value at which the CDF reaches q (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ReproError(f"percentile must be in [0, 100], got {q!r}")
+        target = q / 100.0
+        index = int(np.searchsorted(self._cumulative, target, side="left"))
+        index = min(index, self._values.size - 1)
+        return float(self._values[index])
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.percentile(50.0)
+
+    @property
+    def min(self) -> float:
+        """Smallest sample value."""
+        return float(self._values[0])
+
+    @property
+    def max(self) -> float:
+        """Largest sample value."""
+        return float(self._values[-1])
+
+    @property
+    def mean(self) -> float:
+        """Weighted mean of the samples."""
+        return float(np.average(self._values, weights=self._weights))
+
+    def points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) step points suitable for plotting or tabulation."""
+        return self._values.copy(), self._cumulative.copy()
+
+    def sample_at(self, xs: Sequence[float]) -> List[float]:
+        """Evaluate the CDF at several points."""
+        return [self.evaluate(x) for x in xs]
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+
+def shift_between(cdf_a: EmpiricalCDF, cdf_b: EmpiricalCDF, q: float) -> float:
+    """Difference in the q-th percentile between two CDFs (b minus a).
+
+    Used to quantify the Figure 6 observation: relaxing the delay parameter
+    shifts the median flow delay by ~10 ms and the tail by ~50 ms.
+    """
+    return cdf_b.percentile(q) - cdf_a.percentile(q)

@@ -1,0 +1,83 @@
+"""Per-link utilization metrics (right panels of Figures 3–5).
+
+The paper tracks two utilization series while the optimizer runs: "actual"
+(carried load over the capacity of used links) and "demanded" (offered load
+over the same capacity).  Those live on
+:class:`~repro.trafficmodel.result.TrafficModelResult`; this module adds the
+distributional statistics used in reports and tests (how many links are hot,
+how close the busiest link is to saturation, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.topology.graph import LinkId
+from repro.trafficmodel.result import TrafficModelResult
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Distributional view of link utilizations for one allocation."""
+
+    mean: float
+    median: float
+    p90: float
+    max: float
+    num_links_used: int
+    num_links_above_90_percent: int
+    num_congested: int
+    total_utilization: float
+    demanded_utilization: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.p90,
+            "max": self.max,
+            "num_links_used": self.num_links_used,
+            "num_links_above_90_percent": self.num_links_above_90_percent,
+            "num_congested": self.num_congested,
+            "total_utilization": self.total_utilization,
+            "demanded_utilization": self.demanded_utilization,
+        }
+
+
+def utilization_summary(result: TrafficModelResult) -> UtilizationSummary:
+    """Compute a :class:`UtilizationSummary` from one traffic-model result."""
+    utilizations = np.asarray(list(result.link_utilizations().values()), dtype=float)
+    used = utilizations[utilizations > 0.0]
+    if used.size == 0:
+        used = np.zeros(1)
+    return UtilizationSummary(
+        mean=float(used.mean()),
+        median=float(np.median(used)),
+        p90=float(np.percentile(used, 90.0)),
+        max=float(utilizations.max()) if utilizations.size else 0.0,
+        num_links_used=int((utilizations > 0.0).sum()),
+        num_links_above_90_percent=int((utilizations >= 0.9).sum()),
+        num_congested=len(result.congested_links),
+        total_utilization=result.total_utilization(),
+        demanded_utilization=result.demanded_utilization(),
+    )
+
+
+def hottest_links(result: TrafficModelResult, count: int = 5) -> List[Tuple[LinkId, float]]:
+    """The *count* most utilized links and their utilizations, hottest first."""
+    ranked = sorted(
+        result.link_utilizations().items(), key=lambda item: item[1], reverse=True
+    )
+    return ranked[:count]
+
+
+def utilization_gap(result: TrafficModelResult) -> float:
+    """Demanded minus actual utilization (zero when all demand is satisfied).
+
+    The paper reads congestion off exactly this gap: "If the two curves meet,
+    demand has been satisfied."
+    """
+    return max(result.demanded_utilization() - result.total_utilization(), 0.0)

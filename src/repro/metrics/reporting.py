@@ -1,0 +1,88 @@
+"""Plain-text reporting helpers.
+
+The benchmark harness prints the rows the paper plots (utility and
+utilization series, CDF percentiles, baseline comparisons).  These helpers
+keep that formatting in one place so the benches and the examples produce
+consistent, readable tables without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.recorder import OptimizationRecorder
+from repro.metrics.cdf import EmpiricalCDF
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_utility_timeline(
+    recorder: OptimizationRecorder, max_rows: int = 12
+) -> str:
+    """A compact table of the optimizer's progress (Figures 3–5 in text form)."""
+    points = recorder.points
+    if not points:
+        return "(no trace points recorded)"
+    if len(points) > max_rows:
+        stride = max(len(points) // max_rows, 1)
+        sampled = list(points[::stride])
+        if sampled[-1] is not points[-1]:
+            sampled.append(points[-1])
+    else:
+        sampled = list(points)
+    rows = [
+        (
+            f"{point.wall_clock_s:8.2f}",
+            point.step,
+            f"{point.network_utility:.4f}",
+            f"{point.large_flow_utility:.4f}" if point.large_flow_utility is not None else "-",
+            f"{point.total_utilization:.4f}",
+            f"{point.demanded_utilization:.4f}",
+            point.num_congested_links,
+        )
+        for point in sampled
+    ]
+    return format_table(
+        (
+            "time_s",
+            "step",
+            "utility",
+            "large_flow_utility",
+            "utilization",
+            "demanded",
+            "congested_links",
+        ),
+        rows,
+    )
+
+
+def format_cdf(cdf: EmpiricalCDF, percentiles: Sequence[float] = (5, 25, 50, 75, 90, 95, 99)) -> str:
+    """Render a CDF as a table of percentiles."""
+    rows = [(f"p{int(q):02d}", f"{cdf.percentile(q):.6g}") for q in percentiles]
+    return format_table(("percentile", "value"), rows)
+
+
+def format_comparison(results: Mapping[str, float], reference: str) -> str:
+    """Render named scalar results with their ratio to a reference entry."""
+    if reference not in results:
+        raise KeyError(f"reference {reference!r} is not among the results")
+    base = results[reference]
+    rows = []
+    for name, value in results.items():
+        ratio = value / base if base else float("nan")
+        rows.append((name, f"{value:.4f}", f"{ratio:.3f}x"))
+    return format_table(("scheme", "value", f"vs {reference}"), rows)

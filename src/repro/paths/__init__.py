@@ -1,0 +1,28 @@
+"""Path computation: shortest paths, k-shortest paths, policies and path sets."""
+
+from repro.paths.dijkstra import (
+    all_pairs_shortest_paths,
+    path_exists,
+    shortest_path,
+    shortest_path_or_none,
+    shortest_path_tree,
+)
+from repro.paths.generator import AlternativePaths, PathGenerator
+from repro.paths.ksp import k_shortest_paths, k_shortest_paths_or_fewer, path_diversity
+from repro.paths.pathset import PathSet
+from repro.paths.policy import PathPolicy
+
+__all__ = [
+    "AlternativePaths",
+    "PathGenerator",
+    "PathPolicy",
+    "PathSet",
+    "all_pairs_shortest_paths",
+    "k_shortest_paths",
+    "k_shortest_paths_or_fewer",
+    "path_diversity",
+    "path_exists",
+    "shortest_path",
+    "shortest_path_or_none",
+    "shortest_path_tree",
+]

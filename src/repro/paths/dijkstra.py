@@ -1,0 +1,155 @@
+"""Delay-weighted shortest paths.
+
+FUBAR's default path for every aggregate is "simply the lowest delay path"
+(§2.4), and all three alternative-path queries are lowest-delay searches that
+avoid a set of links.  This module implements Dijkstra's algorithm directly
+on the :class:`~repro.topology.graph.Network` container with support for
+excluded links and nodes, which is all the path generator needs.
+
+The implementation is cross-checked against ``networkx.shortest_path`` in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.exceptions import NoPathError, UnknownNodeError
+from repro.topology.graph import LinkId, Network, Path
+
+#: The empty exclusion set, shared to avoid re-allocating it on every call.
+NO_LINKS: FrozenSet[LinkId] = frozenset()
+NO_NODES: FrozenSet[str] = frozenset()
+
+
+def shortest_path(
+    network: Network,
+    source: str,
+    destination: str,
+    excluded_links: AbstractSet[LinkId] = NO_LINKS,
+    excluded_nodes: AbstractSet[str] = NO_NODES,
+) -> Path:
+    """Return the lowest-delay path from *source* to *destination*.
+
+    Links in *excluded_links* and nodes in *excluded_nodes* (other than the
+    endpoints) are treated as absent.  Raises :class:`NoPathError` when no
+    path survives the exclusions.
+    """
+    if not network.has_node(source):
+        raise UnknownNodeError(source)
+    if not network.has_node(destination):
+        raise UnknownNodeError(destination)
+    if source == destination:
+        raise NoPathError(source, destination, "source equals destination")
+
+    distances: Dict[str, float] = {source: 0.0}
+    previous: Dict[str, str] = {}
+    visited: set = set()
+    queue: list = [(0.0, source)]
+
+    while queue:
+        distance, node = heapq.heappop(queue)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == destination:
+            break
+        for link in network.out_links(node):
+            neighbour = link.dst
+            if neighbour in visited:
+                continue
+            if neighbour in excluded_nodes and neighbour != destination:
+                continue
+            if link.link_id in excluded_links:
+                continue
+            candidate = distance + link.delay_s
+            if candidate < distances.get(neighbour, float("inf")):
+                distances[neighbour] = candidate
+                previous[neighbour] = node
+                heapq.heappush(queue, (candidate, neighbour))
+
+    if destination not in previous and destination != source:
+        raise NoPathError(source, destination, "exclusions disconnect the pair")
+
+    path = [destination]
+    while path[-1] != source:
+        path.append(previous[path[-1]])
+    path.reverse()
+    return tuple(path)
+
+
+def shortest_path_or_none(
+    network: Network,
+    source: str,
+    destination: str,
+    excluded_links: AbstractSet[LinkId] = NO_LINKS,
+    excluded_nodes: AbstractSet[str] = NO_NODES,
+) -> Optional[Path]:
+    """Like :func:`shortest_path` but returns None instead of raising."""
+    try:
+        return shortest_path(network, source, destination, excluded_links, excluded_nodes)
+    except NoPathError:
+        return None
+
+
+def shortest_path_tree(network: Network, source: str) -> Dict[str, Path]:
+    """Return the lowest-delay path from *source* to every reachable node.
+
+    The result maps destination name to path; the source itself is omitted.
+    Used by the shortest-path baseline, which routes every aggregate over
+    this tree.
+    """
+    if not network.has_node(source):
+        raise UnknownNodeError(source)
+    distances: Dict[str, float] = {source: 0.0}
+    previous: Dict[str, str] = {}
+    visited: set = set()
+    queue: list = [(0.0, source)]
+
+    while queue:
+        distance, node = heapq.heappop(queue)
+        if node in visited:
+            continue
+        visited.add(node)
+        for link in network.out_links(node):
+            neighbour = link.dst
+            if neighbour in visited:
+                continue
+            candidate = distance + link.delay_s
+            if candidate < distances.get(neighbour, float("inf")):
+                distances[neighbour] = candidate
+                previous[neighbour] = node
+                heapq.heappush(queue, (candidate, neighbour))
+
+    paths: Dict[str, Path] = {}
+    for destination in network.node_names:
+        if destination == source or destination not in previous:
+            continue
+        path = [destination]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        path.reverse()
+        paths[destination] = tuple(path)
+    return paths
+
+
+def all_pairs_shortest_paths(network: Network) -> Dict[Tuple[str, str], Path]:
+    """Lowest-delay path for every ordered pair of distinct, connected nodes."""
+    result: Dict[Tuple[str, str], Path] = {}
+    for source in network.node_names:
+        for destination, path in shortest_path_tree(network, source).items():
+            result[(source, destination)] = path
+    return result
+
+
+def path_exists(
+    network: Network,
+    source: str,
+    destination: str,
+    excluded_links: AbstractSet[LinkId] = NO_LINKS,
+) -> bool:
+    """Return True when *destination* is reachable from *source* under the exclusions."""
+    return (
+        shortest_path_or_none(network, source, destination, excluded_links) is not None
+    )

@@ -1,0 +1,104 @@
+"""K-shortest simple paths (Yen's algorithm).
+
+The FUBAR path generator normally asks only three targeted questions
+(global / local / link-local alternatives), but the library also exposes a
+classic k-shortest-paths enumeration: the upper-bound baseline and the
+ablation benchmarks use it to explore what richer path sets would buy, and it
+is generally useful to downstream users of the path substrate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Set, Tuple
+
+from repro.exceptions import NoPathError, PathError
+from repro.topology.graph import LinkId, Network, Path
+from repro.paths.dijkstra import shortest_path_or_none
+
+
+def k_shortest_paths(
+    network: Network,
+    source: str,
+    destination: str,
+    k: int,
+) -> List[Path]:
+    """Return up to *k* lowest-delay simple paths, best first (Yen's algorithm).
+
+    Fewer than *k* paths are returned when the topology does not contain
+    that many distinct simple paths.  Raises :class:`NoPathError` when the
+    pair is disconnected and :class:`PathError` for invalid *k*.
+    """
+    if k < 1:
+        raise PathError(f"k must be at least 1, got {k}")
+    first = shortest_path_or_none(network, source, destination)
+    if first is None:
+        raise NoPathError(source, destination)
+
+    accepted: List[Path] = [first]
+    # Candidate heap holds (delay, path) so the best candidate pops first.
+    candidates: List[Tuple[float, Path]] = []
+    seen_candidates: Set[Path] = set()
+
+    while len(accepted) < k:
+        previous_path = accepted[-1]
+        # Each node of the previous path (except the last) becomes a spur node.
+        for spur_index in range(len(previous_path) - 1):
+            spur_node = previous_path[spur_index]
+            root_path = previous_path[: spur_index + 1]
+
+            excluded_links: Set[LinkId] = set()
+            for path in accepted:
+                if len(path) > spur_index and path[: spur_index + 1] == root_path:
+                    excluded_links.add((path[spur_index], path[spur_index + 1]))
+            excluded_nodes = set(root_path[:-1])
+
+            spur_path = shortest_path_or_none(
+                network,
+                spur_node,
+                destination,
+                excluded_links=frozenset(excluded_links),
+                excluded_nodes=frozenset(excluded_nodes),
+            )
+            if spur_path is None:
+                continue
+            total_path = tuple(root_path[:-1]) + spur_path
+            if len(set(total_path)) != len(total_path):
+                continue
+            if total_path in seen_candidates or total_path in accepted:
+                continue
+            seen_candidates.add(total_path)
+            heapq.heappush(candidates, (network.path_delay(total_path), total_path))
+
+        if not candidates:
+            break
+        _, best_candidate = heapq.heappop(candidates)
+        accepted.append(best_candidate)
+
+    return accepted
+
+
+def k_shortest_paths_or_fewer(
+    network: Network, source: str, destination: str, k: int
+) -> List[Path]:
+    """Like :func:`k_shortest_paths` but returns an empty list when disconnected."""
+    try:
+        return k_shortest_paths(network, source, destination, k)
+    except NoPathError:
+        return []
+
+
+def path_diversity(paths: List[Path]) -> float:
+    """Fraction of distinct links across a path list (1.0 = fully disjoint).
+
+    A small helper used by the ablation benchmarks to characterize how
+    different the generated alternatives really are.
+    """
+    if not paths:
+        return 0.0
+    all_links: List[LinkId] = []
+    for path in paths:
+        all_links.extend(zip(path, path[1:]))
+    if not all_links:
+        return 0.0
+    return len(set(all_links)) / len(all_links)

@@ -1,0 +1,124 @@
+"""Path policy constraints.
+
+Paper §2.4 requires "policy compliant paths".  The policy model here covers
+the constraints ISP operators typically express — forbidden nodes or links
+(e.g. scrubbing-centre bypass, geo restrictions), a hop-count ceiling and a
+delay ceiling — and is enforced both at generation time (exclusions are
+pushed into the Dijkstra queries) and as a post-check on any externally
+supplied path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import PathError
+from repro.topology.graph import LinkId, Network, Path
+
+
+@dataclass(frozen=True)
+class PathPolicy:
+    """Constraints a path must satisfy to be usable by an aggregate.
+
+    Parameters
+    ----------
+    forbidden_nodes:
+        Nodes the path must not traverse (endpoints included — forbidding an
+        aggregate's own endpoint makes every path non-compliant, which is
+        reported rather than silently ignored).
+    forbidden_links:
+        Directed links the path must not traverse.
+    max_hops:
+        Maximum number of links; None means unlimited.
+    max_delay_s:
+        Maximum one-way propagation delay in seconds; None means unlimited.
+    """
+
+    forbidden_nodes: FrozenSet[str] = frozenset()
+    forbidden_links: FrozenSet[LinkId] = frozenset()
+    max_hops: Optional[int] = None
+    max_delay_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_hops is not None and self.max_hops < 1:
+            raise PathError(f"max_hops must be at least 1, got {self.max_hops!r}")
+        if self.max_delay_s is not None and self.max_delay_s <= 0.0:
+            raise PathError(f"max_delay_s must be positive, got {self.max_delay_s!r}")
+
+    # ------------------------------------------------------------- factories
+
+    @classmethod
+    def unrestricted(cls) -> "PathPolicy":
+        """A policy that allows every path (the paper's default)."""
+        return cls()
+
+    @classmethod
+    def avoiding_nodes(cls, nodes: Iterable[str]) -> "PathPolicy":
+        """A policy that only forbids the given nodes."""
+        return cls(forbidden_nodes=frozenset(nodes))
+
+    @classmethod
+    def avoiding_links(cls, links: Iterable[LinkId]) -> "PathPolicy":
+        """A policy that only forbids the given directed links."""
+        return cls(forbidden_links=frozenset(links))
+
+    # ------------------------------------------------------------ evaluation
+
+    def violations(self, network: Network, path: Sequence[str]) -> List[str]:
+        """Return a list of reasons why *path* violates this policy (empty = compliant)."""
+        problems: List[str] = []
+        node_hits = [node for node in path if node in self.forbidden_nodes]
+        for node in node_hits:
+            problems.append(f"path traverses forbidden node {node!r}")
+        for link_id in zip(path, path[1:]):
+            if link_id in self.forbidden_links:
+                problems.append(f"path traverses forbidden link {link_id!r}")
+        hops = len(path) - 1
+        if self.max_hops is not None and hops > self.max_hops:
+            problems.append(f"path has {hops} hops, policy allows {self.max_hops}")
+        if self.max_delay_s is not None:
+            delay = network.path_delay(path)
+            if delay > self.max_delay_s:
+                problems.append(
+                    f"path delay {delay * 1e3:.1f} ms exceeds policy "
+                    f"{self.max_delay_s * 1e3:.1f} ms"
+                )
+        return problems
+
+    def is_compliant(self, network: Network, path: Sequence[str]) -> bool:
+        """Return True when *path* satisfies every constraint."""
+        return not self.violations(network, path)
+
+    def require_compliant(self, network: Network, path: Sequence[str]) -> Path:
+        """Return *path* as a tuple, raising :class:`PathError` when non-compliant."""
+        problems = self.violations(network, path)
+        if problems:
+            raise PathError(
+                f"path {tuple(path)!r} violates policy: " + "; ".join(problems)
+            )
+        return tuple(path)
+
+    # ------------------------------------------------------------ composition
+
+    def with_extra_exclusions(
+        self,
+        links: Iterable[LinkId] = (),
+        nodes: Iterable[str] = (),
+    ) -> "PathPolicy":
+        """Return a policy with additional forbidden links/nodes.
+
+        The path generator composes the aggregate's base policy with the
+        congestion-driven exclusions (global / local / link-local) through
+        this method.
+        """
+        return PathPolicy(
+            forbidden_nodes=self.forbidden_nodes | frozenset(nodes),
+            forbidden_links=self.forbidden_links | frozenset(links),
+            max_hops=self.max_hops,
+            max_delay_s=self.max_delay_s,
+        )
+
+    def exclusions(self) -> Tuple[FrozenSet[LinkId], FrozenSet[str]]:
+        """Return the (links, nodes) exclusion sets to feed into Dijkstra."""
+        return self.forbidden_links, self.forbidden_nodes

@@ -1,0 +1,142 @@
+"""The simulated SDN control plane.
+
+Paper §2.1 and §5: FUBAR sits next to an SDN controller — the controller
+installs the computed paths in switches and collects the per-aggregate
+measurements FUBAR needs for the next optimization cycle.  This module
+simulates that controller: it owns one :class:`~repro.sdn.switch.Switch` per
+POP, installs compiled forwarding rules, and rebuilds a measured
+:class:`~repro.traffic.matrix.TrafficMatrix` from ingress-switch counters
+("the measurements required will be taken hierarchically" — each ingress
+switch reports only its own aggregates, and the controller merges them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.routing import RoutingTable
+from repro.exceptions import MeasurementError, ReproError
+from repro.sdn.rules import ForwardingRule, compile_rules
+from repro.sdn.switch import Switch
+from repro.topology.graph import Network
+from repro.traffic.aggregate import Aggregate, AggregateKey
+from repro.traffic.classes import default_traffic_classes
+from repro.traffic.matrix import TrafficMatrix
+
+
+class SdnController:
+    """Owns the switches of one network and mediates rules and measurements."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._switches: Dict[str, Switch] = {
+            name: Switch(name) for name in network.node_names
+        }
+        self._installed_routing: Optional[RoutingTable] = None
+
+    # -------------------------------------------------------------- switches
+
+    def switch(self, name: str) -> Switch:
+        """The switch at POP *name*."""
+        if name not in self._switches:
+            raise ReproError(f"no switch named {name!r}")
+        return self._switches[name]
+
+    @property
+    def switches(self) -> Tuple[Switch, ...]:
+        """Every switch, in node order."""
+        return tuple(self._switches.values())
+
+    @property
+    def num_rules_installed(self) -> int:
+        """Total rules across all switches."""
+        return sum(switch.num_rules for switch in self._switches.values())
+
+    # ----------------------------------------------------------------- rules
+
+    def install_routing(self, routing: RoutingTable) -> int:
+        """Compile *routing* and install the rules on every switch.
+
+        Returns the number of rules installed.  Previously installed rules
+        are cleared first — the offline controller replaces the whole
+        configuration each cycle.
+        """
+        for switch in self._switches.values():
+            switch.clear()
+        compiled = compile_rules(routing)
+        installed = 0
+        for node, rules in compiled.items():
+            switch = self.switch(node)
+            for rule in rules:
+                switch.install(rule)
+                installed += 1
+        self._installed_routing = routing
+        return installed
+
+    @property
+    def installed_routing(self) -> Optional[RoutingTable]:
+        """The routing table currently deployed (None before the first install)."""
+        return self._installed_routing
+
+    # ----------------------------------------------------------- measurement
+
+    def record_aggregate_traffic(
+        self,
+        aggregate: AggregateKey,
+        rate_bps: float,
+        num_flows: int,
+        interval_s: float = 60.0,
+    ) -> None:
+        """Feed one aggregate's observed traffic into its ingress switch counters."""
+        source = aggregate[0]
+        switch = self.switch(source)
+        if switch.rule_for(aggregate) is None:
+            raise MeasurementError(
+                f"aggregate {aggregate!r} has no installed rule at its ingress "
+                f"switch {source!r}"
+            )
+        switch.observe(aggregate, rate_bps, num_flows, interval_s)
+
+    def measured_traffic_matrix(
+        self,
+        name: str = "measured",
+        relax_delay_factor: Optional[float] = None,
+    ) -> TrafficMatrix:
+        """Rebuild a traffic matrix from ingress-switch counters.
+
+        Each aggregate's per-flow demand is its measured rate divided by its
+        measured flow count; the utility shape comes from the class presets
+        (the controller knows the class from the rule key).  Aggregates whose
+        counters saw no traffic are omitted.
+        """
+        classes = default_traffic_classes(relax_delay_factor=relax_delay_factor)
+        matrix = TrafficMatrix(name=name)
+        for switch in self._switches.values():
+            for key, counters in switch.all_counters().items():
+                if key[0] != switch.name:
+                    # Only ingress switches contribute, so transit counters
+                    # are not double-counted (hierarchical measurement).
+                    continue
+                if counters.num_flows <= 0 or counters.rate_bps <= 0.0:
+                    continue
+                class_name = key[2]
+                if class_name not in classes:
+                    raise MeasurementError(f"unknown traffic class {class_name!r}")
+                per_flow = counters.rate_bps / counters.num_flows
+                utility = classes[class_name].utility.with_demand(per_flow)
+                matrix.add(
+                    Aggregate(
+                        source=key[0],
+                        destination=key[1],
+                        traffic_class=class_name,
+                        num_flows=counters.num_flows,
+                        utility=utility,
+                    )
+                )
+        return matrix
+
+    def reset_counters(self) -> None:
+        """Clear the instantaneous rate readings on every switch."""
+        for switch in self._switches.values():
+            for counters in switch.all_counters().values():
+                counters.reset_rate()

@@ -1,0 +1,99 @@
+"""Deploying a FUBAR plan onto the simulated SDN substrate.
+
+This closes the loop the paper's conclusion sketches: the *offline*
+controller (FUBAR) computes paths and splits; the *online* controller
+installs them and keeps measuring.  :func:`deploy_plan` installs a plan's
+routing table, drives the traffic predicted by the traffic model through the
+switches, and returns a deployment report; a follow-up call to
+:func:`remeasure` produces the traffic matrix the next FUBAR cycle would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.controller import FubarPlan
+from repro.exceptions import MeasurementError
+from repro.sdn.controller import SdnController
+from repro.topology.graph import LinkId, Network
+from repro.traffic.matrix import TrafficMatrix
+from repro.trafficmodel.result import TrafficModelResult
+
+
+@dataclass
+class DeploymentReport:
+    """What happened when a plan was pushed to the switches."""
+
+    num_rules_installed: int
+    num_aggregates: int
+    link_loads_bps: Dict[LinkId, float]
+    overloaded_links: Dict[LinkId, float]
+
+    @property
+    def has_overload(self) -> bool:
+        """True when any link would carry more than its capacity."""
+        return bool(self.overloaded_links)
+
+
+def _link_loads_from_result(result: TrafficModelResult) -> Dict[LinkId, float]:
+    return {
+        link.link_id: float(result.link_loads_bps[link.index])
+        for link in result.network.links
+    }
+
+
+def deploy_plan(
+    controller: SdnController,
+    plan: FubarPlan,
+    measurement_interval_s: float = 60.0,
+) -> DeploymentReport:
+    """Install *plan* on *controller* and replay the modelled traffic through it.
+
+    The per-aggregate rates predicted by the traffic model become the
+    counters the switches would observe during one measurement interval.
+    """
+    network = controller.network
+    if network is not plan.result.network and network.name != plan.result.network.name:
+        raise MeasurementError(
+            "the plan was computed for a different network than the controller manages"
+        )
+    installed = controller.install_routing(plan.routing)
+
+    model_result = plan.result.model_result
+    per_aggregate_rate: Dict = {}
+    per_aggregate_flows: Dict = {}
+    for outcome in model_result.outcomes:
+        key = outcome.bundle.aggregate_key
+        per_aggregate_rate[key] = per_aggregate_rate.get(key, 0.0) + outcome.rate_bps
+        per_aggregate_flows[key] = (
+            per_aggregate_flows.get(key, 0) + outcome.bundle.num_flows
+        )
+    for key, rate in per_aggregate_rate.items():
+        controller.record_aggregate_traffic(
+            key, rate, per_aggregate_flows[key], interval_s=measurement_interval_s
+        )
+
+    link_loads = _link_loads_from_result(model_result)
+    overloaded = {
+        link.link_id: link_loads[link.link_id] / link.capacity_bps
+        for link in network.links
+        if link_loads[link.link_id] > link.capacity_bps * (1.0 + 1e-9)
+    }
+    return DeploymentReport(
+        num_rules_installed=installed,
+        num_aggregates=len(per_aggregate_rate),
+        link_loads_bps=link_loads,
+        overloaded_links=overloaded,
+    )
+
+
+def remeasure(
+    controller: SdnController,
+    name: str = "remeasured",
+    relax_delay_factor: Optional[float] = None,
+) -> TrafficMatrix:
+    """Produce the traffic matrix the next optimization cycle would start from."""
+    return controller.measured_traffic_matrix(
+        name=name, relax_delay_factor=relax_delay_factor
+    )

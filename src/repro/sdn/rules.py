@@ -1,0 +1,97 @@
+"""Forwarding rules derived from a FUBAR routing table.
+
+The offline controller's output (a :class:`~repro.core.routing.RoutingTable`)
+must eventually be installed in switches.  In an SDN deployment each switch
+holds, per aggregate, a weighted next-hop group: the fraction of the
+aggregate's flows arriving at that switch that should leave over each
+outgoing link.  This module compiles a routing table into exactly those
+per-switch rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.routing import RoutingTable
+from repro.exceptions import ReproError
+from repro.traffic.aggregate import AggregateKey
+
+
+@dataclass(frozen=True)
+class WeightedNextHop:
+    """One next hop of a forwarding rule together with its traffic share."""
+
+    next_hop: str
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0 + 1e-9:
+            raise ReproError(f"next-hop weight must be in (0, 1], got {self.weight!r}")
+
+
+@dataclass(frozen=True)
+class ForwardingRule:
+    """The forwarding entry for one aggregate at one switch."""
+
+    switch: str
+    aggregate: AggregateKey
+    next_hops: Tuple[WeightedNextHop, ...]
+
+    def __post_init__(self) -> None:
+        if not self.next_hops:
+            raise ReproError(
+                f"rule for {self.aggregate!r} at {self.switch!r} has no next hops"
+            )
+        total = sum(hop.weight for hop in self.next_hops)
+        if abs(total - 1.0) > 1e-6:
+            raise ReproError(
+                f"next-hop weights at {self.switch!r} for {self.aggregate!r} "
+                f"sum to {total}, expected 1.0"
+            )
+
+    def weight_towards(self, next_hop: str) -> float:
+        """Share of the aggregate forwarded to *next_hop* (0 when absent)."""
+        for hop in self.next_hops:
+            if hop.next_hop == next_hop:
+                return hop.weight
+        return 0.0
+
+
+def compile_rules(routing: RoutingTable) -> Dict[str, List[ForwardingRule]]:
+    """Compile a routing table into per-switch forwarding rules.
+
+    For every aggregate and every switch its paths traverse (except the
+    egress), the rule's next-hop weights are the shares of the aggregate's
+    flows that continue to each neighbour.  Shares are computed from the
+    flow counts of the path splits, so they are consistent with what the
+    optimizer actually allocated.
+    """
+    rules: Dict[str, List[ForwardingRule]] = {}
+    for route in routing:
+        # Flows arriving at a node may have come over different paths; the
+        # rule only depends on the share continuing towards each next hop.
+        outgoing: Dict[str, Dict[str, int]] = {}
+        for split in route.splits:
+            for node, next_hop in zip(split.path, split.path[1:]):
+                outgoing.setdefault(node, {})
+                outgoing[node][next_hop] = (
+                    outgoing[node].get(next_hop, 0) + split.num_flows
+                )
+        for node, next_hop_flows in outgoing.items():
+            total = sum(next_hop_flows.values())
+            next_hops = tuple(
+                WeightedNextHop(next_hop=name, weight=flows / total)
+                for name, flows in sorted(next_hop_flows.items())
+            )
+            rules.setdefault(node, []).append(
+                ForwardingRule(switch=node, aggregate=route.key, next_hops=next_hops)
+            )
+    return rules
+
+
+def rules_for_switch(
+    rules: Mapping[str, List[ForwardingRule]], switch: str
+) -> List[ForwardingRule]:
+    """The rules destined for one switch (empty list when it needs none)."""
+    return list(rules.get(switch, []))

@@ -1,0 +1,114 @@
+"""A simulated SDN switch.
+
+Each switch holds a flow table of :class:`~repro.sdn.rules.ForwardingRule`
+entries and per-aggregate byte/flow counters.  The counters are what the
+controller's measurement pipeline reads (paper §2.1): the switch is the
+source of "periodic per-aggregate bandwidth measurements and approximate
+flow counts".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import MeasurementError, ReproError
+from repro.sdn.rules import ForwardingRule
+from repro.traffic.aggregate import AggregateKey
+
+
+@dataclass
+class RuleCounters:
+    """Byte and flow counters attached to one installed rule."""
+
+    bytes_total: float = 0.0
+    rate_bps: float = 0.0
+    num_flows: int = 0
+
+    def observe(self, rate_bps: float, num_flows: int, interval_s: float) -> None:
+        """Accumulate one measurement interval of traffic through the rule."""
+        if rate_bps < 0.0 or num_flows < 0 or interval_s <= 0.0:
+            raise MeasurementError(
+                "rate and flow count must be non-negative and the interval positive"
+            )
+        self.rate_bps = rate_bps
+        self.num_flows = num_flows
+        self.bytes_total += rate_bps * interval_s / 8.0
+
+    def reset_rate(self) -> None:
+        """Clear the instantaneous rate/flow reading (byte totals persist)."""
+        self.rate_bps = 0.0
+        self.num_flows = 0
+
+
+class Switch:
+    """A single simulated switch identified by its node name."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ReproError("switch name must be non-empty")
+        self.name = name
+        self._rules: Dict[AggregateKey, ForwardingRule] = {}
+        self._counters: Dict[AggregateKey, RuleCounters] = {}
+
+    # ----------------------------------------------------------------- rules
+
+    def install(self, rule: ForwardingRule) -> None:
+        """Install (or replace) the rule for one aggregate."""
+        if rule.switch != self.name:
+            raise ReproError(
+                f"rule for switch {rule.switch!r} installed on switch {self.name!r}"
+            )
+        self._rules[rule.aggregate] = rule
+        self._counters.setdefault(rule.aggregate, RuleCounters())
+
+    def uninstall(self, aggregate: AggregateKey) -> None:
+        """Remove the rule (and counters) for one aggregate if present."""
+        self._rules.pop(aggregate, None)
+        self._counters.pop(aggregate, None)
+
+    def clear(self) -> None:
+        """Remove every rule and counter (a fresh flow table)."""
+        self._rules.clear()
+        self._counters.clear()
+
+    def rule_for(self, aggregate: AggregateKey) -> Optional[ForwardingRule]:
+        """The installed rule for one aggregate, or None."""
+        return self._rules.get(aggregate)
+
+    @property
+    def rules(self) -> Tuple[ForwardingRule, ...]:
+        """All installed rules."""
+        return tuple(self._rules.values())
+
+    @property
+    def num_rules(self) -> int:
+        """Number of installed rules."""
+        return len(self._rules)
+
+    # -------------------------------------------------------------- counters
+
+    def observe(
+        self, aggregate: AggregateKey, rate_bps: float, num_flows: int, interval_s: float
+    ) -> None:
+        """Record traffic of one aggregate passing through this switch."""
+        if aggregate not in self._rules:
+            raise MeasurementError(
+                f"switch {self.name!r} has no rule for aggregate {aggregate!r}"
+            )
+        self._counters[aggregate].observe(rate_bps, num_flows, interval_s)
+
+    def counters_for(self, aggregate: AggregateKey) -> RuleCounters:
+        """The counters attached to one aggregate's rule."""
+        if aggregate not in self._counters:
+            raise MeasurementError(
+                f"switch {self.name!r} has no counters for aggregate {aggregate!r}"
+            )
+        return self._counters[aggregate]
+
+    def all_counters(self) -> Dict[AggregateKey, RuleCounters]:
+        """A copy of every aggregate's counters."""
+        return dict(self._counters)
+
+    def __repr__(self) -> str:
+        return f"Switch(name={self.name!r}, rules={self.num_rules})"

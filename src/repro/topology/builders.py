@@ -1,0 +1,237 @@
+"""Deterministic topology builders.
+
+These small canonical topologies (line, ring, star, grid, full mesh,
+dumbbell) are used throughout the test suite and the examples: their optimal
+routings are easy to reason about by hand, which makes them ideal for
+checking the traffic model and the optimizer.
+
+All builders create *duplex* links (one directed link in each direction) with
+uniform capacity and delay unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Network
+from repro.units import mbps, ms
+
+#: Default link capacity used by the builders (matches the paper's provisioned case).
+DEFAULT_CAPACITY_BPS = mbps(100)
+
+#: Default link delay used by the builders.
+DEFAULT_DELAY_S = ms(5)
+
+
+def _node_names(count: int, prefix: str) -> List[str]:
+    if count < 1:
+        raise TopologyError(f"need at least one node, got {count}")
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+def line_topology(
+    num_nodes: int,
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    delay_s: float = DEFAULT_DELAY_S,
+    prefix: str = "N",
+) -> Network:
+    """A chain N0 - N1 - ... - N(k-1) of duplex links."""
+    names = _node_names(num_nodes, prefix)
+    network = Network(name=f"line-{num_nodes}")
+    for name in names:
+        network.add_node(name)
+    for a, b in zip(names, names[1:]):
+        network.add_duplex_link(a, b, capacity_bps, delay_s)
+    return network
+
+
+def ring_topology(
+    num_nodes: int,
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    delay_s: float = DEFAULT_DELAY_S,
+    prefix: str = "N",
+) -> Network:
+    """A ring of duplex links; every node has two neighbours.
+
+    Rings are the smallest topologies with genuine path diversity, so they
+    are the workhorse of the optimizer unit tests: each pair of nodes has
+    exactly two simple paths (clockwise and anti-clockwise).
+    """
+    if num_nodes < 3:
+        raise TopologyError(f"a ring needs at least 3 nodes, got {num_nodes}")
+    names = _node_names(num_nodes, prefix)
+    network = Network(name=f"ring-{num_nodes}")
+    for name in names:
+        network.add_node(name)
+    for i, name in enumerate(names):
+        network.add_duplex_link(name, names[(i + 1) % num_nodes], capacity_bps, delay_s)
+    return network
+
+
+def star_topology(
+    num_leaves: int,
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    delay_s: float = DEFAULT_DELAY_S,
+    hub_name: str = "hub",
+    prefix: str = "leaf",
+) -> Network:
+    """A hub-and-spoke topology: every leaf connects only to the hub."""
+    if num_leaves < 1:
+        raise TopologyError(f"a star needs at least one leaf, got {num_leaves}")
+    network = Network(name=f"star-{num_leaves}")
+    network.add_node(hub_name)
+    for name in _node_names(num_leaves, prefix):
+        network.add_node(name)
+        network.add_duplex_link(hub_name, name, capacity_bps, delay_s)
+    return network
+
+
+def full_mesh_topology(
+    num_nodes: int,
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    delay_s: float = DEFAULT_DELAY_S,
+    prefix: str = "N",
+) -> Network:
+    """Every pair of nodes is connected by a duplex link."""
+    if num_nodes < 2:
+        raise TopologyError(f"a mesh needs at least 2 nodes, got {num_nodes}")
+    names = _node_names(num_nodes, prefix)
+    network = Network(name=f"mesh-{num_nodes}")
+    for name in names:
+        network.add_node(name)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            network.add_duplex_link(a, b, capacity_bps, delay_s)
+    return network
+
+
+def grid_topology(
+    rows: int,
+    columns: int,
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    delay_s: float = DEFAULT_DELAY_S,
+    prefix: str = "N",
+) -> Network:
+    """A rows x columns grid with duplex links between 4-neighbours."""
+    if rows < 1 or columns < 1:
+        raise TopologyError(f"grid dimensions must be positive, got {rows}x{columns}")
+    network = Network(name=f"grid-{rows}x{columns}")
+
+    def name(r: int, c: int) -> str:
+        return f"{prefix}{r}_{c}"
+
+    for r in range(rows):
+        for c in range(columns):
+            network.add_node(name(r, c))
+    for r in range(rows):
+        for c in range(columns):
+            if c + 1 < columns:
+                network.add_duplex_link(name(r, c), name(r, c + 1), capacity_bps, delay_s)
+            if r + 1 < rows:
+                network.add_duplex_link(name(r, c), name(r + 1, c), capacity_bps, delay_s)
+    return network
+
+
+def dumbbell_topology(
+    left_leaves: int = 2,
+    right_leaves: int = 2,
+    bottleneck_capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    edge_capacity_bps: Optional[float] = None,
+    delay_s: float = DEFAULT_DELAY_S,
+) -> Network:
+    """Two hubs joined by a single (potential bottleneck) duplex link.
+
+    Left leaves attach to the left hub, right leaves to the right hub.  The
+    classic shape for congestion tests: every left-to-right aggregate shares
+    the central link.
+    """
+    if left_leaves < 1 or right_leaves < 1:
+        raise TopologyError("a dumbbell needs at least one leaf on each side")
+    edge_capacity = edge_capacity_bps if edge_capacity_bps is not None else 10 * bottleneck_capacity_bps
+    network = Network(name=f"dumbbell-{left_leaves}x{right_leaves}")
+    network.add_node("left_hub")
+    network.add_node("right_hub")
+    network.add_duplex_link("left_hub", "right_hub", bottleneck_capacity_bps, delay_s)
+    for name in _node_names(left_leaves, "L"):
+        network.add_node(name)
+        network.add_duplex_link(name, "left_hub", edge_capacity, delay_s)
+    for name in _node_names(right_leaves, "R"):
+        network.add_node(name)
+        network.add_duplex_link(name, "right_hub", edge_capacity, delay_s)
+    return network
+
+
+def triangle_topology(
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    short_delay_s: float = ms(5),
+    long_delay_s: float = ms(20),
+) -> Network:
+    """A three-node topology with one short and one long way round.
+
+    ``A -> B`` has a direct low-delay link, and an alternative two-hop path
+    via ``C`` with higher delay.  The smallest topology on which FUBAR's
+    "offload onto a higher-delay but less congested path" behaviour can be
+    observed, so it appears in many unit tests and the quickstart example.
+    """
+    network = Network(name="triangle")
+    for name in ("A", "B", "C"):
+        network.add_node(name)
+    network.add_duplex_link("A", "B", capacity_bps, short_delay_s)
+    network.add_duplex_link("A", "C", capacity_bps, long_delay_s)
+    network.add_duplex_link("C", "B", capacity_bps, long_delay_s)
+    return network
+
+
+def parking_lot_topology(
+    num_hops: int = 3,
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    delay_s: float = DEFAULT_DELAY_S,
+) -> Network:
+    """The classic "parking lot": a chain of routers with a source hanging off each.
+
+    Aggregate ``S_i -> sink`` shares links with every later aggregate, which
+    makes the topology a good stress test for the traffic model's handling of
+    multiple bottlenecks.
+    """
+    if num_hops < 2:
+        raise TopologyError(f"a parking lot needs at least 2 hops, got {num_hops}")
+    network = Network(name=f"parking-lot-{num_hops}")
+    chain = [f"R{i}" for i in range(num_hops + 1)]
+    for name in chain:
+        network.add_node(name)
+    for a, b in zip(chain, chain[1:]):
+        network.add_duplex_link(a, b, capacity_bps, delay_s)
+    for i in range(num_hops):
+        source = f"S{i}"
+        network.add_node(source)
+        network.add_duplex_link(source, chain[i], 10 * capacity_bps, delay_s)
+    return network
+
+
+def from_edge_list(
+    edges: Sequence[tuple],
+    capacity_bps: float = DEFAULT_CAPACITY_BPS,
+    delay_s: float = DEFAULT_DELAY_S,
+    name: str = "custom",
+    duplex: bool = True,
+) -> Network:
+    """Build a network from a list of edges.
+
+    Each edge is either ``(src, dst)`` (uses the default capacity and delay),
+    ``(src, dst, delay_s)`` or ``(src, dst, delay_s, capacity_bps)``.
+    """
+    network = Network(name=name)
+    for edge in edges:
+        for endpoint in edge[:2]:
+            if not network.has_node(endpoint):
+                network.add_node(endpoint)
+    for edge in edges:
+        src, dst = edge[0], edge[1]
+        edge_delay = edge[2] if len(edge) > 2 else delay_s
+        edge_capacity = edge[3] if len(edge) > 3 else capacity_bps
+        if duplex:
+            network.add_duplex_link(src, dst, edge_capacity, edge_delay)
+        else:
+            network.add_link(src, dst, edge_capacity, edge_delay)
+    return network

@@ -1,0 +1,577 @@
+"""Core network graph substrate.
+
+The paper operates on an ISP core topology: POP nodes connected by directed
+links, each link having a capacity (bits/second) and a propagation delay
+(seconds).  This module provides the :class:`Network` container used by every
+other subsystem — path generation, the traffic model and the optimizer all
+consume it.
+
+The representation is deliberately small and explicit:
+
+* a :class:`Node` is a named point of presence with optional coordinates,
+* a :class:`Link` is a *directed* edge with capacity and delay,
+* a :class:`Network` owns both, keeps stable integer indices for links (so
+  the traffic model can build numpy incidence matrices), and offers path
+  helpers (delay of a path, links of a path, validation).
+
+Paths throughout the library are tuples of node names, e.g.
+``("London", "Paris", "Frankfurt")``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    DuplicateLinkError,
+    DuplicateNodeError,
+    TopologyError,
+    UnknownLinkError,
+    UnknownNodeError,
+)
+
+#: A path is an ordered tuple of node names, source first.
+Path = Tuple[str, ...]
+
+#: A link identifier is the (source, destination) node-name pair.
+LinkId = Tuple[str, str]
+
+#: Speed of light in fibre, metres per second (used for geographic delays).
+SPEED_OF_LIGHT_IN_FIBRE = 2.0e8
+
+#: Mean Earth radius in metres (used for great-circle distances).
+EARTH_RADIUS_METRES = 6_371_000.0
+
+
+@dataclass(frozen=True)
+class Node:
+    """A point of presence (POP) in the network.
+
+    Parameters
+    ----------
+    name:
+        Unique node name, e.g. a city or router identifier.
+    latitude, longitude:
+        Optional geographic coordinates in degrees.  When present they are
+        used by :func:`great_circle_delay` to derive realistic propagation
+        delays for synthetic topologies.
+    metadata:
+        Free-form annotations (region, role, ...).  Never interpreted by the
+        library itself.
+    """
+
+    name: str
+    latitude: Optional[float] = None
+    longitude: Optional[float] = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def has_coordinates(self) -> bool:
+        """Return True when both latitude and longitude are set."""
+        return self.latitude is not None and self.longitude is not None
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between two nodes.
+
+    Parameters
+    ----------
+    src, dst:
+        Names of the endpoints; the link carries traffic from ``src`` to
+        ``dst`` only.  Bidirectional connectivity is modelled as two links.
+    capacity_bps:
+        Capacity in bits per second.  Must be strictly positive.
+    delay_s:
+        One-way propagation delay in seconds.  Must be non-negative.
+    index:
+        Stable integer index assigned by the owning :class:`Network`; used to
+        address numpy arrays in the traffic model.
+    metadata:
+        Free-form annotations.
+    """
+
+    src: str
+    dst: str
+    capacity_bps: float
+    delay_s: float
+    index: int = -1
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise TopologyError(f"self-loop link not allowed: {self.src!r}")
+        if not self.capacity_bps > 0.0:
+            raise TopologyError(
+                f"link {self.src!r}->{self.dst!r} must have positive capacity, "
+                f"got {self.capacity_bps!r}"
+            )
+        if self.delay_s < 0.0:
+            raise TopologyError(
+                f"link {self.src!r}->{self.dst!r} must have non-negative delay, "
+                f"got {self.delay_s!r}"
+            )
+
+    @property
+    def link_id(self) -> LinkId:
+        """Return the (src, dst) identifier of this link."""
+        return (self.src, self.dst)
+
+    def reversed_id(self) -> LinkId:
+        """Return the identifier of the opposite-direction link."""
+        return (self.dst, self.src)
+
+
+def great_circle_distance_metres(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Return the great-circle distance between two coordinates in metres."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_METRES * math.asin(math.sqrt(a))
+
+
+def great_circle_delay(node_a: Node, node_b: Node, stretch: float = 1.3) -> float:
+    """Return an estimated one-way propagation delay between two nodes.
+
+    The fibre path between two POPs is rarely the geodesic; ``stretch``
+    inflates the great-circle distance to account for real routing of fibre
+    (1.3 is a common rule of thumb).
+    """
+    if not (node_a.has_coordinates() and node_b.has_coordinates()):
+        raise TopologyError(
+            f"both nodes need coordinates to derive a delay: "
+            f"{node_a.name!r}, {node_b.name!r}"
+        )
+    distance = great_circle_distance_metres(
+        float(node_a.latitude),  # type: ignore[arg-type]
+        float(node_a.longitude),  # type: ignore[arg-type]
+        float(node_b.latitude),  # type: ignore[arg-type]
+        float(node_b.longitude),  # type: ignore[arg-type]
+    )
+    return stretch * distance / SPEED_OF_LIGHT_IN_FIBRE
+
+
+class Network:
+    """A directed network of POP nodes and capacitated links.
+
+    The container preserves insertion order for both nodes and links and
+    assigns each link a stable integer ``index`` so that other subsystems can
+    build dense numpy arrays keyed by link.
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[LinkId, Link] = {}
+        self._links_by_index: List[Link] = []
+        self._adjacency: Dict[str, Dict[str, Link]] = {}
+        self._in_adjacency: Dict[str, Dict[str, Link]] = {}
+
+    # ------------------------------------------------------------------ nodes
+
+    def add_node(
+        self,
+        name: str,
+        latitude: Optional[float] = None,
+        longitude: Optional[float] = None,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> Node:
+        """Add a node and return it.  Raises :class:`DuplicateNodeError` if present."""
+        if name in self._nodes:
+            raise DuplicateNodeError(name)
+        node = Node(
+            name=name,
+            latitude=latitude,
+            longitude=longitude,
+            metadata=dict(metadata or {}),
+        )
+        self._nodes[name] = node
+        self._adjacency[name] = {}
+        self._in_adjacency[name] = {}
+        return node
+
+    def has_node(self, name: str) -> bool:
+        """Return True when a node with this name exists."""
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        """Return the node with this name, raising :class:`UnknownNodeError` otherwise."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownNodeError(name) from None
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes, in insertion order."""
+        return tuple(self._nodes.values())
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """All node names, in insertion order."""
+        return tuple(self._nodes.keys())
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------ links
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        capacity_bps: float,
+        delay_s: float,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> Link:
+        """Add a directed link and return it.
+
+        Both endpoints must already exist; duplicate (src, dst) pairs raise
+        :class:`DuplicateLinkError`.
+        """
+        if src not in self._nodes:
+            raise UnknownNodeError(src)
+        if dst not in self._nodes:
+            raise UnknownNodeError(dst)
+        if (src, dst) in self._links:
+            raise DuplicateLinkError(src, dst)
+        link = Link(
+            src=src,
+            dst=dst,
+            capacity_bps=float(capacity_bps),
+            delay_s=float(delay_s),
+            index=len(self._links_by_index),
+            metadata=dict(metadata or {}),
+        )
+        self._links[(src, dst)] = link
+        self._links_by_index.append(link)
+        self._adjacency[src][dst] = link
+        self._in_adjacency[dst][src] = link
+        return link
+
+    def add_duplex_link(
+        self,
+        node_a: str,
+        node_b: str,
+        capacity_bps: float,
+        delay_s: float,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> Tuple[Link, Link]:
+        """Add a pair of directed links, one in each direction, with equal parameters."""
+        forward = self.add_link(node_a, node_b, capacity_bps, delay_s, metadata)
+        backward = self.add_link(node_b, node_a, capacity_bps, delay_s, metadata)
+        return forward, backward
+
+    def has_link(self, src: str, dst: str) -> bool:
+        """Return True when a directed link src->dst exists."""
+        return (src, dst) in self._links
+
+    def link(self, src: str, dst: str) -> Link:
+        """Return the directed link src->dst, raising :class:`UnknownLinkError` otherwise."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise UnknownLinkError((src, dst)) from None
+
+    def link_by_id(self, link_id: LinkId) -> Link:
+        """Return the link with the given (src, dst) identifier."""
+        return self.link(link_id[0], link_id[1])
+
+    def link_by_index(self, index: int) -> Link:
+        """Return the link with the given dense integer index."""
+        try:
+            return self._links_by_index[index]
+        except IndexError:
+            raise UnknownLinkError(index) from None
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        """All links, in index order."""
+        return tuple(self._links_by_index)
+
+    @property
+    def link_ids(self) -> Tuple[LinkId, ...]:
+        """All link identifiers, in index order."""
+        return tuple(link.link_id for link in self._links_by_index)
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links."""
+        return len(self._links_by_index)
+
+    # ------------------------------------------------------------ adjacency
+
+    def successors(self, node: str) -> Tuple[str, ...]:
+        """Names of nodes reachable over one outgoing link from *node*."""
+        if node not in self._adjacency:
+            raise UnknownNodeError(node)
+        return tuple(self._adjacency[node].keys())
+
+    def predecessors(self, node: str) -> Tuple[str, ...]:
+        """Names of nodes with a link pointing at *node*."""
+        if node not in self._in_adjacency:
+            raise UnknownNodeError(node)
+        return tuple(self._in_adjacency[node].keys())
+
+    def out_links(self, node: str) -> Tuple[Link, ...]:
+        """Outgoing links of *node*."""
+        if node not in self._adjacency:
+            raise UnknownNodeError(node)
+        return tuple(self._adjacency[node].values())
+
+    def in_links(self, node: str) -> Tuple[Link, ...]:
+        """Incoming links of *node*."""
+        if node not in self._in_adjacency:
+            raise UnknownNodeError(node)
+        return tuple(self._in_adjacency[node].values())
+
+    def degree(self, node: str) -> int:
+        """Out-degree of *node*."""
+        return len(self.successors(node))
+
+    # ----------------------------------------------------------------- paths
+
+    def is_valid_path(self, path: Sequence[str]) -> bool:
+        """Return True when *path* is a connected, loop-free walk over existing links."""
+        if len(path) < 2:
+            return False
+        if len(set(path)) != len(path):
+            return False
+        return all(self.has_link(a, b) for a, b in zip(path, path[1:]))
+
+    def validate_path(self, path: Sequence[str]) -> Path:
+        """Return *path* as a tuple after checking it is valid, raising otherwise."""
+        if len(path) < 2:
+            raise TopologyError(f"path must have at least two nodes: {path!r}")
+        if len(set(path)) != len(path):
+            raise TopologyError(f"path visits a node twice: {path!r}")
+        for a, b in zip(path, path[1:]):
+            if not self.has_link(a, b):
+                raise UnknownLinkError((a, b))
+        return tuple(path)
+
+    def path_links(self, path: Sequence[str]) -> Tuple[Link, ...]:
+        """Return the links traversed by *path*, in order."""
+        return tuple(self.link(a, b) for a, b in zip(path, path[1:]))
+
+    def path_link_indices(self, path: Sequence[str]) -> Tuple[int, ...]:
+        """Return the dense link indices traversed by *path*, in order."""
+        return tuple(link.index for link in self.path_links(path))
+
+    def path_delay(self, path: Sequence[str]) -> float:
+        """Return the one-way propagation delay of *path* in seconds."""
+        return sum(link.delay_s for link in self.path_links(path))
+
+    def path_rtt(self, path: Sequence[str]) -> float:
+        """Return the round-trip time of *path* in seconds.
+
+        The traffic model (paper §2.3) grows flows at a rate inversely
+        proportional to RTT.  The reverse path is assumed symmetric, so the
+        RTT is twice the one-way propagation delay.
+        """
+        return 2.0 * self.path_delay(path)
+
+    def path_capacity(self, path: Sequence[str]) -> float:
+        """Return the bottleneck capacity of *path* in bits per second."""
+        return min(link.capacity_bps for link in self.path_links(path))
+
+    # ------------------------------------------------------------ aggregates
+
+    def total_capacity(self) -> float:
+        """Sum of capacities over all links, bits per second."""
+        return sum(link.capacity_bps for link in self._links_by_index)
+
+    def capacities(self) -> List[float]:
+        """Per-link capacities in index order."""
+        return [link.capacity_bps for link in self._links_by_index]
+
+    def delays(self) -> List[float]:
+        """Per-link delays in index order."""
+        return [link.delay_s for link in self._links_by_index]
+
+    def is_connected(self) -> bool:
+        """Return True when every node can reach every other node over directed links."""
+        if self.num_nodes <= 1:
+            return True
+        for source in self._nodes:
+            if len(self._reachable_from(source)) != self.num_nodes:
+                return False
+        return True
+
+    def _reachable_from(self, source: str) -> set:
+        seen = {source}
+        frontier = [source]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in self._adjacency[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen
+
+    # --------------------------------------------------------------- dunders
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(name={self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_links})"
+        )
+
+    # ------------------------------------------------------------------ copy
+
+    def copy(self, name: Optional[str] = None) -> "Network":
+        """Return a deep, independent copy of this network."""
+        other = Network(name=name or self.name)
+        for node in self.nodes:
+            other.add_node(
+                node.name,
+                latitude=node.latitude,
+                longitude=node.longitude,
+                metadata=dict(node.metadata),
+            )
+        for link in self.links:
+            other.add_link(
+                link.src,
+                link.dst,
+                capacity_bps=link.capacity_bps,
+                delay_s=link.delay_s,
+                metadata=dict(link.metadata),
+            )
+        return other
+
+    def with_scaled_capacity(self, factor: float, name: Optional[str] = None) -> "Network":
+        """Return a copy of the network with every link capacity multiplied by *factor*.
+
+        The paper's evaluation compares a provisioned (100 Mbps links) and an
+        underprovisioned (75 Mbps links) variant of the same topology; this
+        helper makes that a one-liner.
+        """
+        if factor <= 0.0:
+            raise TopologyError(f"capacity scale factor must be positive, got {factor!r}")
+        other = Network(name=name or f"{self.name}-x{factor:g}")
+        for node in self.nodes:
+            other.add_node(
+                node.name,
+                latitude=node.latitude,
+                longitude=node.longitude,
+                metadata=dict(node.metadata),
+            )
+        for link in self.links:
+            other.add_link(
+                link.src,
+                link.dst,
+                capacity_bps=link.capacity_bps * factor,
+                delay_s=link.delay_s,
+                metadata=dict(link.metadata),
+            )
+        return other
+
+    def with_uniform_capacity(
+        self, capacity_bps: float, name: Optional[str] = None
+    ) -> "Network":
+        """Return a copy with every link capacity replaced by *capacity_bps*."""
+        if capacity_bps <= 0.0:
+            raise TopologyError(f"capacity must be positive, got {capacity_bps!r}")
+        other = Network(name=name or self.name)
+        for node in self.nodes:
+            other.add_node(
+                node.name,
+                latitude=node.latitude,
+                longitude=node.longitude,
+                metadata=dict(node.metadata),
+            )
+        for link in self.links:
+            other.add_link(
+                link.src,
+                link.dst,
+                capacity_bps=capacity_bps,
+                delay_s=link.delay_s,
+                metadata=dict(link.metadata),
+            )
+        return other
+
+    # -------------------------------------------------------------- networkx
+
+    def to_networkx(self):
+        """Return a :class:`networkx.DiGraph` view of this network.
+
+        The graph carries ``capacity_bps`` and ``delay_s`` edge attributes.
+        Used for interoperability and cross-checking our own shortest-path
+        implementation against networkx in tests.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        for node in self.nodes:
+            graph.add_node(
+                node.name, latitude=node.latitude, longitude=node.longitude
+            )
+        for link in self.links:
+            graph.add_edge(
+                link.src,
+                link.dst,
+                capacity_bps=link.capacity_bps,
+                delay_s=link.delay_s,
+                index=link.index,
+            )
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph, name: Optional[str] = None) -> "Network":
+        """Build a :class:`Network` from a networkx graph.
+
+        Edge attributes ``capacity_bps`` and ``delay_s`` are required.  An
+        undirected graph is expanded into two directed links per edge.
+        """
+        network = cls(name=name or str(graph.name or "network"))
+        for node, data in graph.nodes(data=True):
+            network.add_node(
+                str(node),
+                latitude=data.get("latitude"),
+                longitude=data.get("longitude"),
+            )
+        directed = graph.is_directed()
+        for src, dst, data in graph.edges(data=True):
+            try:
+                capacity = float(data["capacity_bps"])
+                delay = float(data["delay_s"])
+            except KeyError as exc:
+                raise TopologyError(
+                    f"edge {src!r}->{dst!r} is missing attribute {exc}"
+                ) from None
+            network.add_link(str(src), str(dst), capacity, delay)
+            if not directed:
+                network.add_link(str(dst), str(src), capacity, delay)
+        return network
+
+
+def merge_parallel_links(links: Iterable[Link]) -> Dict[LinkId, float]:
+    """Return total capacity per link id for an iterable of links.
+
+    Convenience for reporting; the :class:`Network` itself forbids parallel
+    links, but measurement pipelines sometimes produce per-rule link records
+    that need to be re-aggregated.
+    """
+    totals: Dict[LinkId, float] = {}
+    for link in links:
+        totals[link.link_id] = totals.get(link.link_id, 0.0) + link.capacity_bps
+    return totals

@@ -1,0 +1,174 @@
+"""Random topology generators.
+
+The paper evaluates on a single real core topology, but the repeatability
+experiment (Figure 7) and the test suite both benefit from families of
+random-but-plausible core networks.  Two classic generators are provided:
+
+* :func:`waxman_topology` — the Waxman model, where the probability of a
+  link between two random points decays with distance.
+* :func:`random_regular_core` — a connected random graph with a target mean
+  degree, mimicking the degree distribution of ISP cores.
+
+Both generators guarantee a connected result (they add a random spanning
+tree first) and derive link delays from the synthetic node coordinates so
+that "long" links really are slower.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Network
+from repro.units import mbps
+
+#: Coordinates are drawn in a square of this many metres per side (~ continental scale).
+DEFAULT_REGION_SIZE_METRES = 4_000_000.0
+
+#: Propagation speed used to convert coordinate distance to delay.
+PROPAGATION_SPEED = 2.0e8
+
+
+def _coordinate_delay(positions: np.ndarray, i: int, j: int, stretch: float = 1.3) -> float:
+    distance = float(np.linalg.norm(positions[i] - positions[j]))
+    return stretch * distance / PROPAGATION_SPEED
+
+
+def _ensure_rng(rng: Optional[np.random.Generator], seed: Optional[int]) -> np.random.Generator:
+    if rng is not None:
+        return rng
+    return np.random.default_rng(seed)
+
+
+def _add_spanning_tree(
+    network: Network,
+    positions: np.ndarray,
+    capacity_bps: float,
+    rng: np.random.Generator,
+) -> None:
+    """Connect all nodes with a random spanning tree so the graph is connected."""
+    names = list(network.node_names)
+    order = list(rng.permutation(len(names)))
+    connected = [order[0]]
+    for idx in order[1:]:
+        attach_to = int(rng.choice(connected))
+        a, b = names[idx], names[attach_to]
+        if not network.has_link(a, b):
+            delay = _coordinate_delay(positions, idx, attach_to)
+            network.add_duplex_link(a, b, capacity_bps, delay)
+        connected.append(idx)
+
+
+def waxman_topology(
+    num_nodes: int,
+    alpha: float = 0.4,
+    beta: float = 0.4,
+    capacity_bps: float = mbps(100),
+    region_size_metres: float = DEFAULT_REGION_SIZE_METRES,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    prefix: str = "POP",
+) -> Network:
+    """Generate a connected Waxman random topology.
+
+    The probability of a link between nodes u and v is
+    ``alpha * exp(-d(u, v) / (beta * L))`` where ``L`` is the maximum
+    distance between any two nodes.  A random spanning tree is added first so
+    the result is always connected.
+
+    Parameters mirror the classic Waxman (1988) formulation; ``alpha``
+    controls overall link density and ``beta`` the prevalence of long links.
+    """
+    if num_nodes < 2:
+        raise TopologyError(f"need at least 2 nodes, got {num_nodes}")
+    if not (0.0 < alpha <= 1.0) or not (0.0 < beta <= 1.0):
+        raise TopologyError(f"alpha and beta must be in (0, 1], got {alpha}, {beta}")
+    generator = _ensure_rng(rng, seed)
+
+    positions = generator.uniform(0.0, region_size_metres, size=(num_nodes, 2))
+    network = Network(name=f"waxman-{num_nodes}")
+    for i in range(num_nodes):
+        network.add_node(f"{prefix}{i}")
+
+    max_distance = 0.0
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            max_distance = max(max_distance, float(np.linalg.norm(positions[i] - positions[j])))
+    max_distance = max(max_distance, 1.0)
+
+    _add_spanning_tree(network, positions, capacity_bps, generator)
+
+    names = list(network.node_names)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if network.has_link(names[i], names[j]):
+                continue
+            distance = float(np.linalg.norm(positions[i] - positions[j]))
+            probability = alpha * math.exp(-distance / (beta * max_distance))
+            if generator.random() < probability:
+                delay = _coordinate_delay(positions, i, j)
+                network.add_duplex_link(names[i], names[j], capacity_bps, delay)
+    return network
+
+
+def random_regular_core(
+    num_nodes: int,
+    mean_degree: float = 3.6,
+    capacity_bps: float = mbps(100),
+    region_size_metres: float = DEFAULT_REGION_SIZE_METRES,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    prefix: str = "POP",
+) -> Network:
+    """Generate a connected random core with a target mean (undirected) degree.
+
+    The Hurricane Electric core used in the paper has 31 POPs and 56
+    inter-POP links, a mean degree of about 3.6; this generator produces
+    networks with the same density so that experiments scale down gracefully
+    (e.g. a 15-node core for fast benchmark runs).
+    """
+    if num_nodes < 3:
+        raise TopologyError(f"need at least 3 nodes, got {num_nodes}")
+    if mean_degree < 2.0:
+        raise TopologyError(f"mean degree must be >= 2 for a connected core, got {mean_degree}")
+    generator = _ensure_rng(rng, seed)
+
+    positions = generator.uniform(0.0, region_size_metres, size=(num_nodes, 2))
+    network = Network(name=f"random-core-{num_nodes}")
+    for i in range(num_nodes):
+        network.add_node(f"{prefix}{i}")
+    names = list(network.node_names)
+
+    _add_spanning_tree(network, positions, capacity_bps, generator)
+
+    target_undirected_links = int(round(mean_degree * num_nodes / 2.0))
+    max_possible = num_nodes * (num_nodes - 1) // 2
+    target_undirected_links = min(target_undirected_links, max_possible)
+
+    def undirected_link_count() -> int:
+        return network.num_links // 2
+
+    # Prefer shorter candidate links, like real cores do, by sampling pairs
+    # weighted by inverse distance.
+    candidates = []
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if not network.has_link(names[i], names[j]):
+                distance = float(np.linalg.norm(positions[i] - positions[j]))
+                candidates.append((i, j, distance))
+    if candidates:
+        weights = np.array([1.0 / (1.0 + c[2]) for c in candidates])
+        weights = weights / weights.sum()
+        order = generator.choice(len(candidates), size=len(candidates), replace=False, p=weights)
+        for idx in order:
+            if undirected_link_count() >= target_undirected_links:
+                break
+            i, j, _distance = candidates[int(idx)]
+            if network.has_link(names[i], names[j]):
+                continue
+            delay = _coordinate_delay(positions, i, j)
+            network.add_duplex_link(names[i], names[j], capacity_bps, delay)
+    return network

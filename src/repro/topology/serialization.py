@@ -1,0 +1,106 @@
+"""Topology serialization.
+
+Networks round-trip through plain dictionaries (and therefore JSON), so that
+experiment configurations, measured topologies and synthetic topologies can
+all be stored on disk and reloaded bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Network
+
+#: Schema version written into serialized topologies.
+SCHEMA_VERSION = 1
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    """Serialize a :class:`Network` to a plain dictionary."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": network.name,
+        "nodes": [
+            {
+                "name": node.name,
+                "latitude": node.latitude,
+                "longitude": node.longitude,
+                "metadata": dict(node.metadata),
+            }
+            for node in network.nodes
+        ],
+        "links": [
+            {
+                "src": link.src,
+                "dst": link.dst,
+                "capacity_bps": link.capacity_bps,
+                "delay_s": link.delay_s,
+                "metadata": dict(link.metadata),
+            }
+            for link in network.links
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> Network:
+    """Deserialize a :class:`Network` from a dictionary produced by :func:`network_to_dict`."""
+    if not isinstance(data, dict):
+        raise TopologyError(f"expected a dict, got {type(data).__name__}")
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise TopologyError(f"unsupported topology schema version: {version!r}")
+    try:
+        nodes = data["nodes"]
+        links = data["links"]
+    except KeyError as exc:
+        raise TopologyError(f"topology dict is missing key {exc}") from None
+
+    network = Network(name=str(data.get("name", "network")))
+    for node in nodes:
+        network.add_node(
+            str(node["name"]),
+            latitude=node.get("latitude"),
+            longitude=node.get("longitude"),
+            metadata=node.get("metadata") or {},
+        )
+    for link in links:
+        network.add_link(
+            str(link["src"]),
+            str(link["dst"]),
+            capacity_bps=float(link["capacity_bps"]),
+            delay_s=float(link["delay_s"]),
+            metadata=link.get("metadata") or {},
+        )
+    return network
+
+
+def network_to_json(network: Network, indent: int = 2) -> str:
+    """Serialize a network to a JSON string."""
+    return json.dumps(network_to_dict(network), indent=indent, sort_keys=False)
+
+
+def network_from_json(text: str) -> Network:
+    """Deserialize a network from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"invalid topology JSON: {exc}") from exc
+    return network_from_dict(data)
+
+
+def save_network(network: Network, path: Union[str, Path]) -> Path:
+    """Write a network to a JSON file and return the path."""
+    target = Path(path)
+    target.write_text(network_to_json(network), encoding="utf-8")
+    return target
+
+
+def load_network(path: Union[str, Path]) -> Network:
+    """Read a network from a JSON file."""
+    source = Path(path)
+    if not source.exists():
+        raise TopologyError(f"topology file does not exist: {source}")
+    return network_from_json(source.read_text(encoding="utf-8"))

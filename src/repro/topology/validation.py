@@ -1,0 +1,134 @@
+"""Topology validation and summary statistics.
+
+The experiment harness validates topologies before running the optimizer on
+them; the summary statistics are what EXPERIMENTS.md reports for each
+scenario (node count, link count, delay spread, degree distribution).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Network
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Aggregate statistics describing a network."""
+
+    name: str
+    num_nodes: int
+    num_links: int
+    num_undirected_links: int
+    min_capacity_bps: float
+    max_capacity_bps: float
+    total_capacity_bps: float
+    min_delay_s: float
+    max_delay_s: float
+    mean_delay_s: float
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    is_connected: bool
+
+    def as_dict(self) -> dict:
+        """Return the summary as a plain dictionary (for reports and JSON)."""
+        return {
+            "name": self.name,
+            "num_nodes": self.num_nodes,
+            "num_links": self.num_links,
+            "num_undirected_links": self.num_undirected_links,
+            "min_capacity_bps": self.min_capacity_bps,
+            "max_capacity_bps": self.max_capacity_bps,
+            "total_capacity_bps": self.total_capacity_bps,
+            "min_delay_s": self.min_delay_s,
+            "max_delay_s": self.max_delay_s,
+            "mean_delay_s": self.mean_delay_s,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "is_connected": self.is_connected,
+        }
+
+
+def count_undirected_links(network: Network) -> int:
+    """Number of node pairs connected in both directions (duplex pairs)."""
+    seen = set()
+    count = 0
+    for link in network.links:
+        if link.reversed_id() in seen:
+            count += 1
+        seen.add(link.link_id)
+    return count
+
+
+def summarize(network: Network) -> TopologySummary:
+    """Compute a :class:`TopologySummary` for *network*."""
+    if network.num_nodes == 0:
+        raise TopologyError("cannot summarize an empty network")
+    if network.num_links == 0:
+        raise TopologyError("cannot summarize a network with no links")
+    capacities = network.capacities()
+    delays = network.delays()
+    degrees = [network.degree(node) for node in network.node_names]
+    return TopologySummary(
+        name=network.name,
+        num_nodes=network.num_nodes,
+        num_links=network.num_links,
+        num_undirected_links=count_undirected_links(network),
+        min_capacity_bps=min(capacities),
+        max_capacity_bps=max(capacities),
+        total_capacity_bps=sum(capacities),
+        min_delay_s=min(delays),
+        max_delay_s=max(delays),
+        mean_delay_s=statistics.fmean(delays),
+        min_degree=min(degrees),
+        max_degree=max(degrees),
+        mean_degree=statistics.fmean(degrees),
+        is_connected=network.is_connected(),
+    )
+
+
+def validate_for_routing(network: Network) -> List[str]:
+    """Return a list of problems that would prevent routing on *network*.
+
+    An empty list means the network is usable.  Problems checked:
+
+    * fewer than two nodes,
+    * no links at all,
+    * nodes without any outgoing or incoming link (unreachable),
+    * the network not being strongly connected,
+    * duplex asymmetry (a link whose reverse direction is missing) — allowed,
+      but reported, because the traffic model assumes symmetric RTTs.
+    """
+    problems: List[str] = []
+    if network.num_nodes < 2:
+        problems.append("network has fewer than two nodes")
+    if network.num_links == 0:
+        problems.append("network has no links")
+        return problems
+    for node in network.node_names:
+        if not network.out_links(node):
+            problems.append(f"node {node!r} has no outgoing links")
+        if not network.in_links(node):
+            problems.append(f"node {node!r} has no incoming links")
+    if not network.is_connected():
+        problems.append("network is not strongly connected")
+    missing_reverse: List[Tuple[str, str]] = [
+        link.link_id for link in network.links if not network.has_link(link.dst, link.src)
+    ]
+    for src, dst in missing_reverse:
+        problems.append(f"link {src!r}->{dst!r} has no reverse direction")
+    return problems
+
+
+def require_routable(network: Network) -> None:
+    """Raise :class:`TopologyError` when :func:`validate_for_routing` finds problems."""
+    problems = validate_for_routing(network)
+    if problems:
+        raise TopologyError(
+            f"network {network.name!r} is not routable: " + "; ".join(problems)
+        )

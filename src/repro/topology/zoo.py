@@ -1,0 +1,126 @@
+"""Well-known research topologies.
+
+Besides the Hurricane Electric-like core used in the paper, the library
+ships two classic research backbones — Abilene and a simplified GÉANT — so
+users can run FUBAR on familiar networks and so the test suite exercises
+topologies of different scales and shapes.
+
+Coordinates are approximate city locations; delays are derived from
+great-circle distances with the same fibre-stretch convention as the core
+topology module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import Network, great_circle_delay
+from repro.units import mbps
+
+#: Abilene (Internet2 circa 2004): 11 nodes, 14 undirected links.
+ABILENE_POPS: Dict[str, Tuple[float, float]] = {
+    "Seattle": (47.61, -122.33),
+    "Sunnyvale": (37.37, -122.04),
+    "LosAngeles": (34.05, -118.24),
+    "Denver": (39.74, -104.99),
+    "KansasCity": (39.10, -94.58),
+    "Houston": (29.76, -95.37),
+    "Chicago": (41.88, -87.63),
+    "Indianapolis": (39.77, -86.16),
+    "Atlanta": (33.75, -84.39),
+    "WashingtonDC": (38.91, -77.04),
+    "NewYork": (40.71, -74.01),
+}
+
+ABILENE_ADJACENCIES: List[Tuple[str, str]] = [
+    ("Seattle", "Sunnyvale"),
+    ("Seattle", "Denver"),
+    ("Sunnyvale", "LosAngeles"),
+    ("Sunnyvale", "Denver"),
+    ("LosAngeles", "Houston"),
+    ("Denver", "KansasCity"),
+    ("KansasCity", "Houston"),
+    ("KansasCity", "Indianapolis"),
+    ("Houston", "Atlanta"),
+    ("Indianapolis", "Chicago"),
+    ("Indianapolis", "Atlanta"),
+    ("Chicago", "NewYork"),
+    ("Atlanta", "WashingtonDC"),
+    ("WashingtonDC", "NewYork"),
+]
+
+#: Simplified GÉANT (European research network): 16 nodes, 24 undirected links.
+GEANT_POPS: Dict[str, Tuple[float, float]] = {
+    "London": (51.51, -0.13),
+    "Paris": (48.86, 2.35),
+    "Amsterdam": (52.37, 4.90),
+    "Brussels": (50.85, 4.35),
+    "Frankfurt": (50.11, 8.68),
+    "Geneva": (46.20, 6.14),
+    "Milan": (45.46, 9.19),
+    "Madrid": (40.42, -3.70),
+    "Lisbon": (38.72, -9.14),
+    "Vienna": (48.21, 16.37),
+    "Prague": (50.08, 14.44),
+    "Warsaw": (52.23, 21.01),
+    "Budapest": (47.50, 19.04),
+    "Copenhagen": (55.68, 12.57),
+    "Stockholm": (59.33, 18.07),
+    "Athens": (37.98, 23.73),
+}
+
+GEANT_ADJACENCIES: List[Tuple[str, str]] = [
+    ("London", "Paris"),
+    ("London", "Amsterdam"),
+    ("London", "Brussels"),
+    ("Paris", "Madrid"),
+    ("Paris", "Geneva"),
+    ("Paris", "Frankfurt"),
+    ("Amsterdam", "Brussels"),
+    ("Amsterdam", "Frankfurt"),
+    ("Amsterdam", "Copenhagen"),
+    ("Brussels", "Frankfurt"),
+    ("Frankfurt", "Geneva"),
+    ("Frankfurt", "Prague"),
+    ("Frankfurt", "Copenhagen"),
+    ("Geneva", "Milan"),
+    ("Milan", "Vienna"),
+    ("Milan", "Athens"),
+    ("Madrid", "Lisbon"),
+    ("Lisbon", "London"),
+    ("Vienna", "Prague"),
+    ("Vienna", "Budapest"),
+    ("Prague", "Warsaw"),
+    ("Warsaw", "Stockholm"),
+    ("Budapest", "Athens"),
+    ("Copenhagen", "Stockholm"),
+]
+
+
+def _build(
+    name: str,
+    pops: Dict[str, Tuple[float, float]],
+    adjacencies: List[Tuple[str, str]],
+    capacity_bps: float,
+    fibre_stretch: float,
+) -> Network:
+    network = Network(name=name)
+    for pop, (lat, lon) in pops.items():
+        network.add_node(pop, latitude=lat, longitude=lon)
+    for a, b in adjacencies:
+        delay = max(
+            great_circle_delay(network.node(a), network.node(b), stretch=fibre_stretch),
+            0.25e-3,
+        )
+        network.add_duplex_link(a, b, capacity_bps, delay)
+    return network
+
+
+def abilene(capacity_bps: float = mbps(100), fibre_stretch: float = 1.3) -> Network:
+    """The Abilene / Internet2 backbone: 11 POPs, 14 undirected links."""
+    return _build("abilene", ABILENE_POPS, ABILENE_ADJACENCIES, capacity_bps, fibre_stretch)
+
+
+def geant(capacity_bps: float = mbps(100), fibre_stretch: float = 1.3) -> Network:
+    """A simplified GÉANT European backbone: 16 POPs, 24 undirected links."""
+    return _build("geant", GEANT_POPS, GEANT_ADJACENCIES, capacity_bps, fibre_stretch)

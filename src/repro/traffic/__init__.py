@@ -1,0 +1,58 @@
+"""Traffic matrices, aggregates, generators and measurement."""
+
+from repro.traffic.aggregate import Aggregate, AggregateKey
+from repro.traffic.classes import (
+    BULK,
+    LARGE_TRANSFER,
+    REAL_TIME,
+    TrafficClass,
+    default_traffic_classes,
+)
+from repro.traffic.classifier import (
+    BULK_PORTS,
+    REAL_TIME_PORTS,
+    ClassifierConfig,
+    FlowRecord,
+    HeuristicClassifier,
+    PROTO_TCP,
+    PROTO_UDP,
+)
+from repro.traffic.generators import (
+    PaperTrafficConfig,
+    gravity_traffic_matrix,
+    hotspot_traffic_matrix,
+    paper_traffic_matrix,
+    uniform_traffic_matrix,
+)
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.measurement import (
+    MeasurementConfig,
+    TrafficMatrixMeasurer,
+    measure_traffic_matrix,
+)
+
+__all__ = [
+    "Aggregate",
+    "AggregateKey",
+    "BULK",
+    "BULK_PORTS",
+    "ClassifierConfig",
+    "FlowRecord",
+    "HeuristicClassifier",
+    "LARGE_TRANSFER",
+    "MeasurementConfig",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PaperTrafficConfig",
+    "REAL_TIME",
+    "REAL_TIME_PORTS",
+    "TrafficClass",
+    "TrafficMatrix",
+    "TrafficMatrixMeasurer",
+    "default_traffic_classes",
+    "gravity_traffic_matrix",
+    "hotspot_traffic_matrix",
+    "measure_traffic_matrix",
+    "paper_traffic_matrix",
+    "uniform_traffic_matrix",
+]

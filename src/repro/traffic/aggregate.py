@@ -1,0 +1,105 @@
+"""Traffic aggregates.
+
+Paper §2.4: an *aggregate* is the set of flows that "share a source,
+destination and traffic class".  FUBAR splits an aggregate into *bundles* of
+flows routed over different paths; the aggregate itself is the unit the
+traffic matrix is expressed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.exceptions import TrafficError
+from repro.utility.functions import UtilityFunction
+
+#: An aggregate is identified by (source, destination, traffic class name).
+AggregateKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate of flows sharing entry point, exit point and traffic class.
+
+    Parameters
+    ----------
+    source, destination:
+        POP names; must differ.
+    traffic_class:
+        Class name (e.g. ``"real-time"``).
+    num_flows:
+        Approximate number of flows in the aggregate (paper §2.1: FUBAR needs
+        "approximate flow counts for each aggregate").  Must be positive.
+    utility:
+        The utility function shared by the aggregate's flows.  The bandwidth
+        peak of this function is the per-flow demand used by the traffic
+        model.
+    metadata:
+        Free-form annotations (e.g. the measurement epoch it came from).
+    """
+
+    source: str
+    destination: str
+    traffic_class: str
+    num_flows: int
+    utility: UtilityFunction
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise TrafficError(
+                f"aggregate source and destination must differ, got {self.source!r}"
+            )
+        if not self.traffic_class:
+            raise TrafficError("aggregate traffic class must be non-empty")
+        if int(self.num_flows) <= 0:
+            raise TrafficError(
+                f"aggregate must contain a positive number of flows, got {self.num_flows!r}"
+            )
+        if not isinstance(self.utility, UtilityFunction):
+            raise TrafficError(f"utility must be a UtilityFunction, got {self.utility!r}")
+
+    @property
+    def key(self) -> AggregateKey:
+        """The (source, destination, class) identifier of this aggregate."""
+        return (self.source, self.destination, self.traffic_class)
+
+    @property
+    def per_flow_demand_bps(self) -> float:
+        """Demand of one flow: the peak of the bandwidth utility component."""
+        return self.utility.demand_bps
+
+    @property
+    def total_demand_bps(self) -> float:
+        """Demand of the whole aggregate (flows x per-flow demand)."""
+        return self.num_flows * self.per_flow_demand_bps
+
+    def with_num_flows(self, num_flows: int) -> "Aggregate":
+        """Return a copy with a different flow count (used by measurement noise)."""
+        return Aggregate(
+            source=self.source,
+            destination=self.destination,
+            traffic_class=self.traffic_class,
+            num_flows=num_flows,
+            utility=self.utility,
+            metadata=dict(self.metadata),
+        )
+
+    def with_utility(self, utility: UtilityFunction) -> "Aggregate":
+        """Return a copy with a different utility function (e.g. refined demand)."""
+        return Aggregate(
+            source=self.source,
+            destination=self.destination,
+            traffic_class=self.traffic_class,
+            num_flows=self.num_flows,
+            utility=utility,
+            metadata=dict(self.metadata),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Aggregate({self.source!r}->{self.destination!r}, "
+            f"class={self.traffic_class!r}, flows={self.num_flows}, "
+            f"per_flow_demand={self.per_flow_demand_bps:.0f} bps)"
+        )

@@ -1,0 +1,91 @@
+"""Traffic classes.
+
+A traffic class ties a name (``"real-time"``, ``"bulk"``, ``"large-transfer"``)
+to the utility function its flows use and to bookkeeping the evaluation needs
+(whether the class counts as "large flows" for the Figure 3–5 series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exceptions import TrafficError
+from repro.utility.functions import UtilityFunction
+from repro.utility.presets import (
+    bulk_transfer_utility,
+    large_transfer_utility,
+    real_time_utility,
+)
+
+#: Class name used for interactive traffic.
+REAL_TIME = "real-time"
+
+#: Class name used for ordinary bulk transfers.
+BULK = "bulk"
+
+#: Class name used for the paper's 2 % large file-transfer aggregates.
+LARGE_TRANSFER = "large-transfer"
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """A named traffic class with its default utility function.
+
+    Parameters
+    ----------
+    name:
+        Class name; used as the key in priority weights and reports.
+    utility:
+        Default utility function for flows of this class.  Individual
+        aggregates may override the bandwidth peak (e.g. a measured demand).
+    is_large:
+        True for classes whose aggregates count as "large flows" in the
+        evaluation's per-class series.
+    """
+
+    name: str
+    utility: UtilityFunction
+    is_large: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TrafficError("traffic class name must be non-empty")
+
+
+def default_traffic_classes(
+    relax_delay_factor: Optional[float] = None,
+    delay_cutoff_scale: float = 1.0,
+) -> Dict[str, TrafficClass]:
+    """The three classes used throughout the paper's evaluation.
+
+    ``relax_delay_factor`` relaxes the delay component of the two *small*
+    classes (real-time and bulk), which is exactly the knob the Figure 6
+    experiment turns ("small flows using double the delay parameter").
+
+    ``delay_cutoff_scale`` rescales the delay components of *every* class
+    before the relax factor is applied.  The paper's cut-offs (100 ms for
+    real-time) are sized for an intercontinental core; reduced-scale
+    topologies whose paths never approach those delays use a smaller scale so
+    the delay part of the utility still constrains path choice (see
+    EXPERIMENTS.md, experiment E6).
+    """
+    if delay_cutoff_scale <= 0.0:
+        raise TrafficError(
+            f"delay_cutoff_scale must be positive, got {delay_cutoff_scale!r}"
+        )
+    real_time = real_time_utility()
+    bulk = bulk_transfer_utility()
+    large = large_transfer_utility()
+    if delay_cutoff_scale != 1.0:
+        real_time = real_time.with_relaxed_delay(delay_cutoff_scale)
+        bulk = bulk.with_relaxed_delay(delay_cutoff_scale)
+        large = large.with_relaxed_delay(delay_cutoff_scale)
+    if relax_delay_factor is not None:
+        real_time = real_time.with_relaxed_delay(relax_delay_factor)
+        bulk = bulk.with_relaxed_delay(relax_delay_factor)
+    return {
+        REAL_TIME: TrafficClass(REAL_TIME, real_time, is_large=False),
+        BULK: TrafficClass(BULK, bulk, is_large=False),
+        LARGE_TRANSFER: TrafficClass(LARGE_TRANSFER, large, is_large=True),
+    }

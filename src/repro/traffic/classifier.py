@@ -1,0 +1,145 @@
+"""Heuristic traffic classification.
+
+Paper §1: *"We classify traffic with crude heuristics supplemented by
+operator knowledge when that is available."*  This module provides exactly
+that: a port/protocol-based heuristic classifier plus an operator-override
+table, used by the simulated SDN measurement pipeline to label flow records
+before they are folded into aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import TrafficError
+from repro.traffic.classes import BULK, LARGE_TRANSFER, REAL_TIME
+
+#: Well-known ports that strongly suggest interactive / real-time traffic.
+REAL_TIME_PORTS = frozenset(
+    {
+        5060,  # SIP
+        5061,  # SIP over TLS
+        3478,  # STUN
+        3479,
+        5004,  # RTP
+        5005,  # RTCP
+        1720,  # H.323
+        10000,  # common VoIP RTP base
+        19302,  # Google STUN
+    }
+)
+
+#: Ports that suggest bulk / file-transfer traffic.
+BULK_PORTS = frozenset(
+    {
+        20,  # FTP data
+        21,  # FTP control
+        22,  # SFTP / SCP
+        80,  # HTTP
+        443,  # HTTPS
+        873,  # rsync
+        8080,
+        8443,
+        3128,  # proxies
+    }
+)
+
+#: Protocol numbers.
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """A single measured flow, as exported by a switch.
+
+    Only the fields the classifier needs are modelled; byte/packet counters
+    live in the measurement pipeline.
+    """
+
+    src_node: str
+    dst_node: str
+    protocol: int
+    src_port: int
+    dst_port: int
+    bytes_per_second: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in (PROTO_TCP, PROTO_UDP):
+            raise TrafficError(
+                f"unsupported protocol number {self.protocol!r} (expected TCP=6 or UDP=17)"
+            )
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 65535:
+                raise TrafficError(f"port out of range: {port!r}")
+        if self.bytes_per_second < 0.0:
+            raise TrafficError(
+                f"bytes_per_second must be non-negative, got {self.bytes_per_second!r}"
+            )
+
+
+@dataclass
+class ClassifierConfig:
+    """Configuration of the heuristic classifier.
+
+    Parameters
+    ----------
+    operator_overrides:
+        Mapping from (node, port) to class name.  Paper §2.2: "the operator
+        can specify a non-default delay curve for flows to a certain port or
+        from a particular server" — overrides are how that knowledge enters.
+    large_flow_threshold_bps:
+        Flows whose measured rate exceeds this threshold are classified as
+        large transfers regardless of port heuristics.
+    default_class:
+        Class assigned when no heuristic matches.
+    """
+
+    operator_overrides: Mapping[Tuple[str, int], str] = field(default_factory=dict)
+    large_flow_threshold_bps: float = 500_000.0
+    default_class: str = BULK
+
+
+class HeuristicClassifier:
+    """Classifies flow records into the three traffic classes.
+
+    Order of precedence (most authoritative first):
+
+    1. operator overrides keyed by (destination node, destination port),
+    2. operator overrides keyed by (source node, source port),
+    3. measured rate above the large-flow threshold -> large transfer,
+    4. UDP or a well-known interactive port -> real-time,
+    5. a well-known bulk port -> bulk,
+    6. the configured default class.
+    """
+
+    def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
+        self.config = config or ClassifierConfig()
+
+    def classify(self, record: FlowRecord) -> str:
+        """Return the class name for one flow record."""
+        overrides = self.config.operator_overrides
+        by_destination = overrides.get((record.dst_node, record.dst_port))
+        if by_destination is not None:
+            return by_destination
+        by_source = overrides.get((record.src_node, record.src_port))
+        if by_source is not None:
+            return by_source
+        if record.bytes_per_second * 8.0 >= self.config.large_flow_threshold_bps:
+            return LARGE_TRANSFER
+        if record.protocol == PROTO_UDP:
+            return REAL_TIME
+        if record.dst_port in REAL_TIME_PORTS or record.src_port in REAL_TIME_PORTS:
+            return REAL_TIME
+        if record.dst_port in BULK_PORTS or record.src_port in BULK_PORTS:
+            return BULK
+        return self.config.default_class
+
+    def classify_many(self, records) -> Dict[str, int]:
+        """Classify an iterable of records and return per-class counts."""
+        counts: Dict[str, int] = {}
+        for record in records:
+            name = self.classify(record)
+            counts[name] = counts.get(name, 0) + 1
+        return counts

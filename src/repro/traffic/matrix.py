@@ -1,0 +1,250 @@
+"""The traffic matrix: a collection of aggregates.
+
+Paper §2.1: FUBAR periodically measures "per-aggregate bandwidth ... and
+approximate flow counts for each aggregate".  A :class:`TrafficMatrix` is the
+container those measurements land in and the input the optimizer consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import TrafficError
+from repro.topology.graph import Network
+from repro.traffic.aggregate import Aggregate, AggregateKey
+from repro.utility.components import BandwidthComponent, DelayComponent
+from repro.utility.functions import UtilityFunction
+
+#: Schema version written into serialized traffic matrices.
+SCHEMA_VERSION = 1
+
+
+class TrafficMatrix:
+    """An ordered collection of :class:`Aggregate` objects keyed by (src, dst, class)."""
+
+    def __init__(self, aggregates: Optional[Iterable[Aggregate]] = None, name: str = "traffic") -> None:
+        self.name = name
+        self._aggregates: Dict[AggregateKey, Aggregate] = {}
+        for aggregate in aggregates or ():
+            self.add(aggregate)
+
+    # ----------------------------------------------------------------- build
+
+    def add(self, aggregate: Aggregate) -> None:
+        """Add an aggregate; duplicates (same key) are an error."""
+        if aggregate.key in self._aggregates:
+            raise TrafficError(f"duplicate aggregate: {aggregate.key!r}")
+        self._aggregates[aggregate.key] = aggregate
+
+    def replace(self, aggregate: Aggregate) -> None:
+        """Add or overwrite an aggregate with the same key."""
+        self._aggregates[aggregate.key] = aggregate
+
+    def remove(self, key: AggregateKey) -> None:
+        """Remove the aggregate with *key*, raising if it is absent."""
+        if key not in self._aggregates:
+            raise TrafficError(f"no such aggregate: {key!r}")
+        del self._aggregates[key]
+
+    # ---------------------------------------------------------------- access
+
+    @property
+    def aggregates(self) -> Tuple[Aggregate, ...]:
+        """All aggregates, in insertion order."""
+        return tuple(self._aggregates.values())
+
+    @property
+    def keys(self) -> Tuple[AggregateKey, ...]:
+        """All aggregate keys, in insertion order."""
+        return tuple(self._aggregates.keys())
+
+    def get(self, key: AggregateKey) -> Aggregate:
+        """Return the aggregate with *key*, raising :class:`TrafficError` otherwise."""
+        try:
+            return self._aggregates[key]
+        except KeyError:
+            raise TrafficError(f"no such aggregate: {key!r}") from None
+
+    def __contains__(self, key: AggregateKey) -> bool:
+        return key in self._aggregates
+
+    def __iter__(self) -> Iterator[Aggregate]:
+        return iter(self._aggregates.values())
+
+    def __len__(self) -> int:
+        return len(self._aggregates)
+
+    def __repr__(self) -> str:
+        return f"TrafficMatrix(name={self.name!r}, aggregates={len(self)})"
+
+    # --------------------------------------------------------------- queries
+
+    @property
+    def num_aggregates(self) -> int:
+        """Number of aggregates in the matrix."""
+        return len(self._aggregates)
+
+    @property
+    def total_flows(self) -> int:
+        """Total number of flows across all aggregates."""
+        return sum(a.num_flows for a in self._aggregates.values())
+
+    @property
+    def total_demand_bps(self) -> float:
+        """Total demand across all aggregates in bits per second."""
+        return sum(a.total_demand_bps for a in self._aggregates.values())
+
+    def traffic_classes(self) -> Tuple[str, ...]:
+        """Sorted names of the traffic classes present."""
+        return tuple(sorted({a.traffic_class for a in self._aggregates.values()}))
+
+    def aggregates_of_class(self, traffic_class: str) -> Tuple[Aggregate, ...]:
+        """All aggregates belonging to *traffic_class*."""
+        return tuple(
+            a for a in self._aggregates.values() if a.traffic_class == traffic_class
+        )
+
+    def aggregates_from(self, source: str) -> Tuple[Aggregate, ...]:
+        """All aggregates entering the network at *source*."""
+        return tuple(a for a in self._aggregates.values() if a.source == source)
+
+    def aggregates_to(self, destination: str) -> Tuple[Aggregate, ...]:
+        """All aggregates leaving the network at *destination*."""
+        return tuple(a for a in self._aggregates.values() if a.destination == destination)
+
+    def endpoints(self) -> Tuple[str, ...]:
+        """Sorted names of every node that appears as a source or destination."""
+        nodes = set()
+        for aggregate in self._aggregates.values():
+            nodes.add(aggregate.source)
+            nodes.add(aggregate.destination)
+        return tuple(sorted(nodes))
+
+    # ----------------------------------------------------------- validation
+
+    def validate_against(self, network: Network) -> List[str]:
+        """Return problems that would prevent routing this matrix on *network*."""
+        problems: List[str] = []
+        for aggregate in self._aggregates.values():
+            if not network.has_node(aggregate.source):
+                problems.append(f"source {aggregate.source!r} not in network")
+            if not network.has_node(aggregate.destination):
+                problems.append(f"destination {aggregate.destination!r} not in network")
+        return problems
+
+    def require_routable_on(self, network: Network) -> None:
+        """Raise :class:`TrafficError` when endpoints are missing from *network*."""
+        problems = self.validate_against(network)
+        if problems:
+            raise TrafficError(
+                f"traffic matrix {self.name!r} does not fit network "
+                f"{network.name!r}: " + "; ".join(sorted(set(problems)))
+            )
+
+    # ------------------------------------------------------------ transforms
+
+    def scaled_flows(self, factor: float, name: Optional[str] = None) -> "TrafficMatrix":
+        """Return a copy with every flow count multiplied by *factor* (min 1)."""
+        if factor <= 0.0:
+            raise TrafficError(f"flow scale factor must be positive, got {factor!r}")
+        scaled = TrafficMatrix(name=name or f"{self.name}-x{factor:g}")
+        for aggregate in self._aggregates.values():
+            scaled.add(aggregate.with_num_flows(max(1, int(round(aggregate.num_flows * factor)))))
+        return scaled
+
+    def filtered(self, predicate, name: Optional[str] = None) -> "TrafficMatrix":
+        """Return a copy containing only aggregates for which *predicate* is true."""
+        selected = TrafficMatrix(name=name or f"{self.name}-filtered")
+        for aggregate in self._aggregates.values():
+            if predicate(aggregate):
+                selected.add(aggregate)
+        return selected
+
+    # --------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dictionary (JSON-compatible)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "aggregates": [
+                {
+                    "source": a.source,
+                    "destination": a.destination,
+                    "traffic_class": a.traffic_class,
+                    "num_flows": a.num_flows,
+                    "utility": {
+                        "name": a.utility.name,
+                        "peak_bandwidth_bps": a.utility.bandwidth.peak_bandwidth_bps,
+                        "utility_at_zero": a.utility.bandwidth.utility_at_zero,
+                        "delay_cutoff_s": a.utility.delay.cutoff_s,
+                        "delay_tolerance_s": a.utility.delay.tolerance_s,
+                    },
+                    "metadata": dict(a.metadata),
+                }
+                for a in self._aggregates.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficMatrix":
+        """Deserialize from a dictionary produced by :meth:`to_dict`."""
+        if not isinstance(data, dict):
+            raise TrafficError(f"expected a dict, got {type(data).__name__}")
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise TrafficError(f"unsupported traffic matrix schema version: {version!r}")
+        matrix = cls(name=str(data.get("name", "traffic")))
+        for entry in data.get("aggregates", []):
+            utility_data = entry["utility"]
+            utility = UtilityFunction(
+                BandwidthComponent(
+                    float(utility_data["peak_bandwidth_bps"]),
+                    utility_at_zero=float(utility_data.get("utility_at_zero", 0.0)),
+                ),
+                DelayComponent(
+                    float(utility_data["delay_cutoff_s"]),
+                    tolerance_s=float(utility_data.get("delay_tolerance_s", 0.0)),
+                ),
+                name=str(utility_data.get("name", "utility")),
+            )
+            matrix.add(
+                Aggregate(
+                    source=str(entry["source"]),
+                    destination=str(entry["destination"]),
+                    traffic_class=str(entry["traffic_class"]),
+                    num_flows=int(entry["num_flows"]),
+                    utility=utility,
+                    metadata=entry.get("metadata") or {},
+                )
+            )
+        return matrix
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrafficMatrix":
+        """Deserialize from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TrafficError(f"invalid traffic matrix JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the matrix to a JSON file and return the path."""
+        target = Path(path)
+        target.write_text(self.to_json(), encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TrafficMatrix":
+        """Read a matrix from a JSON file."""
+        source = Path(path)
+        if not source.exists():
+            raise TrafficError(f"traffic matrix file does not exist: {source}")
+        return cls.from_json(source.read_text(encoding="utf-8"))

@@ -1,0 +1,127 @@
+"""Simulated traffic-matrix measurement.
+
+Paper §2.1: in an SDN network the controller can measure "periodic
+per-aggregate bandwidth measurements and approximate flow counts".  Real
+counters are noisy and sampled; this module models that imperfection so the
+rest of the pipeline (inference, optimization) can be exercised with
+realistic rather than oracle inputs.
+
+The measurement error model is multiplicative log-normal noise on demands
+and binomial-style jitter on flow counts, both configurable and seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+from repro.traffic.aggregate import Aggregate
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """Noise parameters of the simulated measurement pipeline.
+
+    Parameters
+    ----------
+    demand_relative_error:
+        Standard deviation of the multiplicative (log-normal) error applied
+        to per-flow demand estimates.  0 disables demand noise.
+    flow_count_relative_error:
+        Standard deviation of the relative error applied to flow counts.
+        0 disables count noise.
+    drop_probability:
+        Probability that an aggregate is missed entirely in one measurement
+        epoch (e.g. its counters were not collected in time).
+    """
+
+    demand_relative_error: float = 0.05
+    flow_count_relative_error: float = 0.10
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.demand_relative_error < 0.0:
+            raise MeasurementError(
+                f"demand_relative_error must be non-negative, got {self.demand_relative_error!r}"
+            )
+        if self.flow_count_relative_error < 0.0:
+            raise MeasurementError(
+                "flow_count_relative_error must be non-negative, got "
+                f"{self.flow_count_relative_error!r}"
+            )
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise MeasurementError(
+                f"drop_probability must be in [0, 1), got {self.drop_probability!r}"
+            )
+
+
+class TrafficMatrixMeasurer:
+    """Produces noisy measured copies of a ground-truth traffic matrix."""
+
+    def __init__(
+        self,
+        config: Optional[MeasurementConfig] = None,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config or MeasurementConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def measure_aggregate(self, aggregate: Aggregate) -> Optional[Aggregate]:
+        """Return a noisy copy of one aggregate, or None when it was dropped."""
+        config = self.config
+        if config.drop_probability > 0.0 and self._rng.random() < config.drop_probability:
+            return None
+
+        measured = aggregate
+        if config.flow_count_relative_error > 0.0:
+            noise = self._rng.normal(1.0, config.flow_count_relative_error)
+            measured_flows = max(1, int(round(aggregate.num_flows * max(noise, 0.1))))
+            measured = measured.with_num_flows(measured_flows)
+        if config.demand_relative_error > 0.0:
+            noise = float(
+                np.exp(self._rng.normal(0.0, config.demand_relative_error))
+            )
+            demand = max(aggregate.per_flow_demand_bps * noise, 1.0)
+            measured = measured.with_utility(measured.utility.with_demand(demand))
+        return measured
+
+    def measure(self, matrix: TrafficMatrix, name: Optional[str] = None) -> TrafficMatrix:
+        """Return a measured (noisy) copy of *matrix*.
+
+        Dropped aggregates are simply absent from the result, mirroring a
+        collection epoch in which some counters did not arrive.
+        """
+        measured = TrafficMatrix(name=name or f"{matrix.name}-measured")
+        for aggregate in matrix:
+            noisy = self.measure_aggregate(aggregate)
+            if noisy is not None:
+                measured.add(noisy)
+        if len(measured) == 0 and len(matrix) > 0:
+            raise MeasurementError(
+                "measurement dropped every aggregate; lower drop_probability"
+            )
+        return measured
+
+
+def measure_traffic_matrix(
+    matrix: TrafficMatrix,
+    demand_relative_error: float = 0.05,
+    flow_count_relative_error: float = 0.10,
+    drop_probability: float = 0.0,
+    seed: Optional[int] = None,
+) -> TrafficMatrix:
+    """One-shot convenience wrapper around :class:`TrafficMatrixMeasurer`."""
+    measurer = TrafficMatrixMeasurer(
+        MeasurementConfig(
+            demand_relative_error=demand_relative_error,
+            flow_count_relative_error=flow_count_relative_error,
+            drop_probability=drop_probability,
+        ),
+        seed=seed,
+    )
+    return measurer.measure(matrix)

@@ -1,0 +1,25 @@
+"""The TCP-like progressive-filling traffic model of paper §2.3."""
+
+from repro.trafficmodel.bundle import Bundle
+from repro.trafficmodel.result import (
+    BundleOutcome,
+    SATURATION_TOLERANCE,
+    TrafficModelResult,
+)
+from repro.trafficmodel.waterfill import (
+    MIN_RTT_S,
+    TrafficModel,
+    TrafficModelConfig,
+    evaluate_bundles,
+)
+
+__all__ = [
+    "Bundle",
+    "BundleOutcome",
+    "MIN_RTT_S",
+    "SATURATION_TOLERANCE",
+    "TrafficModel",
+    "TrafficModelConfig",
+    "TrafficModelResult",
+    "evaluate_bundles",
+]

@@ -1,0 +1,103 @@
+"""Unit helpers.
+
+The paper quotes bandwidth in kbps/Mbps and delay in milliseconds.  The
+library stores everything in SI base units — bits per second for bandwidth
+and seconds for delay — and these helpers let the paper's numbers be written
+literally in code (``kbps(50)``, ``ms(100)``) and formatted back for reports.
+"""
+
+from __future__ import annotations
+
+#: Number of bits per second in one kilobit per second.
+KBPS = 1_000.0
+#: Number of bits per second in one megabit per second.
+MBPS = 1_000_000.0
+#: Number of bits per second in one gigabit per second.
+GBPS = 1_000_000_000.0
+
+#: Number of seconds in one millisecond.
+MILLISECOND = 1e-3
+#: Number of seconds in one microsecond.
+MICROSECOND = 1e-6
+
+
+def bps(value: float) -> float:
+    """Return *value* interpreted as bits per second (identity, for symmetry)."""
+    return float(value)
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return float(value) * KBPS
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return float(value) * MBPS
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bits per second."""
+    return float(value) * GBPS
+
+
+def to_kbps(value_bps: float) -> float:
+    """Convert bits per second to kilobits per second."""
+    return float(value_bps) / KBPS
+
+
+def to_mbps(value_bps: float) -> float:
+    """Convert bits per second to megabits per second."""
+    return float(value_bps) / MBPS
+
+
+def seconds(value: float) -> float:
+    """Return *value* interpreted as seconds (identity, for symmetry)."""
+    return float(value)
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * MILLISECOND
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * MICROSECOND
+
+
+def to_ms(value_seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return float(value_seconds) / MILLISECOND
+
+
+def format_bandwidth(value_bps: float) -> str:
+    """Format a bandwidth in the most readable unit.
+
+    >>> format_bandwidth(50_000.0)
+    '50.00 kbps'
+    >>> format_bandwidth(1_500_000.0)
+    '1.50 Mbps'
+    """
+    value_bps = float(value_bps)
+    if abs(value_bps) >= GBPS:
+        return f"{value_bps / GBPS:.2f} Gbps"
+    if abs(value_bps) >= MBPS:
+        return f"{value_bps / MBPS:.2f} Mbps"
+    if abs(value_bps) >= KBPS:
+        return f"{value_bps / KBPS:.2f} kbps"
+    return f"{value_bps:.2f} bps"
+
+
+def format_delay(value_seconds: float) -> str:
+    """Format a delay in the most readable unit.
+
+    >>> format_delay(0.1)
+    '100.00 ms'
+    """
+    value_seconds = float(value_seconds)
+    if abs(value_seconds) >= 1.0:
+        return f"{value_seconds:.2f} s"
+    if abs(value_seconds) >= MILLISECOND:
+        return f"{value_seconds / MILLISECOND:.2f} ms"
+    return f"{value_seconds / MICROSECOND:.2f} us"

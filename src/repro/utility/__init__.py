@@ -1,0 +1,63 @@
+"""Flow utility model: components, presets, inference and aggregation."""
+
+from repro.utility.aggregation import (
+    AggregateUtility,
+    PriorityWeights,
+    class_utility,
+    flow_weighted_distribution,
+    network_utility,
+    per_class_utilities,
+    utility_distribution,
+)
+from repro.utility.components import (
+    BandwidthComponent,
+    DelayComponent,
+    PiecewiseLinearCurve,
+)
+from repro.utility.functions import UtilityFunction
+from repro.utility.inference import (
+    BandwidthSample,
+    InflectionEstimate,
+    InflectionPointEstimator,
+    refine_utility_from_samples,
+)
+from repro.utility.presets import (
+    BULK_DELAY_CUTOFF_S,
+    BULK_PEAK_BPS,
+    LARGE_TRANSFER_PEAKS_BPS,
+    REAL_TIME_DELAY_CUTOFF_S,
+    REAL_TIME_PEAK_BPS,
+    bulk_transfer_utility,
+    default_presets,
+    large_transfer_utility,
+    preset,
+    real_time_utility,
+)
+
+__all__ = [
+    "AggregateUtility",
+    "BandwidthComponent",
+    "BandwidthSample",
+    "BULK_DELAY_CUTOFF_S",
+    "BULK_PEAK_BPS",
+    "DelayComponent",
+    "InflectionEstimate",
+    "InflectionPointEstimator",
+    "LARGE_TRANSFER_PEAKS_BPS",
+    "PiecewiseLinearCurve",
+    "PriorityWeights",
+    "REAL_TIME_DELAY_CUTOFF_S",
+    "REAL_TIME_PEAK_BPS",
+    "UtilityFunction",
+    "bulk_transfer_utility",
+    "class_utility",
+    "default_presets",
+    "flow_weighted_distribution",
+    "large_transfer_utility",
+    "network_utility",
+    "per_class_utilities",
+    "preset",
+    "real_time_utility",
+    "refine_utility_from_samples",
+    "utility_distribution",
+]

@@ -1,0 +1,146 @@
+"""Network-level utility aggregation.
+
+Paper §3 defines the headline metric: *"The 'total average' is the overall
+utility of the network — the average of utilities of all aggregates, weighted
+by number of flows in the aggregate."*  Figure 5 additionally prioritizes
+large flows "by increasing their weighting when computing the network
+utility".
+
+This module provides the weighting scheme and the aggregation helpers used by
+both the optimizer (which maximizes the weighted network utility) and the
+metrics/reporting code (which also reports the unweighted and per-class
+views).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import UtilityError
+
+
+@dataclass(frozen=True)
+class AggregateUtility:
+    """The utility of one aggregate together with its weighting inputs."""
+
+    aggregate_key: Tuple[str, str, str]
+    utility: float
+    num_flows: int
+    traffic_class: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utility <= 1.0 + 1e-9:
+            raise UtilityError(
+                f"aggregate utility must be in [0, 1], got {self.utility!r}"
+            )
+        if self.num_flows <= 0:
+            raise UtilityError(f"aggregate must have positive flows, got {self.num_flows!r}")
+
+
+@dataclass(frozen=True)
+class PriorityWeights:
+    """Per-class multiplicative weights applied when averaging utilities.
+
+    The default weight is 1 for every class.  The Figure 5 experiment uses
+    ``PriorityWeights(class_weights={"large-transfer": 4.0})`` to boost the
+    importance of large flows in the optimizer's objective.
+    """
+
+    class_weights: Mapping[str, float] = field(default_factory=dict)
+    default_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.default_weight <= 0.0:
+            raise UtilityError(
+                f"default weight must be positive, got {self.default_weight!r}"
+            )
+        for name, weight in self.class_weights.items():
+            if weight <= 0.0:
+                raise UtilityError(
+                    f"weight for class {name!r} must be positive, got {weight!r}"
+                )
+
+    def weight_for(self, traffic_class: str) -> float:
+        """Return the weight applied to aggregates of *traffic_class*."""
+        return float(self.class_weights.get(traffic_class, self.default_weight))
+
+    @classmethod
+    def uniform(cls) -> "PriorityWeights":
+        """Weights that treat every class equally (the paper's default)."""
+        return cls()
+
+    @classmethod
+    def prioritize(cls, traffic_class: str, factor: float) -> "PriorityWeights":
+        """Weights that multiply one class's importance by *factor* (Figure 5)."""
+        return cls(class_weights={traffic_class: factor})
+
+
+def network_utility(
+    utilities: Sequence[AggregateUtility],
+    weights: Optional[PriorityWeights] = None,
+) -> float:
+    """The flow-weighted (and optionally class-weighted) average utility.
+
+    Matches the paper's "total average": each aggregate contributes its
+    utility weighted by its flow count; priority weights multiply that
+    contribution for selected classes.
+    """
+    if not utilities:
+        raise UtilityError("cannot aggregate an empty utility list")
+    weights = weights or PriorityWeights.uniform()
+    numerator = 0.0
+    denominator = 0.0
+    for entry in utilities:
+        weight = entry.num_flows * weights.weight_for(entry.traffic_class)
+        numerator += weight * entry.utility
+        denominator += weight
+    return numerator / denominator
+
+
+def class_utility(
+    utilities: Sequence[AggregateUtility], traffic_class: str
+) -> Optional[float]:
+    """Flow-weighted average utility of one traffic class, or None if absent.
+
+    Used for the "utility of large flows" series in Figures 3–5.
+    """
+    selected = [u for u in utilities if u.traffic_class == traffic_class]
+    if not selected:
+        return None
+    numerator = sum(u.num_flows * u.utility for u in selected)
+    denominator = sum(u.num_flows for u in selected)
+    return numerator / denominator
+
+
+def per_class_utilities(
+    utilities: Sequence[AggregateUtility],
+) -> Dict[str, float]:
+    """Flow-weighted average utility for every class present."""
+    classes = sorted({u.traffic_class for u in utilities})
+    result: Dict[str, float] = {}
+    for name in classes:
+        value = class_utility(utilities, name)
+        if value is not None:
+            result[name] = value
+    return result
+
+
+def utility_distribution(utilities: Sequence[AggregateUtility]) -> np.ndarray:
+    """Per-aggregate utilities as an array (for CDFs such as Figure 7)."""
+    if not utilities:
+        raise UtilityError("cannot build a distribution from an empty utility list")
+    return np.asarray([u.utility for u in utilities], dtype=float)
+
+
+def flow_weighted_distribution(
+    utilities: Sequence[AggregateUtility],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (utilities, flow-count weights) arrays for weighted CDFs."""
+    if not utilities:
+        raise UtilityError("cannot build a distribution from an empty utility list")
+    values = np.asarray([u.utility for u in utilities], dtype=float)
+    counts = np.asarray([u.num_flows for u in utilities], dtype=float)
+    return values, counts

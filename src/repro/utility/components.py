@@ -1,0 +1,224 @@
+"""Utility function components.
+
+Paper §2.2: each flow's utility is the product of a *bandwidth component* and
+a *delay component*, each mapping its input to [0, 1].  The paper chooses the
+simplest shapes "defined by the fewest points":
+
+* the bandwidth component (Figures 1 and 2, left) rises linearly from 0 at
+  zero bandwidth to 1 at the *peak bandwidth* (the inflection point), and is
+  flat at 1 beyond it;
+* the delay component (Figures 1 and 2, right) is flat at 1 up to a
+  *tolerance*, then decays linearly to 0 at a *cut-off* delay.
+
+The paper also notes FUBAR "will work with any non-linear increasing
+function", so this module accepts arbitrary monotone piecewise-linear curves
+as well; the two named shapes above are provided as convenience constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import UtilityError
+
+#: Numerical tolerance used when checking monotonicity and the [0, 1] range.
+_EPSILON = 1e-12
+
+
+def _validate_points(points: Sequence[Tuple[float, float]], increasing: bool) -> List[Tuple[float, float]]:
+    if len(points) < 2:
+        raise UtilityError(f"a piecewise-linear curve needs at least 2 points, got {len(points)}")
+    cleaned = [(float(x), float(y)) for x, y in points]
+    xs = [p[0] for p in cleaned]
+    ys = [p[1] for p in cleaned]
+    if any(x < 0.0 for x in xs):
+        raise UtilityError(f"curve x-values must be non-negative, got {xs}")
+    if any(b - a < -_EPSILON for a, b in zip(xs, xs[1:])):
+        raise UtilityError(f"curve x-values must be non-decreasing, got {xs}")
+    if any(y < -_EPSILON or y > 1.0 + _EPSILON for y in ys):
+        raise UtilityError(f"curve y-values must lie in [0, 1], got {ys}")
+    deltas = [b - a for a, b in zip(ys, ys[1:])]
+    if increasing and any(d < -_EPSILON for d in deltas):
+        raise UtilityError(f"curve must be non-decreasing in y, got {ys}")
+    if not increasing and any(d > _EPSILON for d in deltas):
+        raise UtilityError(f"curve must be non-increasing in y, got {ys}")
+    return cleaned
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearCurve:
+    """A monotone piecewise-linear curve clamped outside its defined range.
+
+    ``points`` is a sequence of (x, y) pairs with non-decreasing x and y in
+    [0, 1].  Evaluation below the first x returns the first y; above the
+    last x it returns the last y.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+    increasing: bool = True
+
+    def __init__(self, points: Sequence[Tuple[float, float]], increasing: bool = True) -> None:
+        cleaned = _validate_points(points, increasing)
+        object.__setattr__(self, "points", tuple(cleaned))
+        object.__setattr__(self, "increasing", bool(increasing))
+
+    @property
+    def xs(self) -> Tuple[float, ...]:
+        """The x coordinates of the control points."""
+        return tuple(p[0] for p in self.points)
+
+    @property
+    def ys(self) -> Tuple[float, ...]:
+        """The y coordinates of the control points."""
+        return tuple(p[1] for p in self.points)
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the curve at *x* (scalar)."""
+        return float(np.interp(float(x), self.xs, self.ys))
+
+    def evaluate_many(self, values: Iterable[float]) -> np.ndarray:
+        """Vectorized evaluation over an iterable of x values."""
+        array = np.asarray(list(values), dtype=float)
+        return np.interp(array, self.xs, self.ys)
+
+    def scaled_x(self, factor: float) -> "PiecewiseLinearCurve":
+        """Return a copy with every x coordinate multiplied by *factor*.
+
+        Used to implement the paper's "relaxed delay" experiment (§3, Figure
+        6), where the delay parameter of small flows is doubled, and the
+        bandwidth-inflection inference, which rescales the bandwidth axis.
+        """
+        if factor <= 0.0:
+            raise UtilityError(f"scale factor must be positive, got {factor!r}")
+        return PiecewiseLinearCurve(
+            [(x * factor, y) for x, y in self.points], increasing=self.increasing
+        )
+
+
+class BandwidthComponent:
+    """The bandwidth part of a utility function (paper Figures 1–2, left).
+
+    Utility rises linearly from ``utility_at_zero`` at 0 bps to 1 at
+    ``peak_bandwidth_bps`` and stays at 1 beyond it.  The peak doubles as the
+    flow's *demand* in the traffic model: a flow stops growing once it
+    reaches the bandwidth where extra capacity no longer increases utility.
+    """
+
+    def __init__(self, peak_bandwidth_bps: float, utility_at_zero: float = 0.0) -> None:
+        if peak_bandwidth_bps <= 0.0:
+            raise UtilityError(
+                f"peak bandwidth must be positive, got {peak_bandwidth_bps!r}"
+            )
+        if not 0.0 <= utility_at_zero < 1.0:
+            raise UtilityError(
+                f"utility at zero bandwidth must be in [0, 1), got {utility_at_zero!r}"
+            )
+        self.peak_bandwidth_bps = float(peak_bandwidth_bps)
+        self.utility_at_zero = float(utility_at_zero)
+        self.curve = PiecewiseLinearCurve(
+            [(0.0, self.utility_at_zero), (self.peak_bandwidth_bps, 1.0)],
+            increasing=True,
+        )
+
+    def __call__(self, bandwidth_bps: float) -> float:
+        """Utility of receiving *bandwidth_bps* per flow."""
+        if bandwidth_bps < 0.0:
+            raise UtilityError(f"bandwidth must be non-negative, got {bandwidth_bps!r}")
+        return self.curve(bandwidth_bps)
+
+    def evaluate_many(self, bandwidths_bps: Iterable[float]) -> np.ndarray:
+        """Vectorized evaluation."""
+        array = np.asarray(list(bandwidths_bps), dtype=float)
+        if np.any(array < 0.0):
+            raise UtilityError("bandwidth must be non-negative")
+        return self.curve.evaluate_many(array)
+
+    @property
+    def demand_bps(self) -> float:
+        """The per-flow demand implied by the curve (its inflection point)."""
+        return self.peak_bandwidth_bps
+
+    def with_peak(self, peak_bandwidth_bps: float) -> "BandwidthComponent":
+        """Return a copy with a different peak (used by inflection inference)."""
+        return BandwidthComponent(peak_bandwidth_bps, utility_at_zero=self.utility_at_zero)
+
+    def __repr__(self) -> str:
+        return f"BandwidthComponent(peak={self.peak_bandwidth_bps:.0f} bps)"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BandwidthComponent):
+            return NotImplemented
+        return (
+            self.peak_bandwidth_bps == other.peak_bandwidth_bps
+            and self.utility_at_zero == other.utility_at_zero
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.peak_bandwidth_bps, self.utility_at_zero))
+
+
+class DelayComponent:
+    """The delay part of a utility function (paper Figures 1–2, right).
+
+    Utility is 1 for delays up to ``tolerance_s`` and decays linearly to 0
+    at ``cutoff_s``.  For an interactive flow the cut-off is small (100 ms in
+    Figure 1); for bulk transfer it is large ("slowly decays to zero as delay
+    increases to a few seconds").
+    """
+
+    def __init__(self, cutoff_s: float, tolerance_s: float = 0.0) -> None:
+        if cutoff_s <= 0.0:
+            raise UtilityError(f"delay cut-off must be positive, got {cutoff_s!r}")
+        if tolerance_s < 0.0:
+            raise UtilityError(f"delay tolerance must be non-negative, got {tolerance_s!r}")
+        if tolerance_s >= cutoff_s:
+            raise UtilityError(
+                f"delay tolerance ({tolerance_s!r}) must be below the cut-off ({cutoff_s!r})"
+            )
+        self.cutoff_s = float(cutoff_s)
+        self.tolerance_s = float(tolerance_s)
+        points = [(0.0, 1.0)]
+        if tolerance_s > 0.0:
+            points.append((self.tolerance_s, 1.0))
+        points.append((self.cutoff_s, 0.0))
+        self.curve = PiecewiseLinearCurve(points, increasing=False)
+
+    def __call__(self, delay_s: float) -> float:
+        """Utility multiplier for a path delay of *delay_s* seconds."""
+        if delay_s < 0.0:
+            raise UtilityError(f"delay must be non-negative, got {delay_s!r}")
+        return self.curve(delay_s)
+
+    def evaluate_many(self, delays_s: Iterable[float]) -> np.ndarray:
+        """Vectorized evaluation."""
+        array = np.asarray(list(delays_s), dtype=float)
+        if np.any(array < 0.0):
+            raise UtilityError("delay must be non-negative")
+        return self.curve.evaluate_many(array)
+
+    def relaxed(self, factor: float) -> "DelayComponent":
+        """Return a copy with both tolerance and cut-off multiplied by *factor*.
+
+        This is the single-parameter knob behind the paper's Figure 6: doubling
+        the delay parameter makes longer paths acceptable.
+        """
+        if factor <= 0.0:
+            raise UtilityError(f"relax factor must be positive, got {factor!r}")
+        return DelayComponent(self.cutoff_s * factor, tolerance_s=self.tolerance_s * factor)
+
+    def __repr__(self) -> str:
+        return (
+            f"DelayComponent(cutoff={self.cutoff_s * 1e3:.0f} ms, "
+            f"tolerance={self.tolerance_s * 1e3:.0f} ms)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DelayComponent):
+            return NotImplemented
+        return self.cutoff_s == other.cutoff_s and self.tolerance_s == other.tolerance_s
+
+    def __hash__(self) -> int:
+        return hash((self.cutoff_s, self.tolerance_s))

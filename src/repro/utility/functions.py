@@ -1,0 +1,142 @@
+"""Flow utility functions.
+
+A :class:`UtilityFunction` combines a :class:`BandwidthComponent` and a
+:class:`DelayComponent` by multiplication, exactly as described in paper
+§2.2: *"Our utility metric consists of a bandwidth component and a delay
+component that are multiplied together to form the final utility."*
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.exceptions import UtilityError
+from repro.utility.components import BandwidthComponent, DelayComponent
+
+
+class UtilityFunction:
+    """Maps (per-flow bandwidth, path delay) to a utility in [0, 1].
+
+    Parameters
+    ----------
+    bandwidth:
+        The bandwidth component; its peak doubles as the flow's demand.
+    delay:
+        The delay component.
+    name:
+        Human-readable label used in reports (e.g. ``"real-time"``).
+    """
+
+    def __init__(
+        self,
+        bandwidth: BandwidthComponent,
+        delay: DelayComponent,
+        name: str = "utility",
+    ) -> None:
+        if not isinstance(bandwidth, BandwidthComponent):
+            raise UtilityError(f"bandwidth must be a BandwidthComponent, got {bandwidth!r}")
+        if not isinstance(delay, DelayComponent):
+            raise UtilityError(f"delay must be a DelayComponent, got {delay!r}")
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.name = str(name)
+
+    # ------------------------------------------------------------ evaluation
+
+    def __call__(self, bandwidth_bps: float, delay_s: float) -> float:
+        """Utility of one flow receiving *bandwidth_bps* over a path with delay *delay_s*."""
+        return self.bandwidth(bandwidth_bps) * self.delay(delay_s)
+
+    def evaluate_many(
+        self, bandwidths_bps: Iterable[float], delays_s: Iterable[float]
+    ) -> np.ndarray:
+        """Vectorized evaluation over paired bandwidth/delay arrays."""
+        bandwidth_values = self.bandwidth.evaluate_many(bandwidths_bps)
+        delay_values = self.delay.evaluate_many(delays_s)
+        if bandwidth_values.shape != delay_values.shape:
+            raise UtilityError(
+                "bandwidth and delay arrays must have the same length: "
+                f"{bandwidth_values.shape} vs {delay_values.shape}"
+            )
+        return bandwidth_values * delay_values
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def demand_bps(self) -> float:
+        """The per-flow bandwidth demand (peak of the bandwidth component)."""
+        return self.bandwidth.demand_bps
+
+    @property
+    def delay_cutoff_s(self) -> float:
+        """The delay beyond which utility is zero."""
+        return self.delay.cutoff_s
+
+    def max_utility_at_delay(self, delay_s: float) -> float:
+        """The best achievable utility on a path with delay *delay_s* (full demand met)."""
+        return self.delay(delay_s)
+
+    def usable_at_delay(self, delay_s: float) -> bool:
+        """Return True when a path with delay *delay_s* can yield non-zero utility."""
+        return self.delay(delay_s) > 0.0
+
+    # ------------------------------------------------------------ derivation
+
+    def with_demand(self, demand_bps: float) -> "UtilityFunction":
+        """Return a copy whose bandwidth peak is *demand_bps*.
+
+        Used both by the traffic-matrix generator (the 2 % "large" aggregates
+        get a higher max bandwidth) and by the measurement-driven inflection
+        inference.
+        """
+        return UtilityFunction(
+            self.bandwidth.with_peak(demand_bps), self.delay, name=self.name
+        )
+
+    def with_relaxed_delay(self, factor: float) -> "UtilityFunction":
+        """Return a copy with the delay component relaxed by *factor* (Figure 6 knob)."""
+        return UtilityFunction(
+            self.bandwidth, self.delay.relaxed(factor), name=f"{self.name}-relaxed"
+        )
+
+    def sample_surface(
+        self,
+        max_bandwidth_bps: float,
+        max_delay_s: float,
+        num_points: int = 50,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample the utility surface on a grid (for plotting / the Figure 1–2 bench).
+
+        Returns ``(bandwidths, delays, utilities)`` where ``utilities`` has
+        shape (num_points, num_points) with bandwidth varying along axis 0.
+        """
+        if num_points < 2:
+            raise UtilityError(f"need at least 2 sample points, got {num_points}")
+        bandwidths = np.linspace(0.0, float(max_bandwidth_bps), num_points)
+        delays = np.linspace(0.0, float(max_delay_s), num_points)
+        bandwidth_values = self.bandwidth.evaluate_many(bandwidths)
+        delay_values = self.delay.evaluate_many(delays)
+        surface = np.outer(bandwidth_values, delay_values)
+        return bandwidths, delays, surface
+
+    # --------------------------------------------------------------- dunders
+
+    def __repr__(self) -> str:
+        return (
+            f"UtilityFunction(name={self.name!r}, demand={self.demand_bps:.0f} bps, "
+            f"delay_cutoff={self.delay_cutoff_s * 1e3:.0f} ms)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UtilityFunction):
+            return NotImplemented
+        return (
+            self.bandwidth == other.bandwidth
+            and self.delay == other.delay
+            and self.name == other.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.bandwidth, self.delay, self.name))

@@ -1,0 +1,180 @@
+"""Bandwidth inflection-point inference.
+
+Paper §2.2: *"we rely on continuous traffic measurements to scale the
+bandwidth component as needed.  We can infer the inflection point of the
+bandwidth curve when an aggregate is using an uncongested path and fails to
+utilize it."*
+
+The inference here implements exactly that rule: given a history of
+(per-flow achieved bandwidth, path-was-congested) samples for an aggregate,
+the estimator looks at samples taken on uncongested paths.  If the aggregate
+consistently fails to use the bandwidth it was nominally entitled to, its
+demand (the peak of the bandwidth component) is lowered towards the observed
+usage; if it always fills its current estimate, the estimate is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+from repro.utility.functions import UtilityFunction
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """One measurement of an aggregate's per-flow bandwidth.
+
+    Parameters
+    ----------
+    achieved_bps:
+        Per-flow bandwidth the aggregate actually achieved.
+    path_congested:
+        True when a link on the aggregate's path was congested at measurement
+        time.  Samples taken on congested paths say nothing about demand (the
+        flow may have wanted more), so the estimator ignores them.
+    """
+
+    achieved_bps: float
+    path_congested: bool = False
+
+    def __post_init__(self) -> None:
+        if self.achieved_bps < 0.0:
+            raise MeasurementError(
+                f"achieved bandwidth must be non-negative, got {self.achieved_bps!r}"
+            )
+
+
+@dataclass
+class InflectionEstimate:
+    """Result of inflection-point inference for one aggregate."""
+
+    demand_bps: float
+    num_samples_used: int
+    confident: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "demand_bps": self.demand_bps,
+            "num_samples_used": self.num_samples_used,
+            "confident": self.confident,
+        }
+
+
+class InflectionPointEstimator:
+    """Estimates the per-flow demand of an aggregate from uncongested samples.
+
+    Parameters
+    ----------
+    initial_demand_bps:
+        Starting estimate (typically the class preset's peak).
+    headroom:
+        Fraction added above the observed usage so that the estimate does not
+        clip genuine demand: the new estimate is
+        ``percentile(samples) * (1 + headroom)``.
+    percentile:
+        Which percentile of uncongested samples to treat as the demand.  The
+        paper talks about an "upper bound on the bandwidth requirement at any
+        instant", so a high percentile (95) is the default.
+    min_samples:
+        Minimum number of uncongested samples before the estimator reports a
+        confident estimate.
+    """
+
+    def __init__(
+        self,
+        initial_demand_bps: float,
+        headroom: float = 0.10,
+        percentile: float = 95.0,
+        min_samples: int = 5,
+    ) -> None:
+        if initial_demand_bps <= 0.0:
+            raise MeasurementError(
+                f"initial demand must be positive, got {initial_demand_bps!r}"
+            )
+        if headroom < 0.0:
+            raise MeasurementError(f"headroom must be non-negative, got {headroom!r}")
+        if not 0.0 < percentile <= 100.0:
+            raise MeasurementError(f"percentile must be in (0, 100], got {percentile!r}")
+        if min_samples < 1:
+            raise MeasurementError(f"min_samples must be >= 1, got {min_samples!r}")
+        self.initial_demand_bps = float(initial_demand_bps)
+        self.headroom = float(headroom)
+        self.percentile = float(percentile)
+        self.min_samples = int(min_samples)
+        self._samples: List[BandwidthSample] = []
+
+    # ---------------------------------------------------------------- inputs
+
+    def observe(self, sample: BandwidthSample) -> None:
+        """Record one measurement sample."""
+        self._samples.append(sample)
+
+    def observe_many(self, samples: Sequence[BandwidthSample]) -> None:
+        """Record several measurement samples."""
+        for sample in samples:
+            self.observe(sample)
+
+    @property
+    def num_samples(self) -> int:
+        """Total number of recorded samples (congested and uncongested)."""
+        return len(self._samples)
+
+    # --------------------------------------------------------------- outputs
+
+    def uncongested_samples(self) -> List[float]:
+        """Per-flow bandwidths observed while the path was uncongested."""
+        return [s.achieved_bps for s in self._samples if not s.path_congested]
+
+    def estimate(self) -> InflectionEstimate:
+        """Return the current demand estimate.
+
+        Before ``min_samples`` uncongested observations have been collected
+        the estimator is not confident and returns the initial demand
+        unchanged — exactly the conservative behaviour an operator would
+        want before trusting measurements.
+        """
+        usable = self.uncongested_samples()
+        if len(usable) < self.min_samples:
+            return InflectionEstimate(
+                demand_bps=self.initial_demand_bps,
+                num_samples_used=len(usable),
+                confident=False,
+            )
+        observed = float(np.percentile(np.asarray(usable, dtype=float), self.percentile))
+        demand = max(observed * (1.0 + self.headroom), 1.0)
+        return InflectionEstimate(
+            demand_bps=demand, num_samples_used=len(usable), confident=True
+        )
+
+    def refine(self, utility: UtilityFunction) -> UtilityFunction:
+        """Return *utility* with its bandwidth peak replaced by the current estimate.
+
+        When the estimator is not yet confident the function is returned
+        unchanged.
+        """
+        estimate = self.estimate()
+        if not estimate.confident:
+            return utility
+        return utility.with_demand(estimate.demand_bps)
+
+
+def refine_utility_from_samples(
+    utility: UtilityFunction,
+    samples: Sequence[BandwidthSample],
+    headroom: float = 0.10,
+    percentile: float = 95.0,
+    min_samples: int = 5,
+) -> UtilityFunction:
+    """One-shot convenience wrapper around :class:`InflectionPointEstimator`."""
+    estimator = InflectionPointEstimator(
+        initial_demand_bps=utility.demand_bps,
+        headroom=headroom,
+        percentile=percentile,
+        min_samples=min_samples,
+    )
+    estimator.observe_many(list(samples))
+    return estimator.refine(utility)

@@ -1,0 +1,109 @@
+"""Utility function presets matching the paper's Figures 1 and 2.
+
+Three traffic classes appear in the evaluation (§3):
+
+* **real-time** (Figure 1): interactive traffic; utility saturates at
+  50 kbps and collapses to zero once path delay exceeds 100 ms.
+* **bulk transfer** (Figure 2): larger bandwidth appetite (200 kbps in the
+  figure), but tolerant of delay — the delay component only reaches zero
+  after a few hundred milliseconds.
+* **large transfer**: the 2 % of aggregates given "a file transfer utility
+  function with a higher max bandwidth (1 or 2 Mbps)".
+
+The exact inflection points for bulk traffic are read off the figures
+(bandwidth axis runs to 200 kbps, delay axis to 200 ms with the bulk curve
+still positive at the right edge); where the figure is ambiguous we pick the
+simplest consistent value and note it here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.exceptions import UtilityError
+from repro.utility.components import BandwidthComponent, DelayComponent
+from repro.utility.functions import UtilityFunction
+from repro.units import kbps, mbps, ms, seconds
+
+#: Peak bandwidth of the real-time class (Figure 1, left: maxes out at 50 kbps).
+REAL_TIME_PEAK_BPS = kbps(50)
+
+#: Delay cut-off of the real-time class (Figure 1, right: zero above 100 ms).
+REAL_TIME_DELAY_CUTOFF_S = ms(100)
+
+#: Peak bandwidth of the bulk-transfer class (Figure 2, left: 200 kbps scale).
+BULK_PEAK_BPS = kbps(200)
+
+#: Delay cut-off of the bulk-transfer class.  The paper says the default delay
+#: curve "slowly decays to zero as delay increases to a few seconds"; we use
+#: one second so that core-network paths (tens of ms) barely dent utility but
+#: pathological detours are still penalized.
+BULK_DELAY_CUTOFF_S = seconds(1.0)
+
+#: Possible peak bandwidths of the "large" aggregates (§3: "1 or 2 Mbps").
+LARGE_TRANSFER_PEAKS_BPS = (mbps(1), mbps(2))
+
+
+def real_time_utility(
+    peak_bandwidth_bps: float = REAL_TIME_PEAK_BPS,
+    delay_cutoff_s: float = REAL_TIME_DELAY_CUTOFF_S,
+    delay_tolerance_s: float = ms(20),
+) -> UtilityFunction:
+    """The interactive / real-time utility function of Figure 1."""
+    return UtilityFunction(
+        BandwidthComponent(peak_bandwidth_bps),
+        DelayComponent(delay_cutoff_s, tolerance_s=delay_tolerance_s),
+        name="real-time",
+    )
+
+
+def bulk_transfer_utility(
+    peak_bandwidth_bps: float = BULK_PEAK_BPS,
+    delay_cutoff_s: float = BULK_DELAY_CUTOFF_S,
+    delay_tolerance_s: float = ms(100),
+) -> UtilityFunction:
+    """The bulk data-transfer utility function of Figure 2."""
+    return UtilityFunction(
+        BandwidthComponent(peak_bandwidth_bps),
+        DelayComponent(delay_cutoff_s, tolerance_s=delay_tolerance_s),
+        name="bulk",
+    )
+
+
+def large_transfer_utility(
+    peak_bandwidth_bps: float = LARGE_TRANSFER_PEAKS_BPS[0],
+    delay_cutoff_s: float = BULK_DELAY_CUTOFF_S,
+    delay_tolerance_s: float = ms(100),
+) -> UtilityFunction:
+    """The large file-transfer utility function used for 2 % of aggregates (§3)."""
+    return UtilityFunction(
+        BandwidthComponent(peak_bandwidth_bps),
+        DelayComponent(delay_cutoff_s, tolerance_s=delay_tolerance_s),
+        name="large-transfer",
+    )
+
+
+def default_presets() -> Dict[str, UtilityFunction]:
+    """Return the three named presets keyed by class name."""
+    return {
+        "real-time": real_time_utility(),
+        "bulk": bulk_transfer_utility(),
+        "large-transfer": large_transfer_utility(),
+    }
+
+
+def preset(name: str, relax_delay_factor: Optional[float] = None) -> UtilityFunction:
+    """Look up a preset by name, optionally relaxing its delay component.
+
+    ``relax_delay_factor=2.0`` reproduces the Figure 6 "relaxed delay"
+    configuration for the selected class.
+    """
+    presets = default_presets()
+    if name not in presets:
+        raise UtilityError(
+            f"unknown utility preset {name!r}; available: {sorted(presets)}"
+        )
+    function = presets[name]
+    if relax_delay_factor is not None:
+        function = function.with_relaxed_delay(relax_delay_factor)
+    return function

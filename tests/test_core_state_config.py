@@ -1,0 +1,200 @@
+"""Tests for the allocation state, optimizer configuration and recorder."""
+
+import pytest
+
+from repro.core.config import FubarConfig
+from repro.core.recorder import OptimizationRecorder
+from repro.core.state import AllocationState, build_path_sets
+from repro.exceptions import AllocationError, NoPathError, OptimizationError
+from repro.traffic.classes import LARGE_TRANSFER
+from repro.traffic.matrix import TrafficMatrix
+from repro.trafficmodel.waterfill import evaluate_bundles
+from repro.units import kbps
+from repro.utility.aggregation import PriorityWeights
+from tests.conftest import make_aggregate
+
+
+@pytest.fixture
+def matrix():
+    return TrafficMatrix(
+        [
+            make_aggregate("A", "B", num_flows=10, demand_bps=kbps(100)),
+            make_aggregate("A", "C", num_flows=4, demand_bps=kbps(50)),
+        ]
+    )
+
+
+class TestAllocationState:
+    def test_initial_puts_all_flows_on_lowest_delay_path(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        assert state.allocation_of(("A", "B", "bulk")) == {("A", "B"): 10}
+        assert state.allocation_of(("A", "C", "bulk")) == {("A", "C"): 4}
+
+    def test_initial_raises_for_unroutable_aggregate(self, triangle):
+        triangle.add_node("island")
+        matrix = TrafficMatrix([make_aggregate("A", "island")])
+        with pytest.raises(NoPathError):
+            AllocationState.initial(triangle, matrix)
+
+    def test_bundles_match_allocations(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        bundles = state.bundles()
+        assert len(bundles) == 2
+        assert sum(b.num_flows for b in bundles) == 14
+
+    def test_total_flows_invariant(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        assert state.total_flows() == matrix.total_flows
+
+    def test_with_move_partial(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        moved = state.with_move(("A", "B", "bulk"), ("A", "B"), ("A", "C", "B"), 4)
+        assert moved.flows_on(("A", "B", "bulk"), ("A", "B")) == 6
+        assert moved.flows_on(("A", "B", "bulk"), ("A", "C", "B")) == 4
+        # The original state is untouched.
+        assert state.flows_on(("A", "B", "bulk"), ("A", "B")) == 10
+
+    def test_with_move_entire_bundle_removes_path(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        moved = state.with_move(("A", "B", "bulk"), ("A", "B"), ("A", "C", "B"), 10)
+        assert ("A", "B") not in moved.paths_of(("A", "B", "bulk"))
+        assert moved.num_paths(("A", "B", "bulk")) == 1
+
+    def test_with_move_preserves_flow_count(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        moved = state.with_move(("A", "B", "bulk"), ("A", "B"), ("A", "C", "B"), 3)
+        assert moved.total_flows() == state.total_flows()
+
+    def test_with_move_too_many_flows(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        with pytest.raises(AllocationError):
+            state.with_move(("A", "B", "bulk"), ("A", "B"), ("A", "C", "B"), 11)
+
+    def test_with_move_same_path_rejected(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        with pytest.raises(AllocationError):
+            state.with_move(("A", "B", "bulk"), ("A", "B"), ("A", "B"), 1)
+
+    def test_with_move_zero_flows_rejected(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        with pytest.raises(AllocationError):
+            state.with_move(("A", "B", "bulk"), ("A", "B"), ("A", "C", "B"), 0)
+
+    def test_with_move_wrong_endpoints_rejected(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        with pytest.raises(AllocationError):
+            state.with_move(("A", "B", "bulk"), ("A", "B"), ("A", "C"), 1)
+
+    def test_constructor_validates_totals(self, triangle, matrix):
+        with pytest.raises(AllocationError):
+            AllocationState(triangle, matrix, {("A", "B", "bulk"): {("A", "B"): 3}})
+
+    def test_constructor_validates_endpoints(self, triangle, matrix):
+        with pytest.raises(AllocationError):
+            AllocationState(
+                triangle,
+                matrix,
+                {
+                    ("A", "B", "bulk"): {("A", "C"): 10},
+                    ("A", "C", "bulk"): {("A", "C"): 4},
+                },
+            )
+
+    def test_split_summary(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        moved = state.with_move(("A", "B", "bulk"), ("A", "B"), ("A", "C", "B"), 4)
+        assert moved.split_summary()[("A", "B", "bulk")] == 2
+
+    def test_build_path_sets(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        path_sets = build_path_sets(triangle, state)
+        assert set(path_sets) == set(state.aggregate_keys)
+        assert path_sets[("A", "B", "bulk")].default_path == ("A", "B")
+
+
+class TestFubarConfig:
+    def test_defaults_are_valid(self):
+        config = FubarConfig()
+        assert config.effective_fraction(0) == pytest.approx(0.25)
+
+    def test_escalation_caps_at_one(self):
+        config = FubarConfig(move_fraction=0.5, escalation_multipliers=(1.0, 4.0))
+        assert config.effective_fraction(1) == 1.0
+        assert config.max_escalation_level == 1
+
+    def test_escalation_level_is_clamped(self):
+        config = FubarConfig()
+        assert config.effective_fraction(99) == config.effective_fraction(
+            config.max_escalation_level
+        )
+
+    def test_with_priority(self):
+        weights = PriorityWeights.prioritize(LARGE_TRANSFER, 4.0)
+        config = FubarConfig().with_priority(weights)
+        assert config.priority_weights.weight_for(LARGE_TRANSFER) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            FubarConfig(move_fraction=0.0)
+        with pytest.raises(OptimizationError):
+            FubarConfig(move_fraction=1.5)
+        with pytest.raises(OptimizationError):
+            FubarConfig(small_aggregate_flows=-1)
+        with pytest.raises(OptimizationError):
+            FubarConfig(escalation_multipliers=())
+        with pytest.raises(OptimizationError):
+            FubarConfig(escalation_multipliers=(2.0, 1.0))
+        with pytest.raises(OptimizationError):
+            FubarConfig(escalation_multipliers=(0.0,))
+        with pytest.raises(OptimizationError):
+            FubarConfig(min_utility_improvement=-1.0)
+        with pytest.raises(OptimizationError):
+            FubarConfig(max_steps=0)
+        with pytest.raises(OptimizationError):
+            FubarConfig(max_wall_clock_s=0.0)
+
+
+class TestRecorder:
+    def test_records_points_and_series(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        result = evaluate_bundles(triangle, state.bundles())
+        recorder = OptimizationRecorder()
+        recorder.start()
+        recorder.record(0, result, "initial")
+        recorder.record(1, result, "after one step")
+        assert len(recorder) == 2
+        times, utilities = recorder.utility_series()
+        assert len(times) == 2
+        assert utilities[0] == pytest.approx(result.network_utility())
+        assert recorder.initial.step == 0
+        assert recorder.final.step == 1
+
+    def test_elapsed_zero_before_start(self):
+        assert OptimizationRecorder().elapsed_s() == 0.0
+
+    def test_utilization_series(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        result = evaluate_bundles(triangle, state.bundles())
+        recorder = OptimizationRecorder()
+        recorder.record(0, result, "x")
+        times, actual, demanded = recorder.utilization_series()
+        assert len(times) == len(actual) == len(demanded) == 1
+
+    def test_class_series_skips_absent_class(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        result = evaluate_bundles(triangle, state.bundles())
+        recorder = OptimizationRecorder()
+        recorder.record(0, result, "x")
+        times, values = recorder.class_utility_series("large-transfer")
+        assert times == [] and values == []
+
+    def test_improvement_and_dicts(self, triangle, matrix):
+        state = AllocationState.initial(triangle, matrix)
+        result = evaluate_bundles(triangle, state.bundles())
+        recorder = OptimizationRecorder()
+        assert recorder.utility_improvement() == 0.0
+        recorder.record(0, result, "x")
+        recorder.record(1, result, "y")
+        assert recorder.utility_improvement() == pytest.approx(0.0)
+        assert len(recorder.as_dicts()) == 2
+        assert "network_utility" in recorder.as_dicts()[0]

@@ -1,0 +1,111 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These mimic how a user of the library (or the offline/online controller pair
+the paper describes) would string the pieces together: build a topology,
+generate or measure a traffic matrix, optimize with FUBAR, compare against
+the baselines, deploy onto the SDN substrate and re-measure.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.shortest_path import shortest_path_routing
+from repro.baselines.upper_bound import upper_bound_utility
+from repro.core.controller import Fubar
+from repro.core.config import FubarConfig
+from repro.core.optimizer import optimize
+from repro.sdn.controller import SdnController
+from repro.sdn.deployment import deploy_plan, remeasure
+from repro.topology.hurricane_electric import reduced_core
+from repro.topology.random_topologies import random_regular_core
+from repro.traffic.generators import PaperTrafficConfig, paper_traffic_matrix
+from repro.traffic.measurement import measure_traffic_matrix
+from repro.units import mbps
+
+
+@pytest.fixture(scope="module")
+def core_scenario():
+    """A 7-POP core loaded enough that shortest paths congest."""
+    network = reduced_core(7, capacity_bps=mbps(20))
+    matrix = paper_traffic_matrix(
+        network, seed=11, config=PaperTrafficConfig(min_flows=15, max_flows=40)
+    )
+    return network, matrix
+
+
+class TestFullPipeline:
+    def test_fubar_beats_shortest_path_and_respects_bound(self, core_scenario):
+        network, matrix = core_scenario
+        shortest = shortest_path_routing(network, matrix)
+        assert shortest.has_congestion
+        result = optimize(network, matrix)
+        bound = upper_bound_utility(network, matrix)
+        assert result.network_utility > shortest.network_utility
+        assert result.network_utility <= bound + 1e-6
+
+    def test_fubar_reduces_congested_links(self, core_scenario):
+        network, matrix = core_scenario
+        shortest = shortest_path_routing(network, matrix)
+        result = optimize(network, matrix)
+        assert len(result.model_result.congested_links) <= len(
+            shortest.model_result.congested_links
+        )
+
+    def test_path_sets_stay_small(self, core_scenario):
+        """Paper §2.4: a handful of paths per aggregate is enough."""
+        network, matrix = core_scenario
+        result = optimize(network, matrix)
+        assert all(len(paths) <= 15 for paths in result.path_sets.values())
+
+    def test_flow_conservation_everywhere(self, core_scenario):
+        network, matrix = core_scenario
+        result = optimize(network, matrix)
+        for key in result.state.aggregate_keys:
+            allocated = sum(result.state.allocation_of(key).values())
+            assert allocated == matrix.get(key).num_flows
+
+    def test_optimize_measured_matrix(self, core_scenario):
+        """FUBAR consumes noisy measured matrices, not oracle demands."""
+        network, matrix = core_scenario
+        measured = measure_traffic_matrix(matrix, seed=5)
+        result = optimize(network, measured)
+        assert 0.0 <= result.network_utility <= 1.0
+
+    def test_deploy_and_remeasure_round_trip(self, core_scenario):
+        network, matrix = core_scenario
+        plan = Fubar(network).optimize(matrix)
+        controller = SdnController(network)
+        report = deploy_plan(controller, plan)
+        assert not report.has_overload
+        measured = remeasure(controller)
+        assert measured.num_aggregates == matrix.num_aggregates
+        # The measured demand is what the plan actually delivered, so it can
+        # never exceed the original offered demand.
+        assert measured.total_demand_bps <= matrix.total_demand_bps * 1.01
+
+    def test_wall_clock_budget_is_respected(self, core_scenario):
+        network, matrix = core_scenario
+        config = FubarConfig(max_wall_clock_s=0.2)
+        result = optimize(network, matrix, config)
+        assert result.wall_clock_s < 5.0
+
+
+class TestRandomTopologyRobustness:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_optimizer_invariants_on_random_cores(self, seed):
+        """On arbitrary random cores the optimizer never violates its invariants."""
+        network = random_regular_core(8, capacity_bps=mbps(20), seed=seed)
+        matrix = paper_traffic_matrix(
+            network,
+            seed=seed,
+            config=PaperTrafficConfig(min_flows=5, max_flows=15),
+        )
+        result = optimize(network, matrix, FubarConfig(max_steps=30))
+        assert 0.0 <= result.network_utility <= 1.0
+        assert result.network_utility >= result.initial_point.network_utility - 1e-9
+        assert result.state.total_flows() == matrix.total_flows
+        capacities = result.network.capacities()
+        for link, capacity in zip(result.network.links, capacities):
+            assert result.model_result.link_loads_bps[link.index] <= capacity * (1 + 1e-6)

@@ -1,0 +1,191 @@
+"""Tests for CDFs, delay/link metrics and text reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recorder import OptimizationRecorder
+from repro.exceptions import ReproError
+from repro.metrics.cdf import EmpiricalCDF, shift_between
+from repro.metrics.delay_metrics import delay_shift, flow_delay_cdf
+from repro.metrics.link_metrics import hottest_links, utilization_gap, utilization_summary
+from repro.metrics.reporting import (
+    format_cdf,
+    format_comparison,
+    format_table,
+    format_utility_timeline,
+)
+from repro.topology.builders import line_topology, triangle_topology
+from repro.trafficmodel.bundle import Bundle
+from repro.trafficmodel.waterfill import evaluate_bundles
+from repro.units import kbps, mbps, ms
+from tests.conftest import make_aggregate
+
+
+def simple_result(capacity=mbps(100), flows=10, demand=kbps(100)):
+    network = triangle_topology(capacity_bps=capacity)
+    aggregate = make_aggregate("A", "B", num_flows=flows, demand_bps=demand)
+    bundle = Bundle(aggregate=aggregate, path=("A", "B"), num_flows=flows)
+    return evaluate_bundles(network, [bundle])
+
+
+class TestEmpiricalCDF:
+    def test_percentiles_of_uniform_samples(self):
+        cdf = EmpiricalCDF(range(1, 101))
+        assert cdf.median == pytest.approx(50.0)
+        assert cdf.percentile(90) == pytest.approx(90.0)
+        assert cdf.min == 1.0
+        assert cdf.max == 100.0
+
+    def test_evaluate(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2.0) == pytest.approx(0.5)
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_weights_shift_the_distribution(self):
+        unweighted = EmpiricalCDF([1.0, 10.0])
+        weighted = EmpiricalCDF([1.0, 10.0], weights=[1.0, 9.0])
+        assert weighted.mean > unweighted.mean
+        assert weighted.percentile(50) == 10.0
+
+    def test_points_are_monotone(self):
+        cdf = EmpiricalCDF([3.0, 1.0, 2.0])
+        xs, ys = cdf.points()
+        assert list(xs) == sorted(xs)
+        assert list(ys) == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_sample_at(self):
+        cdf = EmpiricalCDF([1.0, 2.0])
+        assert cdf.sample_at([0.0, 1.5, 3.0]) == [0.0, 0.5, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            EmpiricalCDF([])
+        with pytest.raises(ReproError):
+            EmpiricalCDF([1.0], weights=[1.0, 2.0])
+        with pytest.raises(ReproError):
+            EmpiricalCDF([1.0], weights=[-1.0])
+        with pytest.raises(ReproError):
+            EmpiricalCDF([1.0, 2.0], weights=[0.0, 0.0])
+        with pytest.raises(ReproError):
+            EmpiricalCDF([1.0]).percentile(101)
+
+    def test_shift_between(self):
+        a = EmpiricalCDF([1.0, 2.0, 3.0])
+        b = EmpiricalCDF([2.0, 3.0, 4.0])
+        assert shift_between(a, b, 50) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_values_always_in_unit_interval(self, values):
+        cdf = EmpiricalCDF(values)
+        for x in (-1.0, 0.0, 500.0, 2000.0):
+            assert 0.0 <= cdf.evaluate(x) <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_percentiles_are_monotone(self, values):
+        cdf = EmpiricalCDF(values)
+        percentiles = [cdf.percentile(q) for q in (10, 25, 50, 75, 90)]
+        assert all(b >= a for a, b in zip(percentiles, percentiles[1:]))
+
+
+class TestDelayMetrics:
+    def test_flow_delay_cdf_weights_by_flows(self):
+        network = triangle_topology()
+        short = Bundle(
+            aggregate=make_aggregate("A", "B", num_flows=90, demand_bps=kbps(10)),
+            path=("A", "B"),
+            num_flows=90,
+        )
+        long = Bundle(
+            aggregate=make_aggregate("A", "B", num_flows=10, demand_bps=kbps(10), traffic_class="x"),
+            path=("A", "C", "B"),
+            num_flows=10,
+        )
+        result = evaluate_bundles(network, [short, long])
+        cdf = flow_delay_cdf(result)
+        assert cdf.median == pytest.approx(ms(5))
+        assert cdf.max == pytest.approx(ms(40))
+
+    def test_delay_shift_between_allocations(self):
+        network = triangle_topology()
+        aggregate = make_aggregate("A", "B", num_flows=10, demand_bps=kbps(10))
+        direct = evaluate_bundles(
+            network, [Bundle(aggregate=aggregate, path=("A", "B"), num_flows=10)]
+        )
+        detour = evaluate_bundles(
+            network, [Bundle(aggregate=aggregate, path=("A", "C", "B"), num_flows=10)]
+        )
+        shift = delay_shift(direct, detour)
+        assert shift.median_shift_s == pytest.approx(ms(35))
+        assert shift.as_dict()["median_shift_ms"] == pytest.approx(35.0)
+
+
+class TestLinkMetrics:
+    def test_utilization_summary_fields(self):
+        result = simple_result(capacity=mbps(10), flows=100, demand=kbps(200))
+        summary = utilization_summary(result)
+        assert summary.max == pytest.approx(1.0)
+        assert summary.num_congested == 1
+        assert summary.num_links_used == 1
+        assert 0.0 < summary.total_utilization <= 1.0
+        assert summary.as_dict()["num_congested"] == 1
+
+    def test_hottest_links(self):
+        result = simple_result(capacity=mbps(10), flows=100, demand=kbps(200))
+        hottest = hottest_links(result, count=2)
+        assert hottest[0][0] == ("A", "B")
+        assert hottest[0][1] == pytest.approx(1.0)
+
+    def test_utilization_gap(self):
+        congested = simple_result(capacity=mbps(10), flows=100, demand=kbps(200))
+        assert utilization_gap(congested) > 0.0
+        satisfied = simple_result()
+        assert utilization_gap(satisfied) == pytest.approx(0.0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(("name", "value"), [("a", 1), ("bbbb", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "bbbb" in lines[3]
+
+    def test_format_utility_timeline(self):
+        result = simple_result()
+        recorder = OptimizationRecorder()
+        recorder.start()
+        for step in range(3):
+            recorder.record(step, result, f"step {step}")
+        text = format_utility_timeline(recorder)
+        assert "utility" in text
+        assert len(text.splitlines()) >= 5
+
+    def test_format_utility_timeline_empty(self):
+        assert "no trace" in format_utility_timeline(OptimizationRecorder())
+
+    def test_format_utility_timeline_subsamples_long_traces(self):
+        result = simple_result()
+        recorder = OptimizationRecorder()
+        recorder.start()
+        for step in range(100):
+            recorder.record(step, result, "x")
+        text = format_utility_timeline(recorder, max_rows=10)
+        assert len(text.splitlines()) < 20
+
+    def test_format_cdf(self):
+        text = format_cdf(EmpiricalCDF([1.0, 2.0, 3.0]))
+        assert "p50" in text
+
+    def test_format_comparison(self):
+        text = format_comparison({"fubar": 0.9, "shortest-path": 0.6}, reference="shortest-path")
+        assert "1.500x" in text
+
+    def test_format_comparison_unknown_reference(self):
+        with pytest.raises(KeyError):
+            format_comparison({"a": 1.0}, reference="b")

@@ -1,0 +1,175 @@
+"""Tests for the simulated SDN substrate (rules, switches, controller, deployment)."""
+
+import pytest
+
+from repro.core.controller import Fubar
+from repro.core.routing import RoutingTable
+from repro.exceptions import MeasurementError, ReproError
+from repro.sdn.controller import SdnController
+from repro.sdn.deployment import deploy_plan, remeasure
+from repro.sdn.rules import ForwardingRule, WeightedNextHop, compile_rules, rules_for_switch
+from repro.sdn.switch import Switch
+from repro.topology.builders import triangle_topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.units import kbps, mbps
+from tests.conftest import make_aggregate
+
+
+@pytest.fixture
+def plan_and_network():
+    network = triangle_topology(capacity_bps=mbps(100))
+    matrix = TrafficMatrix(
+        [
+            make_aggregate("A", "B", num_flows=600, demand_bps=kbps(300)),
+            make_aggregate("C", "B", num_flows=10, demand_bps=kbps(100)),
+        ]
+    )
+    plan = Fubar(network).optimize(matrix)
+    return network, matrix, plan
+
+
+class TestRules:
+    def test_compile_rules_covers_every_transit_switch(self, plan_and_network):
+        network, matrix, plan = plan_and_network
+        rules = compile_rules(plan.routing)
+        # The A->B aggregate is split over A->B and A->C->B, so A and C both
+        # need rules for it.
+        a_rules = rules_for_switch(rules, "A")
+        assert any(rule.aggregate == ("A", "B", "bulk") for rule in a_rules)
+        c_rules = rules_for_switch(rules, "C")
+        assert any(rule.aggregate == ("A", "B", "bulk") for rule in c_rules)
+
+    def test_rule_weights_sum_to_one(self, plan_and_network):
+        _, _, plan = plan_and_network
+        for rules in compile_rules(plan.routing).values():
+            for rule in rules:
+                assert sum(hop.weight for hop in rule.next_hops) == pytest.approx(1.0)
+
+    def test_rule_weights_match_split(self, plan_and_network):
+        _, matrix, plan = plan_and_network
+        rules = compile_rules(plan.routing)
+        rule = next(
+            rule
+            for rule in rules_for_switch(rules, "A")
+            if rule.aggregate == ("A", "B", "bulk")
+        )
+        route = plan.routing.route_of(("A", "B", "bulk"))
+        direct_weight = route.weight_of(("A", "B"))
+        assert rule.weight_towards("B") == pytest.approx(direct_weight)
+        assert rule.weight_towards("C") == pytest.approx(1.0 - direct_weight)
+
+    def test_rule_validation(self):
+        with pytest.raises(ReproError):
+            ForwardingRule("A", ("A", "B", "bulk"), ())
+        with pytest.raises(ReproError):
+            ForwardingRule(
+                "A",
+                ("A", "B", "bulk"),
+                (WeightedNextHop("B", 0.5), WeightedNextHop("C", 0.2)),
+            )
+        with pytest.raises(ReproError):
+            WeightedNextHop("B", 0.0)
+
+
+class TestSwitch:
+    def test_install_and_lookup(self):
+        switch = Switch("A")
+        rule = ForwardingRule("A", ("A", "B", "bulk"), (WeightedNextHop("B", 1.0),))
+        switch.install(rule)
+        assert switch.rule_for(("A", "B", "bulk")) is rule
+        assert switch.num_rules == 1
+
+    def test_install_wrong_switch_rejected(self):
+        switch = Switch("A")
+        rule = ForwardingRule("B", ("A", "B", "bulk"), (WeightedNextHop("C", 1.0),))
+        with pytest.raises(ReproError):
+            switch.install(rule)
+
+    def test_counters_accumulate(self):
+        switch = Switch("A")
+        rule = ForwardingRule("A", ("A", "B", "bulk"), (WeightedNextHop("B", 1.0),))
+        switch.install(rule)
+        switch.observe(("A", "B", "bulk"), rate_bps=8_000.0, num_flows=4, interval_s=10.0)
+        counters = switch.counters_for(("A", "B", "bulk"))
+        assert counters.rate_bps == 8_000.0
+        assert counters.num_flows == 4
+        assert counters.bytes_total == pytest.approx(10_000.0)
+
+    def test_observe_without_rule_rejected(self):
+        switch = Switch("A")
+        with pytest.raises(MeasurementError):
+            switch.observe(("A", "B", "bulk"), 1.0, 1, 1.0)
+
+    def test_uninstall_and_clear(self):
+        switch = Switch("A")
+        rule = ForwardingRule("A", ("A", "B", "bulk"), (WeightedNextHop("B", 1.0),))
+        switch.install(rule)
+        switch.uninstall(("A", "B", "bulk"))
+        assert switch.num_rules == 0
+        switch.install(rule)
+        switch.clear()
+        assert switch.num_rules == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            Switch("")
+
+
+class TestControllerAndDeployment:
+    def test_install_routing_counts_rules(self, plan_and_network):
+        network, _, plan = plan_and_network
+        controller = SdnController(network)
+        installed = controller.install_routing(plan.routing)
+        assert installed == controller.num_rules_installed
+        assert installed > 0
+        assert controller.installed_routing is plan.routing
+
+    def test_deploy_plan_report(self, plan_and_network):
+        network, matrix, plan = plan_and_network
+        controller = SdnController(network)
+        report = deploy_plan(controller, plan)
+        assert report.num_aggregates == matrix.num_aggregates
+        assert not report.has_overload
+        assert set(report.link_loads_bps) == set(network.link_ids)
+
+    def test_remeasure_reconstructs_traffic_matrix(self, plan_and_network):
+        network, matrix, plan = plan_and_network
+        controller = SdnController(network)
+        deploy_plan(controller, plan)
+        measured = remeasure(controller)
+        assert measured.num_aggregates == matrix.num_aggregates
+        for aggregate in measured:
+            original = matrix.get(aggregate.key)
+            assert aggregate.num_flows == original.num_flows
+            # The plan satisfied all demand, so measured rates equal demands.
+            assert aggregate.per_flow_demand_bps == pytest.approx(
+                original.per_flow_demand_bps, rel=1e-6
+            )
+
+    def test_reoptimizing_measured_matrix_closes_the_loop(self, plan_and_network):
+        network, _, plan = plan_and_network
+        controller = SdnController(network)
+        deploy_plan(controller, plan)
+        measured = remeasure(controller)
+        second_plan = Fubar(network).optimize(measured)
+        assert second_plan.network_utility >= plan.network_utility - 1e-6
+
+    def test_record_traffic_requires_installed_rule(self, plan_and_network):
+        network, _, plan = plan_and_network
+        controller = SdnController(network)
+        with pytest.raises(MeasurementError):
+            controller.record_aggregate_traffic(("A", "B", "bulk"), 1.0, 1)
+
+    def test_unknown_switch_rejected(self, plan_and_network):
+        network, _, _ = plan_and_network
+        controller = SdnController(network)
+        with pytest.raises(ReproError):
+            controller.switch("nonexistent")
+
+    def test_reset_counters(self, plan_and_network):
+        network, _, plan = plan_and_network
+        controller = SdnController(network)
+        deploy_plan(controller, plan)
+        controller.reset_counters()
+        measured = controller.measured_traffic_matrix()
+        assert measured.num_aggregates == 0

@@ -1,0 +1,171 @@
+"""Tests for the deterministic topology builders."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.builders import (
+    dumbbell_topology,
+    from_edge_list,
+    full_mesh_topology,
+    grid_topology,
+    line_topology,
+    parking_lot_topology,
+    ring_topology,
+    star_topology,
+    triangle_topology,
+)
+from repro.topology.validation import require_routable
+from repro.units import mbps, ms
+
+
+class TestLine:
+    def test_counts(self):
+        net = line_topology(5)
+        assert net.num_nodes == 5
+        assert net.num_links == 8  # 4 undirected segments
+
+    def test_is_routable(self):
+        require_routable(line_topology(4))
+
+    def test_single_node_has_no_links(self):
+        net = line_topology(1)
+        assert net.num_nodes == 1
+        assert net.num_links == 0
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(TopologyError):
+            line_topology(0)
+
+
+class TestRing:
+    def test_counts(self):
+        net = ring_topology(6)
+        assert net.num_nodes == 6
+        assert net.num_links == 12
+
+    def test_every_node_has_degree_two(self):
+        net = ring_topology(5)
+        assert all(net.degree(node) == 2 for node in net.node_names)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(TopologyError):
+            ring_topology(2)
+
+    def test_is_routable(self):
+        require_routable(ring_topology(4))
+
+
+class TestStar:
+    def test_counts(self):
+        net = star_topology(4)
+        assert net.num_nodes == 5
+        assert net.num_links == 8
+
+    def test_hub_degree(self):
+        net = star_topology(7, hub_name="core")
+        assert net.degree("core") == 7
+
+    def test_rejects_no_leaves(self):
+        with pytest.raises(TopologyError):
+            star_topology(0)
+
+
+class TestMesh:
+    def test_counts(self):
+        net = full_mesh_topology(4)
+        assert net.num_nodes == 4
+        assert net.num_links == 12
+
+    def test_all_pairs_directly_connected(self):
+        net = full_mesh_topology(5)
+        for a in net.node_names:
+            for b in net.node_names:
+                if a != b:
+                    assert net.has_link(a, b)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(TopologyError):
+            full_mesh_topology(1)
+
+
+class TestGrid:
+    def test_counts(self):
+        net = grid_topology(3, 4)
+        assert net.num_nodes == 12
+        # Horizontal: 3 * 3, vertical: 2 * 4 -> 17 undirected edges.
+        assert net.num_links == 34
+
+    def test_corner_degree(self):
+        net = grid_topology(3, 3)
+        assert net.degree("N0_0") == 2
+
+    def test_centre_degree(self):
+        net = grid_topology(3, 3)
+        assert net.degree("N1_1") == 4
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(TopologyError):
+            grid_topology(0, 3)
+
+    def test_is_routable(self):
+        require_routable(grid_topology(2, 2))
+
+
+class TestDumbbell:
+    def test_bottleneck_capacity(self):
+        net = dumbbell_topology(bottleneck_capacity_bps=mbps(10))
+        assert net.link("left_hub", "right_hub").capacity_bps == mbps(10)
+
+    def test_edge_links_are_fatter_by_default(self):
+        net = dumbbell_topology(bottleneck_capacity_bps=mbps(10))
+        assert net.link("L0", "left_hub").capacity_bps > mbps(10)
+
+    def test_counts(self):
+        net = dumbbell_topology(left_leaves=3, right_leaves=2)
+        assert net.num_nodes == 7
+        assert net.num_links == 2 * (1 + 3 + 2)
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(TopologyError):
+            dumbbell_topology(left_leaves=0)
+
+
+class TestTriangle:
+    def test_direct_path_is_shorter(self):
+        net = triangle_topology(short_delay_s=ms(5), long_delay_s=ms(20))
+        assert net.path_delay(("A", "B")) < net.path_delay(("A", "C", "B"))
+
+    def test_is_routable(self):
+        require_routable(triangle_topology())
+
+
+class TestParkingLot:
+    def test_counts(self):
+        net = parking_lot_topology(num_hops=3)
+        # Chain R0..R3 (4 nodes) plus sources S0..S2.
+        assert net.num_nodes == 7
+
+    def test_rejects_single_hop(self):
+        with pytest.raises(TopologyError):
+            parking_lot_topology(num_hops=1)
+
+    def test_source_links_are_fat(self):
+        net = parking_lot_topology(num_hops=2, capacity_bps=mbps(10))
+        assert net.link("S0", "R0").capacity_bps == mbps(100)
+
+
+class TestFromEdgeList:
+    def test_two_tuple_edges(self):
+        net = from_edge_list([("X", "Y"), ("Y", "Z")])
+        assert net.num_nodes == 3
+        assert net.num_links == 4
+
+    def test_edge_with_delay_and_capacity(self):
+        net = from_edge_list([("X", "Y", ms(7), mbps(3))])
+        assert net.link("X", "Y").delay_s == pytest.approx(ms(7))
+        assert net.link("X", "Y").capacity_bps == mbps(3)
+
+    def test_simplex_edges(self):
+        net = from_edge_list([("X", "Y")], duplex=False)
+        assert net.has_link("X", "Y")
+        assert not net.has_link("Y", "X")

@@ -1,0 +1,234 @@
+"""Tests for the core Network/Node/Link graph substrate."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateLinkError,
+    DuplicateNodeError,
+    TopologyError,
+    UnknownLinkError,
+    UnknownNodeError,
+)
+from repro.topology.graph import Link, Network, Node, great_circle_delay
+from repro.units import mbps, ms
+
+
+@pytest.fixture
+def net():
+    network = Network(name="test")
+    for name in ("A", "B", "C"):
+        network.add_node(name)
+    network.add_link("A", "B", mbps(100), ms(5))
+    network.add_link("B", "C", mbps(50), ms(10))
+    network.add_link("A", "C", mbps(10), ms(30))
+    return network
+
+
+class TestNodeManagement:
+    def test_add_and_get_node(self, net):
+        assert net.node("A").name == "A"
+
+    def test_num_nodes(self, net):
+        assert net.num_nodes == 3
+
+    def test_node_names_in_insertion_order(self, net):
+        assert net.node_names == ("A", "B", "C")
+
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(DuplicateNodeError):
+            net.add_node("A")
+
+    def test_unknown_node_raises(self, net):
+        with pytest.raises(UnknownNodeError):
+            net.node("Z")
+
+    def test_contains(self, net):
+        assert "A" in net
+        assert "Z" not in net
+
+    def test_node_with_coordinates(self):
+        network = Network()
+        node = network.add_node("London", latitude=51.5, longitude=-0.1)
+        assert node.has_coordinates()
+
+    def test_node_without_coordinates(self, net):
+        assert not net.node("A").has_coordinates()
+
+
+class TestLinkManagement:
+    def test_add_and_get_link(self, net):
+        link = net.link("A", "B")
+        assert link.capacity_bps == mbps(100)
+        assert link.delay_s == pytest.approx(ms(5))
+
+    def test_link_indices_are_dense_and_stable(self, net):
+        assert [link.index for link in net.links] == [0, 1, 2]
+        assert net.link_by_index(1).link_id == ("B", "C")
+
+    def test_duplicate_link_rejected(self, net):
+        with pytest.raises(DuplicateLinkError):
+            net.add_link("A", "B", mbps(1), ms(1))
+
+    def test_link_requires_existing_nodes(self, net):
+        with pytest.raises(UnknownNodeError):
+            net.add_link("A", "Z", mbps(1), ms(1))
+
+    def test_unknown_link_raises(self, net):
+        with pytest.raises(UnknownLinkError):
+            net.link("C", "A")
+
+    def test_self_loop_rejected(self, net):
+        with pytest.raises(TopologyError):
+            net.add_link("A", "A", mbps(1), ms(1))
+
+    def test_zero_capacity_rejected(self, net):
+        with pytest.raises(TopologyError):
+            Link(src="A", dst="B", capacity_bps=0.0, delay_s=0.01)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(src="A", dst="B", capacity_bps=1.0, delay_s=-0.01)
+
+    def test_duplex_link_adds_both_directions(self):
+        network = Network()
+        network.add_node("X")
+        network.add_node("Y")
+        forward, backward = network.add_duplex_link("X", "Y", mbps(10), ms(2))
+        assert forward.link_id == ("X", "Y")
+        assert backward.link_id == ("Y", "X")
+        assert network.num_links == 2
+
+    def test_reversed_id(self, net):
+        assert net.link("A", "B").reversed_id() == ("B", "A")
+
+
+class TestAdjacency:
+    def test_successors(self, net):
+        assert set(net.successors("A")) == {"B", "C"}
+
+    def test_predecessors(self, net):
+        assert set(net.predecessors("C")) == {"B", "A"}
+
+    def test_out_links(self, net):
+        assert {link.dst for link in net.out_links("A")} == {"B", "C"}
+
+    def test_in_links(self, net):
+        assert {link.src for link in net.in_links("C")} == {"A", "B"}
+
+    def test_degree(self, net):
+        assert net.degree("A") == 2
+
+    def test_unknown_node_adjacency(self, net):
+        with pytest.raises(UnknownNodeError):
+            net.successors("Z")
+
+
+class TestPaths:
+    def test_valid_path(self, net):
+        assert net.is_valid_path(("A", "B", "C"))
+
+    def test_invalid_path_missing_link(self, net):
+        assert not net.is_valid_path(("C", "A"))
+
+    def test_path_with_repeated_node_invalid(self, net):
+        assert not net.is_valid_path(("A", "B", "A"))
+
+    def test_single_node_path_invalid(self, net):
+        assert not net.is_valid_path(("A",))
+
+    def test_validate_path_raises(self, net):
+        with pytest.raises(UnknownLinkError):
+            net.validate_path(("C", "B"))
+
+    def test_path_delay(self, net):
+        assert net.path_delay(("A", "B", "C")) == pytest.approx(ms(15))
+
+    def test_path_rtt_is_twice_delay(self, net):
+        assert net.path_rtt(("A", "B", "C")) == pytest.approx(2 * ms(15))
+
+    def test_path_capacity_is_bottleneck(self, net):
+        assert net.path_capacity(("A", "B", "C")) == mbps(50)
+
+    def test_path_links(self, net):
+        links = net.path_links(("A", "B", "C"))
+        assert [link.link_id for link in links] == [("A", "B"), ("B", "C")]
+
+    def test_path_link_indices(self, net):
+        assert net.path_link_indices(("A", "B", "C")) == (0, 1)
+
+
+class TestConnectivityAndCopies:
+    def test_not_strongly_connected(self, net):
+        # No link returns to A, so the graph is not strongly connected.
+        assert not net.is_connected()
+
+    def test_connected_after_adding_return_links(self, net):
+        net.add_link("B", "A", mbps(1), ms(1))
+        net.add_link("C", "B", mbps(1), ms(1))
+        assert net.is_connected()
+
+    def test_copy_is_independent(self, net):
+        clone = net.copy()
+        clone.add_node("D")
+        assert not net.has_node("D")
+        assert clone.num_links == net.num_links
+
+    def test_scaled_capacity(self, net):
+        scaled = net.with_scaled_capacity(0.5)
+        assert scaled.link("A", "B").capacity_bps == pytest.approx(mbps(50))
+        assert net.link("A", "B").capacity_bps == mbps(100)
+
+    def test_scaled_capacity_rejects_non_positive(self, net):
+        with pytest.raises(TopologyError):
+            net.with_scaled_capacity(0.0)
+
+    def test_uniform_capacity(self, net):
+        uniform = net.with_uniform_capacity(mbps(42))
+        assert all(link.capacity_bps == mbps(42) for link in uniform.links)
+
+    def test_total_capacity(self, net):
+        assert net.total_capacity() == pytest.approx(mbps(160))
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, net):
+        graph = net.to_networkx()
+        rebuilt = Network.from_networkx(graph, name="rebuilt")
+        assert rebuilt.num_nodes == net.num_nodes
+        assert rebuilt.num_links == net.num_links
+        assert rebuilt.link("A", "B").capacity_bps == net.link("A", "B").capacity_bps
+
+    def test_from_networkx_requires_attributes(self):
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_edge("X", "Y")
+        with pytest.raises(TopologyError):
+            Network.from_networkx(graph)
+
+    def test_undirected_graph_expands_to_duplex(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge("X", "Y", capacity_bps=1e6, delay_s=0.01)
+        network = Network.from_networkx(graph)
+        assert network.has_link("X", "Y")
+        assert network.has_link("Y", "X")
+
+
+class TestGreatCircle:
+    def test_delay_positive_and_reasonable(self):
+        london = Node("London", latitude=51.51, longitude=-0.13)
+        new_york = Node("NewYork", latitude=40.71, longitude=-74.01)
+        delay = great_circle_delay(london, new_york)
+        # ~5,570 km great circle, stretched 1.3x at 2e8 m/s -> ~36 ms.
+        assert 0.025 < delay < 0.05
+
+    def test_delay_requires_coordinates(self):
+        with pytest.raises(TopologyError):
+            great_circle_delay(Node("A"), Node("B", latitude=0.0, longitude=0.0))
+
+    def test_zero_distance(self):
+        node = Node("X", latitude=10.0, longitude=20.0)
+        other = Node("Y", latitude=10.0, longitude=20.0)
+        assert great_circle_delay(node, other) == pytest.approx(0.0)

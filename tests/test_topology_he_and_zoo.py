@@ -1,0 +1,124 @@
+"""Tests for the Hurricane Electric-like core and the topology zoo."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.hurricane_electric import (
+    HURRICANE_ELECTRIC_ADJACENCIES,
+    HURRICANE_ELECTRIC_POPS,
+    PROVISIONED_CAPACITY_BPS,
+    UNDERPROVISIONED_CAPACITY_BPS,
+    hurricane_electric_core,
+    provisioned_core,
+    reduced_core,
+    underprovisioned_core,
+)
+from repro.topology.validation import count_undirected_links, require_routable, summarize
+from repro.topology.zoo import abilene, geant
+from repro.units import mbps
+
+
+class TestHurricaneElectricCore:
+    def test_paper_scale_31_pops(self):
+        assert len(HURRICANE_ELECTRIC_POPS) == 31
+        assert hurricane_electric_core().num_nodes == 31
+
+    def test_paper_scale_56_links(self):
+        assert len(HURRICANE_ELECTRIC_ADJACENCIES) == 56
+        net = hurricane_electric_core()
+        assert count_undirected_links(net) == 56
+        assert net.num_links == 112
+
+    def test_no_duplicate_adjacencies(self):
+        seen = set()
+        for a, b in HURRICANE_ELECTRIC_ADJACENCIES:
+            assert (a, b) not in seen and (b, a) not in seen
+            seen.add((a, b))
+
+    def test_adjacency_endpoints_are_known_pops(self):
+        for a, b in HURRICANE_ELECTRIC_ADJACENCIES:
+            assert a in HURRICANE_ELECTRIC_POPS
+            assert b in HURRICANE_ELECTRIC_POPS
+
+    def test_is_routable(self):
+        require_routable(hurricane_electric_core())
+
+    def test_delays_span_metro_to_intercontinental(self):
+        summary = summarize(hurricane_electric_core())
+        assert summary.min_delay_s < 0.002
+        assert summary.max_delay_s > 0.040
+
+    def test_mean_degree_close_to_real_core(self):
+        summary = summarize(hurricane_electric_core())
+        assert 3.0 < summary.mean_degree < 4.5
+
+    def test_provisioned_capacity(self):
+        net = provisioned_core()
+        assert all(link.capacity_bps == PROVISIONED_CAPACITY_BPS for link in net.links)
+
+    def test_underprovisioned_capacity(self):
+        net = underprovisioned_core()
+        assert all(
+            link.capacity_bps == UNDERPROVISIONED_CAPACITY_BPS for link in net.links
+        )
+
+    def test_underprovisioned_is_three_quarters(self):
+        assert UNDERPROVISIONED_CAPACITY_BPS == pytest.approx(
+            0.75 * PROVISIONED_CAPACITY_BPS
+        )
+
+    def test_custom_capacity(self):
+        net = hurricane_electric_core(capacity_bps=mbps(10))
+        assert net.link_by_index(0).capacity_bps == mbps(10)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(TopologyError):
+            hurricane_electric_core(capacity_bps=0.0)
+
+    def test_coordinates_present(self):
+        net = hurricane_electric_core()
+        assert all(node.has_coordinates() for node in net.nodes)
+
+
+class TestReducedCore:
+    @pytest.mark.parametrize("num_pops", [3, 6, 10, 15, 31])
+    def test_reduced_cores_are_connected(self, num_pops):
+        net = reduced_core(num_pops)
+        assert net.num_nodes == num_pops
+        assert net.is_connected()
+
+    def test_reduced_core_is_induced_subgraph(self):
+        net = reduced_core(8)
+        full = hurricane_electric_core()
+        for link in net.links:
+            assert full.has_link(link.src, link.dst)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(TopologyError):
+            reduced_core(2)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(TopologyError):
+            reduced_core(32)
+
+
+class TestZoo:
+    def test_abilene_scale(self):
+        net = abilene()
+        assert net.num_nodes == 11
+        assert count_undirected_links(net) == 14
+
+    def test_abilene_routable(self):
+        require_routable(abilene())
+
+    def test_geant_scale(self):
+        net = geant()
+        assert net.num_nodes == 16
+        assert count_undirected_links(net) == 24
+
+    def test_geant_routable(self):
+        require_routable(geant())
+
+    def test_custom_capacity(self):
+        net = abilene(capacity_bps=mbps(40))
+        assert net.link_by_index(0).capacity_bps == mbps(40)

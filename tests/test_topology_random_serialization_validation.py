@@ -1,0 +1,163 @@
+"""Tests for random topologies, serialization and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.builders import line_topology, triangle_topology
+from repro.topology.graph import Network
+from repro.topology.random_topologies import random_regular_core, waxman_topology
+from repro.topology.serialization import (
+    load_network,
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+    save_network,
+)
+from repro.topology.validation import (
+    count_undirected_links,
+    summarize,
+    validate_for_routing,
+)
+from repro.units import mbps, ms
+
+
+class TestWaxman:
+    def test_connected(self):
+        net = waxman_topology(20, seed=1)
+        assert net.is_connected()
+
+    def test_node_count(self):
+        assert waxman_topology(12, seed=2).num_nodes == 12
+
+    def test_deterministic_given_seed(self):
+        a = waxman_topology(15, seed=7)
+        b = waxman_topology(15, seed=7)
+        assert a.link_ids == b.link_ids
+
+    def test_different_seeds_differ(self):
+        a = waxman_topology(15, seed=1)
+        b = waxman_topology(15, seed=2)
+        assert a.link_ids != b.link_ids
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            waxman_topology(10, alpha=0.0)
+        with pytest.raises(TopologyError):
+            waxman_topology(10, beta=1.5)
+        with pytest.raises(TopologyError):
+            waxman_topology(1)
+
+    def test_accepts_external_rng(self):
+        rng = np.random.default_rng(3)
+        net = waxman_topology(10, rng=rng)
+        assert net.is_connected()
+
+
+class TestRandomRegularCore:
+    def test_connected(self):
+        assert random_regular_core(20, seed=1).is_connected()
+
+    def test_mean_degree_close_to_target(self):
+        net = random_regular_core(30, mean_degree=3.6, seed=4)
+        undirected = count_undirected_links(net)
+        mean_degree = 2.0 * undirected / net.num_nodes
+        assert 2.5 <= mean_degree <= 4.5
+
+    def test_rejects_low_degree(self):
+        with pytest.raises(TopologyError):
+            random_regular_core(10, mean_degree=1.0)
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(TopologyError):
+            random_regular_core(2)
+
+    def test_deterministic_given_seed(self):
+        a = random_regular_core(12, seed=9)
+        b = random_regular_core(12, seed=9)
+        assert a.link_ids == b.link_ids
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        net = triangle_topology()
+        rebuilt = network_from_dict(network_to_dict(net))
+        assert rebuilt.node_names == net.node_names
+        assert rebuilt.link_ids == net.link_ids
+        assert rebuilt.link("A", "B").capacity_bps == net.link("A", "B").capacity_bps
+
+    def test_json_round_trip(self):
+        net = line_topology(4)
+        rebuilt = network_from_json(network_to_json(net))
+        assert rebuilt.num_links == net.num_links
+        assert rebuilt.name == net.name
+
+    def test_file_round_trip(self, tmp_path):
+        net = triangle_topology()
+        path = save_network(net, tmp_path / "net.json")
+        rebuilt = load_network(path)
+        assert rebuilt.link_ids == net.link_ids
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TopologyError):
+            load_network(tmp_path / "missing.json")
+
+    def test_invalid_json(self):
+        with pytest.raises(TopologyError):
+            network_from_json("{not valid json")
+
+    def test_missing_keys(self):
+        with pytest.raises(TopologyError):
+            network_from_dict({"name": "broken"})
+
+    def test_unsupported_schema_version(self):
+        data = network_to_dict(triangle_topology())
+        data["schema_version"] = 99
+        with pytest.raises(TopologyError):
+            network_from_dict(data)
+
+    def test_coordinates_preserved(self):
+        net = Network()
+        net.add_node("London", latitude=51.5, longitude=-0.13)
+        net.add_node("Paris", latitude=48.9, longitude=2.35)
+        net.add_duplex_link("London", "Paris", mbps(10), ms(4))
+        rebuilt = network_from_dict(network_to_dict(net))
+        assert rebuilt.node("London").latitude == pytest.approx(51.5)
+
+
+class TestValidation:
+    def test_summary_fields(self):
+        summary = summarize(triangle_topology())
+        assert summary.num_nodes == 3
+        assert summary.num_undirected_links == 3
+        assert summary.is_connected
+        assert summary.min_degree == 2
+
+    def test_summary_as_dict(self):
+        data = summarize(triangle_topology()).as_dict()
+        assert data["num_nodes"] == 3
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            summarize(Network())
+
+    def test_validate_detects_isolated_node(self):
+        net = triangle_topology()
+        net.add_node("isolated")
+        problems = validate_for_routing(net)
+        assert any("isolated" in problem for problem in problems)
+
+    def test_validate_detects_missing_reverse(self):
+        net = Network()
+        net.add_node("X")
+        net.add_node("Y")
+        net.add_node("Z")
+        net.add_duplex_link("X", "Y", mbps(1), ms(1))
+        net.add_duplex_link("Y", "Z", mbps(1), ms(1))
+        net.add_link("Z", "X", mbps(1), ms(1))  # simplex
+        problems = validate_for_routing(net)
+        assert any("no reverse" in problem for problem in problems)
+
+    def test_validate_clean_network(self):
+        assert validate_for_routing(triangle_topology()) == []

@@ -1,0 +1,183 @@
+"""Tests for aggregates and the traffic matrix container."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.topology.builders import triangle_topology
+from repro.traffic.aggregate import Aggregate
+from repro.traffic.classes import BULK, default_traffic_classes
+from repro.traffic.matrix import TrafficMatrix
+from repro.units import kbps
+from tests.conftest import make_aggregate
+
+
+class TestAggregate:
+    def test_key(self):
+        aggregate = make_aggregate("A", "B", traffic_class="bulk")
+        assert aggregate.key == ("A", "B", "bulk")
+
+    def test_demand_properties(self):
+        aggregate = make_aggregate("A", "B", num_flows=10, demand_bps=kbps(100))
+        assert aggregate.per_flow_demand_bps == kbps(100)
+        assert aggregate.total_demand_bps == pytest.approx(kbps(1000))
+
+    def test_rejects_same_endpoints(self):
+        with pytest.raises(TrafficError):
+            make_aggregate("A", "A")
+
+    def test_rejects_zero_flows(self):
+        with pytest.raises(TrafficError):
+            make_aggregate("A", "B", num_flows=0)
+
+    def test_rejects_empty_class(self):
+        with pytest.raises(TrafficError):
+            make_aggregate("A", "B", traffic_class="")
+
+    def test_rejects_non_utility(self):
+        with pytest.raises(TrafficError):
+            Aggregate("A", "B", "bulk", 1, utility="nope")
+
+    def test_with_num_flows(self):
+        aggregate = make_aggregate("A", "B", num_flows=10)
+        assert aggregate.with_num_flows(3).num_flows == 3
+        assert aggregate.num_flows == 10
+
+    def test_with_utility(self):
+        aggregate = make_aggregate("A", "B")
+        new_utility = aggregate.utility.with_demand(kbps(5))
+        assert aggregate.with_utility(new_utility).per_flow_demand_bps == kbps(5)
+
+
+class TestTrafficMatrix:
+    @pytest.fixture
+    def matrix(self):
+        return TrafficMatrix(
+            [
+                make_aggregate("A", "B", num_flows=10, traffic_class="bulk"),
+                make_aggregate("A", "C", num_flows=5, traffic_class="real-time"),
+                make_aggregate("B", "C", num_flows=20, traffic_class="bulk"),
+            ],
+            name="test",
+        )
+
+    def test_counts(self, matrix):
+        assert matrix.num_aggregates == 3
+        assert len(matrix) == 3
+        assert matrix.total_flows == 35
+
+    def test_total_demand(self, matrix):
+        assert matrix.total_demand_bps == pytest.approx(kbps(100) * 35)
+
+    def test_duplicate_key_rejected(self, matrix):
+        with pytest.raises(TrafficError):
+            matrix.add(make_aggregate("A", "B", traffic_class="bulk"))
+
+    def test_replace_overwrites(self, matrix):
+        matrix.replace(make_aggregate("A", "B", num_flows=99, traffic_class="bulk"))
+        assert matrix.get(("A", "B", "bulk")).num_flows == 99
+        assert matrix.num_aggregates == 3
+
+    def test_remove(self, matrix):
+        matrix.remove(("A", "B", "bulk"))
+        assert ("A", "B", "bulk") not in matrix
+        with pytest.raises(TrafficError):
+            matrix.remove(("A", "B", "bulk"))
+
+    def test_get_missing(self, matrix):
+        with pytest.raises(TrafficError):
+            matrix.get(("Z", "Q", "bulk"))
+
+    def test_classes_and_filters(self, matrix):
+        assert matrix.traffic_classes() == ("bulk", "real-time")
+        assert len(matrix.aggregates_of_class("bulk")) == 2
+        assert len(matrix.aggregates_from("A")) == 2
+        assert len(matrix.aggregates_to("C")) == 2
+        assert matrix.endpoints() == ("A", "B", "C")
+
+    def test_validate_against_network(self, matrix):
+        net = triangle_topology()
+        assert matrix.validate_against(net) == []
+        matrix.add(make_aggregate("A", "Z"))
+        problems = matrix.validate_against(net)
+        assert any("Z" in p for p in problems)
+        with pytest.raises(TrafficError):
+            matrix.require_routable_on(net)
+
+    def test_scaled_flows(self, matrix):
+        scaled = matrix.scaled_flows(2.0)
+        assert scaled.total_flows == 70
+        assert matrix.total_flows == 35
+
+    def test_scaled_flows_never_drops_to_zero(self, matrix):
+        scaled = matrix.scaled_flows(0.01)
+        assert all(a.num_flows >= 1 for a in scaled)
+
+    def test_scaled_flows_rejects_non_positive(self, matrix):
+        with pytest.raises(TrafficError):
+            matrix.scaled_flows(0.0)
+
+    def test_filtered(self, matrix):
+        bulk_only = matrix.filtered(lambda a: a.traffic_class == "bulk")
+        assert bulk_only.num_aggregates == 2
+
+    def test_dict_round_trip(self, matrix):
+        rebuilt = TrafficMatrix.from_dict(matrix.to_dict())
+        assert rebuilt.num_aggregates == matrix.num_aggregates
+        assert rebuilt.total_flows == matrix.total_flows
+        original = matrix.get(("A", "B", "bulk"))
+        restored = rebuilt.get(("A", "B", "bulk"))
+        assert restored.per_flow_demand_bps == original.per_flow_demand_bps
+        assert restored.utility.delay_cutoff_s == original.utility.delay_cutoff_s
+
+    def test_json_round_trip(self, matrix):
+        rebuilt = TrafficMatrix.from_json(matrix.to_json())
+        assert rebuilt.keys == matrix.keys
+
+    def test_file_round_trip(self, matrix, tmp_path):
+        path = matrix.save(tmp_path / "tm.json")
+        rebuilt = TrafficMatrix.load(path)
+        assert rebuilt.num_aggregates == matrix.num_aggregates
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TrafficError):
+            TrafficMatrix.load(tmp_path / "nope.json")
+
+    def test_invalid_json(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix.from_json("{broken")
+
+    def test_bad_schema_version(self, matrix):
+        data = matrix.to_dict()
+        data["schema_version"] = 42
+        with pytest.raises(TrafficError):
+            TrafficMatrix.from_dict(data)
+
+
+class TestTrafficClasses:
+    def test_default_classes(self):
+        classes = default_traffic_classes()
+        assert set(classes) == {"real-time", "bulk", "large-transfer"}
+        assert classes["large-transfer"].is_large
+        assert not classes[BULK].is_large
+
+    def test_relax_delay_only_touches_small_classes(self):
+        relaxed = default_traffic_classes(relax_delay_factor=2.0)
+        normal = default_traffic_classes()
+        assert relaxed["real-time"].utility.delay_cutoff_s == pytest.approx(
+            2.0 * normal["real-time"].utility.delay_cutoff_s
+        )
+        assert relaxed["large-transfer"].utility.delay_cutoff_s == pytest.approx(
+            normal["large-transfer"].utility.delay_cutoff_s
+        )
+
+    def test_delay_cutoff_scale_touches_all_classes(self):
+        scaled = default_traffic_classes(delay_cutoff_scale=0.5)
+        normal = default_traffic_classes()
+        for name in normal:
+            assert scaled[name].utility.delay_cutoff_s == pytest.approx(
+                0.5 * normal[name].utility.delay_cutoff_s
+            )
+
+    def test_delay_cutoff_scale_rejects_non_positive(self):
+        with pytest.raises(TrafficError):
+            default_traffic_classes(delay_cutoff_scale=0.0)

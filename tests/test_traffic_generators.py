@@ -1,0 +1,250 @@
+"""Tests for traffic matrix generators, the classifier and measurement noise."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError, TrafficError
+from repro.topology.builders import ring_topology, triangle_topology
+from repro.topology.hurricane_electric import hurricane_electric_core, reduced_core
+from repro.traffic.classes import BULK, LARGE_TRANSFER, REAL_TIME, default_traffic_classes
+from repro.traffic.classifier import (
+    ClassifierConfig,
+    FlowRecord,
+    HeuristicClassifier,
+    PROTO_TCP,
+    PROTO_UDP,
+)
+from repro.traffic.generators import (
+    PaperTrafficConfig,
+    gravity_traffic_matrix,
+    hotspot_traffic_matrix,
+    paper_traffic_matrix,
+    uniform_traffic_matrix,
+)
+from repro.traffic.measurement import (
+    MeasurementConfig,
+    TrafficMatrixMeasurer,
+    measure_traffic_matrix,
+)
+from repro.units import mbps
+
+
+class TestPaperTrafficMatrix:
+    def test_all_ordered_pairs_present(self):
+        net = ring_topology(5)
+        matrix = paper_traffic_matrix(net, seed=0)
+        assert matrix.num_aggregates == 5 * 4
+
+    def test_full_core_aggregate_count(self):
+        """31 POPs -> 930 routable aggregates (the paper's 961 includes self-pairs)."""
+        matrix = paper_traffic_matrix(hurricane_electric_core(), seed=0)
+        assert matrix.num_aggregates == 31 * 30
+
+    def test_deterministic_for_seed(self):
+        net = reduced_core(6)
+        a = paper_traffic_matrix(net, seed=3)
+        b = paper_traffic_matrix(net, seed=3)
+        assert a.keys == b.keys
+        assert [x.num_flows for x in a] == [x.num_flows for x in b]
+
+    def test_different_seeds_differ(self):
+        net = reduced_core(6)
+        a = paper_traffic_matrix(net, seed=1)
+        b = paper_traffic_matrix(net, seed=2)
+        assert [x.num_flows for x in a] != [x.num_flows for x in b]
+
+    def test_classes_are_the_papers_three(self):
+        matrix = paper_traffic_matrix(reduced_core(8), seed=0)
+        assert set(matrix.traffic_classes()) <= {REAL_TIME, BULK, LARGE_TRANSFER}
+
+    def test_large_fraction_close_to_two_percent(self):
+        matrix = paper_traffic_matrix(hurricane_electric_core(), seed=0)
+        large = len(matrix.aggregates_of_class(LARGE_TRANSFER))
+        fraction = large / matrix.num_aggregates
+        assert 0.005 < fraction < 0.05
+
+    def test_large_aggregates_have_mbps_demand(self):
+        config = PaperTrafficConfig(large_probability=1.0)
+        matrix = paper_traffic_matrix(reduced_core(5), seed=0, config=config)
+        assert all(a.per_flow_demand_bps in (mbps(1), mbps(2)) for a in matrix)
+
+    def test_flow_counts_respect_configured_range(self):
+        config = PaperTrafficConfig(min_flows=7, max_flows=9, large_probability=0.0)
+        matrix = paper_traffic_matrix(reduced_core(5), seed=1, config=config)
+        assert all(7 <= a.num_flows <= 9 for a in matrix)
+
+    def test_real_time_probability_extremes(self):
+        config = PaperTrafficConfig(real_time_probability=1.0, large_probability=0.0)
+        matrix = paper_traffic_matrix(reduced_core(5), seed=1, config=config)
+        assert set(matrix.traffic_classes()) == {REAL_TIME}
+
+    def test_config_validation(self):
+        with pytest.raises(TrafficError):
+            PaperTrafficConfig(real_time_probability=1.5)
+        with pytest.raises(TrafficError):
+            PaperTrafficConfig(large_probability=-0.1)
+        with pytest.raises(TrafficError):
+            PaperTrafficConfig(min_flows=0)
+        with pytest.raises(TrafficError):
+            PaperTrafficConfig(min_flows=5, max_flows=4)
+        with pytest.raises(TrafficError):
+            PaperTrafficConfig(large_peaks_bps=())
+        with pytest.raises(TrafficError):
+            PaperTrafficConfig(delay_cutoff_scale=0.0)
+
+    def test_rejects_single_node_network(self):
+        from repro.topology.graph import Network
+
+        net = Network()
+        net.add_node("only")
+        with pytest.raises(TrafficError):
+            paper_traffic_matrix(net)
+
+
+class TestOtherGenerators:
+    def test_gravity_total_demand(self):
+        net = ring_topology(5)
+        matrix = gravity_traffic_matrix(net, total_demand_bps=mbps(100), seed=0)
+        assert matrix.total_demand_bps == pytest.approx(mbps(100), rel=0.25)
+
+    def test_gravity_with_explicit_weights(self):
+        net = triangle_topology()
+        weights = {"A": 1.0, "B": 1.0, "C": 1.0}
+        matrix = gravity_traffic_matrix(
+            net, total_demand_bps=mbps(30), node_weights=weights, seed=0
+        )
+        flows = [a.num_flows for a in matrix]
+        assert max(flows) - min(flows) <= 1
+
+    def test_gravity_missing_weight_rejected(self):
+        net = triangle_topology()
+        with pytest.raises(TrafficError):
+            gravity_traffic_matrix(net, mbps(10), node_weights={"A": 1.0})
+
+    def test_gravity_rejects_non_positive_demand(self):
+        with pytest.raises(TrafficError):
+            gravity_traffic_matrix(triangle_topology(), 0.0)
+
+    def test_hotspot_targets_single_destination(self):
+        net = ring_topology(6)
+        matrix = hotspot_traffic_matrix(net, hotspot="N0")
+        assert all(a.destination == "N0" for a in matrix)
+        assert matrix.num_aggregates == 5
+
+    def test_hotspot_unknown_node(self):
+        with pytest.raises(TrafficError):
+            hotspot_traffic_matrix(ring_topology(4), hotspot="missing")
+
+    def test_uniform_matrix(self):
+        net = triangle_topology()
+        matrix = uniform_traffic_matrix(net, num_flows_per_aggregate=7)
+        assert matrix.num_aggregates == 6
+        assert all(a.num_flows == 7 for a in matrix)
+
+    def test_uniform_rejects_bad_flow_count(self):
+        with pytest.raises(TrafficError):
+            uniform_traffic_matrix(triangle_topology(), num_flows_per_aggregate=0)
+
+
+class TestClassifier:
+    def test_udp_is_real_time(self):
+        classifier = HeuristicClassifier()
+        record = FlowRecord("A", "B", PROTO_UDP, 40000, 50000)
+        assert classifier.classify(record) == REAL_TIME
+
+    def test_sip_port_is_real_time(self):
+        classifier = HeuristicClassifier()
+        record = FlowRecord("A", "B", PROTO_TCP, 40000, 5060)
+        assert classifier.classify(record) == REAL_TIME
+
+    def test_https_is_bulk(self):
+        classifier = HeuristicClassifier()
+        record = FlowRecord("A", "B", PROTO_TCP, 40000, 443)
+        assert classifier.classify(record) == BULK
+
+    def test_high_rate_is_large_transfer(self):
+        classifier = HeuristicClassifier()
+        record = FlowRecord("A", "B", PROTO_TCP, 40000, 443, bytes_per_second=1e6)
+        assert classifier.classify(record) == LARGE_TRANSFER
+
+    def test_operator_override_wins(self):
+        config = ClassifierConfig(operator_overrides={("B", 443): REAL_TIME})
+        classifier = HeuristicClassifier(config)
+        record = FlowRecord("A", "B", PROTO_TCP, 40000, 443)
+        assert classifier.classify(record) == REAL_TIME
+
+    def test_source_override(self):
+        config = ClassifierConfig(operator_overrides={("A", 8443): LARGE_TRANSFER})
+        classifier = HeuristicClassifier(config)
+        record = FlowRecord("A", "B", PROTO_TCP, 8443, 40000)
+        assert classifier.classify(record) == LARGE_TRANSFER
+
+    def test_default_class(self):
+        classifier = HeuristicClassifier()
+        record = FlowRecord("A", "B", PROTO_TCP, 40000, 40001)
+        assert classifier.classify(record) == BULK
+
+    def test_classify_many_counts(self):
+        classifier = HeuristicClassifier()
+        records = [
+            FlowRecord("A", "B", PROTO_UDP, 1, 2),
+            FlowRecord("A", "B", PROTO_TCP, 3, 443),
+        ]
+        counts = classifier.classify_many(records)
+        assert counts == {REAL_TIME: 1, BULK: 1}
+
+    def test_record_validation(self):
+        with pytest.raises(TrafficError):
+            FlowRecord("A", "B", 99, 1, 2)
+        with pytest.raises(TrafficError):
+            FlowRecord("A", "B", PROTO_TCP, -1, 2)
+        with pytest.raises(TrafficError):
+            FlowRecord("A", "B", PROTO_TCP, 1, 2, bytes_per_second=-1.0)
+
+
+class TestMeasurementNoise:
+    @pytest.fixture
+    def matrix(self):
+        return paper_traffic_matrix(reduced_core(5), seed=0)
+
+    def test_noise_perturbs_but_preserves_scale(self, matrix):
+        measured = measure_traffic_matrix(matrix, seed=1)
+        assert measured.num_aggregates == matrix.num_aggregates
+        ratio = measured.total_demand_bps / matrix.total_demand_bps
+        assert 0.7 < ratio < 1.3
+
+    def test_zero_noise_is_identity(self, matrix):
+        measurer = TrafficMatrixMeasurer(
+            MeasurementConfig(demand_relative_error=0.0, flow_count_relative_error=0.0),
+            seed=0,
+        )
+        measured = measurer.measure(matrix)
+        assert measured.total_flows == matrix.total_flows
+        assert measured.total_demand_bps == pytest.approx(matrix.total_demand_bps)
+
+    def test_drop_probability_removes_aggregates(self, matrix):
+        measurer = TrafficMatrixMeasurer(
+            MeasurementConfig(drop_probability=0.5), seed=3
+        )
+        measured = measurer.measure(matrix)
+        assert 0 < measured.num_aggregates < matrix.num_aggregates
+
+    def test_measurement_deterministic_for_seed(self, matrix):
+        a = measure_traffic_matrix(matrix, seed=7)
+        b = measure_traffic_matrix(matrix, seed=7)
+        assert a.total_demand_bps == pytest.approx(b.total_demand_bps)
+
+    def test_config_validation(self):
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(demand_relative_error=-0.1)
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(flow_count_relative_error=-0.1)
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(drop_probability=1.0)
+
+    def test_flow_counts_stay_positive(self, matrix):
+        measurer = TrafficMatrixMeasurer(
+            MeasurementConfig(flow_count_relative_error=1.0), seed=5
+        )
+        measured = measurer.measure(matrix)
+        assert all(a.num_flows >= 1 for a in measured)

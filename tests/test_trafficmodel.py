@@ -1,0 +1,253 @@
+"""Tests for bundles and the progressive-filling traffic model (paper §2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficModelError
+from repro.topology.builders import (
+    dumbbell_topology,
+    line_topology,
+    parking_lot_topology,
+    triangle_topology,
+)
+from repro.trafficmodel.bundle import Bundle
+from repro.trafficmodel.waterfill import TrafficModel, TrafficModelConfig, evaluate_bundles
+from repro.units import kbps, mbps, ms
+from tests.conftest import make_aggregate
+
+
+def bundle(network, source, destination, path, num_flows, demand_bps):
+    aggregate = make_aggregate(source, destination, num_flows=num_flows, demand_bps=demand_bps)
+    return Bundle(aggregate=aggregate, path=path, num_flows=num_flows)
+
+
+class TestBundle:
+    def test_demand_properties(self, triangle):
+        b = bundle(triangle, "A", "B", ("A", "B"), 10, kbps(100))
+        assert b.per_flow_demand_bps == kbps(100)
+        assert b.total_demand_bps == pytest.approx(kbps(1000))
+
+    def test_path_must_match_endpoints(self, triangle):
+        aggregate = make_aggregate("A", "B")
+        with pytest.raises(TrafficModelError):
+            Bundle(aggregate=aggregate, path=("A", "C"), num_flows=1)
+        with pytest.raises(TrafficModelError):
+            Bundle(aggregate=aggregate, path=("C", "B"), num_flows=1)
+
+    def test_positive_flows_required(self, triangle):
+        aggregate = make_aggregate("A", "B")
+        with pytest.raises(TrafficModelError):
+            Bundle(aggregate=aggregate, path=("A", "B"), num_flows=0)
+
+    def test_short_path_rejected(self):
+        aggregate = make_aggregate("A", "B")
+        with pytest.raises(TrafficModelError):
+            Bundle(aggregate=aggregate, path=("A",), num_flows=1)
+
+    def test_rtt_and_delay(self, triangle):
+        b = bundle(triangle, "A", "C", ("A", "C"), 1, kbps(10))
+        assert b.path_delay(triangle) == pytest.approx(ms(20))
+        assert b.rtt(triangle) == pytest.approx(ms(40))
+
+    def test_uses_link(self, triangle):
+        b = bundle(triangle, "A", "B", ("A", "C", "B"), 1, kbps(10))
+        assert b.uses_link(("A", "C"))
+        assert not b.uses_link(("A", "B"))
+
+    def test_with_num_flows(self, triangle):
+        b = bundle(triangle, "A", "B", ("A", "B"), 10, kbps(10))
+        assert b.with_num_flows(4).num_flows == 4
+
+
+class TestUncongestedModel:
+    def test_single_bundle_gets_its_demand(self, triangle):
+        b = bundle(triangle, "A", "B", ("A", "B"), 10, kbps(100))
+        result = evaluate_bundles(triangle, [b])
+        assert result.outcomes[0].satisfied
+        assert result.outcomes[0].rate_bps == pytest.approx(kbps(1000))
+        assert not result.has_congestion
+
+    def test_empty_bundle_list(self, triangle):
+        result = evaluate_bundles(triangle, [])
+        assert result.outcomes == ()
+        assert result.total_utilization() == 0.0
+        assert not result.has_congestion
+
+    def test_link_loads_follow_paths(self, triangle):
+        b = bundle(triangle, "A", "B", ("A", "C", "B"), 10, kbps(100))
+        result = evaluate_bundles(triangle, [b])
+        loads = result.link_utilizations()
+        assert loads[("A", "C")] > 0.0
+        assert loads[("C", "B")] > 0.0
+        assert loads[("A", "B")] == 0.0
+
+    def test_independent_bundles_do_not_interact(self, triangle):
+        b1 = bundle(triangle, "A", "B", ("A", "B"), 10, kbps(100))
+        b2 = bundle(triangle, "A", "C", ("A", "C"), 10, kbps(100))
+        result = evaluate_bundles(triangle, [b1, b2])
+        assert all(outcome.satisfied for outcome in result.outcomes)
+
+
+class TestCongestedModel:
+    def test_single_bottleneck_caps_total_rate(self):
+        net = line_topology(2, capacity_bps=mbps(10))
+        b = bundle(net, "N0", "N1", ("N0", "N1"), 100, kbps(200))  # 20 Mbps demand
+        result = evaluate_bundles(net, [b])
+        outcome = result.outcomes[0]
+        assert not outcome.satisfied
+        assert outcome.rate_bps == pytest.approx(mbps(10), rel=1e-6)
+        assert outcome.bottleneck_link == ("N0", "N1")
+        assert result.congested_links == (("N0", "N1"),)
+
+    def test_equal_rtt_flows_share_fairly(self):
+        net = dumbbell_topology(bottleneck_capacity_bps=mbps(10))
+        b1 = bundle(net, "L0", "R0", ("L0", "left_hub", "right_hub", "R0"), 50, kbps(400))
+        b2 = bundle(net, "L1", "R1", ("L1", "left_hub", "right_hub", "R1"), 50, kbps(400))
+        result = evaluate_bundles(net, [b1, b2])
+        rates = [outcome.rate_bps for outcome in result.outcomes]
+        # Same flow count and same RTT -> equal split of the 10 Mbps bottleneck.
+        assert rates[0] == pytest.approx(rates[1], rel=1e-6)
+        assert sum(rates) == pytest.approx(mbps(10), rel=1e-6)
+
+    def test_flow_count_weighted_sharing(self):
+        net = dumbbell_topology(bottleneck_capacity_bps=mbps(12))
+        b1 = bundle(net, "L0", "R0", ("L0", "left_hub", "right_hub", "R0"), 20, mbps(1))
+        b2 = bundle(net, "L1", "R1", ("L1", "left_hub", "right_hub", "R1"), 10, mbps(1))
+        result = evaluate_bundles(net, [b1, b2])
+        rate1, rate2 = (outcome.rate_bps for outcome in result.outcomes)
+        # Twice the flows -> twice the aggregate share (same RTT).
+        assert rate1 / rate2 == pytest.approx(2.0, rel=1e-6)
+
+    def test_rtt_bias_favours_short_paths(self):
+        """Paper §2.3: throughput of a congested flow is inversely proportional to RTT."""
+        net = triangle_topology(capacity_bps=mbps(10), short_delay_s=ms(5), long_delay_s=ms(20))
+        # Both bundles cross the congested link C->B; one arrives over a longer path.
+        short = bundle(net, "C", "B", ("C", "B"), 10, mbps(10))
+        long = bundle(net, "A", "B", ("A", "C", "B"), 10, mbps(10))
+        result = evaluate_bundles(net, [short, long])
+        short_rate, long_rate = (outcome.rate_bps for outcome in result.outcomes)
+        assert short_rate > long_rate
+        # RTTs are 40 ms vs 80 ms, so the share ratio should be about 2:1.
+        assert short_rate / long_rate == pytest.approx(2.0, rel=0.05)
+
+    def test_rtt_fairness_can_be_disabled(self):
+        net = triangle_topology(capacity_bps=mbps(10), short_delay_s=ms(5), long_delay_s=ms(20))
+        short = bundle(net, "C", "B", ("C", "B"), 10, mbps(10))
+        long = bundle(net, "A", "B", ("A", "C", "B"), 10, mbps(10))
+        model = TrafficModel(net, TrafficModelConfig(rtt_fairness=False))
+        result = model.evaluate([short, long])
+        short_rate, long_rate = (outcome.rate_bps for outcome in result.outcomes)
+        assert short_rate == pytest.approx(long_rate, rel=1e-6)
+
+    def test_satisfied_bundle_frees_capacity_for_others(self):
+        net = line_topology(2, capacity_bps=mbps(10))
+        small = bundle(net, "N0", "N1", ("N0", "N1"), 10, kbps(100))  # wants 1 Mbps
+        big = bundle(net, "N0", "N1", ("N0", "N1"), 10, mbps(10))  # wants 100 Mbps
+        result = evaluate_bundles(net, [small, big])
+        small_outcome, big_outcome = result.outcomes
+        assert small_outcome.satisfied
+        assert big_outcome.rate_bps == pytest.approx(mbps(9), rel=1e-6)
+
+    def test_multiple_bottlenecks_parking_lot(self):
+        net = parking_lot_topology(num_hops=3, capacity_bps=mbps(10))
+        # One long aggregate crossing every chain link, one short per hop.
+        bundles = [
+            bundle(net, "S0", "R3", ("S0", "R0", "R1", "R2", "R3"), 10, mbps(10)),
+            bundle(net, "S1", "R2", ("S1", "R1", "R2"), 10, mbps(10)),
+            bundle(net, "S2", "R3", ("S2", "R2", "R3"), 10, mbps(10)),
+        ]
+        result = evaluate_bundles(net, bundles)
+        assert result.has_congestion
+        loads = result.link_loads_bps
+        capacities = np.asarray(net.capacities())
+        assert np.all(loads <= capacities * (1 + 1e-6))
+
+    def test_demanded_exceeds_actual_when_congested(self):
+        net = line_topology(2, capacity_bps=mbps(5))
+        b = bundle(net, "N0", "N1", ("N0", "N1"), 100, kbps(200))
+        result = evaluate_bundles(net, [b])
+        assert result.demanded_utilization() > result.total_utilization()
+
+    def test_oversubscription_ordering(self):
+        net = dumbbell_topology(bottleneck_capacity_bps=mbps(10))
+        b1 = bundle(net, "L0", "R0", ("L0", "left_hub", "right_hub", "R0"), 100, mbps(1))
+        result = evaluate_bundles(net, [b1])
+        ordered = result.congested_links_by_oversubscription()
+        assert ordered[0] == ("left_hub", "right_hub")
+        assert result.oversubscription(("left_hub", "right_hub")) == pytest.approx(10.0)
+
+
+class TestModelResultQueries:
+    def test_outcomes_on_link(self, triangle):
+        b1 = bundle(triangle, "A", "B", ("A", "B"), 5, kbps(10))
+        b2 = bundle(triangle, "A", "B", ("A", "C", "B"), 5, kbps(10))
+        result = evaluate_bundles(triangle, [b1, b2])
+        assert len(result.outcomes_on_link(("A", "B"))) == 1
+        assert len(result.outcomes_on_link(("A", "C"))) == 1
+
+    def test_outcomes_by_aggregate_groups_bundles(self, triangle):
+        aggregate = make_aggregate("A", "B", num_flows=10, demand_bps=kbps(10))
+        b1 = Bundle(aggregate=aggregate, path=("A", "B"), num_flows=6)
+        b2 = Bundle(aggregate=aggregate, path=("A", "C", "B"), num_flows=4)
+        result = evaluate_bundles(triangle, [b1, b2])
+        grouped = result.outcomes_by_aggregate()
+        assert len(grouped[aggregate.key]) == 2
+
+    def test_aggregate_congested_links_and_most_congested(self):
+        net = line_topology(3, capacity_bps=mbps(5))
+        b = bundle(net, "N0", "N2", ("N0", "N1", "N2"), 100, kbps(200))
+        result = evaluate_bundles(net, [b])
+        key = b.aggregate_key
+        congested = result.aggregate_congested_links(key)
+        assert len(congested) >= 1
+        assert result.most_congested_link_of(key) in congested
+
+    def test_most_congested_link_none_when_satisfied(self, triangle):
+        b = bundle(triangle, "A", "B", ("A", "B"), 1, kbps(10))
+        result = evaluate_bundles(triangle, [b])
+        assert result.most_congested_link_of(b.aggregate_key) is None
+
+    def test_utility_computation_uses_per_flow_rate_and_delay(self, triangle):
+        # 10 flows wanting 100 kbps each on an uncongested short path: utility 1.
+        b = bundle(triangle, "A", "B", ("A", "B"), 10, kbps(100))
+        result = evaluate_bundles(triangle, [b])
+        utilities = result.aggregate_utilities()
+        assert len(utilities) == 1
+        assert utilities[0].utility == pytest.approx(1.0)
+
+    def test_network_utility_drops_under_congestion(self):
+        net = line_topology(2, capacity_bps=mbps(1))
+        b = bundle(net, "N0", "N1", ("N0", "N1"), 100, kbps(100))  # 10x oversubscribed
+        result = evaluate_bundles(net, [b])
+        assert result.network_utility() == pytest.approx(0.1, rel=1e-3)
+
+    def test_flow_delays(self, triangle):
+        b1 = bundle(triangle, "A", "B", ("A", "B"), 3, kbps(10))
+        b2 = bundle(triangle, "A", "B", ("A", "C", "B"), 7, kbps(10))
+        result = evaluate_bundles(triangle, [b1, b2])
+        delays, counts = result.flow_delays()
+        assert sorted(counts) == [3.0, 7.0]
+        assert max(delays) == pytest.approx(ms(40))
+
+    def test_total_demand_and_carried(self, triangle):
+        b = bundle(triangle, "A", "B", ("A", "B"), 10, kbps(100))
+        result = evaluate_bundles(triangle, [b])
+        assert result.total_demand_bps == pytest.approx(kbps(1000))
+        assert result.total_carried_bps == pytest.approx(kbps(1000))
+        assert result.num_satisfied_bundles == 1
+
+    def test_max_utilization(self):
+        net = line_topology(2, capacity_bps=mbps(10))
+        b = bundle(net, "N0", "N1", ("N0", "N1"), 10, kbps(500))
+        result = evaluate_bundles(net, [b])
+        assert result.max_utilization() == pytest.approx(0.5)
+
+    def test_evaluation_counter(self, triangle):
+        model = TrafficModel(triangle)
+        model.evaluate([])
+        model.evaluate([])
+        assert model.evaluations == 2
+
+    def test_config_validation(self):
+        with pytest.raises(TrafficModelError):
+            TrafficModelConfig(min_rtt_s=0.0)

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the progressive-filling traffic model.
+
+The model's invariants hold for *any* workload:
+
+* no link ever carries more than its capacity,
+* no bundle ever receives more than its demand,
+* a bundle is marked satisfied exactly when its rate equals its demand,
+* an unsatisfied bundle names a bottleneck link on its own path and that
+  link is saturated,
+* total carried traffic never exceeds total demand.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.builders import ring_topology
+from repro.trafficmodel.bundle import Bundle
+from repro.trafficmodel.waterfill import evaluate_bundles
+from repro.units import kbps, mbps
+from tests.conftest import make_aggregate
+
+#: The fixed topology used for the property tests: a 6-node ring.
+RING = ring_topology(6, capacity_bps=mbps(20))
+RING_NODES = list(RING.node_names)
+
+
+@st.composite
+def bundle_workloads(draw):
+    """Random workloads: up to 12 bundles with random endpoints, flows and demand."""
+    num_bundles = draw(st.integers(min_value=1, max_value=12))
+    bundles = []
+    for index in range(num_bundles):
+        source_index = draw(st.integers(min_value=0, max_value=5))
+        offset = draw(st.integers(min_value=1, max_value=5))
+        destination_index = (source_index + offset) % 6
+        source = RING_NODES[source_index]
+        destination = RING_NODES[destination_index]
+        num_flows = draw(st.integers(min_value=1, max_value=50))
+        demand = draw(st.floats(min_value=kbps(10), max_value=mbps(2)))
+        clockwise = draw(st.booleans())
+        if clockwise:
+            path = tuple(
+                RING_NODES[(source_index + step) % 6] for step in range(offset + 1)
+            )
+        else:
+            path = tuple(
+                RING_NODES[(source_index - step) % 6] for step in range(6 - offset + 1)
+            )
+        aggregate = make_aggregate(
+            source,
+            destination,
+            num_flows=num_flows,
+            demand_bps=demand,
+            traffic_class=f"class{index}",
+        )
+        bundles.append(Bundle(aggregate=aggregate, path=path, num_flows=num_flows))
+    return bundles
+
+
+@given(bundle_workloads())
+@settings(max_examples=60, deadline=None)
+def test_capacity_never_exceeded(bundles):
+    result = evaluate_bundles(RING, bundles)
+    capacities = np.asarray(RING.capacities())
+    assert np.all(result.link_loads_bps <= capacities * (1 + 1e-6))
+
+
+@given(bundle_workloads())
+@settings(max_examples=60, deadline=None)
+def test_rates_never_exceed_demand(bundles):
+    result = evaluate_bundles(RING, bundles)
+    for outcome in result.outcomes:
+        assert outcome.rate_bps <= outcome.bundle.total_demand_bps * (1 + 1e-9)
+        assert outcome.rate_bps >= 0.0
+
+
+@given(bundle_workloads())
+@settings(max_examples=60, deadline=None)
+def test_satisfied_iff_rate_equals_demand(bundles):
+    result = evaluate_bundles(RING, bundles)
+    for outcome in result.outcomes:
+        if outcome.satisfied:
+            assert outcome.rate_bps == pytest.approx(outcome.bundle.total_demand_bps, rel=1e-6)
+        else:
+            assert outcome.rate_bps < outcome.bundle.total_demand_bps
+
+
+@given(bundle_workloads())
+@settings(max_examples=60, deadline=None)
+def test_unsatisfied_bundles_have_saturated_bottleneck_on_their_path(bundles):
+    result = evaluate_bundles(RING, bundles)
+    for outcome in result.outcomes:
+        if outcome.satisfied:
+            continue
+        assert outcome.bottleneck_link is not None
+        assert outcome.bundle.uses_link(outcome.bottleneck_link)
+        link = RING.link_by_id(outcome.bottleneck_link)
+        assert result.link_loads_bps[link.index] == pytest.approx(
+            link.capacity_bps, rel=1e-6
+        )
+
+
+@given(bundle_workloads())
+@settings(max_examples=60, deadline=None)
+def test_total_carried_at_most_total_demand(bundles):
+    result = evaluate_bundles(RING, bundles)
+    assert result.total_carried_bps <= result.total_demand_bps * (1 + 1e-9)
+
+
+@given(bundle_workloads())
+@settings(max_examples=60, deadline=None)
+def test_utilities_are_in_unit_interval(bundles):
+    result = evaluate_bundles(RING, bundles)
+    for entry in result.aggregate_utilities():
+        assert 0.0 <= entry.utility <= 1.0
+    assert 0.0 <= result.network_utility() <= 1.0
+
+
+@given(bundle_workloads(), st.floats(min_value=1.5, max_value=4.0))
+@settings(max_examples=40, deadline=None)
+def test_scaling_up_capacity_never_reduces_any_rate(bundles, factor):
+    """More capacity can only help: every bundle's rate is monotone in capacity."""
+    small = evaluate_bundles(RING, bundles)
+    bigger_ring = RING.with_scaled_capacity(factor)
+    rebuilt = [
+        Bundle(aggregate=outcome.bundle.aggregate, path=outcome.bundle.path,
+               num_flows=outcome.bundle.num_flows)
+        for outcome in small.outcomes
+    ]
+    large = evaluate_bundles(bigger_ring, rebuilt)
+    for before, after in zip(small.outcomes, large.outcomes):
+        assert after.rate_bps >= before.rate_bps * (1 - 1e-9)

@@ -1,0 +1,62 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestBandwidthConversions:
+    def test_kbps(self):
+        assert units.kbps(50) == 50_000.0
+
+    def test_mbps(self):
+        assert units.mbps(100) == 100_000_000.0
+
+    def test_gbps(self):
+        assert units.gbps(1) == 1_000_000_000.0
+
+    def test_bps_identity(self):
+        assert units.bps(1234.5) == 1234.5
+
+    def test_to_kbps_round_trip(self):
+        assert units.to_kbps(units.kbps(75)) == pytest.approx(75.0)
+
+    def test_to_mbps_round_trip(self):
+        assert units.to_mbps(units.mbps(2.5)) == pytest.approx(2.5)
+
+
+class TestDelayConversions:
+    def test_ms(self):
+        assert units.ms(100) == pytest.approx(0.1)
+
+    def test_us(self):
+        assert units.us(250) == pytest.approx(0.00025)
+
+    def test_seconds_identity(self):
+        assert units.seconds(3.5) == 3.5
+
+    def test_to_ms_round_trip(self):
+        assert units.to_ms(units.ms(42)) == pytest.approx(42.0)
+
+
+class TestFormatting:
+    def test_format_bandwidth_kbps(self):
+        assert units.format_bandwidth(50_000) == "50.00 kbps"
+
+    def test_format_bandwidth_mbps(self):
+        assert units.format_bandwidth(1_500_000) == "1.50 Mbps"
+
+    def test_format_bandwidth_gbps(self):
+        assert units.format_bandwidth(2_000_000_000) == "2.00 Gbps"
+
+    def test_format_bandwidth_bps(self):
+        assert units.format_bandwidth(12) == "12.00 bps"
+
+    def test_format_delay_ms(self):
+        assert units.format_delay(0.1) == "100.00 ms"
+
+    def test_format_delay_seconds(self):
+        assert units.format_delay(2.5) == "2.50 s"
+
+    def test_format_delay_us(self):
+        assert units.format_delay(0.00005) == "50.00 us"

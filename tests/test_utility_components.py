@@ -1,0 +1,185 @@
+"""Tests for utility function components (paper Figures 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UtilityError
+from repro.units import kbps, ms
+from repro.utility.components import (
+    BandwidthComponent,
+    DelayComponent,
+    PiecewiseLinearCurve,
+)
+
+
+class TestPiecewiseLinearCurve:
+    def test_interpolates_between_points(self):
+        curve = PiecewiseLinearCurve([(0.0, 0.0), (10.0, 1.0)])
+        assert curve(5.0) == pytest.approx(0.5)
+
+    def test_clamps_below_range(self):
+        curve = PiecewiseLinearCurve([(2.0, 0.3), (10.0, 1.0)])
+        assert curve(0.0) == pytest.approx(0.3)
+
+    def test_clamps_above_range(self):
+        curve = PiecewiseLinearCurve([(0.0, 0.0), (10.0, 1.0)])
+        assert curve(100.0) == pytest.approx(1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(UtilityError):
+            PiecewiseLinearCurve([(0.0, 0.0)])
+
+    def test_rejects_decreasing_x(self):
+        with pytest.raises(UtilityError):
+            PiecewiseLinearCurve([(5.0, 0.0), (1.0, 1.0)])
+
+    def test_rejects_out_of_range_y(self):
+        with pytest.raises(UtilityError):
+            PiecewiseLinearCurve([(0.0, 0.0), (1.0, 1.5)])
+
+    def test_rejects_negative_x(self):
+        with pytest.raises(UtilityError):
+            PiecewiseLinearCurve([(-1.0, 0.0), (1.0, 1.0)])
+
+    def test_rejects_non_monotone_increasing(self):
+        with pytest.raises(UtilityError):
+            PiecewiseLinearCurve([(0.0, 0.5), (1.0, 0.2)], increasing=True)
+
+    def test_accepts_decreasing_when_flagged(self):
+        curve = PiecewiseLinearCurve([(0.0, 1.0), (1.0, 0.0)], increasing=False)
+        assert curve(0.5) == pytest.approx(0.5)
+
+    def test_evaluate_many(self):
+        curve = PiecewiseLinearCurve([(0.0, 0.0), (10.0, 1.0)])
+        values = curve.evaluate_many([0.0, 5.0, 10.0, 20.0])
+        assert values == pytest.approx([0.0, 0.5, 1.0, 1.0])
+
+    def test_scaled_x(self):
+        curve = PiecewiseLinearCurve([(0.0, 0.0), (10.0, 1.0)])
+        scaled = curve.scaled_x(2.0)
+        assert scaled(10.0) == pytest.approx(0.5)
+
+    def test_scaled_x_rejects_non_positive(self):
+        curve = PiecewiseLinearCurve([(0.0, 0.0), (10.0, 1.0)])
+        with pytest.raises(UtilityError):
+            curve.scaled_x(0.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_output_always_in_unit_interval(self, x):
+        curve = PiecewiseLinearCurve([(0.0, 0.0), (25.0, 0.4), (60.0, 1.0)])
+        assert 0.0 <= curve(x) <= 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_input(self, xs):
+        curve = PiecewiseLinearCurve([(0.0, 0.0), (1000.0, 0.7), (5000.0, 1.0)])
+        ordered = sorted(xs)
+        values = [curve(x) for x in ordered]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestBandwidthComponent:
+    def test_figure1_shape(self):
+        """Figure 1: utility 0 at 0 kbps, 1 at the 50 kbps peak and beyond."""
+        component = BandwidthComponent(kbps(50))
+        assert component(0.0) == pytest.approx(0.0)
+        assert component(kbps(25)) == pytest.approx(0.5)
+        assert component(kbps(50)) == pytest.approx(1.0)
+        assert component(kbps(200)) == pytest.approx(1.0)
+
+    def test_demand_equals_peak(self):
+        assert BandwidthComponent(kbps(50)).demand_bps == kbps(50)
+
+    def test_rejects_zero_peak(self):
+        with pytest.raises(UtilityError):
+            BandwidthComponent(0.0)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(UtilityError):
+            BandwidthComponent(kbps(10))(-1.0)
+
+    def test_utility_at_zero_offset(self):
+        component = BandwidthComponent(kbps(10), utility_at_zero=0.2)
+        assert component(0.0) == pytest.approx(0.2)
+
+    def test_rejects_bad_utility_at_zero(self):
+        with pytest.raises(UtilityError):
+            BandwidthComponent(kbps(10), utility_at_zero=1.0)
+
+    def test_with_peak(self):
+        component = BandwidthComponent(kbps(50)).with_peak(kbps(100))
+        assert component(kbps(50)) == pytest.approx(0.5)
+
+    def test_evaluate_many_rejects_negative(self):
+        with pytest.raises(UtilityError):
+            BandwidthComponent(kbps(10)).evaluate_many([-1.0])
+
+    def test_equality_and_hash(self):
+        assert BandwidthComponent(kbps(50)) == BandwidthComponent(kbps(50))
+        assert hash(BandwidthComponent(kbps(50))) == hash(BandwidthComponent(kbps(50)))
+        assert BandwidthComponent(kbps(50)) != BandwidthComponent(kbps(60))
+
+    @given(st.floats(min_value=0.0, max_value=1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_range_invariant(self, bandwidth):
+        component = BandwidthComponent(kbps(50))
+        assert 0.0 <= component(bandwidth) <= 1.0
+
+
+class TestDelayComponent:
+    def test_figure1_shape(self):
+        """Figure 1: real-time utility collapses to 0 at 100 ms."""
+        component = DelayComponent(ms(100), tolerance_s=ms(20))
+        assert component(0.0) == pytest.approx(1.0)
+        assert component(ms(10)) == pytest.approx(1.0)
+        assert component(ms(100)) == pytest.approx(0.0)
+        assert component(ms(200)) == pytest.approx(0.0)
+
+    def test_decays_between_tolerance_and_cutoff(self):
+        component = DelayComponent(ms(100), tolerance_s=ms(20))
+        assert component(ms(60)) == pytest.approx(0.5)
+
+    def test_no_tolerance_decays_from_zero(self):
+        component = DelayComponent(ms(100))
+        assert component(ms(50)) == pytest.approx(0.5)
+
+    def test_rejects_zero_cutoff(self):
+        with pytest.raises(UtilityError):
+            DelayComponent(0.0)
+
+    def test_rejects_tolerance_above_cutoff(self):
+        with pytest.raises(UtilityError):
+            DelayComponent(ms(50), tolerance_s=ms(60))
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(UtilityError):
+            DelayComponent(ms(100))(-0.01)
+
+    def test_relaxed_doubles_cutoff(self):
+        relaxed = DelayComponent(ms(100), tolerance_s=ms(20)).relaxed(2.0)
+        assert relaxed.cutoff_s == pytest.approx(ms(200))
+        assert relaxed.tolerance_s == pytest.approx(ms(40))
+        assert relaxed(ms(150)) > 0.0
+
+    def test_relaxed_rejects_non_positive(self):
+        with pytest.raises(UtilityError):
+            DelayComponent(ms(100)).relaxed(0.0)
+
+    def test_equality(self):
+        assert DelayComponent(ms(100)) == DelayComponent(ms(100))
+        assert DelayComponent(ms(100)) != DelayComponent(ms(100), tolerance_s=ms(10))
+
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_non_increasing_in_delay(self, delay):
+        component = DelayComponent(1.0, tolerance_s=0.1)
+        assert component(delay) >= component(delay + 0.05) - 1e-12

@@ -1,0 +1,163 @@
+"""Tests for UtilityFunction and the paper's class presets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UtilityError
+from repro.units import kbps, mbps, ms
+from repro.utility.components import BandwidthComponent, DelayComponent
+from repro.utility.functions import UtilityFunction
+from repro.utility.presets import (
+    BULK_PEAK_BPS,
+    LARGE_TRANSFER_PEAKS_BPS,
+    REAL_TIME_DELAY_CUTOFF_S,
+    REAL_TIME_PEAK_BPS,
+    bulk_transfer_utility,
+    default_presets,
+    large_transfer_utility,
+    preset,
+    real_time_utility,
+)
+
+
+@pytest.fixture
+def utility():
+    return UtilityFunction(
+        BandwidthComponent(kbps(100)), DelayComponent(ms(200), tolerance_s=ms(50)), name="x"
+    )
+
+
+class TestUtilityFunction:
+    def test_components_are_multiplied(self, utility):
+        bandwidth_only = utility.bandwidth(kbps(50))
+        delay_only = utility.delay(ms(125))
+        assert utility(kbps(50), ms(125)) == pytest.approx(bandwidth_only * delay_only)
+
+    def test_full_bandwidth_low_delay_is_one(self, utility):
+        assert utility(kbps(100), 0.0) == pytest.approx(1.0)
+
+    def test_zero_bandwidth_is_zero(self, utility):
+        assert utility(0.0, 0.0) == pytest.approx(0.0)
+
+    def test_delay_beyond_cutoff_is_zero(self, utility):
+        assert utility(kbps(100), ms(250)) == pytest.approx(0.0)
+
+    def test_demand_property(self, utility):
+        assert utility.demand_bps == kbps(100)
+
+    def test_delay_cutoff_property(self, utility):
+        assert utility.delay_cutoff_s == pytest.approx(ms(200))
+
+    def test_max_utility_at_delay(self, utility):
+        assert utility.max_utility_at_delay(ms(125)) == pytest.approx(0.5)
+
+    def test_usable_at_delay(self, utility):
+        assert utility.usable_at_delay(ms(100))
+        assert not utility.usable_at_delay(ms(300))
+
+    def test_with_demand(self, utility):
+        changed = utility.with_demand(kbps(200))
+        assert changed.demand_bps == kbps(200)
+        assert changed(kbps(100), 0.0) == pytest.approx(0.5)
+
+    def test_with_relaxed_delay(self, utility):
+        relaxed = utility.with_relaxed_delay(2.0)
+        assert relaxed.delay_cutoff_s == pytest.approx(ms(400))
+        assert relaxed.name.endswith("relaxed")
+
+    def test_evaluate_many(self, utility):
+        values = utility.evaluate_many([kbps(100), kbps(50)], [0.0, 0.0])
+        assert values == pytest.approx([1.0, 0.5])
+
+    def test_evaluate_many_length_mismatch(self, utility):
+        with pytest.raises(UtilityError):
+            utility.evaluate_many([1.0], [0.0, 0.0])
+
+    def test_sample_surface_shape(self, utility):
+        bandwidths, delays, surface = utility.sample_surface(kbps(200), ms(400), 10)
+        assert surface.shape == (10, 10)
+        assert surface.max() <= 1.0 + 1e-12
+        assert surface.min() >= 0.0
+
+    def test_sample_surface_rejects_single_point(self, utility):
+        with pytest.raises(UtilityError):
+            utility.sample_surface(1.0, 1.0, 1)
+
+    def test_rejects_wrong_component_types(self):
+        with pytest.raises(UtilityError):
+            UtilityFunction("not-a-component", DelayComponent(ms(10)))
+
+    def test_equality(self, utility):
+        clone = UtilityFunction(
+            BandwidthComponent(kbps(100)),
+            DelayComponent(ms(200), tolerance_s=ms(50)),
+            name="x",
+        )
+        assert utility == clone
+        assert hash(utility) == hash(clone)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e7),
+        st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_utility_always_in_unit_interval(self, bandwidth, delay):
+        utility = UtilityFunction(
+            BandwidthComponent(kbps(100)), DelayComponent(ms(200)), name="p"
+        )
+        assert 0.0 <= utility(bandwidth, delay) <= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=5e5),
+        st.floats(min_value=0.0, max_value=5e5),
+        st.floats(min_value=0.0, max_value=0.3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_bandwidth(self, bw_a, bw_b, delay):
+        utility = UtilityFunction(
+            BandwidthComponent(kbps(100)), DelayComponent(ms(400)), name="p"
+        )
+        low, high = sorted((bw_a, bw_b))
+        assert utility(high, delay) >= utility(low, delay) - 1e-12
+
+
+class TestPresets:
+    def test_real_time_matches_figure1(self):
+        utility = real_time_utility()
+        assert utility.demand_bps == REAL_TIME_PEAK_BPS == kbps(50)
+        assert utility.delay_cutoff_s == REAL_TIME_DELAY_CUTOFF_S == ms(100)
+        assert utility(kbps(50), ms(150)) == pytest.approx(0.0)
+
+    def test_bulk_matches_figure2(self):
+        utility = bulk_transfer_utility()
+        assert utility.demand_bps == BULK_PEAK_BPS == kbps(200)
+        # Bulk traffic tolerates a couple hundred ms without losing much utility.
+        assert utility(kbps(200), ms(200)) > 0.8
+
+    def test_bulk_demands_more_than_real_time(self):
+        assert bulk_transfer_utility().demand_bps > real_time_utility().demand_bps
+
+    def test_real_time_more_delay_sensitive_than_bulk(self):
+        delay = ms(150)
+        assert real_time_utility().max_utility_at_delay(delay) < bulk_transfer_utility().max_utility_at_delay(delay)
+
+    def test_large_transfer_peaks(self):
+        assert LARGE_TRANSFER_PEAKS_BPS == (mbps(1), mbps(2))
+        assert large_transfer_utility().demand_bps == mbps(1)
+
+    def test_default_presets_names(self):
+        presets = default_presets()
+        assert set(presets) == {"real-time", "bulk", "large-transfer"}
+
+    def test_preset_lookup(self):
+        assert preset("real-time").name == "real-time"
+
+    def test_preset_lookup_with_relaxation(self):
+        relaxed = preset("real-time", relax_delay_factor=2.0)
+        assert relaxed.delay_cutoff_s == pytest.approx(ms(200))
+
+    def test_preset_unknown_name(self):
+        with pytest.raises(UtilityError):
+            preset("gaming")

@@ -1,0 +1,177 @@
+"""Tests for inflection-point inference and network utility aggregation."""
+
+import pytest
+
+from repro.exceptions import MeasurementError, UtilityError
+from repro.traffic.classes import LARGE_TRANSFER
+from repro.units import kbps
+from repro.utility.aggregation import (
+    AggregateUtility,
+    PriorityWeights,
+    class_utility,
+    flow_weighted_distribution,
+    network_utility,
+    per_class_utilities,
+    utility_distribution,
+)
+from repro.utility.inference import (
+    BandwidthSample,
+    InflectionPointEstimator,
+    refine_utility_from_samples,
+)
+from repro.utility.presets import bulk_transfer_utility
+
+
+def entry(utility, flows, traffic_class="bulk", key=("A", "B", "bulk")):
+    return AggregateUtility(
+        aggregate_key=key, utility=utility, num_flows=flows, traffic_class=traffic_class
+    )
+
+
+class TestInflectionInference:
+    def test_not_confident_before_min_samples(self):
+        estimator = InflectionPointEstimator(kbps(200), min_samples=5)
+        estimator.observe(BandwidthSample(kbps(50)))
+        estimate = estimator.estimate()
+        assert not estimate.confident
+        assert estimate.demand_bps == kbps(200)
+
+    def test_congested_samples_are_ignored(self):
+        estimator = InflectionPointEstimator(kbps(200), min_samples=3)
+        estimator.observe_many(
+            [BandwidthSample(kbps(10), path_congested=True) for _ in range(10)]
+        )
+        assert not estimator.estimate().confident
+
+    def test_lowers_demand_when_aggregate_underuses_uncongested_path(self):
+        """Paper §2.2: infer the inflection point when an uncongested path is underused."""
+        estimator = InflectionPointEstimator(kbps(200), min_samples=5, headroom=0.1)
+        estimator.observe_many([BandwidthSample(kbps(50)) for _ in range(10)])
+        estimate = estimator.estimate()
+        assert estimate.confident
+        assert estimate.demand_bps == pytest.approx(kbps(55), rel=0.01)
+
+    def test_raises_demand_when_samples_exceed_initial(self):
+        estimator = InflectionPointEstimator(kbps(50), min_samples=5)
+        estimator.observe_many([BandwidthSample(kbps(120)) for _ in range(6)])
+        assert estimator.estimate().demand_bps > kbps(100)
+
+    def test_refine_returns_updated_utility(self):
+        utility = bulk_transfer_utility()
+        refined = refine_utility_from_samples(
+            utility, [BandwidthSample(kbps(80)) for _ in range(6)]
+        )
+        assert refined.demand_bps == pytest.approx(kbps(88), rel=0.01)
+        # The delay component is untouched.
+        assert refined.delay_cutoff_s == utility.delay_cutoff_s
+
+    def test_refine_without_enough_samples_is_identity(self):
+        utility = bulk_transfer_utility()
+        assert refine_utility_from_samples(utility, []) is utility
+
+    def test_estimate_as_dict(self):
+        estimator = InflectionPointEstimator(kbps(100), min_samples=1)
+        estimator.observe(BandwidthSample(kbps(10)))
+        assert set(estimator.estimate().as_dict()) == {
+            "demand_bps",
+            "num_samples_used",
+            "confident",
+        }
+
+    def test_num_samples_counts_all(self):
+        estimator = InflectionPointEstimator(kbps(100))
+        estimator.observe(BandwidthSample(kbps(10), path_congested=True))
+        estimator.observe(BandwidthSample(kbps(10)))
+        assert estimator.num_samples == 2
+        assert len(estimator.uncongested_samples()) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MeasurementError):
+            InflectionPointEstimator(0.0)
+        with pytest.raises(MeasurementError):
+            InflectionPointEstimator(kbps(10), headroom=-0.1)
+        with pytest.raises(MeasurementError):
+            InflectionPointEstimator(kbps(10), percentile=0.0)
+        with pytest.raises(MeasurementError):
+            InflectionPointEstimator(kbps(10), min_samples=0)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(MeasurementError):
+            BandwidthSample(-1.0)
+
+
+class TestPriorityWeights:
+    def test_uniform_weight(self):
+        weights = PriorityWeights.uniform()
+        assert weights.weight_for("anything") == 1.0
+
+    def test_prioritize_factory(self):
+        weights = PriorityWeights.prioritize(LARGE_TRANSFER, 4.0)
+        assert weights.weight_for(LARGE_TRANSFER) == 4.0
+        assert weights.weight_for("bulk") == 1.0
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(UtilityError):
+            PriorityWeights(class_weights={"bulk": 0.0})
+
+    def test_rejects_non_positive_default(self):
+        with pytest.raises(UtilityError):
+            PriorityWeights(default_weight=0.0)
+
+
+class TestNetworkUtility:
+    def test_flow_weighted_average(self):
+        """Paper §3: total average = mean of aggregate utilities weighted by flow count."""
+        utilities = [
+            entry(1.0, 10, key=("A", "B", "bulk")),
+            entry(0.0, 30, key=("A", "C", "bulk")),
+        ]
+        assert network_utility(utilities) == pytest.approx(0.25)
+
+    def test_priority_weights_shift_average(self):
+        utilities = [
+            entry(1.0, 10, traffic_class=LARGE_TRANSFER, key=("A", "B", LARGE_TRANSFER)),
+            entry(0.0, 10, traffic_class="bulk", key=("A", "C", "bulk")),
+        ]
+        unweighted = network_utility(utilities)
+        weighted = network_utility(utilities, PriorityWeights.prioritize(LARGE_TRANSFER, 3.0))
+        assert unweighted == pytest.approx(0.5)
+        assert weighted == pytest.approx(0.75)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(UtilityError):
+            network_utility([])
+
+    def test_class_utility(self):
+        utilities = [
+            entry(0.8, 10, traffic_class=LARGE_TRANSFER, key=("A", "B", LARGE_TRANSFER)),
+            entry(0.2, 10, traffic_class="bulk", key=("A", "C", "bulk")),
+        ]
+        assert class_utility(utilities, LARGE_TRANSFER) == pytest.approx(0.8)
+        assert class_utility(utilities, "missing") is None
+
+    def test_per_class_utilities(self):
+        utilities = [
+            entry(0.8, 10, traffic_class="real-time", key=("A", "B", "real-time")),
+            entry(0.4, 10, traffic_class="bulk", key=("A", "C", "bulk")),
+        ]
+        per_class = per_class_utilities(utilities)
+        assert per_class["real-time"] == pytest.approx(0.8)
+        assert per_class["bulk"] == pytest.approx(0.4)
+
+    def test_distributions(self):
+        utilities = [entry(0.5, 2, key=("A", "B", "bulk")), entry(0.7, 4, key=("A", "C", "bulk"))]
+        values = utility_distribution(utilities)
+        assert sorted(values) == pytest.approx([0.5, 0.7])
+        dist_values, weights = flow_weighted_distribution(utilities)
+        assert list(weights) == [2.0, 4.0]
+
+    def test_distribution_rejects_empty(self):
+        with pytest.raises(UtilityError):
+            utility_distribution([])
+
+    def test_aggregate_utility_validation(self):
+        with pytest.raises(UtilityError):
+            entry(1.5, 10)
+        with pytest.raises(UtilityError):
+            entry(0.5, 0)
