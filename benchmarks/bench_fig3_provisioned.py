@@ -2,46 +2,43 @@
 
 Regenerates the three panels of Figure 3 (average utility over time, utility
 of large flows, link utilization actual vs demanded) together with the
-shortest-path and upper-bound reference lines.
+shortest-path and upper-bound reference lines.  The cell is evaluated through
+the scenario-sweep runner (``repro.runner``), which also yields the ECMP and
+min-max-LP baselines the paper discusses in related work.
 
 Paper expectation: FUBAR improves markedly on shortest-path routing, closely
 approaches the upper bound and eliminates congestion (the actual and demanded
 utilization curves meet).
 """
 
-from benchmarks.conftest import BENCH_SEED, print_header, run_once
-from repro.experiments.figures import run_figure3
-from repro.metrics.reporting import format_table, format_utility_timeline
+from benchmarks.conftest import BENCH_SEED, format_optional, print_header, run_once
+from repro.metrics.reporting import format_utility_timeline
+from repro.runner.engine import evaluate_cell
+from repro.runner.report import format_sweep_report
+from repro.runner.spec import CellSpec
 from repro.traffic.classes import LARGE_TRANSFER
 
 
 def test_figure3_provisioned_case(benchmark):
-    result = run_once(benchmark, run_figure3, seed=BENCH_SEED)
+    spec = CellSpec("he-provisioned", seed=BENCH_SEED)
+    outcome = run_once(benchmark, evaluate_cell, spec)
 
     print_header("Figure 3: provisioned case (100 Mbps links)")
-    print(result.scenario.summary())
+    print(outcome.scenario.summary())
     print("\nOptimization timeline (left/middle/right panels):")
-    print(format_utility_timeline(result.plan.result.recorder))
-    summary = result.summary()
-    print("\nReference lines:")
+    print(format_utility_timeline(outcome.plan.result.recorder))
+    print("\nComparison against every baseline (runner cell):")
+    print(format_sweep_report([outcome.to_record()]))
+    model = outcome.plan.result.model_result
     print(
-        format_table(
-            ("series", "utility"),
-            [
-                ("shortest path (lower bound)", f"{summary['shortest_path_utility']:.4f}"),
-                ("FUBAR final", f"{summary['fubar_utility']:.4f}"),
-                ("upper bound", f"{summary['upper_bound_utility']:.4f}"),
-                ("large flows final", f"{summary['large_flow_utility']:.4f}"),
-            ],
-        )
-    )
-    print(
-        f"\ncongested links remaining: {summary['congested_links_remaining']}, "
-        f"steps: {summary['steps']}, wall clock: {summary['wall_clock_s']:.2f}s"
+        f"\nlarge flows final: {format_optional(model.class_utility(LARGE_TRANSFER))}, "
+        f"congested links remaining: {len(model.congested_links)}, "
+        f"steps: {outcome.plan.result.num_steps}, "
+        f"wall clock: {outcome.plan.result.wall_clock_s:.2f}s"
     )
 
     # Shape assertions from the paper.
-    assert result.final_utility >= result.shortest_path_utility - 1e-9
-    assert result.final_utility >= 0.9 * result.upper_bound
-    times, large = result.large_flow_series()
+    assert outcome.final_utility >= outcome.shortest_path_utility - 1e-9
+    assert outcome.final_utility >= 0.9 * outcome.upper_bound
+    times, large = outcome.plan.result.recorder.class_utility_series(LARGE_TRANSFER)
     assert len(times) == len(large)

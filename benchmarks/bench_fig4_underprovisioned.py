@@ -1,51 +1,58 @@
 """Experiment E4 — Figure 4: a run of the underprovisioned case.
 
-Same series as Figure 3 but with 75 Mbps links.  Paper expectation: FUBAR
-still improves on shortest-path routing, but the upper bound is unreachable
-and congestion cannot be fully eliminated; large flows are sacrificed for the
-numerous small ones.
+Same series as Figure 3 but with 75 Mbps links, evaluated through the
+scenario-sweep runner so every baseline rides along.  Paper expectation:
+FUBAR still improves on shortest-path routing, but the upper bound is
+unreachable and congestion cannot be fully eliminated; large flows are
+sacrificed for the numerous small ones.
 """
 
-from benchmarks.conftest import BENCH_SEED, print_header, run_once
-from repro.experiments.figures import run_figure3, run_figure4
+from benchmarks.conftest import BENCH_SEED, format_optional, print_header, run_once
 from repro.metrics.reporting import format_table, format_utility_timeline
+from repro.runner.engine import evaluate_cell
+from repro.runner.report import format_sweep_report
+from repro.runner.spec import CellSpec
+from repro.traffic.classes import LARGE_TRANSFER
 
 
 def test_figure4_underprovisioned_case(benchmark):
-    result = run_once(benchmark, run_figure4, seed=BENCH_SEED)
+    spec = CellSpec("he-underprovisioned", seed=BENCH_SEED)
+    outcome = run_once(benchmark, evaluate_cell, spec)
 
     print_header("Figure 4: underprovisioned case (75 Mbps links)")
-    print(result.scenario.summary())
+    print(outcome.scenario.summary())
     print("\nOptimization timeline:")
-    print(format_utility_timeline(result.plan.result.recorder))
-    summary = result.summary()
-    print("\nReference lines:")
+    print(format_utility_timeline(outcome.plan.result.recorder))
+    print("\nComparison against every baseline (runner cell):")
+    print(format_sweep_report([outcome.to_record()]))
+    model = outcome.plan.result.model_result
+    print("\nUtilization:")
     print(
         format_table(
             ("series", "value"),
             [
-                ("shortest path (lower bound)", f"{summary['shortest_path_utility']:.4f}"),
-                ("FUBAR final", f"{summary['fubar_utility']:.4f}"),
-                ("upper bound", f"{summary['upper_bound_utility']:.4f}"),
-                ("large flows final", f"{summary['large_flow_utility']:.4f}"),
-                ("actual utilization", f"{summary['final_total_utilization']:.4f}"),
-                ("demanded utilization", f"{summary['final_demanded_utilization']:.4f}"),
+                ("large flows final", format_optional(model.class_utility(LARGE_TRANSFER))),
+                ("actual utilization", f"{model.total_utilization():.4f}"),
+                ("demanded utilization", f"{model.demanded_utilization():.4f}"),
             ],
         )
     )
 
     # Shape assertions from the paper: better than shortest path, but the
     # bound is unreachable and congestion remains.
-    assert result.final_utility >= result.shortest_path_utility - 1e-9
-    assert result.final_utility < result.upper_bound
-    assert summary["congested_links_remaining"] >= 1
-    assert summary["final_demanded_utilization"] > summary["final_total_utilization"]
+    assert outcome.final_utility >= outcome.shortest_path_utility - 1e-9
+    assert outcome.final_utility < outcome.upper_bound
+    assert len(model.congested_links) >= 1
+    assert model.demanded_utilization() > model.total_utilization()
 
 
 def test_figure4_vs_figure3_contrast(benchmark):
     """The provisioned case must end closer to its bound than the underprovisioned one."""
     def run_both():
-        return run_figure3(seed=BENCH_SEED), run_figure4(seed=BENCH_SEED)
+        return (
+            evaluate_cell(CellSpec("he-provisioned", seed=BENCH_SEED)),
+            evaluate_cell(CellSpec("he-underprovisioned", seed=BENCH_SEED)),
+        )
 
     provisioned, underprovisioned = run_once(benchmark, run_both)
     gap_provisioned = provisioned.upper_bound - provisioned.final_utility

@@ -1,31 +1,59 @@
 """Experiment E7 — Figure 7: repeatability across random traffic matrices.
 
-Repeats the provisioned case over several random traffic matrices and prints
-the CDFs of FUBAR utility, shortest-path utility and the maximal (upper
-bound) utility.  The paper uses 100 runs; the benchmark default is
-``FUBAR_BENCH_FIG7_RUNS`` (5) so the suite stays quick — pass 100 and
-``FUBAR_FULL_SCALE=1`` to reproduce the exact configuration.
+Repeats the provisioned case over several random traffic matrices — fanned
+out in parallel by the sweep runner — and prints the CDFs of FUBAR utility,
+shortest-path utility and the maximal (upper bound) utility.  The paper uses
+100 runs; the benchmark default is ``FUBAR_BENCH_FIG7_RUNS`` (5) so the
+suite stays quick — pass 100 and ``FUBAR_FULL_SCALE=1`` to reproduce the
+exact configuration.
 
 Paper expectation: in every run FUBAR closely approaches the theoretical
 limit and clearly beats shortest-path routing.
 """
 
+import numpy as np
+
 from benchmarks.conftest import BENCH_FIG7_RUNS, print_header, run_once
-from repro.experiments.figures import run_figure7
+from repro.metrics.cdf import EmpiricalCDF
 from repro.metrics.reporting import format_cdf, format_table
+from repro.runner.cache import ResultCache
+from repro.runner.engine import run_sweep
+from repro.runner.spec import CellSpec
 
 
-def test_figure7_repeatability(benchmark):
-    result = run_once(benchmark, run_figure7, num_runs=BENCH_FIG7_RUNS, base_seed=0)
+def test_figure7_repeatability(benchmark, tmp_path):
+    specs = [CellSpec("he-provisioned", seed=seed) for seed in range(BENCH_FIG7_RUNS)]
+    cache = ResultCache(tmp_path / "fig7-cache")
 
-    print_header(f"Figure 7: CDF over {result.num_runs} random traffic matrices")
+    result = run_once(benchmark, run_sweep, specs, cache=cache)
+    assert not result.failed, [record["error"] for record in result.failed]
+
+    fubar = [r["schemes"]["fubar"]["utility"] for r in result.records]
+    shortest = [r["schemes"]["shortest-path"]["utility"] for r in result.records]
+    bound = [r["upper_bound_utility"] for r in result.records]
+
+    print_header(
+        f"Figure 7: CDF over {len(specs)} random traffic matrices "
+        f"(parallel sweep, {result.stats.computed} computed)"
+    )
     print("\nFUBAR utility CDF:")
-    print(format_cdf(result.fubar_cdf()))
+    print(format_cdf(EmpiricalCDF(fubar)))
     print("\nShortest-path utility CDF:")
-    print(format_cdf(result.shortest_path_cdf()))
+    print(format_cdf(EmpiricalCDF(shortest)))
     print("\nUpper-bound utility CDF:")
-    print(format_cdf(result.upper_bound_cdf()))
-    summary = result.summary()
+    print(format_cdf(EmpiricalCDF(bound)))
+
+    gaps = np.asarray(bound) - np.asarray(fubar)
+    summary = {
+        "runs": float(len(specs)),
+        "fubar_median": float(np.median(fubar)),
+        "shortest_path_median": float(np.median(shortest)),
+        "upper_bound_median": float(np.median(bound)),
+        "median_gap_to_bound": float(np.median(gaps)),
+        "fraction_above_shortest_path": float(
+            np.mean(np.asarray(fubar) >= np.asarray(shortest) - 1e-9)
+        ),
+    }
     print("\nSummary:")
     print(
         format_table(

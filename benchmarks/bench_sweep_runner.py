@@ -1,0 +1,45 @@
+"""Experiment E8 — cross-topology scenario sweep.
+
+Runs the runner's default sweep grid — both Hurricane Electric provisioning
+regimes, the prioritized variant, Abilene at two provisioning ratios, GÉANT,
+and the two random topology families — in parallel, and prints the
+aggregated FUBAR-vs-baselines comparison.  This is the evaluation the paper
+never had room for: the same optimizer across families of topologies and
+demand regimes.
+
+Expectation: FUBAR matches or beats shortest-path routing in every cell and
+is the best scheme in almost all of them.
+"""
+
+from benchmarks.conftest import print_header, run_once
+from repro.runner.cache import ResultCache
+from repro.runner.engine import run_sweep
+from repro.runner.registry import default_sweep_specs
+from repro.runner.report import aggregate_summary, format_sweep_report
+
+
+def test_default_sweep_grid(benchmark, tmp_path):
+    specs = default_sweep_specs()
+    cache = ResultCache(tmp_path / "sweep-cache")
+
+    result = run_once(benchmark, run_sweep, specs, cache=cache)
+
+    print_header(f"Scenario sweep: {len(specs)} cells across 5 topology families")
+    print(format_sweep_report(result.records, result.stats.as_dict()))
+
+    assert not result.failed, [record["error"] for record in result.failed]
+    summary = aggregate_summary(result.records)
+    assert summary["succeeded"] == len(specs)
+    # FUBAR never loses to its own starting point.
+    for record in result.records:
+        fubar = record["schemes"]["fubar"]["utility"]
+        shortest = record["schemes"]["shortest-path"]["utility"]
+        assert fubar >= shortest - 1e-9
+
+    # A repeated sweep must be served entirely from the cache.
+    again = run_sweep(specs, cache=cache)
+    assert again.stats.cache_hits == len(specs)
+    assert again.stats.computed == 0
+    assert [r["config_hash"] for r in again.records] == [
+        r["config_hash"] for r in result.records
+    ]

@@ -38,6 +38,12 @@ def print_header(title: str) -> None:
     print("=" * 78)
 
 
+def format_optional(value, spec: str = ".4f") -> str:
+    """Format a possibly-None metric (e.g. the large-flow utility when a
+    seed draws no large-transfer aggregates) as a dash instead of crashing."""
+    return "-" if value is None else format(value, spec)
+
+
 @pytest.fixture
 def bench_seed():
     return BENCH_SEED

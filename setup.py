@@ -1,11 +1,49 @@
-"""Setuptools shim.
+"""Packaging for the FUBAR reproduction.
 
-All project metadata lives in pyproject.toml; this file exists so that
-``pip install -e .`` works in offline environments that lack the ``wheel``
-package needed for PEP 660 editable installs (pip falls back to the legacy
-``setup.py develop`` code path).
+The project deliberately keeps its metadata here (rather than in a
+pyproject.toml) so that offline environments can still install it: with no
+pyproject.toml, ``pip install -e . --no-build-isolation`` uses the already
+installed setuptools instead of downloading a build backend.  Without any
+install, ``PYTHONPATH=src`` works too (that is what CI uses).
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="fubar-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'FUBAR: Flow Utility Based Routing' (HotNets-XIII, "
+        "2014): utility-maximizing traffic engineering with a parallel "
+        "scenario-sweep runner"
+    ),
+    long_description=README.read_text(encoding="utf-8") if README.is_file() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.21",
+        "scipy>=1.7",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-runner=repro.runner.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Networking",
+    ],
+)

@@ -35,6 +35,8 @@ from repro.topology.hurricane_electric import (
     hurricane_electric_core,
     reduced_core,
 )
+from repro.topology.random_topologies import random_regular_core, waxman_topology
+from repro.topology.zoo import abilene, geant
 from repro.traffic.classes import LARGE_TRANSFER
 from repro.traffic.generators import PaperTrafficConfig, paper_traffic_matrix
 from repro.traffic.matrix import TrafficMatrix
@@ -119,6 +121,35 @@ def calibrate_flow_counts(
     return traffic_matrix.scaled_flows(factor, name=f"{traffic_matrix.name}-calibrated")
 
 
+def _calibrate_against_provisioned(
+    network: Network,
+    traffic_matrix: TrafficMatrix,
+    at_provisioned_capacity: bool,
+    target_demanded_utilization: float,
+) -> TrafficMatrix:
+    """Calibrate flow counts against the paper's *provisioned* capacities.
+
+    Shared by the paper scenarios and the sweep scenarios so both keep the
+    paper's construction: the traffic matrix is fixed against the 100 Mbps
+    reference and only link capacity differs between provisioning cases.
+    """
+    calibration_network = (
+        network
+        if at_provisioned_capacity
+        else network.with_uniform_capacity(PROVISIONED_CAPACITY_BPS)
+    )
+    return calibrate_flow_counts(
+        calibration_network, traffic_matrix, target_demanded_utilization
+    )
+
+
+def _priority_weights(priority_factor: float) -> PriorityWeights:
+    """Objective weights for a large-transfer priority factor (1.0 = uniform)."""
+    if priority_factor != 1.0:
+        return PriorityWeights.prioritize(LARGE_TRANSFER, priority_factor)
+    return PriorityWeights.uniform()
+
+
 def _build_network(provisioned: bool, num_pops: Optional[int]) -> Network:
     capacity = PROVISIONED_CAPACITY_BPS if provisioned else UNDERPROVISIONED_CAPACITY_BPS
     if num_pops is None:
@@ -181,20 +212,11 @@ def build_paper_scenario(
         # Calibrate against the provisioned capacities regardless of which
         # case is being built: the paper keeps the traffic matrix fixed and
         # only changes link capacity between the two cases.
-        calibration_network = (
-            network
-            if provisioned
-            else network.with_uniform_capacity(PROVISIONED_CAPACITY_BPS)
-        )
-        traffic_matrix = calibrate_flow_counts(
-            calibration_network, traffic_matrix, target_demanded_utilization
+        traffic_matrix = _calibrate_against_provisioned(
+            network, traffic_matrix, provisioned, target_demanded_utilization
         )
 
-    weights = (
-        PriorityWeights.prioritize(LARGE_TRANSFER, priority_factor)
-        if prioritize_large_flows
-        else PriorityWeights.uniform()
-    )
+    weights = _priority_weights(priority_factor if prioritize_large_flows else 1.0)
     base_config = fubar_config or FubarConfig()
     base_config = base_config.with_priority(weights)
     if max_wall_clock_s is not None:
@@ -268,4 +290,188 @@ def relaxed_delay_scenario(seed: int = 0, factor: float = 2.0, **kwargs) -> Scen
     """The Figure 6 comparison scenario (small-flow delay parameter doubled)."""
     return build_paper_scenario(
         provisioned=False, seed=seed, relax_delay_factor=factor, **kwargs
+    )
+
+
+# ------------------------------------------------------------ sweep scenarios
+#
+# The paper evaluates on one real topology in two provisioning regimes.  The
+# sweep machinery below generalizes that recipe along four axes — topology
+# family, POP count, provisioning ratio, and traffic mix / priority weights —
+# so the runner (``repro.runner``) can evaluate FUBAR and its baselines over
+# whole families of scenarios instead of a single point.
+
+
+def _sweep_hurricane_electric(num_pops: Optional[int], capacity_bps: float, seed: int) -> Network:
+    resolved = num_pops if num_pops is not None else default_num_pops()
+    if resolved >= 31:
+        return hurricane_electric_core(capacity_bps=capacity_bps)
+    return reduced_core(resolved, capacity_bps=capacity_bps)
+
+
+def _sweep_abilene(num_pops: Optional[int], capacity_bps: float, seed: int) -> Network:
+    return abilene(capacity_bps=capacity_bps)
+
+
+def _sweep_geant(num_pops: Optional[int], capacity_bps: float, seed: int) -> Network:
+    return geant(capacity_bps=capacity_bps)
+
+
+def _sweep_waxman(num_pops: Optional[int], capacity_bps: float, seed: int) -> Network:
+    resolved = num_pops if num_pops is not None else default_num_pops()
+    return waxman_topology(resolved, capacity_bps=capacity_bps, seed=seed)
+
+
+def _sweep_random_core(num_pops: Optional[int], capacity_bps: float, seed: int) -> Network:
+    resolved = num_pops if num_pops is not None else default_num_pops()
+    return random_regular_core(resolved, capacity_bps=capacity_bps, seed=seed)
+
+
+#: Topology families the sweep scenarios can draw from.  Each builder takes
+#: ``(num_pops, capacity_bps, seed)``; the fixed research backbones (Abilene,
+#: GÉANT) ignore ``num_pops``, the random families use ``seed`` so that every
+#: sweep cell gets its own — but reproducible — instance.
+SWEEP_TOPOLOGY_BUILDERS = {
+    "hurricane-electric": _sweep_hurricane_electric,
+    "abilene": _sweep_abilene,
+    "geant": _sweep_geant,
+    "waxman": _sweep_waxman,
+    "random-core": _sweep_random_core,
+}
+
+#: Topology families whose shape depends on the cell seed.
+RANDOM_TOPOLOGY_FAMILIES = frozenset({"waxman", "random-core"})
+
+
+def sweep_topology_families() -> tuple:
+    """Names of the topology families available to sweep scenarios."""
+    return tuple(sorted(SWEEP_TOPOLOGY_BUILDERS))
+
+
+def build_sweep_scenario(
+    topology: str = "hurricane-electric",
+    num_pops: Optional[int] = None,
+    provisioning_ratio: float = 1.0,
+    real_time_probability: float = 0.5,
+    large_probability: float = 0.02,
+    priority_factor: float = 1.0,
+    seed: int = 0,
+    target_demanded_utilization: float = DEFAULT_TARGET_DEMANDED_UTILIZATION,
+    max_steps: Optional[int] = None,
+    max_wall_clock_s: Optional[float] = None,
+) -> Scenario:
+    """Build one cell of a scenario sweep.
+
+    This generalizes :func:`build_paper_scenario` along the axes the runner
+    sweeps over:
+
+    Parameters
+    ----------
+    topology:
+        One of :func:`sweep_topology_families` — the Hurricane Electric core
+        (reduced or full), the Abilene / GÉANT research backbones, or the
+        Waxman / random-regular synthetic families.
+    num_pops:
+        POP count for the sizeable families (``hurricane-electric``,
+        ``waxman``, ``random-core``); ``None`` uses :func:`default_num_pops`.
+        Ignored by the fixed-size research backbones.
+    provisioning_ratio:
+        Link capacity as a fraction of the paper's provisioned 100 Mbps.
+        ``1.0`` reproduces the provisioned regime, ``0.75`` the
+        underprovisioned one; any other ratio interpolates or extrapolates
+        the provisioning story.
+    real_time_probability:
+        Probability that a small aggregate is real-time rather than bulk
+        (the paper's mix is 0.5).
+    large_probability:
+        Probability of a large file-transfer aggregate (the paper uses 0.02).
+    priority_factor:
+        Weight applied to large-transfer aggregates in the objective; 1.0
+        keeps the paper's uniform weighting, larger values reproduce the
+        Figure 5 prioritization.
+    seed:
+        Drives the synthetic traffic matrix and (for the random families)
+        the topology itself.
+    target_demanded_utilization:
+        Shortest-path calibration target (see :func:`calibrate_flow_counts`);
+        the traffic matrix is always calibrated against the
+        ``provisioning_ratio == 1.0`` capacities so that varying the ratio
+        only changes capacity, exactly like the paper's two regimes.
+    max_steps:
+        Optional cap on committed optimizer steps.  Unlike a wall-clock
+        budget this keeps the cell fully deterministic, so sweep presets use
+        it to bound the cost of the larger topologies.
+    max_wall_clock_s:
+        Optional optimizer time budget for the cell (not deterministic
+        across machines; prefer ``max_steps`` for cacheable sweeps).
+    """
+    if topology not in SWEEP_TOPOLOGY_BUILDERS:
+        raise ExperimentError(
+            f"unknown topology family {topology!r}; "
+            f"expected one of {sweep_topology_families()}"
+        )
+    if provisioning_ratio <= 0.0:
+        raise ExperimentError(
+            f"provisioning_ratio must be positive, got {provisioning_ratio!r}"
+        )
+    if priority_factor <= 0.0:
+        raise ExperimentError(
+            f"priority_factor must be positive, got {priority_factor!r}"
+        )
+
+    capacity = PROVISIONED_CAPACITY_BPS * provisioning_ratio
+    network = SWEEP_TOPOLOGY_BUILDERS[topology](num_pops, capacity, seed)
+
+    traffic_config = PaperTrafficConfig(
+        real_time_probability=real_time_probability,
+        large_probability=large_probability,
+    )
+    traffic_matrix = paper_traffic_matrix(network, seed=seed, config=traffic_config)
+
+    # Calibrate against the fully provisioned capacities so that, as in the
+    # paper, the provisioning ratio changes capacity but never the demand.
+    # The full 31-POP Hurricane Electric core uses the paper's absolute flow
+    # counts instead (mirroring build_paper_scenario), so an `he-*` sweep
+    # cell at full scale is exactly a figure run at the same seed.
+    resolved_pops = num_pops if num_pops is not None else default_num_pops()
+    at_paper_scale = topology == "hurricane-electric" and resolved_pops >= 31
+    if not at_paper_scale:
+        traffic_matrix = _calibrate_against_provisioned(
+            network,
+            traffic_matrix,
+            provisioning_ratio == 1.0,
+            target_demanded_utilization,
+        )
+
+    weights = _priority_weights(priority_factor)
+    config = FubarConfig(
+        priority_weights=weights,
+        max_steps=max_steps,
+        max_wall_clock_s=max_wall_clock_s,
+    )
+
+    parts = [topology, f"r{provisioning_ratio:g}"]
+    if priority_factor != 1.0:
+        parts.append(f"p{priority_factor:g}")
+    name = "-".join(parts) + f"-seed{seed}"
+    return Scenario(
+        name=name,
+        network=network,
+        traffic_matrix=traffic_matrix,
+        fubar_config=config,
+        description=(
+            f"Sweep cell: {topology} topology at {provisioning_ratio:g}x the "
+            "paper's provisioned capacity"
+            + (f", large flows weighted x{priority_factor:g}" if priority_factor != 1.0 else "")
+        ),
+        metadata={
+            "topology": topology,
+            "provisioning_ratio": provisioning_ratio,
+            "real_time_probability": real_time_probability,
+            "large_probability": large_probability,
+            "priority_factor": priority_factor,
+            "seed": seed,
+            "target_demanded_utilization": target_demanded_utilization,
+            "max_steps": max_steps,
+        },
     )

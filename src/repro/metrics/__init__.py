@@ -11,6 +11,7 @@ from repro.metrics.link_metrics import (
 from repro.metrics.reporting import (
     format_cdf,
     format_comparison,
+    format_markdown_table,
     format_table,
     format_utility_timeline,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "flow_delay_cdf",
     "format_cdf",
     "format_comparison",
+    "format_markdown_table",
     "format_table",
     "format_utility_timeline",
     "hottest_links",

@@ -76,6 +76,18 @@ def format_cdf(cdf: EmpiricalCDF, percentiles: Sequence[float] = (5, 25, 50, 75,
     return format_table(("percentile", "value"), rows)
 
 
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table (used by written reports)."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    lines = [
+        "| " + " | ".join(str(header) for header in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in materialized:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
 def format_comparison(results: Mapping[str, float], reference: str) -> str:
     """Render named scalar results with their ratio to a reference entry."""
     if reference not in results:

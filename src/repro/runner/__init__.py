@@ -1,0 +1,72 @@
+"""Parallel scenario-sweep runner.
+
+This package is the layer that turns the single-scenario reproduction into
+an evaluation machine: a registry of named scenario families
+(:mod:`repro.runner.registry`), a parallel sweep engine with deterministic
+per-cell seeds (:mod:`repro.runner.engine`), an on-disk result cache keyed
+by config hash (:mod:`repro.runner.cache`) and aggregated FUBAR-vs-baseline
+comparison reports (:mod:`repro.runner.report`).  The CLI in
+:mod:`repro.runner.cli` exposes it all as ``python -m repro.runner``.
+"""
+
+from repro.runner.cache import (
+    CACHE_DIR_ENV_VAR,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.runner.engine import (
+    BASELINE_SCHEMES,
+    CellOutcome,
+    SweepResult,
+    SweepStats,
+    evaluate_cell,
+    run_sweep,
+)
+from repro.runner.registry import (
+    SWEEP_PRESETS,
+    ScenarioFamily,
+    build_scenario,
+    default_sweep_specs,
+    get_family,
+    list_families,
+    register_family,
+    resolve_spec,
+    smoke_sweep_specs,
+)
+from repro.runner.report import (
+    aggregate_summary,
+    comparison_rows,
+    format_markdown_report,
+    format_sweep_report,
+)
+from repro.runner.spec import CellSpec, canonical_json, parse_param_overrides
+
+__all__ = [
+    "BASELINE_SCHEMES",
+    "CACHE_DIR_ENV_VAR",
+    "CellOutcome",
+    "CellSpec",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "SWEEP_PRESETS",
+    "ScenarioFamily",
+    "SweepResult",
+    "SweepStats",
+    "aggregate_summary",
+    "build_scenario",
+    "canonical_json",
+    "comparison_rows",
+    "default_cache_dir",
+    "default_sweep_specs",
+    "evaluate_cell",
+    "format_markdown_report",
+    "format_sweep_report",
+    "get_family",
+    "list_families",
+    "parse_param_overrides",
+    "register_family",
+    "resolve_spec",
+    "run_sweep",
+    "smoke_sweep_specs",
+]

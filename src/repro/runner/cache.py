@@ -1,0 +1,117 @@
+"""On-disk result cache for sweep cells.
+
+Every evaluated cell is stored as one JSON file named after the cell's
+config hash (see :meth:`repro.runner.spec.CellSpec.config_hash`).  Because
+the hash covers the complete canonical spec — family, parameters, seed, and
+a schema version — a repeated sweep with the same configuration is a pure
+cache read, and any change to the configuration transparently misses.
+
+The cache is deliberately simple: a directory of self-describing JSON files
+that can be inspected, diffed, copied between machines, or deleted
+wholesale.  Writes go through a temp-file rename so a crashed worker never
+leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV_VAR = "FUBAR_CACHE_DIR"
+
+#: Directory used when neither the CLI flag nor the env var names one.
+DEFAULT_CACHE_DIR = ".fubar-cache"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment or the default."""
+    return Path(os.environ.get(CACHE_DIR_ENV_VAR, "").strip() or DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """A directory of cached cell results keyed by config hash."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+
+    def _path_for(self, config_hash: str) -> Path:
+        return self.directory / f"{config_hash}.json"
+
+    def contains(self, config_hash: str) -> bool:
+        """True when a result for *config_hash* is cached."""
+        return self._path_for(config_hash).is_file()
+
+    def load(self, config_hash: str) -> Optional[Dict[str, object]]:
+        """The cached record for *config_hash*, or None on a miss.
+
+        A corrupt entry (e.g. an interrupted manual edit) is treated as a
+        miss rather than an error so a sweep can transparently recompute it.
+        """
+        path = self._path_for(config_hash)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def store(self, config_hash: str, record: Dict[str, object]) -> Path:
+        """Atomically persist *record* under *config_hash* and return its path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path_for(config_hash)
+        # The temp suffix must not end in ".json": the record globs would
+        # otherwise pick up an orphan left by a killed process as an entry.
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".tmp-", suffix=".json.tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """Iterate over every readable cached record (order: by filename)."""
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    yield json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+
+    def hashes(self) -> List[str]:
+        """Config hashes of every cached entry."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json") if self.directory.is_dir() else ():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.hashes())
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.directory)!r}, entries={len(self)})"

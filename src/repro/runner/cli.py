@@ -1,0 +1,272 @@
+"""The ``python -m repro.runner`` command-line interface.
+
+Four subcommands drive the sweep machinery:
+
+``list``
+    Show every registered scenario family, its defaults and sweepable axes,
+    plus the named sweep presets.
+``run``
+    Evaluate a single cell (family + overrides + seed) and print its
+    comparison against the baselines.
+``sweep``
+    Run a grid of cells in parallel through the result cache and print the
+    aggregated comparison report; ``--report`` additionally writes a
+    markdown report.
+``report``
+    Re-render the report from cached results without running anything.
+
+Examples
+--------
+::
+
+    python -m repro.runner list
+    python -m repro.runner run he-provisioned --set num_pops=6 --seed 1
+    python -m repro.runner sweep --jobs 4 --seeds 0,1
+    python -m repro.runner sweep --family waxman --family random-core --seeds 0:3
+    python -m repro.runner report --output sweep-report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.metrics.reporting import format_table
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
+from repro.runner.engine import run_sweep
+from repro.runner.registry import (
+    SWEEP_PRESETS,
+    get_family,
+    list_families,
+)
+from repro.runner.report import format_markdown_report, format_sweep_report
+from repro.runner.spec import CellSpec, parse_param_overrides
+
+
+def _parse_seeds(text: str) -> List[int]:
+    """Parse ``--seeds`` values: ``3`` · ``0,1,2`` · ``0:5`` (half-open)."""
+    text = text.strip()
+    try:
+        if ":" in text:
+            start_text, _, stop_text = text.partition(":")
+            start, stop = int(start_text or 0), int(stop_text)
+            if stop <= start:
+                raise ExperimentError(f"empty seed range {text!r}")
+            return list(range(start, stop))
+        if "," in text:
+            seeds = [int(part) for part in text.split(",") if part.strip()]
+            if not seeds:
+                raise ValueError(text)
+            return seeds
+        return [int(text)]
+    except ValueError:
+        raise ExperimentError(
+            f"invalid --seeds value {text!r}; expected '3', '0,1,2' or '0:5'"
+        ) from None
+
+
+def _progress_printer(stream):
+    def notify(event: str, spec: CellSpec) -> None:
+        tag = {"hit": "cache", "queued": "queue", "done": "done ", "error": "FAIL "}.get(
+            event, event
+        )
+        print(f"[{tag}] {spec.label()}", file=stream, flush=True)
+
+    return notify
+
+
+# ------------------------------------------------------------------ commands
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for family in list_families():
+        defaults = ", ".join(f"{k}={v}" for k, v in sorted(family.defaults.items()))
+        rows.append((family.name, family.description, defaults or "-"))
+    print(format_table(("family", "description", "defaults"), rows))
+    print()
+    sweepable = sorted({axis for family in list_families() for axis in family.sweepable})
+    print("sweepable axes: " + ", ".join(sweepable))
+    print("presets: " + ", ".join(sorted(SWEEP_PRESETS)))
+    print(f"cache dir: {default_cache_dir()} (override with --cache-dir)")
+    return 0
+
+
+def _make_cache(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    get_family(args.family)  # fail fast with the registry's error message
+    spec = CellSpec(
+        family=args.family,
+        params=parse_param_overrides(args.set),
+        seed=args.seed,
+    )
+    result = run_sweep(
+        [spec],
+        jobs=1,
+        cache=_make_cache(args),
+        force=args.force,
+        progress=_progress_printer(sys.stderr),
+    )
+    print(format_sweep_report(result.records, result.stats.as_dict()))
+    record = result.records[0]
+    if "error" in record:
+        print(record.get("traceback", ""), file=sys.stderr)
+        return 1
+    print(f"\nconfig hash: {record['config_hash']}")
+    return 0
+
+
+def _build_sweep_specs(args: argparse.Namespace) -> List[CellSpec]:
+    seeds = _parse_seeds(args.seeds)
+    if args.family:
+        overrides = parse_param_overrides(args.set)
+        specs = []
+        for name in args.family:
+            get_family(name)
+            specs.extend(CellSpec(name, overrides, seed=seed) for seed in seeds)
+        return specs
+    if args.set:
+        raise ExperimentError("--set requires --family (presets fix their parameters)")
+    try:
+        preset = SWEEP_PRESETS[args.preset]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown preset {args.preset!r}; available: {', '.join(sorted(SWEEP_PRESETS))}"
+        ) from None
+    return [
+        CellSpec(spec.family, spec.params, seed=seed)
+        for seed in seeds
+        for spec in preset()
+    ]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    specs = _build_sweep_specs(args)
+    result = run_sweep(
+        specs,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+        force=args.force,
+        progress=_progress_printer(sys.stderr),
+    )
+    print(format_sweep_report(result.records, result.stats.as_dict()))
+    if args.report:
+        path = Path(args.report)
+        path.write_text(
+            format_markdown_report(result.records, result.stats.as_dict()),
+            encoding="utf-8",
+        )
+        print(f"\nmarkdown report written to {path}")
+    return 1 if result.failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    cache = _make_cache(args)
+    records = list(cache.records())
+    if not records:
+        print(f"no cached results under {cache.directory}", file=sys.stderr)
+        return 1
+    records.sort(key=lambda record: str(record.get("label", "")))
+    print(format_sweep_report(records))
+    if args.output:
+        path = Path(args.output)
+        path.write_text(format_markdown_report(records), encoding="utf-8")
+        print(f"\nmarkdown report written to {path}")
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Parallel scenario-sweep runner for the FUBAR reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_cache_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            help=f"result cache directory (default: {DEFAULT_CACHE_DIR}, "
+            "or $FUBAR_CACHE_DIR)",
+        )
+        sub.add_argument(
+            "--force",
+            action="store_true",
+            help="recompute cells even when a cached result exists",
+        )
+
+    sub = subparsers.add_parser("list", help="list scenario families and presets")
+    sub.set_defaults(handler=_cmd_list)
+
+    sub = subparsers.add_parser("run", help="evaluate a single scenario cell")
+    sub.add_argument("family", help="scenario family name (see `list`)")
+    sub.add_argument("--seed", type=int, default=0, help="cell seed (default 0)")
+    sub.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a family parameter (repeatable)",
+    )
+    add_cache_args(sub)
+    sub.set_defaults(handler=_cmd_run)
+
+    sub = subparsers.add_parser("sweep", help="run a grid of cells in parallel")
+    sub.add_argument(
+        "--preset",
+        default="default",
+        help="named sweep preset (default: 'default'; see `list`)",
+    )
+    sub.add_argument(
+        "--family",
+        action="append",
+        help="sweep these families instead of a preset (repeatable)",
+    )
+    sub.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="parameter overrides applied to every --family cell (repeatable)",
+    )
+    sub.add_argument(
+        "--seeds",
+        default="0",
+        help="seeds per cell: '3', '0,1,2' or '0:5' (default '0')",
+    )
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: min(cells, cpu count))",
+    )
+    sub.add_argument("--report", help="also write a markdown report to this path")
+    add_cache_args(sub)
+    sub.set_defaults(handler=_cmd_sweep)
+
+    sub = subparsers.add_parser("report", help="re-render the report from the cache")
+    sub.add_argument("--output", help="also write a markdown report to this path")
+    add_cache_args(sub)
+    sub.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,315 @@
+"""The parallel sweep engine.
+
+:func:`evaluate_cell` runs one sweep cell end to end — build the scenario,
+run FUBAR, run every baseline (shortest path, ECMP, min-max LP), compute the
+upper bound — and returns a :class:`CellOutcome` holding both the rich
+in-process objects (for benchmarks that want the optimizer trace) and a
+JSON-serializable record (for the cache and the reports).
+
+:func:`run_sweep` fans a list of :class:`~repro.runner.spec.CellSpec` out
+over a ``multiprocessing`` pool.  The parent process resolves cache hits
+first so workers only ever compute genuinely new cells; every finished cell
+is written back to the cache as soon as it arrives.  Cells are fully
+described by their picklable specs and derive all randomness from the spec
+seed, so parallel execution is exactly as reproducible as a serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.baselines.common import BaselineResult
+from repro.baselines.ecmp import ecmp_routing
+from repro.baselines.minmax_lp import minmax_lp_routing
+from repro.baselines.shortest_path import shortest_path_routing
+from repro.baselines.upper_bound import upper_bound_utility
+from repro.core.controller import Fubar, FubarPlan
+from repro.experiments.scenarios import Scenario
+from repro.runner.cache import ResultCache
+from repro.runner.registry import build_scenario, resolve_spec
+from repro.runner.spec import SPEC_SCHEMA_VERSION, CellSpec
+
+#: Records and spec hashing share one schema version: an incompatible record
+#: change must bump ``SPEC_SCHEMA_VERSION`` in :mod:`repro.runner.spec`,
+#: which also invalidates every cached entry.
+RECORD_SCHEMA_VERSION = SPEC_SCHEMA_VERSION
+
+_BASELINE_RUNNERS: Dict[str, Callable] = {
+    "shortest-path": shortest_path_routing,
+    "ecmp": ecmp_routing,
+    "minmax-lp": minmax_lp_routing,
+}
+
+#: The baseline schemes every cell is compared against, in report order.
+BASELINE_SCHEMES = tuple(_BASELINE_RUNNERS)
+
+
+@dataclass
+class CellOutcome:
+    """The full in-process result of evaluating one cell."""
+
+    spec: CellSpec
+    scenario: Scenario
+    plan: FubarPlan
+    baselines: Dict[str, BaselineResult]
+    upper_bound: float
+    wall_clock_s: float
+
+    @property
+    def final_utility(self) -> float:
+        """FUBAR's final (unweighted) network utility."""
+        return self.plan.network_utility
+
+    @property
+    def shortest_path_utility(self) -> float:
+        """The shortest-path lower-bound reference."""
+        return self.baselines["shortest-path"].network_utility
+
+    def improvement_over_shortest_path(self) -> float:
+        """Relative utility improvement of FUBAR over shortest-path routing."""
+        if self.shortest_path_utility <= 0.0:
+            return 0.0
+        return (self.final_utility - self.shortest_path_utility) / self.shortest_path_utility
+
+    def to_record(self) -> Dict[str, object]:
+        """The JSON-serializable record cached and consumed by reports."""
+        weights = self.scenario.fubar_config.priority_weights
+        model = self.plan.result.model_result
+        schemes: Dict[str, Dict[str, object]] = {
+            "fubar": {
+                "utility": model.network_utility(),
+                "weighted_utility": model.network_utility(weights),
+                "total_utilization": model.total_utilization(),
+                "demanded_utilization": model.demanded_utilization(),
+                "congested_links": len(model.congested_links),
+                "steps": self.plan.result.num_steps,
+                "wall_clock_s": self.plan.result.wall_clock_s,
+                "termination": self.plan.result.termination_reason,
+            }
+        }
+        for name, baseline in self.baselines.items():
+            schemes[name] = {
+                "utility": baseline.network_utility,
+                "weighted_utility": baseline.weighted_utility(weights),
+                "total_utilization": baseline.model_result.total_utilization(),
+                "demanded_utilization": baseline.model_result.demanded_utilization(),
+                "congested_links": len(baseline.model_result.congested_links),
+            }
+        return {
+            "schema": RECORD_SCHEMA_VERSION,
+            "spec": self.spec.to_dict(),
+            "config_hash": self.spec.config_hash(),
+            "label": self.spec.label(),
+            "scenario": dict(self.scenario.summary()),
+            "schemes": schemes,
+            "upper_bound_utility": self.upper_bound,
+            "improvement_over_shortest_path": self.improvement_over_shortest_path(),
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+def evaluate_cell(spec: CellSpec) -> CellOutcome:
+    """Evaluate one cell: FUBAR plus every baseline on the same scenario."""
+    started = time.perf_counter()
+    scenario = build_scenario(spec)
+    controller = Fubar(scenario.network, config=scenario.fubar_config)
+    plan = controller.optimize(scenario.traffic_matrix)
+    baselines = {
+        name: runner(scenario.network, scenario.traffic_matrix)
+        for name, runner in _BASELINE_RUNNERS.items()
+    }
+    bound = upper_bound_utility(scenario.network, scenario.traffic_matrix)
+    return CellOutcome(
+        spec=spec,
+        scenario=scenario,
+        plan=plan,
+        baselines=baselines,
+        upper_bound=bound,
+        wall_clock_s=time.perf_counter() - started,
+    )
+
+
+def _evaluate_payload(payload: Mapping[str, object]) -> Dict[str, object]:
+    """Worker entry point: evaluate a spec dict, never raise across the pipe.
+
+    ``run_sweep`` sends resolved specs (every default explicit) tagged with
+    the parent-computed cache key and the original, compact display label;
+    both are applied to the record so the cache filename, the record body
+    and the report tables stay consistent.
+    """
+    spec = CellSpec.from_dict(payload)
+    config_hash = payload.get("_config_hash", spec.config_hash())
+    label = payload.get("_label", spec.label())
+    try:
+        record = evaluate_cell(spec).to_record()
+        record["config_hash"] = config_hash
+        record["label"] = label
+        return record
+    except Exception as error:  # noqa: BLE001 — reported per cell, sweep continues
+        return {
+            "schema": RECORD_SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "config_hash": config_hash,
+            "label": label,
+            "error": f"{type(error).__name__}: {error}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+def _evaluate_tagged_payload(payload: Mapping[str, object]):
+    """Pool worker wrapper pairing each result with its cache key."""
+    return payload["_config_hash"], _evaluate_payload(payload)
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one sweep run."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    failures: int = 0
+    duplicates: int = 0
+    wall_clock_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        # cells == cache_hits + computed + failures + duplicates, always.
+        return {
+            "cells": self.cells,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "failures": self.failures,
+            "duplicates": self.duplicates,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Every cell record of a sweep, in spec order, plus run statistics."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    @property
+    def succeeded(self) -> List[Dict[str, object]]:
+        return [record for record in self.records if "error" not in record]
+
+    @property
+    def failed(self) -> List[Dict[str, object]]:
+        return [record for record in self.records if "error" in record]
+
+
+def default_jobs(num_cells: int) -> int:
+    """Worker count used when the caller does not pick one."""
+    return max(1, min(num_cells, os.cpu_count() or 1))
+
+
+def _pool_context():
+    """Prefer fork on Linux (cheap, inherits the imported interpreter).
+
+    macOS lists fork as available but forking after Objective-C / Accelerate
+    BLAS initialization is unsafe (which is why CPython switched its default
+    to spawn there); everywhere except Linux the platform default is used.
+    """
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context(None)
+
+
+def run_sweep(
+    specs: Sequence[CellSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    progress: Optional[Callable[[str, CellSpec], None]] = None,
+) -> SweepResult:
+    """Run every cell in *specs*, in parallel, through the result cache.
+
+    Parameters
+    ----------
+    specs:
+        The cells to evaluate.  Duplicate specs are computed once.
+    jobs:
+        Worker processes; defaults to ``min(len(specs), cpu_count)``.
+        ``jobs=1`` runs serially in-process (no pool), which is also the
+        fallback when only one cell needs computing.
+    cache:
+        Result cache; defaults to :class:`ResultCache` at the default
+        directory.  Pass ``force=True`` to recompute (and re-store) cells
+        even when cached.
+    progress:
+        Optional callback invoked as ``progress(event, spec)`` with events
+        ``"hit"`` (served from cache), ``"queued"`` (handed to the worker
+        pool — actual start times are not observable from the parent),
+        ``"done"`` and ``"error"``.
+    """
+    started = time.perf_counter()
+    cache = cache if cache is not None else ResultCache()
+    notify = progress or (lambda event, spec: None)
+
+    stats = SweepStats(cells=len(specs))
+    # Cache keys come from the *resolved* specs (family defaults and the
+    # environment scale made explicit) so that changing either can never be
+    # served a stale cached result; the original compact specs are kept for
+    # progress events and report labels.
+    resolved_specs = [resolve_spec(spec) for spec in specs]
+    hashes = [resolved.config_hash() for resolved in resolved_specs]
+    records_by_hash: Dict[str, Dict[str, object]] = {}
+    pending_by_hash: Dict[str, tuple] = {}  # hash -> (original, resolved)
+    for spec, resolved, config_hash in zip(specs, resolved_specs, hashes):
+        if config_hash in records_by_hash or config_hash in pending_by_hash:
+            stats.duplicates += 1
+            continue
+        cached = None if force else cache.load(config_hash)
+        if cached is not None and "error" not in cached:
+            records_by_hash[config_hash] = cached
+            stats.cache_hits += 1
+            notify("hit", spec)
+        else:
+            pending_by_hash[config_hash] = (spec, resolved)
+
+    def finish(config_hash: str, record: Dict[str, object]) -> None:
+        # Store each record the moment it arrives, so an interrupted sweep
+        # keeps every completed cell.
+        records_by_hash[config_hash] = record
+        spec, _ = pending_by_hash[config_hash]
+        if "error" in record:
+            stats.failures += 1
+            notify("error", spec)
+        else:
+            cache.store(config_hash, record)
+            stats.computed += 1
+            notify("done", spec)
+
+    if pending_by_hash:
+        resolved_jobs = jobs if jobs is not None else default_jobs(len(pending_by_hash))
+        payloads = []
+        for config_hash, (spec, resolved) in pending_by_hash.items():
+            payload = resolved.to_dict()
+            payload["_config_hash"] = config_hash
+            payload["_label"] = spec.label()
+            payloads.append(payload)
+            notify("queued", spec)
+        if resolved_jobs <= 1 or len(payloads) == 1:
+            for payload in payloads:
+                finish(payload["_config_hash"], _evaluate_payload(payload))
+        else:
+            context = _pool_context()
+            with context.Pool(processes=min(resolved_jobs, len(payloads))) as pool:
+                for config_hash, record in pool.imap_unordered(
+                    _evaluate_tagged_payload, payloads
+                ):
+                    finish(config_hash, record)
+
+    stats.wall_clock_s = time.perf_counter() - started
+    # One record per input spec, in spec order; duplicates share the dict.
+    return SweepResult(
+        records=[records_by_hash[config_hash] for config_hash in hashes], stats=stats
+    )

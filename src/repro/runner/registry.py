@@ -1,0 +1,269 @@
+"""The scenario-family registry.
+
+The paper evaluates FUBAR on one topology in two provisioning regimes; the
+registry generalizes that into named, parameterized **scenario families**
+that sweeps can enumerate.  A family couples a human-readable name with a
+builder that turns ``(seed, **params)`` into a ready-to-run
+:class:`~repro.experiments.scenarios.Scenario`.
+
+Built-in families cover the paper's three Hurricane Electric regimes
+(``he-provisioned`` / ``he-underprovisioned`` / ``he-prioritized``), the
+Abilene and GÉANT research backbones, and the Waxman / random-regular
+synthetic topology families — five distinct topology families in total.
+New families can be registered at runtime with :func:`register_family`,
+which is how downstream experiments plug their own workloads into the same
+sweep/caching machinery.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.scenarios import (
+    DEFAULT_PRIORITY_FACTOR,
+    RANDOM_TOPOLOGY_FAMILIES,
+    Scenario,
+    build_sweep_scenario,
+    default_num_pops,
+)
+from repro.runner.spec import CellSpec
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A named, parameterized source of sweep scenarios.
+
+    Parameters
+    ----------
+    name:
+        Registry key, also used in cell labels and the CLI.
+    description:
+        One line shown by ``python -m repro.runner list``.
+    builder:
+        Callable ``(seed, **params) -> Scenario``.
+    defaults:
+        Parameters applied before any per-cell overrides; also documents
+        which knobs the family exposes.
+    sweepable:
+        Names of the parameters that are meaningful to sweep (shown by the
+        CLI so users know which axes exist).
+    """
+
+    name: str
+    description: str
+    builder: Callable[..., Scenario]
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    sweepable: Tuple[str, ...] = ()
+
+    def build(self, seed: int = 0, **overrides: object) -> Scenario:
+        """Build this family's scenario for one cell."""
+        params = {**self.defaults, **overrides}
+        return self.builder(seed=seed, **params)
+
+    def build_cell(self, spec: CellSpec) -> Scenario:
+        """Build the scenario described by *spec* (which must name this family)."""
+        if spec.family != self.name:
+            raise ExperimentError(
+                f"spec family {spec.family!r} does not match {self.name!r}"
+            )
+        return self.build(seed=spec.seed, **spec.params)
+
+
+_FAMILIES: Dict[str, ScenarioFamily] = {}
+
+
+def register_family(family: ScenarioFamily, replace: bool = False) -> ScenarioFamily:
+    """Add *family* to the registry (``replace=True`` to overwrite).
+
+    The sweep engine forks workers only on Linux (macOS and Windows use
+    spawned workers, which re-import this module and therefore see only the
+    built-in families).  So on non-Linux platforms a family registered at
+    runtime is only visible to parallel workers if the registration happens
+    at import time of a module the workers also import — otherwise run such
+    sweeps with ``jobs=1``.  On Linux, workers inherit the parent's registry
+    and this caveat does not apply.
+    """
+    if family.name in _FAMILIES and not replace:
+        raise ExperimentError(f"scenario family {family.name!r} is already registered")
+    _FAMILIES[family.name] = family
+    return family
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look up a registered family, with a helpful error for typos."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FAMILIES)) or "(none)"
+        raise ExperimentError(
+            f"unknown scenario family {name!r}; registered families: {known}"
+        ) from None
+
+
+def list_families() -> List[ScenarioFamily]:
+    """All registered families, sorted by name."""
+    return [_FAMILIES[name] for name in sorted(_FAMILIES)]
+
+
+def build_scenario(spec: CellSpec) -> Scenario:
+    """Resolve *spec* against the registry and build its scenario."""
+    return get_family(spec.family).build_cell(spec)
+
+
+#: Topology families whose scenario size is driven by ``num_pops``.
+NUM_POPS_TOPOLOGIES = frozenset({"hurricane-electric"}) | RANDOM_TOPOLOGY_FAMILIES
+
+
+def _builder_defaults(builder: Callable[..., Scenario]) -> Dict[str, object]:
+    """The introspectable keyword defaults of a family's builder function."""
+    defaults: Dict[str, object] = {}
+    try:
+        signature = inspect.signature(builder)
+    except (TypeError, ValueError):
+        return defaults
+    for name, parameter in signature.parameters.items():
+        if name == "seed" or parameter.default is inspect.Parameter.empty:
+            continue
+        defaults[name] = parameter.default
+    return defaults
+
+
+def resolve_spec(spec: CellSpec) -> CellSpec:
+    """Expand *spec* into the fully explicit cell it actually builds.
+
+    Three implicit inputs are folded into the params so that the resolved
+    spec's :meth:`~repro.runner.spec.CellSpec.config_hash` covers the cell's
+    *complete* configuration:
+
+    * the builder function's own keyword defaults — so an explicitly passed
+      default value hashes like the implicit one, and editing a builder
+      default can never be served stale cached results;
+    * the family's registry defaults (e.g. the ``geant`` family's
+      ``max_steps``), for the same reason;
+    * the environment-selected scale (``FUBAR_FULL_SCALE`` →
+      :func:`default_num_pops`), for topologies that consume ``num_pops`` —
+      so a full-scale run never reuses reduced-scale records.  Fixed-size
+      backbones (Abilene, GÉANT) are left untouched and stay portable
+      across scale modes.
+
+    Building the resolved spec yields the identical scenario; caches key on
+    the resolved hash.
+    """
+    family = get_family(spec.family)
+    params = {**_builder_defaults(family.builder), **family.defaults, **spec.params}
+    if params.get("topology") in NUM_POPS_TOPOLOGIES and params.get("num_pops") is None:
+        params["num_pops"] = default_num_pops()
+    return CellSpec(spec.family, params, spec.seed)
+
+
+# ------------------------------------------------------------ built-in families
+
+_SWEEP_AXES = (
+    "num_pops",
+    "provisioning_ratio",
+    "real_time_probability",
+    "large_probability",
+    "priority_factor",
+    "target_demanded_utilization",
+    "max_steps",
+)
+
+
+def _sweep_family(
+    name: str, description: str, sweepable: Tuple[str, ...] = _SWEEP_AXES, **defaults
+) -> ScenarioFamily:
+    return register_family(
+        ScenarioFamily(
+            name=name,
+            description=description,
+            builder=build_sweep_scenario,
+            defaults=defaults,
+            sweepable=sweepable,
+        )
+    )
+
+
+_sweep_family(
+    "he-provisioned",
+    "Paper §3 provisioned regime: Hurricane Electric core, 100 Mbps links",
+    topology="hurricane-electric",
+    provisioning_ratio=1.0,
+)
+_sweep_family(
+    "he-underprovisioned",
+    "Paper §3 underprovisioned regime: Hurricane Electric core, 75 Mbps links",
+    topology="hurricane-electric",
+    provisioning_ratio=0.75,
+)
+_sweep_family(
+    "he-prioritized",
+    "Paper Figure 5: underprovisioned core with large flows weighted up",
+    topology="hurricane-electric",
+    provisioning_ratio=0.75,
+    priority_factor=DEFAULT_PRIORITY_FACTOR,
+)
+_sweep_family(
+    "abilene",
+    "Abilene / Internet2 backbone (11 POPs) with the paper's traffic recipe",
+    topology="abilene",
+)
+_sweep_family(
+    "geant",
+    "Simplified GEANT European backbone (16 POPs); larger, slower cells",
+    topology="geant",
+    # GEANT's per-step cost dominates a sweep; a deterministic step cap keeps
+    # a cell in the seconds range while preserving cacheability.
+    max_steps=15,
+)
+_sweep_family(
+    "waxman",
+    "Waxman random topologies; the seed draws a new instance per cell",
+    topology="waxman",
+)
+_sweep_family(
+    "random-core",
+    "Random cores matching the HE core's mean degree; seed draws the instance",
+    topology="random-core",
+)
+
+
+# ------------------------------------------------------------------- presets
+
+
+def default_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
+    """The default sweep grid: eight cells across five topology families.
+
+    The cell sizes are chosen so the whole grid completes in seconds on a
+    laptop while still covering both provisioning regimes, a prioritized
+    cell, two real research backbones and both random families.  Pass more
+    seeds to replicate the grid per seed (the Figure 7 treatment, applied to
+    every family).
+    """
+    grid = [
+        CellSpec("he-provisioned", {"num_pops": 6}),
+        CellSpec("he-underprovisioned", {"num_pops": 6}),
+        CellSpec("he-prioritized", {"num_pops": 6}),
+        CellSpec("abilene", {}),
+        CellSpec("abilene", {"provisioning_ratio": 0.75}),
+        CellSpec("geant", {}),
+        CellSpec("waxman", {"num_pops": 8, "provisioning_ratio": 0.75}),
+        CellSpec("random-core", {"num_pops": 8}),
+    ]
+    return [
+        CellSpec(cell.family, cell.params, seed=seed) for seed in seeds for cell in grid
+    ]
+
+
+def smoke_sweep_specs() -> List[CellSpec]:
+    """A single tiny cell used by CI and quick sanity checks."""
+    return [CellSpec("he-provisioned", {"num_pops": 5})]
+
+
+#: Named sweep presets selectable from the CLI.
+SWEEP_PRESETS: Dict[str, Callable[[], List[CellSpec]]] = {
+    "default": default_sweep_specs,
+    "smoke": smoke_sweep_specs,
+}

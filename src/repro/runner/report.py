@@ -1,0 +1,164 @@
+"""Aggregated comparison reports over sweep records.
+
+These helpers consume the JSON records produced by
+:mod:`repro.runner.engine` (directly, or re-read from the cache) and render
+the cross-scenario comparison the paper never had: FUBAR against the
+shortest-path / ECMP / min-max-LP baselines and the upper bound, per cell
+and aggregated over the whole sweep.  Console output uses the fixed-width
+tables from :mod:`repro.metrics.reporting`; written reports use the markdown
+variant so they render on any forge.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.metrics.reporting import format_markdown_table, format_table
+from repro.runner.engine import BASELINE_SCHEMES
+
+#: Scheme columns of the comparison table, in display order (derived from
+#: the engine's runner map so adding a baseline updates the reports too).
+REPORT_SCHEMES = ("fubar", *BASELINE_SCHEMES)
+
+
+def _scheme_utility(record: Mapping[str, object], scheme: str) -> float:
+    schemes = record.get("schemes", {})
+    entry = schemes.get(scheme, {}) if isinstance(schemes, Mapping) else {}
+    value = entry.get("utility") if isinstance(entry, Mapping) else None
+    return float(value) if value is not None else math.nan
+
+
+def comparison_rows(records: Iterable[Mapping[str, object]]) -> List[List[str]]:
+    """One row per successful cell: utilities per scheme plus references."""
+    rows: List[List[str]] = []
+    for record in records:
+        if "error" in record:
+            # "ERROR" sits in the first scheme column; dashes fill the rest.
+            padding = ["-"] * (len(COMPARISON_HEADERS) - 2)
+            rows.append([str(record.get("label", "?")), "ERROR", *padding])
+            continue
+        utilities = [f"{_scheme_utility(record, scheme):.4f}" for scheme in REPORT_SCHEMES]
+        bound = record.get("upper_bound_utility")
+        improvement = record.get("improvement_over_shortest_path", 0.0)
+        rows.append(
+            [
+                str(record.get("label", "?")),
+                *utilities,
+                f"{float(bound):.4f}" if bound is not None else "-",
+                f"{float(improvement):+.1%}",
+            ]
+        )
+    return rows
+
+
+COMPARISON_HEADERS = ("cell", *REPORT_SCHEMES, "upper-bound", "vs sp")
+
+
+def aggregate_summary(records: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Sweep-level aggregates over the successful cells."""
+    ok = [record for record in records if "error" not in record]
+    summary: Dict[str, object] = {
+        "cells": len(list(records)),
+        "succeeded": len(ok),
+        "failed": len(list(records)) - len(ok),
+    }
+    if not ok:
+        return summary
+    improvements = [float(r.get("improvement_over_shortest_path", 0.0)) for r in ok]
+    gaps = []
+    best_count = 0
+    congestion_cleared = 0
+    for record in ok:
+        fubar = _scheme_utility(record, "fubar")
+        others = [_scheme_utility(record, s) for s in REPORT_SCHEMES[1:]]
+        if all(fubar >= other - 1e-9 for other in others if not math.isnan(other)):
+            best_count += 1
+        bound = record.get("upper_bound_utility")
+        if bound is not None and float(bound) > 0:
+            gaps.append(1.0 - fubar / float(bound))
+        schemes = record.get("schemes", {})
+        fubar_entry = schemes.get("fubar", {}) if isinstance(schemes, Mapping) else {}
+        if isinstance(fubar_entry, Mapping) and fubar_entry.get("congested_links") == 0:
+            congestion_cleared += 1
+    summary.update(
+        {
+            "mean_improvement_over_shortest_path": sum(improvements) / len(improvements),
+            "mean_gap_to_upper_bound": sum(gaps) / len(gaps) if gaps else None,
+            "cells_where_fubar_is_best": best_count,
+            "cells_with_no_congestion": congestion_cleared,
+            "families": sorted(
+                {str(r.get("spec", {}).get("family", "?")) for r in ok}
+            ),
+            "topologies": sorted(
+                {str(r.get("scenario", {}).get("topology", r.get("scenario", {}).get("network", "?"))) for r in ok}
+            ),
+        }
+    )
+    return summary
+
+
+def format_sweep_report(
+    records: Sequence[Mapping[str, object]],
+    stats: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Render the full console report: comparison table + aggregate lines."""
+    lines = [format_table(COMPARISON_HEADERS, comparison_rows(records))]
+    summary = aggregate_summary(records)
+    lines.append("")
+    lines.append(
+        f"cells: {summary['cells']}  succeeded: {summary['succeeded']}  "
+        f"failed: {summary['failed']}"
+    )
+    if summary.get("succeeded"):
+        mean_improvement = summary["mean_improvement_over_shortest_path"]
+        lines.append(
+            f"mean improvement over shortest path: {mean_improvement:+.1%}  |  "
+            f"FUBAR best scheme in {summary['cells_where_fubar_is_best']}"
+            f"/{summary['succeeded']} cells  |  "
+            f"congestion fully cleared in {summary['cells_with_no_congestion']}"
+            f"/{summary['succeeded']} cells"
+        )
+        gap = summary.get("mean_gap_to_upper_bound")
+        if gap is not None:
+            lines.append(f"mean gap to upper bound: {gap:.1%}")
+    if stats:
+        duplicates = stats.get("duplicates", 0)
+        lines.append(
+            f"run: {stats.get('cache_hits', 0)} cache hits, "
+            f"{stats.get('computed', 0)} computed, "
+            f"{stats.get('failures', 0)} failures"
+            + (f", {duplicates} duplicates" if duplicates else "")
+            + f" in {float(stats.get('wall_clock_s', 0.0)):.1f}s"
+        )
+    for record in records:
+        if "error" in record:
+            lines.append(f"\n{record.get('label', '?')} failed: {record['error']}")
+    return "\n".join(lines)
+
+
+def format_markdown_report(
+    records: Sequence[Mapping[str, object]],
+    stats: Optional[Mapping[str, object]] = None,
+    title: str = "FUBAR scenario sweep",
+) -> str:
+    """Render the sweep as a standalone markdown document."""
+    summary = aggregate_summary(records)
+    lines = [f"# {title}", ""]
+    lines.append(format_markdown_table(COMPARISON_HEADERS, comparison_rows(records)))
+    lines.append("")
+    lines.append("## Summary")
+    lines.append("")
+    for key, value in summary.items():
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        lines.append(f"- **{key}**: {value}")
+    if stats:
+        lines.append(
+            f"- **run**: {stats.get('cache_hits', 0)} cache hits, "
+            f"{stats.get('computed', 0)} computed, "
+            f"{stats.get('failures', 0)} failures, "
+            f"{float(stats.get('wall_clock_s', 0.0)):.1f}s wall clock"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Sweep-cell specifications and deterministic hashing.
+
+A :class:`CellSpec` is the *complete*, JSON-serializable description of one
+(scenario family × parameters × seed) cell of a sweep.  Everything the runner
+does hangs off two derived quantities:
+
+* :meth:`CellSpec.config_hash` — a stable SHA-256 digest of the canonical
+  spec, used as the on-disk cache key.  Two specs that describe the same cell
+  (regardless of parameter ordering) always hash identically, so a repeated
+  sweep hits the cache instead of recomputing.
+* the cell's ``seed`` — part of the spec itself, so every worker process
+  derives its RNG streams purely from the spec it was handed.  Re-running a
+  cell always reproduces the same traffic matrix, topology instance (for the
+  random families) and optimizer outcome, and a cell of a paper family is
+  exactly comparable with the figure runner at the same seed (e.g. the
+  ``he-provisioned`` cell at seed 3 is ``run_figure3(seed=3)``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.exceptions import ExperimentError
+
+#: Version tag mixed into every hash so cached results are invalidated when
+#: the result schema or the evaluation semantics change incompatibly.
+SPEC_SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: object) -> str:
+    """Serialize *payload* to a canonical JSON string (sorted keys, no spaces)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _canonical_value(value: object) -> object:
+    """Normalize a param value for hashing: integral floats hash as ints.
+
+    ``--set provisioning_ratio=1`` parses as the int 1 while the builder
+    default is the float 1.0; they build identical scenarios, so they must
+    hash identically too.
+    """
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of a scenario sweep.
+
+    Parameters
+    ----------
+    family:
+        Name of a registered scenario family (see :mod:`repro.runner.registry`).
+    params:
+        Family-parameter overrides (e.g. ``{"num_pops": 6}``).  Values must
+        be JSON-serializable scalars so the spec can be hashed and cached.
+    seed:
+        Seed of the cell, handed verbatim to the scenario builder.  Seeds
+        are part of the spec (and therefore of the config hash), so a sweep
+        over seeds enumerates explicit, individually cacheable cells.
+    """
+
+    family: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.family:
+            raise ExperimentError("cell spec needs a non-empty family name")
+        # Freeze params into a plain dict with stable, hashable content.
+        object.__setattr__(self, "params", dict(self.params))
+        try:
+            canonical_json(dict(self.params))
+        except TypeError as error:
+            raise ExperimentError(
+                f"cell params must be JSON-serializable: {error}"
+            ) from error
+
+    # ------------------------------------------------------------- identity
+
+    def canonical(self) -> Dict[str, object]:
+        """The canonical dict this cell is hashed and cached under.
+
+        The hash covers exactly what the spec says — for caching, sweep
+        engines must first expand the spec with
+        :func:`repro.runner.registry.resolve_spec`, which folds in the
+        family defaults and the environment-selected scale so that changing
+        either can never be served a stale cached result.
+        """
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "family": self.family,
+            "params": {key: _canonical_value(value) for key, value in self.params.items()},
+            "seed": self.seed,
+        }
+
+    def config_hash(self) -> str:
+        """Stable hex digest identifying this cell's full configuration."""
+        return hashlib.sha256(canonical_json(self.canonical()).encode()).hexdigest()
+
+    def label(self) -> str:
+        """Compact human-readable identifier used in tables and logs."""
+        if not self.params:
+            return f"{self.family}/seed{self.seed}"
+        rendered = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.family}[{rendered}]/seed{self.seed}"
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"family": self.family, "params": dict(self.params), "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CellSpec":
+        try:
+            family = data["family"]
+        except KeyError as error:
+            raise ExperimentError("cell spec dict is missing 'family'") from error
+        return cls(
+            family=str(family),
+            params=dict(data.get("params", {})),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+def parse_param_value(text: str) -> object:
+    """Parse a ``--set key=value`` CLI value into int / float / bool / str."""
+    lowered = text.strip().lower()
+    if lowered in {"true", "yes", "on"}:
+        return True
+    if lowered in {"false", "no", "off"}:
+        return False
+    if lowered in {"none", "null"}:
+        return None
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_param_overrides(pairs) -> Dict[str, object]:
+    """Parse repeated ``key=value`` strings into a parameter dict."""
+    overrides: Dict[str, object] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise ExperimentError(
+                f"parameter override {pair!r} is not of the form key=value"
+            )
+        key, _, value = pair.partition("=")
+        key = key.strip()
+        if not key:
+            raise ExperimentError(f"parameter override {pair!r} has an empty key")
+        overrides[key] = parse_param_value(value)
+    return overrides

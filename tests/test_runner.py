@@ -1,0 +1,474 @@
+"""Tests for the scenario-sweep runner (registry, engine, cache, CLI).
+
+The execution tests use deliberately tiny cells (5-POP Hurricane Electric
+core, 6-node random topologies) so the whole module stays in the seconds
+range; the benchmark harness exercises the default scale.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.scenarios import (
+    build_sweep_scenario,
+    sweep_topology_families,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.cli import main as cli_main
+from repro.runner.engine import evaluate_cell, run_sweep
+from repro.runner.registry import (
+    ScenarioFamily,
+    build_scenario,
+    default_sweep_specs,
+    get_family,
+    list_families,
+    register_family,
+    resolve_spec,
+    smoke_sweep_specs,
+)
+from repro.runner.report import (
+    aggregate_summary,
+    format_markdown_report,
+    format_sweep_report,
+)
+from repro.runner.spec import CellSpec, parse_param_overrides, parse_param_value
+
+#: The smallest useful Hurricane Electric cell.
+TINY = {"num_pops": 5}
+
+
+# ----------------------------------------------------------- sweep scenarios
+
+
+class TestSweepScenarios:
+    def test_topology_families_cover_five_families(self):
+        assert set(sweep_topology_families()) == {
+            "hurricane-electric",
+            "abilene",
+            "geant",
+            "waxman",
+            "random-core",
+        }
+
+    def test_provisioning_ratio_scales_capacity(self):
+        full = build_sweep_scenario(num_pops=5, provisioning_ratio=1.0)
+        scaled = build_sweep_scenario(num_pops=5, provisioning_ratio=0.75)
+        full_caps = {link.capacity_bps for link in full.network.links}
+        scaled_caps = {link.capacity_bps for link in scaled.network.links}
+        assert full_caps == {100e6}
+        assert scaled_caps == {75e6}
+
+    def test_ratio_only_changes_capacity_not_demand(self):
+        full = build_sweep_scenario(num_pops=5, provisioning_ratio=1.0, seed=4)
+        scaled = build_sweep_scenario(num_pops=5, provisioning_ratio=0.75, seed=4)
+        assert full.traffic_matrix.total_flows == scaled.traffic_matrix.total_flows
+
+    def test_random_family_uses_seed_for_topology(self):
+        a = build_sweep_scenario(topology="waxman", num_pops=6, seed=1)
+        b = build_sweep_scenario(topology="waxman", num_pops=6, seed=2)
+        assert a.network.num_links != b.network.num_links or set(
+            a.network.link_ids
+        ) != set(b.network.link_ids)
+
+    def test_priority_factor_sets_weights(self):
+        scenario = build_sweep_scenario(num_pops=5, priority_factor=8.0)
+        assert scenario.fubar_config.priority_weights.weight_for("large-transfer") == 8.0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_sweep_scenario(topology="torus")
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_sweep_scenario(provisioning_ratio=0.0)
+
+
+# ------------------------------------------------------------------ cell spec
+
+
+class TestCellSpec:
+    def test_config_hash_equates_int_and_integral_float(self):
+        # `--set provisioning_ratio=1` parses as int; the builder default is
+        # the float 1.0 — same cell, same hash (booleans stay distinct).
+        as_int = CellSpec("abilene", {"provisioning_ratio": 1})
+        as_float = CellSpec("abilene", {"provisioning_ratio": 1.0})
+        assert as_int.config_hash() == as_float.config_hash()
+        assert (
+            resolve_spec(as_int).config_hash()
+            == resolve_spec(CellSpec("abilene")).config_hash()
+        )
+        assert (
+            CellSpec("abilene", {"flag": True}).config_hash()
+            != CellSpec("abilene", {"flag": 1}).config_hash()
+        )
+
+    def test_config_hash_ignores_param_order(self):
+        a = CellSpec("waxman", {"num_pops": 6, "provisioning_ratio": 0.75})
+        b = CellSpec("waxman", {"provisioning_ratio": 0.75, "num_pops": 6})
+        assert a.config_hash() == b.config_hash()
+
+    def test_config_hash_distinguishes_cells(self):
+        base = CellSpec("waxman", {"num_pops": 6})
+        assert base.config_hash() != CellSpec("waxman", {"num_pops": 7}).config_hash()
+        assert base.config_hash() != CellSpec("waxman", {"num_pops": 6}, seed=1).config_hash()
+        assert base.config_hash() != CellSpec("geant", {"num_pops": 6}).config_hash()
+
+    def test_resolved_hash_tracks_environment_scale(self, monkeypatch):
+        monkeypatch.delenv("FUBAR_FULL_SCALE", raising=False)
+        floating = resolve_spec(CellSpec("he-provisioned")).config_hash()
+        pinned = resolve_spec(CellSpec("he-provisioned", {"num_pops": 6})).config_hash()
+        fixed_size = resolve_spec(CellSpec("abilene")).config_hash()
+        monkeypatch.setenv("FUBAR_FULL_SCALE", "1")
+        # A cell that relies on the environment default must not be served a
+        # reduced-scale cached result at full scale (even via an explicit
+        # num_pops=None, which the builders also resolve at build time)...
+        full = resolve_spec(CellSpec("he-provisioned")).config_hash()
+        assert full != floating
+        assert (
+            resolve_spec(CellSpec("he-provisioned", {"num_pops": None})).config_hash()
+            == full
+        )
+        # ...while pinned cells and fixed-size backbones stay portable.
+        assert (
+            resolve_spec(CellSpec("he-provisioned", {"num_pops": 6})).config_hash()
+            == pinned
+        )
+        assert resolve_spec(CellSpec("abilene")).config_hash() == fixed_size
+
+    def test_resolved_hash_covers_builder_defaults(self):
+        # An explicitly passed builder default hashes like the implicit one,
+        # so the sweep never recomputes a cell it already has.
+        implicit = resolve_spec(CellSpec("abilene"))
+        explicit = resolve_spec(CellSpec("abilene", {"real_time_probability": 0.5}))
+        assert implicit.config_hash() == explicit.config_hash()
+        other = resolve_spec(CellSpec("abilene", {"real_time_probability": 0.7}))
+        assert other.config_hash() != implicit.config_hash()
+
+    def test_resolved_hash_covers_family_defaults(self):
+        # resolve_spec folds the registry defaults into the params, so a
+        # changed default (e.g. geant's max_steps) changes the cache key.
+        resolved = resolve_spec(CellSpec("geant"))
+        assert resolved.params["max_steps"] == 15
+        assert resolved.params["topology"] == "geant"
+        retuned = CellSpec("geant", {**resolved.params, "max_steps": 30})
+        assert retuned.config_hash() != resolved.config_hash()
+        # Resolution is idempotent and builds the identical scenario.
+        assert resolve_spec(resolved).config_hash() == resolved.config_hash()
+
+    def test_round_trip_through_dict(self):
+        spec = CellSpec("abilene", {"provisioning_ratio": 0.5}, seed=9)
+        clone = CellSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.config_hash() == spec.config_hash()
+
+    def test_rejects_unserializable_params(self):
+        with pytest.raises(ExperimentError):
+            CellSpec("abilene", {"fn": object()})
+
+    def test_param_override_parsing(self):
+        assert parse_param_value("6") == 6
+        assert parse_param_value("0.75") == 0.75
+        assert parse_param_value("true") is True
+        assert parse_param_value("none") is None
+        assert parse_param_value("abilene") == "abilene"
+        overrides = parse_param_overrides(["num_pops=6", "provisioning_ratio=0.75"])
+        assert overrides == {"num_pops": 6, "provisioning_ratio": 0.75}
+        with pytest.raises(ExperimentError):
+            parse_param_overrides(["no-equals-sign"])
+
+
+# ------------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_lookup_returns_registered_family(self):
+        family = get_family("he-provisioned")
+        assert family.name == "he-provisioned"
+        assert family.defaults["topology"] == "hurricane-electric"
+
+    def test_unknown_family_raises_with_known_names(self):
+        with pytest.raises(ExperimentError, match="he-provisioned"):
+            get_family("does-not-exist")
+
+    def test_list_families_is_sorted_and_complete(self):
+        names = [family.name for family in list_families()]
+        assert names == sorted(names)
+        assert {"he-provisioned", "abilene", "geant", "waxman", "random-core"} <= set(names)
+
+    def test_build_scenario_resolves_spec(self):
+        scenario = build_scenario(CellSpec("he-underprovisioned", TINY, seed=1))
+        assert scenario.network.num_nodes == 5
+        assert all(link.capacity_bps == 75e6 for link in scenario.network.links)
+
+    def test_duplicate_registration_rejected(self):
+        family = get_family("abilene")
+        with pytest.raises(ExperimentError):
+            register_family(family)
+        # replace=True is the escape hatch
+        register_family(family, replace=True)
+
+    def test_family_rejects_mismatched_spec(self):
+        with pytest.raises(ExperimentError):
+            get_family("abilene").build_cell(CellSpec("geant"))
+
+    def test_custom_family_round_trip(self):
+        family = ScenarioFamily(
+            name="test-tiny",
+            description="tiny test family",
+            builder=build_sweep_scenario,
+            defaults={"topology": "hurricane-electric", "num_pops": 5},
+        )
+        register_family(family, replace=True)
+        scenario = build_scenario(CellSpec("test-tiny", seed=0))
+        assert scenario.network.num_nodes == 5
+
+    def test_presets(self):
+        default = default_sweep_specs()
+        assert len(default) >= 6
+        assert len({spec.family for spec in default}) >= 4
+        assert len(default_sweep_specs(seeds=(0, 1))) == 2 * len(default)
+        assert len(smoke_sweep_specs()) == 1
+
+
+# ------------------------------------------------------------------- engine
+
+
+class TestEngine:
+    def test_evaluate_cell_runs_all_schemes(self):
+        outcome = evaluate_cell(CellSpec("he-provisioned", TINY, seed=1))
+        record = outcome.to_record()
+        assert set(record["schemes"]) == {"fubar", "shortest-path", "ecmp", "minmax-lp"}
+        assert record["schemes"]["fubar"]["utility"] >= (
+            record["schemes"]["shortest-path"]["utility"] - 1e-9
+        )
+        assert 0.0 < record["upper_bound_utility"] <= 1.0
+        # The record must survive a JSON round trip unchanged.
+        assert json.loads(json.dumps(record)) == record
+
+    def test_same_cell_twice_is_deterministic(self):
+        spec = CellSpec("waxman", {"num_pops": 6}, seed=3)
+        first = evaluate_cell(spec).to_record()
+        second = evaluate_cell(spec).to_record()
+        assert first["schemes"]["fubar"]["utility"] == second["schemes"]["fubar"]["utility"]
+        assert first["scenario"] == second["scenario"]
+        assert (
+            first["schemes"]["minmax-lp"]["utility"]
+            == second["schemes"]["minmax-lp"]["utility"]
+        )
+
+    def test_two_cell_parallel_sweep_smoke(self, tmp_path):
+        specs = [
+            CellSpec("he-provisioned", TINY, seed=1),
+            CellSpec("waxman", {"num_pops": 6}, seed=1),
+        ]
+        cache = ResultCache(tmp_path / "cache")
+        result = run_sweep(specs, jobs=2, cache=cache)
+        assert not result.failed
+        assert result.stats.computed == 2
+        assert [r["spec"]["family"] for r in result.records] == [
+            "he-provisioned",
+            "waxman",
+        ]
+        # Parallel execution must agree with an in-process evaluation.
+        direct = evaluate_cell(specs[0]).to_record()
+        assert (
+            result.records[0]["schemes"]["fubar"]["utility"]
+            == direct["schemes"]["fubar"]["utility"]
+        )
+
+    def test_sweep_cache_hit_and_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = CellSpec("he-provisioned", TINY, seed=2)
+        first = run_sweep([spec], jobs=1, cache=cache)
+        assert (first.stats.cache_hits, first.stats.computed) == (0, 1)
+        second = run_sweep([spec], jobs=1, cache=cache)
+        assert (second.stats.cache_hits, second.stats.computed) == (1, 0)
+        assert second.records == first.records
+        # A different seed misses; force recomputes.
+        third = run_sweep([CellSpec("he-provisioned", TINY, seed=3)], jobs=1, cache=cache)
+        assert third.stats.computed == 1
+        forced = run_sweep([spec], jobs=1, cache=cache, force=True)
+        assert (forced.stats.cache_hits, forced.stats.computed) == (0, 1)
+
+    def test_duplicate_specs_computed_once(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = CellSpec("he-provisioned", TINY, seed=1)
+        result = run_sweep([spec, spec], jobs=1, cache=cache)
+        assert result.stats.computed == 1
+        assert result.stats.duplicates == 1
+        # Stats always reconcile: cells = hits + computed + failures + dups.
+        assert result.stats.cells == 2
+        # One record per input spec, in spec order; duplicates share the dict.
+        assert len(result.records) == 2
+        assert result.records[0] is result.records[1]
+
+    def test_failing_cell_reported_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        # An impossible POP count fails inside the worker path.
+        bad = CellSpec("he-provisioned", {"num_pops": -1})
+        result = run_sweep([bad], jobs=1, cache=cache)
+        assert result.stats.failures == 1
+        assert "error" in result.records[0]
+        assert len(cache) == 0
+
+
+# -------------------------------------------------------------------- cache
+
+
+class TestCache:
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        record = {"hello": "world", "value": 1.5}
+        cache.store("abc123", record)
+        assert cache.contains("abc123")
+        assert cache.load("abc123") == record
+        assert cache.hashes() == ["abc123"]
+        assert list(cache.records()) == [record]
+
+    def test_missing_and_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.load("nope") is None
+        cache.store("bad", {"x": 1})
+        (tmp_path / "cache" / "bad.json").write_text("{ truncated", encoding="utf-8")
+        assert cache.load("bad") is None
+
+    def test_orphaned_temp_files_are_not_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store("good", {"x": 1})
+        # Simulate a process killed between mkstemp and os.replace.
+        (tmp_path / "cache" / ".tmp-orphan.json.tmp").write_text("{", encoding="utf-8")
+        assert cache.hashes() == ["good"]
+        assert len(cache) == 1
+        assert [r for r in cache.records()] == [{"x": 1}]
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.store("a", {})
+        cache.store("b", {})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+# ------------------------------------------------------------------- report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def records(self, tmp_path_factory):
+        cache = ResultCache(tmp_path_factory.mktemp("cache"))
+        specs = [
+            CellSpec("he-provisioned", TINY, seed=1),
+            CellSpec("he-underprovisioned", TINY, seed=1),
+        ]
+        return run_sweep(specs, jobs=1, cache=cache).records
+
+    def test_aggregate_summary(self, records):
+        summary = aggregate_summary(records)
+        assert summary["cells"] == 2
+        assert summary["succeeded"] == 2
+        assert summary["failed"] == 0
+        assert 0.0 <= summary["cells_where_fubar_is_best"] <= 2
+        assert summary["families"] == ["he-provisioned", "he-underprovisioned"]
+
+    def test_text_report_contains_cells_and_schemes(self, records):
+        text = format_sweep_report(records)
+        assert "he-provisioned" in text
+        assert "minmax-lp" in text
+        assert "mean improvement over shortest path" in text
+
+    def test_markdown_report_is_table(self, records):
+        text = format_markdown_report(records)
+        assert text.startswith("# FUBAR scenario sweep")
+        assert "| cell |" in text
+        assert "## Summary" in text
+
+    def test_error_records_render(self):
+        records = [{"label": "broken/seed0", "error": "Boom"}]
+        text = format_sweep_report(records)
+        assert "ERROR" in text
+        assert "Boom" in text
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "he-provisioned" in out
+        assert "presets" in out
+
+    def test_run_command_and_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "run",
+            "he-provisioned",
+            "--set",
+            "num_pops=5",
+            "--seed",
+            "1",
+            "--cache-dir",
+            cache_dir,
+        ]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "config hash:" in out
+        assert cli_main(argv) == 0  # second invocation is served from cache
+        out = capsys.readouterr().out
+        assert "1 cache hits" in out
+
+    def test_sweep_command_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        argv = [
+            "sweep",
+            "--family",
+            "he-provisioned",
+            "--set",
+            "num_pops=5",
+            "--seeds",
+            "0,1",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--report",
+            str(report),
+        ]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cells: 2" in out
+        assert report.is_file()
+        assert "| cell |" in report.read_text(encoding="utf-8")
+
+    def test_report_command(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            cli_main(
+                ["run", "he-provisioned", "--set", "num_pops=5", "--cache-dir", cache_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert cli_main(["report", "--cache-dir", cache_dir]) == 0
+        assert "he-provisioned" in capsys.readouterr().out
+
+    def test_report_command_empty_cache_fails(self, tmp_path):
+        assert cli_main(["report", "--cache-dir", str(tmp_path / "empty")]) == 1
+
+    def test_unknown_family_is_an_error(self, tmp_path):
+        assert cli_main(["run", "nope", "--cache-dir", str(tmp_path)]) == 2
+
+    @pytest.mark.parametrize("seeds", ["5:5", "abc", "1,x", ",", ",,"])
+    def test_bad_seeds_are_clean_errors(self, tmp_path, seeds):
+        argv = [
+            "sweep",
+            "--family",
+            "he-provisioned",
+            "--seeds",
+            seeds,
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert cli_main(argv) == 2
