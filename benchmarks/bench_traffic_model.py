@@ -7,13 +7,15 @@ shortest-path allocation of the full 31-POP core — roughly the workload the
 optimizer runs hundreds to thousands of times per optimization.
 """
 
+import numpy as np
 import pytest
 
 from benchmarks.conftest import print_header
 from repro.core.state import AllocationState
 from repro.topology.hurricane_electric import provisioned_core
 from repro.traffic.generators import paper_traffic_matrix
-from repro.trafficmodel.waterfill import TrafficModel
+from repro.trafficmodel.compiled import CompiledTrafficModel
+from repro.trafficmodel.waterfill import TrafficModel, reference_evaluate
 
 
 @pytest.fixture(scope="module")
@@ -37,6 +39,51 @@ def test_traffic_model_evaluation_full_core(benchmark, full_core_bundles):
         f"network utility: {result.network_utility():.4f}"
     )
     assert len(result.outcomes) == len(bundles)
+
+
+def test_reference_model_evaluation_full_core(benchmark, full_core_bundles):
+    """The pre-compiled-engine baseline: full rebuild on every evaluation."""
+    network, bundles = full_core_bundles
+
+    result = benchmark(reference_evaluate, network, bundles)
+
+    print_header("Reference (event-driven, full rebuild) micro-benchmark")
+    print(f"bundles: {len(bundles)}, network utility: {result.network_utility():.4f}")
+    assert len(result.outcomes) == len(bundles)
+
+
+def test_compiled_patched_evaluation_full_core(benchmark, full_core_bundles):
+    """The optimizer's hot path: patch one bundle, solve, score."""
+    network, bundles = full_core_bundles
+    engine = CompiledTrafficModel(network)
+    compiled = engine.compile(bundles)
+    sample = bundles[0]
+    patch = {
+        (sample.aggregate_key, sample.path): sample.with_num_flows(
+            max(1, sample.num_flows // 2)
+        )
+    }
+
+    def candidate():
+        patched = engine.compile_patched(compiled, patch)
+        solution = engine.solve(patched)
+        return engine.weighted_utility(patched, solution.rates)
+
+    score = benchmark(candidate)
+
+    # Equivalence gate: the compiled engine must match the reference model.
+    reference = reference_evaluate(network, bundles)
+    result = engine.evaluate(bundles)
+    rates_ref = np.asarray([o.rate_bps for o in reference.outcomes])
+    rates_new = np.asarray([o.rate_bps for o in result.outcomes])
+    np.testing.assert_allclose(rates_new, rates_ref, rtol=1e-9, atol=1e-6)
+    assert all(
+        a.satisfied == b.satisfied and a.bottleneck_link == b.bottleneck_link
+        for a, b in zip(reference.outcomes, result.outcomes)
+    )
+
+    print_header("Compiled engine (patched candidate) micro-benchmark")
+    print(f"bundles: {len(bundles)}, candidate score: {score:.4f}")
 
 
 def test_shortest_path_allocation_build_full_core(benchmark):

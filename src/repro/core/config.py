@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.exceptions import OptimizationError
@@ -54,6 +54,14 @@ class FubarConfig:
         When True the recorder captures a trace point after every committed
         move (needed to redraw Figures 3–5); when False only at the start and
         end, which is slightly faster for large runs.
+    use_incremental_model:
+        When True (default) candidate moves are scored through the compiled
+        traffic-model engine's delta-evaluation path
+        (:meth:`~repro.trafficmodel.compiled.CompiledTrafficModel.evaluate_patched`),
+        which patches only the bundles a move changes.  When False each
+        candidate rebuilds and evaluates the full bundle list — the
+        pre-compiled-engine behaviour, kept for the running-time benchmarks
+        and equivalence checks.
     """
 
     move_fraction: float = 0.25
@@ -65,6 +73,7 @@ class FubarConfig:
     max_wall_clock_s: Optional[float] = None
     priority_weights: PriorityWeights = field(default_factory=PriorityWeights.uniform)
     record_every_step: bool = True
+    use_incremental_model: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.move_fraction <= 1.0:
@@ -109,14 +118,4 @@ class FubarConfig:
 
     def with_priority(self, weights: PriorityWeights) -> "FubarConfig":
         """Return a copy with different priority weights (used by Figure 5)."""
-        return FubarConfig(
-            move_fraction=self.move_fraction,
-            small_aggregate_flows=self.small_aggregate_flows,
-            escalation_multipliers=self.escalation_multipliers,
-            min_utility_improvement=self.min_utility_improvement,
-            consider_existing_paths=self.consider_existing_paths,
-            max_steps=self.max_steps,
-            max_wall_clock_s=self.max_wall_clock_s,
-            priority_weights=weights,
-            record_every_step=self.record_every_step,
-        )
+        return replace(self, priority_weights=weights)

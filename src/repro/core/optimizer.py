@@ -128,6 +128,10 @@ class FubarOptimizer:
         recorder = OptimizationRecorder(config.priority_weights)
         recorder.start()
 
+        # Snapshot the (possibly injected/reused) model's cumulative counter
+        # so the reported count is per-run, not per-model-lifetime.
+        evaluations_at_start = self.model.evaluations
+
         state = initial_state or AllocationState.initial(
             self.network, self.traffic_matrix, self.path_generator
         )
@@ -154,6 +158,13 @@ class FubarOptimizer:
                 break
 
             progress = False
+            # Compile the current allocation once and share it across every
+            # congested link this iteration visits; candidate moves patch it.
+            compiled_base = (
+                self.model.engine.compile(state.bundles())
+                if config.use_incremental_model
+                else None
+            )
             for link_id in result.congested_links_by_oversubscription():
                 step_result = perform_step(
                     link_id,
@@ -164,6 +175,7 @@ class FubarOptimizer:
                     config,
                     result,
                     escalation_level,
+                    compiled_base=compiled_base,
                 )
                 if step_result.progress:
                     state = step_result.state
@@ -194,7 +206,7 @@ class FubarOptimizer:
             num_steps=step_count,
             termination_reason=termination,
             wall_clock_s=recorder.elapsed_s(),
-            model_evaluations=self.model.evaluations,
+            model_evaluations=self.model.evaluations - evaluations_at_start,
         )
 
 

@@ -148,19 +148,15 @@ class AllocationState:
 
     # ----------------------------------------------------------------- moves
 
-    def with_move(
+    def _check_move(
         self,
         key: AggregateKey,
         from_path: Path,
         to_path: Path,
         num_flows: int,
-    ) -> "AllocationState":
-        """Return a new state with *num_flows* of *key* moved between two paths.
-
-        Moving every flow off ``from_path`` removes that path from the
-        aggregate's allocation.  The source path must currently carry at
-        least *num_flows*; the destination path may be new.
-        """
+    ) -> Tuple[Path, Path, int, Aggregate]:
+        """Validate a move; returns the normalized paths, the current flow
+        count on ``from_path`` and the aggregate."""
         if num_flows <= 0:
             raise AllocationError(f"must move a positive number of flows, got {num_flows}")
         from_path = tuple(from_path)
@@ -178,7 +174,55 @@ class AllocationState:
             raise AllocationError(
                 f"target path {to_path!r} does not connect the endpoints of {key!r}"
             )
+        return from_path, to_path, current, aggregate
 
+    def move_delta(
+        self,
+        key: AggregateKey,
+        from_path: Path,
+        to_path: Path,
+        num_flows: int,
+    ) -> Dict[Tuple[AggregateKey, Path], Optional[Bundle]]:
+        """The bundle patch a move induces, for the compiled traffic model.
+
+        Returns the two changed rows in the shape
+        :meth:`repro.trafficmodel.compiled.CompiledTrafficModel.evaluate_patched`
+        consumes: the shrunk (or removed, when every flow leaves) from-path
+        bundle and the grown (or brand-new) to-path bundle.  The state itself
+        is not modified; commit the winning move with :meth:`with_move`.
+        """
+        from_path, to_path, current, aggregate = self._check_move(
+            key, from_path, to_path, num_flows
+        )
+        delta: Dict[Tuple[AggregateKey, Path], Optional[Bundle]] = {}
+        if current == num_flows:
+            delta[(key, from_path)] = None
+        else:
+            delta[(key, from_path)] = Bundle(
+                aggregate=aggregate, path=from_path, num_flows=current - num_flows
+            )
+        existing = self._allocations[key].get(to_path, 0)
+        delta[(key, to_path)] = Bundle(
+            aggregate=aggregate, path=to_path, num_flows=existing + num_flows
+        )
+        return delta
+
+    def with_move(
+        self,
+        key: AggregateKey,
+        from_path: Path,
+        to_path: Path,
+        num_flows: int,
+    ) -> "AllocationState":
+        """Return a new state with *num_flows* of *key* moved between two paths.
+
+        Moving every flow off ``from_path`` removes that path from the
+        aggregate's allocation.  The source path must currently carry at
+        least *num_flows*; the destination path may be new.
+        """
+        from_path, to_path, current, _ = self._check_move(
+            key, from_path, to_path, num_flows
+        )
         new_allocation = dict(self._allocations[key])
         if current == num_flows:
             del new_allocation[from_path]

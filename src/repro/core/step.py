@@ -13,14 +13,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.config import FubarConfig
 from repro.core.state import AllocationState
 from repro.paths.generator import PathGenerator
 from repro.paths.pathset import PathSet
 from repro.topology.graph import LinkId, Path
 from repro.traffic.aggregate import AggregateKey
+from repro.trafficmodel.compiled import CompiledBundles
 from repro.trafficmodel.result import TrafficModelResult
 from repro.trafficmodel.waterfill import TrafficModel
+
+#: A chosen move: (aggregate key, from path, to path, flows moved).
+_Move = Tuple[AggregateKey, Path, Path, int]
 
 
 @dataclass(frozen=True)
@@ -111,6 +117,116 @@ def candidate_paths_for_bundle(
     return candidates
 
 
+def _candidate_moves(
+    link_id: LinkId,
+    state: AllocationState,
+    path_sets: Dict[AggregateKey, PathSet],
+    generator: PathGenerator,
+    config: FubarConfig,
+    current_result: TrafficModelResult,
+    escalation_level: int,
+):
+    """Yield every (bundle, candidate path, flows to move) tested by a step."""
+    for outcome in current_result.outcomes_on_link(link_id):
+        bundle = outcome.bundle
+        num_to_move = flows_to_move(
+            bundle.aggregate.num_flows, bundle.num_flows, config, escalation_level
+        )
+        if num_to_move <= 0:
+            continue
+        candidates = candidate_paths_for_bundle(
+            bundle.path,
+            bundle.aggregate_key,
+            link_id,
+            current_result,
+            path_sets,
+            generator,
+            config,
+        )
+        for candidate in candidates:
+            yield bundle, candidate, num_to_move
+
+
+def _best_move_incremental(
+    link_id: LinkId,
+    state: AllocationState,
+    path_sets: Dict[AggregateKey, PathSet],
+    model: TrafficModel,
+    generator: PathGenerator,
+    config: FubarConfig,
+    current_result: TrafficModelResult,
+    escalation_level: int,
+    compiled_base: Optional[CompiledBundles],
+) -> Optional[_Move]:
+    """Score candidates through the compiled engine's delta path.
+
+    The base bundle list is compiled once; every candidate patches only the
+    one or two bundles its move changes, and is scored with the vectorized
+    utility roll-up — no result objects, no graph walks.
+    """
+    engine = model.engine
+    weights = config.priority_weights
+    if compiled_base is None:
+        compiled_base = engine.compile(state.bundles())
+    base_rates = np.asarray(
+        [outcome.rate_bps for outcome in current_result.outcomes], dtype=float
+    )
+    if base_rates.shape[0] != len(compiled_base):
+        raise ValueError(
+            "current_result does not correspond to the compiled base "
+            f"({base_rates.shape[0]} outcomes vs {len(compiled_base)} bundles)"
+        )
+    best_score = engine.weighted_utility(compiled_base, base_rates, weights)
+    best_score += config.min_utility_improvement
+    best: Optional[_Move] = None
+
+    for bundle, candidate, num_to_move in _candidate_moves(
+        link_id, state, path_sets, generator, config, current_result, escalation_level
+    ):
+        key = bundle.aggregate_key
+        delta = state.move_delta(key, bundle.path, candidate, num_to_move)
+        patched = engine.compile_patched(compiled_base, delta)
+        solution = engine.solve(patched)
+        score = engine.weighted_utility(patched, solution.rates, weights)
+        if score > best_score:
+            best_score = score
+            best = (key, bundle.path, candidate, num_to_move)
+    return best
+
+
+def _best_move_full(
+    link_id: LinkId,
+    state: AllocationState,
+    path_sets: Dict[AggregateKey, PathSet],
+    model: TrafficModel,
+    generator: PathGenerator,
+    config: FubarConfig,
+    current_result: TrafficModelResult,
+    escalation_level: int,
+) -> Optional[Tuple[_Move, AllocationState, TrafficModelResult]]:
+    """Score candidates by rebuilding and evaluating the full bundle list
+    (the pre-compiled-engine behaviour, kept for benchmarks/ablations).
+
+    Returns the winning move together with its already-evaluated trial
+    state/result so the caller does not pay a second full evaluation."""
+    weights = config.priority_weights
+    best_utility = current_result.network_utility(weights)
+    best_utility += config.min_utility_improvement
+    best: Optional[Tuple[_Move, AllocationState, TrafficModelResult]] = None
+
+    for bundle, candidate, num_to_move in _candidate_moves(
+        link_id, state, path_sets, generator, config, current_result, escalation_level
+    ):
+        key = bundle.aggregate_key
+        trial_state = state.with_move(key, bundle.path, candidate, num_to_move)
+        trial_result = model.evaluate(trial_state.bundles())
+        utility = trial_result.network_utility(weights)
+        if utility > best_utility:
+            best_utility = utility
+            best = ((key, bundle.path, candidate, num_to_move), trial_state, trial_result)
+    return best
+
+
 def perform_step(
     link_id: LinkId,
     state: AllocationState,
@@ -120,45 +236,57 @@ def perform_step(
     config: FubarConfig,
     current_result: TrafficModelResult,
     escalation_level: int = 0,
+    compiled_base: Optional[CompiledBundles] = None,
 ) -> StepResult:
     """Run one step of Listing 2 on the congested link *link_id*.
+
+    Candidate moves are scored through the compiled engine's incremental
+    path (``config.use_incremental_model``, the default) or by full
+    re-evaluation.  In the incremental case the winning move is committed by
+    evaluating the moved state once (the patched arrays served scoring
+    only); the full path reuses the winner's trial result directly.  Either
+    way the returned result reflects the canonical bundle ordering of the
+    new state.
 
     Returns a :class:`StepResult`; when ``progress`` is True the returned
     state/result reflect the committed move and the moved-to path has been
     added to the aggregate's path set.
+
+    ``compiled_base`` optionally passes a pre-compiled base bundle list (the
+    optimizer compiles the state once per main-loop iteration and shares it
+    across the congested links it visits).
     """
     weights = config.priority_weights
     utility_before = current_result.network_utility(weights)
 
-    best_utility = utility_before + config.min_utility_improvement
-    best: Optional[Tuple[AllocationState, TrafficModelResult, AggregateKey, Path, Path, int, float]] = None
-
-    for outcome in current_result.outcomes_on_link(link_id):
-        bundle = outcome.bundle
-        key = bundle.aggregate_key
-        num_to_move = flows_to_move(
-            bundle.aggregate.num_flows, bundle.num_flows, config, escalation_level
+    new_state: Optional[AllocationState] = None
+    new_result: Optional[TrafficModelResult] = None
+    if config.use_incremental_model:
+        best = _best_move_incremental(
+            link_id,
+            state,
+            path_sets,
+            model,
+            generator,
+            config,
+            current_result,
+            escalation_level,
+            compiled_base,
         )
-        if num_to_move <= 0:
-            continue
-        candidates = candidate_paths_for_bundle(
-            bundle.path, key, link_id, current_result, path_sets, generator, config
+    else:
+        full_best = _best_move_full(
+            link_id,
+            state,
+            path_sets,
+            model,
+            generator,
+            config,
+            current_result,
+            escalation_level,
         )
-        for candidate in candidates:
-            trial_state = state.with_move(key, bundle.path, candidate, num_to_move)
-            trial_result = model.evaluate(trial_state.bundles())
-            utility = trial_result.network_utility(weights)
-            if utility > best_utility:
-                best_utility = utility
-                best = (
-                    trial_state,
-                    trial_result,
-                    key,
-                    bundle.path,
-                    candidate,
-                    num_to_move,
-                    utility,
-                )
+        best = None
+        if full_best is not None:
+            best, new_state, new_result = full_best
 
     if best is None:
         return StepResult(
@@ -170,7 +298,12 @@ def perform_step(
             utility_after=utility_before,
         )
 
-    new_state, new_result, key, from_path, to_path, moved, utility_after = best
+    key, from_path, to_path, moved = best
+    if new_state is None or new_result is None:
+        # Incremental scoring worked on patched arrays; commit the winner by
+        # evaluating the moved state once, in its canonical bundle ordering.
+        new_state = state.with_move(key, from_path, to_path, moved)
+        new_result = model.evaluate(new_state.bundles())
     if key in path_sets:
         path_sets[key].add(to_path)
     return StepResult(
@@ -183,5 +316,5 @@ def perform_step(
         to_path=to_path,
         num_flows_moved=moved,
         utility_before=utility_before,
-        utility_after=utility_after,
+        utility_after=new_result.network_utility(weights),
     )

@@ -24,6 +24,7 @@ from repro.experiments.scenarios import (
     underprovisioned_scenario,
 )
 from repro.metrics.cdf import EmpiricalCDF
+from repro.metrics.reporting import relative_improvement
 from repro.metrics.delay_metrics import DelayShift, delay_shift, flow_delay_cdf
 from repro.traffic.classes import LARGE_TRANSFER
 from repro.utility.presets import bulk_transfer_utility, real_time_utility
@@ -60,11 +61,11 @@ class SingleRunResult:
         """(time, actual, demanded utilization) — the right panel."""
         return self.plan.result.recorder.utilization_series()
 
-    def improvement_over_shortest_path(self) -> float:
-        """Relative utility improvement over shortest-path routing."""
-        if self.shortest_path_utility <= 0.0:
-            return 0.0
-        return (self.final_utility - self.shortest_path_utility) / self.shortest_path_utility
+    def improvement_over_shortest_path(self) -> Optional[float]:
+        """Relative utility improvement over shortest-path routing, or
+        ``None`` when the shortest-path utility is non-positive (a ratio
+        against a zero baseline would misreport a strict improvement as 0)."""
+        return relative_improvement(self.final_utility, self.shortest_path_utility)
 
     def summary(self) -> dict:
         """Scalar summary of the run (what EXPERIMENTS.md tabulates)."""

@@ -220,17 +220,7 @@ def build_paper_scenario(
     base_config = fubar_config or FubarConfig()
     base_config = base_config.with_priority(weights)
     if max_wall_clock_s is not None:
-        base_config = FubarConfig(
-            move_fraction=base_config.move_fraction,
-            small_aggregate_flows=base_config.small_aggregate_flows,
-            escalation_multipliers=base_config.escalation_multipliers,
-            min_utility_improvement=base_config.min_utility_improvement,
-            consider_existing_paths=base_config.consider_existing_paths,
-            max_steps=base_config.max_steps,
-            max_wall_clock_s=max_wall_clock_s,
-            priority_weights=base_config.priority_weights,
-            record_every_step=base_config.record_every_step,
-        )
+        base_config = replace(base_config, max_wall_clock_s=max_wall_clock_s)
 
     parts = ["provisioned" if provisioned else "underprovisioned"]
     if prioritize_large_flows:

@@ -8,10 +8,24 @@ consistent, readable tables without any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.recorder import OptimizationRecorder
 from repro.metrics.cdf import EmpiricalCDF
+
+
+def relative_improvement(
+    final_utility: float, reference_utility: float
+) -> Optional[float]:
+    """Relative improvement of *final_utility* over *reference_utility*.
+
+    Returns ``None`` when the reference is non-positive: a ratio against a
+    zero (or negative) baseline is undefined, and reporting ``0.0`` there
+    would hide a strict improvement.  Reports render ``None`` as "n/a".
+    """
+    if reference_utility <= 0.0:
+        return None
+    return (final_utility - reference_utility) / reference_utility
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

@@ -31,6 +31,7 @@ from repro.baselines.shortest_path import shortest_path_routing
 from repro.baselines.upper_bound import upper_bound_utility
 from repro.core.controller import Fubar, FubarPlan
 from repro.experiments.scenarios import Scenario
+from repro.metrics.reporting import relative_improvement
 from repro.runner.cache import ResultCache
 from repro.runner.registry import build_scenario, resolve_spec
 from repro.runner.spec import SPEC_SCHEMA_VERSION, CellSpec
@@ -71,11 +72,10 @@ class CellOutcome:
         """The shortest-path lower-bound reference."""
         return self.baselines["shortest-path"].network_utility
 
-    def improvement_over_shortest_path(self) -> float:
-        """Relative utility improvement of FUBAR over shortest-path routing."""
-        if self.shortest_path_utility <= 0.0:
-            return 0.0
-        return (self.final_utility - self.shortest_path_utility) / self.shortest_path_utility
+    def improvement_over_shortest_path(self) -> Optional[float]:
+        """Relative utility improvement of FUBAR over shortest-path routing,
+        or ``None`` when the shortest-path utility is non-positive."""
+        return relative_improvement(self.final_utility, self.shortest_path_utility)
 
     def to_record(self) -> Dict[str, object]:
         """The JSON-serializable record cached and consumed by reports."""

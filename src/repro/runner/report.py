@@ -40,13 +40,13 @@ def comparison_rows(records: Iterable[Mapping[str, object]]) -> List[List[str]]:
             continue
         utilities = [f"{_scheme_utility(record, scheme):.4f}" for scheme in REPORT_SCHEMES]
         bound = record.get("upper_bound_utility")
-        improvement = record.get("improvement_over_shortest_path", 0.0)
+        improvement = record.get("improvement_over_shortest_path")
         rows.append(
             [
                 str(record.get("label", "?")),
                 *utilities,
                 f"{float(bound):.4f}" if bound is not None else "-",
-                f"{float(improvement):+.1%}",
+                f"{float(improvement):+.1%}" if improvement is not None else "n/a",
             ]
         )
     return rows
@@ -65,7 +65,11 @@ def aggregate_summary(records: Sequence[Mapping[str, object]]) -> Dict[str, obje
     }
     if not ok:
         return summary
-    improvements = [float(r.get("improvement_over_shortest_path", 0.0)) for r in ok]
+    improvements = [
+        float(r["improvement_over_shortest_path"])
+        for r in ok
+        if r.get("improvement_over_shortest_path") is not None
+    ]
     gaps = []
     best_count = 0
     congestion_cleared = 0
@@ -83,7 +87,9 @@ def aggregate_summary(records: Sequence[Mapping[str, object]]) -> Dict[str, obje
             congestion_cleared += 1
     summary.update(
         {
-            "mean_improvement_over_shortest_path": sum(improvements) / len(improvements),
+            "mean_improvement_over_shortest_path": (
+                sum(improvements) / len(improvements) if improvements else None
+            ),
             "mean_gap_to_upper_bound": sum(gaps) / len(gaps) if gaps else None,
             "cells_where_fubar_is_best": best_count,
             "cells_with_no_congestion": congestion_cleared,
@@ -112,8 +118,11 @@ def format_sweep_report(
     )
     if summary.get("succeeded"):
         mean_improvement = summary["mean_improvement_over_shortest_path"]
+        rendered_improvement = (
+            f"{mean_improvement:+.1%}" if mean_improvement is not None else "n/a"
+        )
         lines.append(
-            f"mean improvement over shortest path: {mean_improvement:+.1%}  |  "
+            f"mean improvement over shortest path: {rendered_improvement}  |  "
             f"FUBAR best scheme in {summary['cells_where_fubar_is_best']}"
             f"/{summary['succeeded']} cells  |  "
             f"congestion fully cleared in {summary['cells_with_no_congestion']}"
@@ -150,7 +159,9 @@ def format_markdown_report(
     lines.append("## Summary")
     lines.append("")
     for key, value in summary.items():
-        if isinstance(value, float):
+        if value is None:
+            value = "n/a"
+        elif isinstance(value, float):
             value = f"{value:.4f}"
         lines.append(f"- **{key}**: {value}")
     if stats:

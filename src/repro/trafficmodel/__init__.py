@@ -1,6 +1,10 @@
 """The TCP-like progressive-filling traffic model of paper §2.3."""
 
 from repro.trafficmodel.bundle import Bundle
+from repro.trafficmodel.compiled import (
+    CompiledBundles,
+    CompiledTrafficModel,
+)
 from repro.trafficmodel.result import (
     BundleOutcome,
     SATURATION_TOLERANCE,
@@ -8,18 +12,24 @@ from repro.trafficmodel.result import (
 )
 from repro.trafficmodel.waterfill import (
     MIN_RTT_S,
+    ReferenceTrafficModel,
     TrafficModel,
     TrafficModelConfig,
     evaluate_bundles,
+    reference_evaluate,
 )
 
 __all__ = [
     "Bundle",
     "BundleOutcome",
+    "CompiledBundles",
+    "CompiledTrafficModel",
     "MIN_RTT_S",
+    "ReferenceTrafficModel",
     "SATURATION_TOLERANCE",
     "TrafficModel",
     "TrafficModelConfig",
     "TrafficModelResult",
     "evaluate_bundles",
+    "reference_evaluate",
 ]

@@ -45,6 +45,11 @@ class Bundle:
             )
         if len(self.path) < 2:
             raise TrafficModelError(f"bundle path must have at least two nodes: {self.path!r}")
+        if len(set(self.path)) != len(self.path):
+            # A non-simple path would cross some link more than once and the
+            # traffic model's incidence accounting (and the RTT of the path)
+            # would no longer describe a deployable route.
+            raise TrafficModelError(f"bundle path visits a node twice: {self.path!r}")
         if self.path[0] != self.aggregate.source:
             raise TrafficModelError(
                 f"bundle path starts at {self.path[0]!r} but the aggregate's "

@@ -1,0 +1,814 @@
+"""Compiled/incremental traffic-model engine — the optimizer's hot path.
+
+The optimizer evaluates the traffic model once per candidate move (paper
+Listing 2), and a candidate move changes only one or two bundles.  The
+event-driven implementation in :mod:`repro.trafficmodel.waterfill`
+(:func:`~repro.trafficmodel.waterfill.reference_evaluate`) nevertheless
+rebuilds demands, RTTs, growth rates and the full link x bundle incidence
+matrix from the network graph on every call, and then advances one event per
+bundle.  This module removes both costs:
+
+* :meth:`CompiledTrafficModel.compile` turns a bundle list into a
+  :class:`CompiledBundles` — dense numpy arrays backed by a per-(aggregate,
+  path) row cache, so the graph walks (link indices, RTT, path delay, the
+  delay component of the utility function) happen once per distinct path and
+  are reused across every subsequent evaluation;
+* :meth:`CompiledTrafficModel.compile_patched` /
+  :meth:`CompiledTrafficModel.evaluate_patched` derive the arrays of a
+  *candidate* bundle list from an already-compiled base by patching only the
+  rows a move changes (reduce/remove the from-path bundle, grow/append the
+  to-path bundle) instead of rebuilding all of them;
+* :meth:`CompiledTrafficModel.solve` replaces the one-event-per-bundle loop
+  with a *waterfall* formulation: between two link-saturation events every
+  bundle's rate trajectory is the closed form ``min(growth * t, demand)``, so
+  all demand-satisfaction events inside the interval are resolved at once and
+  the loop runs one round per saturated link (a handful) instead of one event
+  per bundle (hundreds);
+* :meth:`CompiledTrafficModel.weighted_utility` scores a solution without
+  constructing any result objects, vectorizing the flow-weighted utility
+  roll-up over cached per-path delay factors and grouped bandwidth
+  components.
+
+The engine is semantically equivalent to ``reference_evaluate`` (same event
+ordering rules, same satisfaction/saturation tolerances); the equivalence is
+enforced by the property suite in ``tests/test_trafficmodel_compiled.py``,
+which also checks that the full and patched paths agree *bit for bit* on
+identically-ordered bundle lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrafficModelError
+from repro.topology.graph import Network, Path
+from repro.traffic.aggregate import Aggregate, AggregateKey
+from repro.trafficmodel.bundle import Bundle
+from repro.trafficmodel.result import BundleOutcome, TrafficModelResult
+from repro.trafficmodel.waterfill import (
+    _ABS_EPS,
+    _REL_EPS,
+    TrafficModelConfig,
+)
+from repro.utility.aggregation import PriorityWeights
+
+#: A patch maps (aggregate key, path) to the replacement bundle for that row,
+#: or None to drop the row.  Pairs absent from the base are appended.
+BundlePatch = Mapping[Tuple[AggregateKey, Path], Optional[Bundle]]
+
+
+class _BundleRow:
+    """Cached, flow-count-independent facts about one (aggregate, path) pair."""
+
+    __slots__ = (
+        "utility",
+        "bandwidth",
+        "link_indices",
+        "column",
+        "rtt_s",
+        "path_delay_s",
+        "per_flow_demand_bps",
+        "delay_utility",
+    )
+
+    def __init__(self, network: Network, bundle: Bundle, min_rtt_s: float) -> None:
+        indices = np.asarray(network.path_link_indices(bundle.path), dtype=np.intp)
+        column = np.zeros(network.num_links, dtype=float)
+        # Accumulate rather than assign so a link crossed twice counts twice
+        # (Bundle rejects non-simple paths, but the row stays correct even if
+        # that guard is ever relaxed).
+        np.add.at(column, indices, 1.0)
+        utility = bundle.aggregate.utility
+        self.utility = utility
+        self.bandwidth = utility.bandwidth
+        self.link_indices = indices
+        self.column = column
+        self.path_delay_s = network.path_delay(bundle.path)
+        self.rtt_s = max(2.0 * self.path_delay_s, min_rtt_s)
+        self.per_flow_demand_bps = bundle.per_flow_demand_bps
+        self.delay_utility = float(utility.delay(self.path_delay_s))
+
+
+class _Solution:
+    """Raw arrays produced by one solver run (no result objects yet)."""
+
+    __slots__ = ("rates", "bottleneck")
+
+    def __init__(self, rates: np.ndarray, bottleneck: np.ndarray) -> None:
+        self.rates = rates
+        #: Dense link index of the bottleneck per bundle, -1 when none.
+        self.bottleneck = bottleneck
+
+
+class CompiledBundles:
+    """A bundle list compiled to dense arrays, ready for repeated solving.
+
+    Instances are produced by :meth:`CompiledTrafficModel.compile` (full
+    build through the row cache) and :meth:`CompiledTrafficModel.compile_patched`
+    (derived from a base by patching only the changed rows).  They are
+    treated as immutable by the solver.
+    """
+
+    __slots__ = (
+        "bundles",
+        "rows",
+        "demands",
+        "growth",
+        "flows",
+        "incidence",
+        "agg_ids",
+        "aggregates",
+        "agg_index",
+        "agg_class_ids",
+        "class_names",
+        "comp_ids",
+        "components",
+        "delay_factors",
+        "_index",
+        "_agg_flows",
+        "_flat_links",
+        "_link_counts",
+    )
+
+    def __init__(
+        self,
+        bundles: Tuple[Bundle, ...],
+        rows: Tuple[_BundleRow, ...],
+        demands: np.ndarray,
+        growth: np.ndarray,
+        flows: np.ndarray,
+        incidence: np.ndarray,
+        agg_ids: np.ndarray,
+        aggregates: List[Aggregate],
+        agg_index: Dict[AggregateKey, int],
+        agg_class_ids: np.ndarray,
+        class_names: List[str],
+        comp_ids: np.ndarray,
+        components: List[object],
+        delay_factors: np.ndarray,
+    ) -> None:
+        self.bundles = bundles
+        self.rows = rows
+        self.demands = demands
+        self.growth = growth
+        self.flows = flows
+        self.incidence = incidence
+        self.agg_ids = agg_ids
+        self.aggregates = aggregates
+        self.agg_index = agg_index
+        self.agg_class_ids = agg_class_ids
+        self.class_names = class_names
+        self.comp_ids = comp_ids
+        self.components = components
+        self.delay_factors = delay_factors
+        self._index: Optional[Dict[Tuple[AggregateKey, Path], int]] = None
+        self._agg_flows: Optional[np.ndarray] = None
+        self._flat_links: Optional[np.ndarray] = None
+        self._link_counts: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.bundles)
+
+    @property
+    def index(self) -> Dict[Tuple[AggregateKey, Path], int]:
+        """Column index per (aggregate key, path), built on first use."""
+        if self._index is None:
+            self._index = {
+                (bundle.aggregate_key, bundle.path): j
+                for j, bundle in enumerate(self.bundles)
+            }
+        return self._index
+
+    @property
+    def agg_flows(self) -> np.ndarray:
+        """Total flows per aggregate id (zero for aggregates patched away)."""
+        if self._agg_flows is None:
+            self._agg_flows = np.bincount(
+                self.agg_ids, weights=self.flows, minlength=len(self.aggregates)
+            )
+        return self._agg_flows
+
+    @property
+    def flat_links(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(concatenated link indices, per-bundle counts) for deterministic
+        per-link accumulation (``np.bincount`` sums in a fixed order, unlike
+        BLAS matrix products whose rounding depends on memory alignment)."""
+        if self._flat_links is None:
+            if self.rows:
+                self._flat_links = np.concatenate(
+                    [row.link_indices for row in self.rows]
+                )
+                self._link_counts = np.asarray(
+                    [row.link_indices.shape[0] for row in self.rows], dtype=np.intp
+                )
+            else:
+                self._flat_links = np.zeros(0, dtype=np.intp)
+                self._link_counts = np.zeros(0, dtype=np.intp)
+        return self._flat_links, self._link_counts
+
+
+class CompiledTrafficModel:
+    """Compiles a network once and evaluates bundle lists incrementally.
+
+    The engine owns two caches: the per-network capacity vector, and a
+    per-(aggregate key, path) row cache validated against the aggregate's
+    utility function (so a rebuilt traffic matrix with different utilities
+    never reuses stale rows).
+    """
+
+    def __init__(self, network: Network, config: Optional[TrafficModelConfig] = None) -> None:
+        self.network = network
+        self.config = config or TrafficModelConfig()
+        self._capacities = np.asarray(network.capacities(), dtype=float)
+        self._num_links = network.num_links
+        self._rows: Dict[Tuple[AggregateKey, Path], _BundleRow] = {}
+        #: Number of solver runs (full or patched); mirrors the historical
+        #: ``TrafficModel.evaluations`` counter.
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------ rows
+
+    def _row_for(self, bundle: Bundle) -> _BundleRow:
+        key = (bundle.aggregate_key, bundle.path)
+        row = self._rows.get(key)
+        if row is None or not (
+            row.utility is bundle.aggregate.utility
+            or row.utility == bundle.aggregate.utility
+        ):
+            row = _BundleRow(self.network, bundle, self.config.min_rtt_s)
+            self._rows[key] = row
+        return row
+
+    def _growth_of(self, bundle: Bundle, row: _BundleRow) -> float:
+        if self.config.rtt_fairness:
+            return bundle.num_flows / row.rtt_s
+        return float(bundle.num_flows)
+
+    # --------------------------------------------------------------- compile
+
+    def compile(self, bundles: Sequence[Bundle]) -> CompiledBundles:
+        """Build the dense arrays for *bundles* through the row cache."""
+        num_bundles = len(bundles)
+        rows = tuple(self._row_for(bundle) for bundle in bundles)
+
+        demands = np.empty(num_bundles, dtype=float)
+        growth = np.empty(num_bundles, dtype=float)
+        flows = np.empty(num_bundles, dtype=float)
+        agg_ids = np.empty(num_bundles, dtype=np.intp)
+        comp_ids = np.empty(num_bundles, dtype=np.intp)
+        delay_factors = np.empty(num_bundles, dtype=float)
+
+        aggregates: List[Aggregate] = []
+        agg_index: Dict[AggregateKey, int] = {}
+        agg_class_ids: List[int] = []
+        class_names: List[str] = []
+        class_index: Dict[str, int] = {}
+        components: List[object] = []
+        comp_index: Dict[object, int] = {}
+
+        for j, bundle in enumerate(bundles):
+            row = rows[j]
+            demands[j] = bundle.num_flows * row.per_flow_demand_bps
+            growth[j] = self._growth_of(bundle, row)
+            flows[j] = float(bundle.num_flows)
+            delay_factors[j] = row.delay_utility
+
+            aggregate = bundle.aggregate
+            agg_id = agg_index.get(aggregate.key)
+            if agg_id is None:
+                agg_id = len(aggregates)
+                agg_index[aggregate.key] = agg_id
+                aggregates.append(aggregate)
+                traffic_class = aggregate.traffic_class
+                class_id = class_index.get(traffic_class)
+                if class_id is None:
+                    class_id = len(class_names)
+                    class_index[traffic_class] = class_id
+                    class_names.append(traffic_class)
+                agg_class_ids.append(class_id)
+            agg_ids[j] = agg_id
+
+            comp_id = comp_index.get(row.bandwidth)
+            if comp_id is None:
+                comp_id = len(components)
+                comp_index[row.bandwidth] = comp_id
+                components.append(row.bandwidth)
+            comp_ids[j] = comp_id
+
+        if num_bundles:
+            incidence = np.stack([row.column for row in rows], axis=1)
+        else:
+            incidence = np.zeros((self._num_links, 0), dtype=float)
+
+        return CompiledBundles(
+            bundles=tuple(bundles),
+            rows=rows,
+            demands=demands,
+            growth=growth,
+            flows=flows,
+            incidence=incidence,
+            agg_ids=agg_ids,
+            aggregates=aggregates,
+            agg_index=agg_index,
+            agg_class_ids=np.asarray(agg_class_ids, dtype=np.intp),
+            class_names=class_names,
+            comp_ids=comp_ids,
+            components=components,
+            delay_factors=delay_factors,
+        )
+
+    def compile_patched(
+        self, base: CompiledBundles, replacements: BundlePatch
+    ) -> CompiledBundles:
+        """Derive the compiled arrays of a patched bundle list from *base*.
+
+        ``replacements`` maps (aggregate key, path) pairs to the new bundle
+        for that row (``None`` drops the row; pairs not present in the base
+        are appended at the end).  Only the changed rows are recomputed —
+        everything else is reused or copied from the base arrays.
+        """
+        removed: List[int] = []
+        changed: List[Tuple[int, Bundle]] = []
+        additions: List[Bundle] = []
+        for (key, path), new_bundle in replacements.items():
+            column = base.index.get((key, tuple(path)))
+            if column is None:
+                if new_bundle is None:
+                    raise TrafficModelError(
+                        f"cannot remove unknown bundle ({key!r}, {path!r}) "
+                        "from the compiled base"
+                    )
+                additions.append(new_bundle)
+            elif new_bundle is None:
+                removed.append(column)
+            else:
+                changed.append((column, new_bundle))
+
+        num_base = len(base.bundles)
+        bundles_list = list(base.bundles)
+        rows_list = list(base.rows)
+        demands = base.demands.copy()
+        growth = base.growth.copy()
+        flows = base.flows.copy()
+        delay_factors = base.delay_factors
+        components = base.components
+        comp_ids = base.comp_ids
+        for column, new_bundle in changed:
+            row = self._row_for(new_bundle)
+            bundles_list[column] = new_bundle
+            rows_list[column] = row
+            demands[column] = new_bundle.num_flows * row.per_flow_demand_bps
+            growth[column] = self._growth_of(new_bundle, row)
+            flows[column] = float(new_bundle.num_flows)
+            if row.delay_utility != delay_factors[column]:
+                if delay_factors is base.delay_factors:
+                    delay_factors = base.delay_factors.copy()
+                delay_factors[column] = row.delay_utility
+            # A replacement carrying a different utility (e.g. a rebuilt
+            # aggregate) also changes the bandwidth curve the scorer uses.
+            current = components[comp_ids[column]]
+            if not (current is row.bandwidth or current == row.bandwidth):
+                try:
+                    component_id = components.index(row.bandwidth)
+                except ValueError:
+                    if components is base.components:
+                        components = list(base.components)
+                    component_id = len(components)
+                    components.append(row.bandwidth)
+                if comp_ids is base.comp_ids:
+                    comp_ids = base.comp_ids.copy()
+                comp_ids[column] = component_id
+
+        if not removed and not additions:
+            return CompiledBundles(
+                bundles=tuple(bundles_list),
+                rows=tuple(rows_list),
+                demands=demands,
+                growth=growth,
+                flows=flows,
+                incidence=base.incidence,
+                agg_ids=base.agg_ids,
+                aggregates=base.aggregates,
+                agg_index=base.agg_index,
+                agg_class_ids=base.agg_class_ids,
+                class_names=base.class_names,
+                comp_ids=comp_ids,
+                components=components,
+                delay_factors=delay_factors,
+            )
+
+        keep = np.ones(num_base, dtype=bool)
+        keep[removed] = False
+
+        added_rows = [self._row_for(bundle) for bundle in additions]
+        aggregates = base.aggregates
+        agg_index = base.agg_index
+        agg_class_ids = base.agg_class_ids
+        class_names = base.class_names
+        added_agg_ids: List[int] = []
+        added_comp_ids: List[int] = []
+        for bundle, row in zip(additions, added_rows):
+            agg_id = agg_index.get(bundle.aggregate.key)
+            if agg_id is None:
+                if aggregates is base.aggregates:
+                    aggregates = list(base.aggregates)
+                    agg_index = dict(base.agg_index)
+                    agg_class_ids = list(base.agg_class_ids)
+                    class_names = list(base.class_names)
+                agg_id = len(aggregates)
+                agg_index[bundle.aggregate.key] = agg_id
+                aggregates.append(bundle.aggregate)
+                traffic_class = bundle.aggregate.traffic_class
+                if traffic_class in class_names:
+                    class_id = class_names.index(traffic_class)
+                else:
+                    class_id = len(class_names)
+                    class_names.append(traffic_class)
+                agg_class_ids.append(class_id)
+            added_agg_ids.append(agg_id)
+            try:
+                comp_id = components.index(row.bandwidth)
+            except ValueError:
+                if components is base.components:
+                    components = list(base.components)
+                comp_id = len(components)
+                components.append(row.bandwidth)
+            added_comp_ids.append(comp_id)
+        if isinstance(agg_class_ids, list):
+            agg_class_ids = np.asarray(agg_class_ids, dtype=np.intp)
+
+        kept_bundles = [b for b, k in zip(bundles_list, keep) if k]
+        kept_rows = [r for r, k in zip(rows_list, keep) if k]
+        columns = [base.incidence[:, keep]] + [
+            row.column[:, None] for row in added_rows
+        ]
+        return CompiledBundles(
+            bundles=tuple(kept_bundles) + tuple(additions),
+            rows=tuple(kept_rows) + tuple(added_rows),
+            demands=np.concatenate(
+                [demands[keep], [b.num_flows * r.per_flow_demand_bps for b, r in zip(additions, added_rows)]]
+            ),
+            growth=np.concatenate(
+                [growth[keep], [self._growth_of(b, r) for b, r in zip(additions, added_rows)]]
+            ),
+            flows=np.concatenate(
+                [flows[keep], [float(b.num_flows) for b in additions]]
+            ),
+            incidence=np.concatenate(columns, axis=1),
+            agg_ids=np.concatenate(
+                [base.agg_ids[keep], np.asarray(added_agg_ids, dtype=np.intp)]
+            ),
+            aggregates=aggregates,
+            agg_index=agg_index,
+            agg_class_ids=agg_class_ids,
+            class_names=class_names,
+            comp_ids=np.concatenate(
+                [comp_ids[keep], np.asarray(added_comp_ids, dtype=np.intp)]
+            ),
+            components=components,
+            delay_factors=np.concatenate(
+                [delay_factors[keep], [row.delay_utility for row in added_rows]]
+            ),
+        )
+
+    # ----------------------------------------------------------------- solve
+
+    def solve(self, compiled: CompiledBundles) -> _Solution:
+        """Run the waterfall solver on compiled arrays; counts one evaluation.
+
+        Semantics match :func:`~repro.trafficmodel.waterfill.reference_evaluate`:
+        every bundle grows at its fixed rate until it meets its demand (with
+        the model's relative slack) or a link on its path saturates (with the
+        model's absolute + relative capacity slack); a saturating link
+        freezes every still-growing bundle that crosses it.
+        """
+        self.evaluations += 1
+        demands = compiled.demands
+        growth = compiled.growth
+        incidence = compiled.incidence
+        capacities = self._capacities
+        num_bundles = demands.shape[0]
+        num_links = capacities.shape[0]
+
+        rates = np.zeros(num_bundles, dtype=float)
+        bottleneck = np.full(num_bundles, -1, dtype=np.intp)
+        if num_bundles == 0:
+            return _Solution(rates, bottleneck)
+
+        # Absolute time at which each bundle meets its demand, if unconstrained.
+        satisfy_at = demands / growth
+        order = np.argsort(satisfy_at, kind="stable")
+        e_sorted = satisfy_at[order]
+
+        # Per-link growth contributions in satisfy-time order (constant; the
+        # set of *active* columns shrinks as bundles freeze).
+        contributions = incidence[:, order] * growth[order]  # (L, B)
+        # Time at which each bundle (sorted order) stops growing: its satisfy
+        # time, overwritten with the saturation instant when truncated.  A
+        # frozen bundle's constant contribution is growth * stop.
+        stop_sorted = e_sorted.copy()
+
+        active_sorted = np.ones(num_bundles, dtype=bool)
+        saturated = np.zeros(num_links, dtype=bool)
+        #: Load contributed by frozen bundles (constant from their freeze on),
+        #: accumulated bundle-by-bundle so the arithmetic is deterministic.
+        fixed = np.zeros(num_links, dtype=float)
+        threshold = capacities - (capacities * _REL_EPS + _ABS_EPS)
+        tau = np.empty(num_links, dtype=float)
+        now = 0.0
+
+        # CSR over links: which sorted columns cross each link.  Restricting a
+        # link's load curve to its own crossing bundles leaves the arithmetic
+        # bitwise identical (absent columns contribute exactly zero) but makes
+        # recomputation O(crossing bundles) instead of O(all bundles).
+        csr_links, csr_positions = np.nonzero(contributions)
+        csr_offsets = np.zeros(num_links + 1, dtype=np.intp)
+        np.cumsum(np.bincount(csr_links, minlength=num_links), out=csr_offsets[1:])
+
+        def recompute_tau(links: np.ndarray) -> None:
+            """Earliest capacity-crossing time of each link in *links* under
+            the currently active bundles (inf when it never crosses).
+
+            Works on the flattened (link, crossing bundle) pairs of the links
+            in question — O(total crossing bundles), every reduction a
+            sequential cumsum, so the arithmetic is deterministic.
+            """
+            if links.size == 0:
+                return
+            if links.size == num_links:
+                flat_all = csr_positions
+                raw_starts = csr_offsets[:-1]
+                raw_counts = np.diff(csr_offsets)
+            else:
+                slices = [
+                    csr_positions[csr_offsets[l] : csr_offsets[l + 1]] for l in links
+                ]
+                flat_all = np.concatenate(slices)
+                raw_counts = np.asarray([s.shape[0] for s in slices], dtype=np.intp)
+                raw_starts = np.zeros(links.shape[0], dtype=np.intp)
+                np.cumsum(raw_counts[:-1], out=raw_starts[1:])
+
+            mask = active_sorted[flat_all]
+            cum_mask = np.zeros(flat_all.shape[0] + 1, dtype=np.intp)
+            np.cumsum(mask, out=cum_mask[1:])
+            counts = cum_mask[raw_starts + raw_counts] - cum_mask[raw_starts]
+            flat = flat_all[mask]
+            new_tau = np.full(links.shape[0], np.inf)
+            if flat.size == 0:
+                tau[links] = new_tau
+                return
+
+            num_segments = links.shape[0]
+            offsets = np.zeros(num_segments + 1, dtype=np.intp)
+            np.cumsum(counts, out=offsets[1:])
+            seg_of = np.repeat(np.arange(num_segments, dtype=np.intp), counts)
+            link_of = links[seg_of]
+
+            a = contributions[link_of, flat]
+            e_flat = e_sorted[flat]
+            prefix_growth = np.zeros(flat.shape[0] + 1, dtype=float)
+            np.cumsum(a, out=prefix_growth[1:])
+            prefix_carried = np.zeros(flat.shape[0] + 1, dtype=float)
+            np.cumsum(a * e_flat, out=prefix_carried[1:])
+            base_growth = prefix_growth[offsets[:-1]]
+            base_carried = prefix_carried[offsets[:-1]]
+            seg_growth = prefix_growth[offsets[1:]] - base_growth
+
+            # Load of each link at each crossing bundle's satisfy time:
+            # earlier bundles contribute their full demand, later ones keep
+            # growing.
+            load_at_e = (
+                fixed[link_of]
+                + (prefix_carried[1:] - base_carried[seg_of])
+                + (seg_growth[seg_of] - (prefix_growth[1:] - base_growth[seg_of]))
+                * e_flat
+            )
+            crossed_at = np.nonzero(load_at_e >= capacities[link_of])[0]
+            if crossed_at.size:
+                first_seg, first_index = np.unique(
+                    seg_of[crossed_at], return_index=True
+                )
+                i_star = crossed_at[first_index]
+                # Exclusive prefixes right before the crossing bundle.
+                excl_growth = prefix_growth[i_star] - base_growth[first_seg]
+                excl_carried = prefix_carried[i_star] - base_carried[first_seg]
+                slope = seg_growth[first_seg] - excl_growth
+                link_star = links[first_seg]
+                headroom = capacities[link_star] - fixed[link_star] - excl_carried
+                crossing_time = np.where(
+                    slope > 0.0,
+                    headroom / np.where(slope > 0.0, slope, 1.0),
+                    e_flat[i_star],
+                )
+                new_tau[first_seg] = np.maximum(crossing_time, now)
+            tau[links] = new_tau
+
+        recompute_tau(np.arange(num_links, dtype=np.intp))
+        # Truncating a bundle only ever *delays* the saturation of the other
+        # links it crosses, so a stale tau is a lower bound.  Links touched by
+        # a truncation are marked dirty and lazily recomputed only when they
+        # become the candidate minimum.
+        dirty = np.zeros(num_links, dtype=bool)
+
+        for _ in range(num_links + 1):
+            if not active_sorted.any():
+                break
+            while True:
+                candidate = int(np.argmin(tau))
+                if dirty[candidate] and np.isfinite(tau[candidate]):
+                    recompute_tau(np.asarray([candidate], dtype=np.intp))
+                    dirty[candidate] = False
+                    continue
+                # Resolve any dirty link whose stale lower bound ties the
+                # minimum before it can be swept into the saturation set.
+                stale = np.nonzero(dirty & (tau <= tau[candidate]) & np.isfinite(tau))[0]
+                if stale.size == 0:
+                    break
+                recompute_tau(stale)
+                dirty[stale] = False
+            tau_star = float(tau[candidate])
+            if not np.isfinite(tau_star):
+                # No link ever saturates: every remaining bundle meets demand.
+                remaining = order[active_sorted]
+                rates[remaining] = demands[remaining]
+                active_sorted[:] = False
+                break
+
+            # Saturate the crossing link(s) plus any link swept into the
+            # capacity slack band at the same instant (mirrors the reference
+            # model's per-event saturation check).  The matrix product is
+            # only used for this set decision, never for reported numbers.
+            load_now = contributions @ np.minimum(stop_sorted, tau_star)
+            newly = (~saturated) & ((tau <= tau_star) | (load_now >= threshold))
+            if not newly.any():
+                raise TrafficModelError("traffic model made no progress")
+            saturated |= newly
+            tau[newly] = np.inf
+
+            # Bundles that met their demand at or before the saturation instant
+            # (with the model's relative slack) freeze satisfied.  Their stop
+            # was already encoded in the load curves, so they do not perturb
+            # the saturation times of other links.
+            satisfied_pos = active_sorted & (e_sorted * (1.0 - _REL_EPS) <= tau_star)
+            satisfied_idx = order[satisfied_pos]
+            rates[satisfied_idx] = demands[satisfied_idx]
+            active_sorted &= ~satisfied_pos
+
+            # Still-growing bundles crossing a newly saturated link freeze
+            # truncated, attributing the first saturated link on their path.
+            # Unlike satisfied freezes, truncation changes the load curves of
+            # every other link those bundles cross, so their saturation times
+            # are recomputed.
+            newly_idx = np.nonzero(newly)[0]
+            crossing_candidates = np.concatenate(
+                [csr_positions[csr_offsets[l] : csr_offsets[l + 1]] for l in newly_idx]
+            )
+            crossing_pos = np.zeros(num_bundles, dtype=bool)
+            crossing_pos[crossing_candidates] = True
+            crossing_pos &= active_sorted
+            affected: List[np.ndarray] = []
+            crossing_positions = np.nonzero(crossing_pos)[0]
+            crossing_idx = order[crossing_positions]
+            if crossing_idx.size:
+                rates[crossing_idx] = growth[crossing_idx] * tau_star
+                stop_sorted[crossing_positions] = tau_star
+                for j in crossing_idx:
+                    for link_index in compiled.rows[j].link_indices:
+                        if newly[link_index]:
+                            bottleneck[j] = link_index
+                            break
+                    affected.append(compiled.rows[j].link_indices)
+                active_sorted &= ~crossing_pos
+
+            # Fold every bundle frozen this round into the fixed load
+            # (bincount accumulates in a fixed order — deterministic).
+            frozen_idx = order[np.nonzero(satisfied_pos | crossing_pos)[0]]
+            if frozen_idx.size:
+                frozen_links = [compiled.rows[j].link_indices for j in frozen_idx]
+                frozen_counts = np.asarray([f.shape[0] for f in frozen_links], dtype=np.intp)
+                fixed += np.bincount(
+                    np.concatenate(frozen_links),
+                    weights=np.repeat(rates[frozen_idx], frozen_counts),
+                    minlength=num_links,
+                )
+
+            if affected:
+                touched = np.unique(np.concatenate(affected))
+                dirty[touched[~saturated[touched]]] = True
+            now = tau_star
+
+        if active_sorted.any():
+            raise TrafficModelError(
+                "traffic model did not converge within the event budget; "
+                "this indicates an internal inconsistency"
+            )
+        return _Solution(rates, bottleneck)
+
+    # --------------------------------------------------------------- scoring
+
+    def weighted_utility(
+        self,
+        compiled: CompiledBundles,
+        rates: np.ndarray,
+        weights: Optional[PriorityWeights] = None,
+    ) -> float:
+        """The weighted network utility of a solution, without result objects.
+
+        Vectorizes exactly the roll-up
+        :meth:`~repro.trafficmodel.result.TrafficModelResult.network_utility`
+        performs: per-flow bandwidth utility times the cached per-path delay
+        factor, flow-weighted per aggregate (clamped to 1), then averaged with
+        priority weights.  Assumes aggregate keys are unique within the
+        bundle list, as they are in any state derived from a traffic matrix.
+        """
+        if len(compiled) == 0:
+            raise TrafficModelError("cannot score an empty bundle list")
+        weights = weights or PriorityWeights.uniform()
+        per_flow = rates / compiled.flows
+        utilities = np.empty(len(compiled), dtype=float)
+        comp_ids = compiled.comp_ids
+        for comp_id, component in enumerate(compiled.components):
+            mask = comp_ids == comp_id
+            curve = component.curve
+            utilities[mask] = np.interp(per_flow[mask], curve.xs, curve.ys)
+        utilities *= compiled.delay_factors
+
+        num_aggs = len(compiled.aggregates)
+        weighted = np.bincount(
+            compiled.agg_ids, weights=utilities * compiled.flows, minlength=num_aggs
+        )
+        agg_flows = compiled.agg_flows
+        with np.errstate(divide="ignore", invalid="ignore"):
+            agg_utilities = np.where(agg_flows > 0.0, weighted / agg_flows, 0.0)
+        agg_utilities = np.minimum(agg_utilities, 1.0)
+
+        class_weights = np.asarray(
+            [weights.weight_for(name) for name in compiled.class_names], dtype=float
+        )
+        agg_weights = agg_flows * class_weights[compiled.agg_class_ids]
+        return float(np.dot(agg_weights, agg_utilities) / agg_weights.sum())
+
+    # -------------------------------------------------------------- assembly
+
+    def result_of(
+        self, compiled: CompiledBundles, solution: _Solution
+    ) -> TrafficModelResult:
+        """Assemble the full :class:`TrafficModelResult` for a solution."""
+        rates = solution.rates
+        # bincount accumulates in a fixed order, making the reported loads
+        # independent of array alignment (unlike a BLAS matrix product), so
+        # the full and patched paths agree bit for bit.
+        flat, counts = compiled.flat_links
+        link_loads = np.bincount(
+            flat, weights=np.repeat(rates, counts), minlength=self._num_links
+        )
+        link_demands = np.bincount(
+            flat, weights=np.repeat(compiled.demands, counts), minlength=self._num_links
+        )
+        network = self.network
+        outcomes = []
+        for j, bundle in enumerate(compiled.bundles):
+            satisfied = bool(rates[j] >= compiled.demands[j] * (1.0 - _REL_EPS))
+            link_index = solution.bottleneck[j]
+            outcomes.append(
+                BundleOutcome(
+                    bundle=bundle,
+                    rate_bps=float(rates[j]),
+                    satisfied=satisfied,
+                    bottleneck_link=(
+                        None
+                        if satisfied or link_index < 0
+                        else network.link_by_index(int(link_index)).link_id
+                    ),
+                )
+            )
+        return TrafficModelResult(network, outcomes, link_loads, link_demands)
+
+    # ------------------------------------------------------------ evaluation
+
+    def evaluate(self, bundles: Sequence[Bundle]) -> TrafficModelResult:
+        """Full evaluation: compile (through the row cache), solve, assemble."""
+        compiled = self.compile(bundles)
+        return self.result_of(compiled, self.solve(compiled))
+
+    def evaluate_compiled(self, compiled: CompiledBundles) -> TrafficModelResult:
+        """Evaluate an already-compiled bundle list."""
+        return self.result_of(compiled, self.solve(compiled))
+
+    def evaluate_patched(
+        self,
+        base_bundles: "CompiledBundles | Sequence[Bundle]",
+        replacements: BundlePatch,
+    ) -> TrafficModelResult:
+        """Delta evaluation: patch only the changed rows of *base_bundles*.
+
+        *base_bundles* may be a :class:`CompiledBundles` (the fast path the
+        optimizer uses — compile once per step, patch once per candidate) or
+        a plain bundle sequence, which is compiled first.
+        """
+        if not isinstance(base_bundles, CompiledBundles):
+            base_bundles = self.compile(base_bundles)
+        patched = self.compile_patched(base_bundles, replacements)
+        return self.result_of(patched, self.solve(patched))

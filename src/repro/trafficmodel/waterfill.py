@@ -9,13 +9,21 @@
     link or satisfying a bundle at each step until each bundle is either
     congested or has its demands met."
 
-The implementation is event-driven and vectorized: per step it computes the
-time until the next bundle satisfies its demand or the next link saturates,
-advances every active bundle by that time, and freezes whatever the event
-stopped.  There are at most (#bundles + #links) events, and each step is a
-handful of numpy operations over a link x bundle incidence matrix, so a model
-evaluation on the paper's full scenario takes milliseconds — important
-because the optimizer evaluates the model for every candidate move.
+Two implementations live side by side:
+
+* :func:`reference_evaluate` — the event-driven executable specification.
+  Per step it computes the time until the next bundle satisfies its demand or
+  the next link saturates, advances every active bundle by that time, and
+  freezes whatever the event stopped: at most (#bundles + #links) events.
+  It rebuilds everything from the network graph on each call and is kept as
+  the ground truth the fast engine is tested against.
+* :class:`~repro.trafficmodel.compiled.CompiledTrafficModel` — the
+  compiled/incremental engine the optimizer actually runs.  It caches
+  per-(aggregate, path) rows, patches only the rows a candidate move changes,
+  and collapses demand-satisfaction events into closed form so the solve
+  loop runs one round per saturated link.  :class:`TrafficModel` below is a
+  thin wrapper around it, preserving the historical API — important because
+  the optimizer evaluates the model for every candidate move.
 """
 
 from __future__ import annotations
@@ -64,120 +72,166 @@ class TrafficModelConfig:
             raise TrafficModelError(f"min_rtt_s must be positive, got {self.min_rtt_s!r}")
 
 
+def reference_evaluate(
+    network: Network,
+    bundles: Sequence[Bundle],
+    config: Optional[TrafficModelConfig] = None,
+) -> TrafficModelResult:
+    """The event-driven reference implementation (executable specification).
+
+    Rebuilds demands, growth rates and the link x bundle incidence matrix
+    from the graph on every call and advances one event at a time.  The
+    compiled engine (:mod:`repro.trafficmodel.compiled`) must agree with this
+    function; the equivalence suite enforces it.
+    """
+    config = config or TrafficModelConfig()
+    num_links = network.num_links
+    num_bundles = len(bundles)
+    capacities = np.asarray(network.capacities(), dtype=float)
+
+    if num_bundles == 0:
+        zeros = np.zeros(num_links, dtype=float)
+        return TrafficModelResult(network, [], zeros, zeros.copy())
+
+    demands = np.empty(num_bundles, dtype=float)
+    growth = np.empty(num_bundles, dtype=float)
+    incidence = np.zeros((num_links, num_bundles), dtype=float)
+    path_link_indices: List[Sequence[int]] = []
+
+    for j, bundle in enumerate(bundles):
+        demands[j] = bundle.total_demand_bps
+        rtt = max(bundle.rtt(network), config.min_rtt_s)
+        if config.rtt_fairness:
+            growth[j] = bundle.num_flows / rtt
+        else:
+            growth[j] = float(bundle.num_flows)
+        indices = network.path_link_indices(bundle.path)
+        path_link_indices.append(indices)
+        for index in indices:
+            # Accumulate so a link crossed twice is counted twice; plain
+            # assignment silently undercounted non-simple paths.
+            incidence[index, j] += 1.0
+
+    rates = np.zeros(num_bundles, dtype=float)
+    remaining = capacities.copy()
+    active = np.ones(num_bundles, dtype=bool)
+    link_saturated = np.zeros(num_links, dtype=bool)
+    bottleneck: List[Optional[tuple]] = [None] * num_bundles
+
+    max_events = num_bundles + num_links + 1
+    for _ in range(max_events):
+        if not active.any():
+            break
+        g = np.where(active, growth, 0.0)
+
+        # Time until each active bundle satisfies its remaining demand.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_demand = np.where(active, (demands - rates) / growth, np.inf)
+        t_demand = np.maximum(t_demand, 0.0)
+
+        # Time until each link with growing traffic saturates.
+        link_growth = incidence @ g
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_link = np.where(link_growth > 0.0, remaining / link_growth, np.inf)
+        t_link = np.where(link_saturated, np.inf, t_link)
+        t_link = np.maximum(t_link, 0.0)
+
+        dt = min(float(t_demand.min()), float(t_link.min()))
+        if not np.isfinite(dt):
+            # No bundle can grow and none can be satisfied — should not
+            # happen because growth rates are strictly positive.
+            raise TrafficModelError("traffic model made no progress")
+
+        rates = rates + g * dt
+        remaining = remaining - link_growth * dt
+
+        # Freeze bundles that met their demand.
+        satisfied_now = active & (rates >= demands * (1.0 - _REL_EPS))
+        rates[satisfied_now] = demands[satisfied_now]
+        active[satisfied_now] = False
+
+        # Freeze bundles truncated by links that just ran out of room.
+        saturated_now = (~link_saturated) & (
+            remaining <= capacities * _REL_EPS + _ABS_EPS
+        )
+        if saturated_now.any():
+            link_saturated |= saturated_now
+            remaining[saturated_now] = 0.0
+            crossing = (incidence[saturated_now, :].sum(axis=0) > 0.0) & active
+            for j in np.nonzero(crossing)[0]:
+                for index in path_link_indices[j]:
+                    if saturated_now[index]:
+                        bottleneck[j] = network.link_by_index(index).link_id
+                        break
+                active[j] = False
+        remaining = np.maximum(remaining, 0.0)
+
+    if active.any():
+        raise TrafficModelError(
+            "traffic model did not converge within the event budget; "
+            "this indicates an internal inconsistency"
+        )
+
+    link_loads = incidence @ rates
+    link_demands = incidence @ demands
+
+    outcomes = []
+    for j, bundle in enumerate(bundles):
+        satisfied = bool(rates[j] >= demands[j] * (1.0 - _REL_EPS))
+        outcomes.append(
+            BundleOutcome(
+                bundle=bundle,
+                rate_bps=float(rates[j]),
+                satisfied=satisfied,
+                bottleneck_link=None if satisfied else bottleneck[j],
+            )
+        )
+    return TrafficModelResult(network, outcomes, link_loads, link_demands)
+
+
 class TrafficModel:
-    """Evaluates how a set of bundles shares a network (paper §2.3)."""
+    """Evaluates how a set of bundles shares a network (paper §2.3).
+
+    Historically this class owned the event loop; it is now a thin wrapper
+    around the compiled engine (:mod:`repro.trafficmodel.compiled`), which
+    caches per-(aggregate, path) rows across evaluations.  The ``engine``
+    attribute exposes the underlying :class:`CompiledTrafficModel` for
+    callers (the optimizer step) that want the incremental API.
+    """
 
     def __init__(self, network: Network, config: Optional[TrafficModelConfig] = None) -> None:
+        from repro.trafficmodel.compiled import CompiledTrafficModel
+
         self.network = network
         self.config = config or TrafficModelConfig()
-        self._capacities = np.asarray(network.capacities(), dtype=float)
-        self.evaluations = 0
+        self.engine = CompiledTrafficModel(network, self.config)
 
-    # ------------------------------------------------------------ evaluation
+    @property
+    def evaluations(self) -> int:
+        """Number of model evaluations performed (full or patched)."""
+        return self.engine.evaluations
+
+    @evaluations.setter
+    def evaluations(self, value: int) -> None:
+        self.engine.evaluations = value
 
     def evaluate(self, bundles: Sequence[Bundle]) -> TrafficModelResult:
         """Run the progressive-filling model and return its result."""
+        return self.engine.evaluate(bundles)
+
+
+class ReferenceTrafficModel(TrafficModel):
+    """A :class:`TrafficModel` that runs the unoptimized reference loop.
+
+    Used by the running-time benchmarks to measure the pre-compiled-engine
+    baseline, and by the equivalence suite as ground truth.  The evaluation
+    counter is shared with the (unused) compiled engine so the bookkeeping
+    stays identical.
+    """
+
+    def evaluate(self, bundles: Sequence[Bundle]) -> TrafficModelResult:
         self.evaluations += 1
-        network = self.network
-        num_links = network.num_links
-        num_bundles = len(bundles)
-
-        if num_bundles == 0:
-            zeros = np.zeros(num_links, dtype=float)
-            return TrafficModelResult(network, [], zeros, zeros.copy())
-
-        demands = np.empty(num_bundles, dtype=float)
-        growth = np.empty(num_bundles, dtype=float)
-        incidence = np.zeros((num_links, num_bundles), dtype=float)
-        path_link_indices: List[Sequence[int]] = []
-
-        for j, bundle in enumerate(bundles):
-            demands[j] = bundle.total_demand_bps
-            rtt = max(bundle.rtt(network), self.config.min_rtt_s)
-            if self.config.rtt_fairness:
-                growth[j] = bundle.num_flows / rtt
-            else:
-                growth[j] = float(bundle.num_flows)
-            indices = network.path_link_indices(bundle.path)
-            path_link_indices.append(indices)
-            for index in indices:
-                incidence[index, j] = 1.0
-
-        rates = np.zeros(num_bundles, dtype=float)
-        remaining = self._capacities.copy()
-        active = np.ones(num_bundles, dtype=bool)
-        link_saturated = np.zeros(num_links, dtype=bool)
-        bottleneck: List[Optional[tuple]] = [None] * num_bundles
-
-        max_events = num_bundles + num_links + 1
-        for _ in range(max_events):
-            if not active.any():
-                break
-            g = np.where(active, growth, 0.0)
-
-            # Time until each active bundle satisfies its remaining demand.
-            with np.errstate(divide="ignore", invalid="ignore"):
-                t_demand = np.where(active, (demands - rates) / growth, np.inf)
-            t_demand = np.maximum(t_demand, 0.0)
-
-            # Time until each link with growing traffic saturates.
-            link_growth = incidence @ g
-            with np.errstate(divide="ignore", invalid="ignore"):
-                t_link = np.where(link_growth > 0.0, remaining / link_growth, np.inf)
-            t_link = np.where(link_saturated, np.inf, t_link)
-            t_link = np.maximum(t_link, 0.0)
-
-            dt = min(float(t_demand.min()), float(t_link.min()))
-            if not np.isfinite(dt):
-                # No bundle can grow and none can be satisfied — should not
-                # happen because growth rates are strictly positive.
-                raise TrafficModelError("traffic model made no progress")
-
-            rates = rates + g * dt
-            remaining = remaining - link_growth * dt
-
-            # Freeze bundles that met their demand.
-            satisfied_now = active & (rates >= demands * (1.0 - _REL_EPS))
-            rates[satisfied_now] = demands[satisfied_now]
-            active[satisfied_now] = False
-
-            # Freeze bundles truncated by links that just ran out of room.
-            saturated_now = (~link_saturated) & (
-                remaining <= self._capacities * _REL_EPS + _ABS_EPS
-            )
-            if saturated_now.any():
-                link_saturated |= saturated_now
-                remaining[saturated_now] = 0.0
-                crossing = (incidence[saturated_now, :].sum(axis=0) > 0.0) & active
-                for j in np.nonzero(crossing)[0]:
-                    for index in path_link_indices[j]:
-                        if saturated_now[index]:
-                            bottleneck[j] = network.link_by_index(index).link_id
-                            break
-                    active[j] = False
-            remaining = np.maximum(remaining, 0.0)
-
-        if active.any():
-            raise TrafficModelError(
-                "traffic model did not converge within the event budget; "
-                "this indicates an internal inconsistency"
-            )
-
-        link_loads = incidence @ rates
-        link_demands = incidence @ demands
-
-        outcomes = []
-        for j, bundle in enumerate(bundles):
-            satisfied = bool(rates[j] >= demands[j] * (1.0 - _REL_EPS))
-            outcomes.append(
-                BundleOutcome(
-                    bundle=bundle,
-                    rate_bps=float(rates[j]),
-                    satisfied=satisfied,
-                    bottleneck_link=None if satisfied else bottleneck[j],
-                )
-            )
-        return TrafficModelResult(network, outcomes, link_loads, link_demands)
+        return reference_evaluate(self.network, bundles, self.config)
 
 
 def evaluate_bundles(

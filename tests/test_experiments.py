@@ -38,6 +38,20 @@ TINY = {"num_pops": 6}
 
 
 class TestScenarios:
+    def test_wall_clock_budget_preserves_other_config_fields(self):
+        # Regression: the max_wall_clock_s rebuild used to re-list every
+        # FubarConfig field by hand and silently dropped new ones.
+        from repro.core.config import FubarConfig
+
+        scenario = provisioned_scenario(
+            seed=0,
+            fubar_config=FubarConfig(use_incremental_model=False),
+            max_wall_clock_s=1.0,
+            **TINY,
+        )
+        assert scenario.fubar_config.max_wall_clock_s == 1.0
+        assert scenario.fubar_config.use_incremental_model is False
+
     def test_provisioned_uses_100mbps_links(self):
         scenario = provisioned_scenario(seed=0, **TINY)
         assert all(
