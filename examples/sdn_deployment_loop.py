@@ -33,12 +33,16 @@ def main() -> None:
     print(f"cycle 1: installed {report.num_rules_installed} rules, "
           f"utility {plan.network_utility:.4f}, overloaded links: {len(report.overloaded_links)}")
 
-    # Cycle 1: the next optimization starts from what the switches measured.
+    # Cycle 1: the next optimization starts from what the switches measured,
+    # warm-started from the deployed plan; the differential install reports
+    # how few rules actually changed.
     remeasured = remeasure(online_controller)
-    second_plan = offline_controller.optimize(remeasured)
+    second_plan = offline_controller.optimize(remeasured, warm_start=plan)
     second_report = deploy_plan(online_controller, second_plan)
-    print(f"cycle 2: installed {second_report.num_rules_installed} rules, "
-          f"utility {second_plan.network_utility:.4f}")
+    churn = second_report.install
+    print(f"cycle 2: {second_report.num_rules_installed} rules installed, "
+          f"utility {second_plan.network_utility:.4f}, rule churn "
+          f"+{churn.rules_added}/-{churn.rules_removed}/~{churn.rules_updated}")
 
     print("\nPer-switch rule counts after the second cycle:")
     for switch in online_controller.switches:

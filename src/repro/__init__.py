@@ -33,6 +33,11 @@ from repro.core import (
     RoutingTable,
     optimize,
 )
+from repro.dynamics import (
+    ControlLoopConfig,
+    build_process,
+    run_control_loop,
+)
 from repro.topology import (
     Network,
     abilene,
@@ -76,8 +81,10 @@ __all__ = [
     "TrafficMatrix",
     "TrafficModel",
     "UtilityFunction",
+    "ControlLoopConfig",
     "__version__",
     "abilene",
+    "build_process",
     "bulk_transfer_utility",
     "evaluate_bundles",
     "geant",
@@ -88,6 +95,7 @@ __all__ = [
     "provisioned_core",
     "real_time_utility",
     "reduced_core",
+    "run_control_loop",
     "triangle_topology",
     "underprovisioned_core",
 ]

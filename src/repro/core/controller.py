@@ -18,6 +18,7 @@ from typing import Optional
 from repro.core.config import FubarConfig
 from repro.core.optimizer import FubarOptimizer, FubarResult
 from repro.core.routing import RoutingTable
+from repro.core.state import AllocationState
 from repro.paths.generator import PathGenerator
 from repro.paths.policy import PathPolicy
 from repro.topology.graph import Network
@@ -40,11 +41,18 @@ class FubarPlan:
         return self.result.network_utility
 
     @property
-    def improvement_over_shortest_path(self) -> float:
-        """Utility gained relative to the shortest-path starting point."""
+    def improvement_over_shortest_path(self) -> Optional[float]:
+        """Utility gained relative to the shortest-path starting point.
+
+        ``None`` when no initial trace point was recorded (e.g. a warm-started
+        cycle, which never evaluates the shortest-path solution): reporting
+        ``0.0`` there would misrepresent an unknown baseline as "no gain".
+        Reports render ``None`` as "n/a", mirroring
+        :func:`repro.metrics.reporting.relative_improvement`.
+        """
         initial = self.result.initial_point
         if initial is None:
-            return 0.0
+            return None
         return self.result.network_utility - initial.network_utility
 
     def summary(self) -> dict:
@@ -52,6 +60,7 @@ class FubarPlan:
         summary = self.result.summary()
         summary.update(
             {
+                "improvement_over_shortest_path": self.improvement_over_shortest_path,
                 "aggregates_split": len(self.routing.multipath_aggregates()),
                 "max_paths_per_aggregate": self.routing.max_paths_per_aggregate(),
             }
@@ -87,28 +96,53 @@ class Fubar:
         self.policy = policy or PathPolicy.unrestricted()
         self.model_config = model_config
 
-    def optimize(self, traffic_matrix: TrafficMatrix) -> FubarPlan:
-        """Run one offline optimization cycle on *traffic_matrix*."""
+    def optimize(
+        self,
+        traffic_matrix: TrafficMatrix,
+        warm_start: Optional[FubarPlan] = None,
+        config: Optional[FubarConfig] = None,
+    ) -> FubarPlan:
+        """Run one offline optimization cycle on *traffic_matrix*.
+
+        Parameters
+        ----------
+        warm_start:
+            A previous cycle's plan.  The new cycle starts from that plan's
+            allocation (rescaled to the new flow counts) and inherits its
+            per-aggregate path sets, instead of restarting from shortest
+            paths — the re-optimization mode of the control loop
+            (:mod:`repro.dynamics`).
+        config:
+            Per-cycle configuration override; defaults to the controller's.
+        """
         generator = PathGenerator(self.network, self.policy)
         optimizer = FubarOptimizer(
             self.network,
             traffic_matrix,
-            config=self.config,
+            config=config or self.config,
             path_generator=generator,
             model_config=self.model_config,
         )
-        result = optimizer.run()
+        initial_state = None
+        initial_path_sets = None
+        if warm_start is not None:
+            initial_state = AllocationState.warm_start(
+                warm_start.result.state, traffic_matrix, generator
+            )
+            initial_path_sets = warm_start.result.path_sets
+        result = optimizer.run(
+            initial_state=initial_state, initial_path_sets=initial_path_sets
+        )
         routing = RoutingTable.from_state(result.state)
         return FubarPlan(result=result, routing=routing)
 
     def optimize_with_priority(
         self, traffic_matrix: TrafficMatrix, weights: PriorityWeights
     ) -> FubarPlan:
-        """Run a cycle with non-default priority weights (the Figure 5 scenario)."""
-        controller = Fubar(
-            self.network,
-            config=self.config.with_priority(weights),
-            policy=self.policy,
-            model_config=self.model_config,
-        )
-        return controller.optimize(traffic_matrix)
+        """Run a cycle with non-default priority weights (the Figure 5 scenario).
+
+        A ``dataclasses.replace``-style config swap on this instance: the
+        already-validated topology is reused instead of constructing a whole
+        new controller (which would re-run ``require_routable``).
+        """
+        return self.optimize(traffic_matrix, config=self.config.with_priority(weights))

@@ -53,6 +53,7 @@ class FubarResult:
     termination_reason: str
     wall_clock_s: float
     model_evaluations: int
+    warm_started: bool = False
 
     @property
     def network_utility(self) -> float:
@@ -76,7 +77,14 @@ class FubarResult:
 
     @property
     def initial_point(self) -> Optional[TracePoint]:
-        """The trace point of the shortest-path starting solution."""
+        """The trace point of the shortest-path starting solution.
+
+        ``None`` for warm-started runs: their first trace point is the
+        inherited allocation, not the shortest-path solution, so there is no
+        shortest-path reference to compare against.
+        """
+        if self.warm_started:
+            return None
         return self.recorder.initial
 
     def summary(self) -> dict:
@@ -122,8 +130,19 @@ class FubarOptimizer:
 
     # ------------------------------------------------------------------- run
 
-    def run(self, initial_state: Optional[AllocationState] = None) -> FubarResult:
-        """Execute Listing 1 and return the final :class:`FubarResult`."""
+    def run(
+        self,
+        initial_state: Optional[AllocationState] = None,
+        initial_path_sets: Optional[Dict[AggregateKey, PathSet]] = None,
+    ) -> FubarResult:
+        """Execute Listing 1 and return the final :class:`FubarResult`.
+
+        ``initial_state`` seeds the starting allocation (warm start); the
+        default is the lowest-delay allocation of Listing 1, line 1.
+        ``initial_path_sets`` additionally seeds each aggregate's path set
+        with alternatives discovered in earlier cycles (the sets are copied,
+        the caller's objects are never mutated).
+        """
         config = self.config
         recorder = OptimizationRecorder(config.priority_weights)
         recorder.start()
@@ -135,9 +154,15 @@ class FubarOptimizer:
         state = initial_state or AllocationState.initial(
             self.network, self.traffic_matrix, self.path_generator
         )
-        path_sets = build_path_sets(self.network, state)
+        path_sets = build_path_sets(self.network, state, previous=initial_path_sets)
         result = self.model.evaluate(state.bundles())
-        recorder.record(0, result, "initial lowest-delay allocation")
+        recorder.record(
+            0,
+            result,
+            "initial warm-start allocation"
+            if initial_state is not None
+            else "initial lowest-delay allocation",
+        )
 
         step_count = 0
         escalation_level = 0
@@ -207,6 +232,7 @@ class FubarOptimizer:
             termination_reason=termination,
             wall_clock_s=recorder.elapsed_s(),
             model_evaluations=self.model.evaluations - evaluations_at_start,
+            warm_started=initial_state is not None,
         )
 
 

@@ -90,6 +90,41 @@ class AllocationState:
             allocations[aggregate.key] = {path: aggregate.num_flows}
         return cls(network, traffic_matrix, allocations)
 
+    @classmethod
+    def warm_start(
+        cls,
+        previous: "AllocationState",
+        traffic_matrix: TrafficMatrix,
+        path_generator: Optional[PathGenerator] = None,
+    ) -> "AllocationState":
+        """Seed a state for *traffic_matrix* from a previous cycle's allocation.
+
+        Aggregates present in *previous* keep their path split: the new flow
+        count is apportioned over the same paths proportionally to the old
+        distribution (largest-remainder rounding, so the counts stay exact
+        integers).  Aggregates new to the matrix start on their lowest-delay
+        path; aggregates that disappeared are dropped.  This is the
+        re-optimization entry point of the control loop — each cycle starts
+        from the deployed solution instead of from shortest paths.
+        """
+        generator = path_generator or PathGenerator(previous.network)
+        allocations: Dict[AggregateKey, AggregateAllocation] = {}
+        for aggregate in traffic_matrix:
+            key = aggregate.key
+            old = previous._allocations.get(key)
+            if old:
+                allocations[key] = apportion_flows(old, aggregate.num_flows)
+                continue
+            path = generator.lowest_delay_path(aggregate.source, aggregate.destination)
+            if path is None:
+                raise NoPathError(
+                    aggregate.source,
+                    aggregate.destination,
+                    "aggregate cannot be routed at all",
+                )
+            allocations[key] = {path: aggregate.num_flows}
+        return cls(previous.network, traffic_matrix, allocations)
+
     # ----------------------------------------------------------------- reads
 
     @property
@@ -250,12 +285,42 @@ class AllocationState:
         )
 
 
+def apportion_flows(allocation: AggregateAllocation, total: int) -> AggregateAllocation:
+    """Distribute *total* flows over the paths of *allocation* proportionally.
+
+    Largest-remainder rounding keeps the result an exact integer partition of
+    *total*; paths whose share rounds to zero are dropped.  *allocation* must
+    be non-empty and *total* positive (AllocationState validates both).
+    """
+    old_total = sum(allocation.values())
+    quotas = {path: flows * total / old_total for path, flows in allocation.items()}
+    apportioned = {path: int(quota) for path, quota in quotas.items()}
+    leftover = total - sum(apportioned.values())
+    # Stable sort: ties in the fractional part keep the allocation's order.
+    by_remainder = sorted(
+        quotas, key=lambda path: quotas[path] - apportioned[path], reverse=True
+    )
+    for path in by_remainder[:leftover]:
+        apportioned[path] += 1
+    return {path: flows for path, flows in apportioned.items() if flows > 0}
+
+
 def build_path_sets(
     network: Network,
     state: AllocationState,
+    previous: Optional[Mapping[AggregateKey, PathSet]] = None,
 ) -> Dict[AggregateKey, PathSet]:
-    """Create one :class:`PathSet` per aggregate seeded with its allocated paths."""
+    """Create one :class:`PathSet` per aggregate seeded with its allocated paths.
+
+    When *previous* path sets are given (warm start), each aggregate's set
+    additionally inherits the alternatives discovered in earlier cycles, so
+    re-optimization does not have to regenerate them.  The inherited sets are
+    copied, never mutated.
+    """
     path_sets: Dict[AggregateKey, PathSet] = {}
     for key in state.aggregate_keys:
-        path_sets[key] = PathSet(network, state.paths_of(key))
+        path_set = PathSet(network, state.paths_of(key))
+        if previous and key in previous:
+            path_set.add_many(previous[key].paths)
+        path_sets[key] = path_set
     return path_sets

@@ -1,0 +1,48 @@
+"""The dynamic control-loop subsystem: time-varying traffic, warm-started
+re-optimization and the closed measure → optimize → install cycle."""
+
+from repro.dynamics.loop import (
+    ControlLoopConfig,
+    ControlLoopResult,
+    EpochRecord,
+    bundles_from_routing,
+    format_epoch_table,
+    run_control_loop,
+)
+from repro.dynamics.processes import (
+    DiurnalProcess,
+    FlashCrowdProcess,
+    PROCESS_KINDS,
+    RandomWalkProcess,
+    StaticProcess,
+    TrafficProcess,
+    build_process,
+    busiest_destination,
+)
+from repro.dynamics.scenarios import (
+    build_dynamic_scenario,
+    is_dynamic,
+    loop_inputs,
+    run_scenario_loop,
+)
+
+__all__ = [
+    "ControlLoopConfig",
+    "ControlLoopResult",
+    "DiurnalProcess",
+    "EpochRecord",
+    "FlashCrowdProcess",
+    "PROCESS_KINDS",
+    "RandomWalkProcess",
+    "StaticProcess",
+    "TrafficProcess",
+    "build_dynamic_scenario",
+    "build_process",
+    "bundles_from_routing",
+    "busiest_destination",
+    "format_epoch_table",
+    "is_dynamic",
+    "loop_inputs",
+    "run_control_loop",
+    "run_scenario_loop",
+]

@@ -1,0 +1,332 @@
+"""The closed measure → optimize → install control loop.
+
+Paper §5 positions FUBAR as "an offline controller in SDN or MPLS networks,
+in conjunction with an online controller".  :func:`run_control_loop` is that
+pairing, driven over time-varying demand: each epoch the online side
+(:class:`~repro.sdn.controller.SdnController`) carries the epoch's true
+traffic over the currently installed rules and measures it; the offline side
+(:class:`~repro.core.controller.Fubar`) re-optimizes on the *measured*
+matrix — warm-started from the previous plan by default — and differentially
+installs the new rules.
+
+Per-epoch accounting separates the two utilities the loop produces:
+
+* **planned** utility — what the optimizer believes, evaluated on the
+  measured matrix it optimized;
+* **delivered** utility — what the network actually achieves when the true
+  matrix is carried over the freshly installed rules.
+
+The gap between them is the measurement error the paper's §5 caveats
+discuss (counters observe achieved rates, not offered demand).  Rule churn
+per epoch comes from the differential install's
+:class:`~repro.sdn.controller.InstallReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import FubarConfig
+from repro.core.controller import Fubar, FubarPlan
+from repro.core.state import apportion_flows
+from repro.dynamics.processes import TrafficProcess
+from repro.exceptions import DynamicsError
+from repro.metrics.reporting import format_table
+from repro.paths.policy import PathPolicy
+from repro.sdn.controller import InstallReport, SdnController
+from repro.sdn.deployment import feed_model_result
+from repro.topology.graph import Network
+from repro.traffic.aggregate import Aggregate
+from repro.traffic.matrix import TrafficMatrix
+from repro.trafficmodel.bundle import Bundle
+from repro.trafficmodel.result import TrafficModelResult
+from repro.trafficmodel.waterfill import TrafficModel, TrafficModelConfig
+
+
+@dataclass(frozen=True)
+class ControlLoopConfig:
+    """Knobs of the time-stepped control loop.
+
+    Parameters
+    ----------
+    num_epochs:
+        Number of measure → optimize → install cycles to run.
+    epoch_duration_s:
+        Length of one measurement interval; only scales the byte counters.
+    warm_start:
+        When True (the default) each cycle seeds the optimizer from the
+        previous plan's allocation and path sets; when False every cycle
+        restarts cold from shortest paths (the comparison baseline of
+        ``benchmarks/bench_dynamic_loop.py``).
+    """
+
+    num_epochs: int = 8
+    epoch_duration_s: float = 60.0
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_epochs < 1:
+            raise DynamicsError(f"num_epochs must be positive, got {self.num_epochs!r}")
+        if self.epoch_duration_s <= 0.0:
+            raise DynamicsError(
+                f"epoch_duration_s must be positive, got {self.epoch_duration_s!r}"
+            )
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Everything one control-loop epoch produced."""
+
+    epoch: int
+    observed_aggregates: int
+    planned_utility: float
+    delivered_utility: float
+    model_evaluations: int
+    steps: int
+    optimize_wall_clock_s: float
+    install: InstallReport
+    unrouted_aggregates: int
+
+    @property
+    def accounting_gap(self) -> float:
+        """Delivered minus planned utility (measurement-feedback error)."""
+        return self.delivered_utility - self.planned_utility
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "observed_aggregates": self.observed_aggregates,
+            "planned_utility": self.planned_utility,
+            "delivered_utility": self.delivered_utility,
+            "accounting_gap": self.accounting_gap,
+            "model_evaluations": self.model_evaluations,
+            "steps": self.steps,
+            "optimize_wall_clock_s": self.optimize_wall_clock_s,
+            "install": self.install.as_dict(),
+            "unrouted_aggregates": self.unrouted_aggregates,
+        }
+
+
+@dataclass
+class ControlLoopResult:
+    """The full trajectory of one control-loop run."""
+
+    records: List[EpochRecord]
+    final_plan: FubarPlan
+    config: ControlLoopConfig
+    process_name: str
+
+    def mean_model_evaluations(self, skip_first: bool = True) -> float:
+        """Mean optimizer model evaluations per cycle.
+
+        The first cycle has no previous plan, so warm and cold runs are
+        identical there; ``skip_first`` (the default) excludes it, which is
+        the number the warm-vs-cold benchmark compares.
+        """
+        records = self.records[1:] if skip_first and len(self.records) > 1 else self.records
+        return sum(r.model_evaluations for r in records) / len(records)
+
+    def mean_delivered_utility(self) -> float:
+        """Mean delivered network utility across the epochs."""
+        return sum(r.delivered_utility for r in self.records) / len(self.records)
+
+    def total_churn(self) -> int:
+        """Total flow-table writes across every install of the run."""
+        return sum(r.install.churn for r in self.records)
+
+    def mean_rule_churn(self, skip_first: bool = True) -> float:
+        """Mean flow-table writes per epoch.
+
+        Epoch 0 populates empty tables, so its churn is the whole table
+        size; ``skip_first`` (the default) excludes it to report the
+        steady-state churn — the same convention as
+        :meth:`mean_model_evaluations`.
+        """
+        records = self.records[1:] if skip_first and len(self.records) > 1 else self.records
+        return sum(r.install.churn for r in records) / len(records)
+
+    def summary(self) -> Dict[str, object]:
+        """Compact roll-up used by reports, benchmarks and the runner cache."""
+        return {
+            "process": self.process_name,
+            "num_epochs": len(self.records),
+            "warm_start": self.config.warm_start,
+            "mean_delivered_utility": self.mean_delivered_utility(),
+            "final_delivered_utility": self.records[-1].delivered_utility,
+            "mean_model_evaluations_per_cycle": self.mean_model_evaluations(),
+            "total_model_evaluations": sum(r.model_evaluations for r in self.records),
+            "total_steps": sum(r.steps for r in self.records),
+            "total_rule_churn": self.total_churn(),
+            "mean_rule_churn_per_epoch": self.mean_rule_churn(),
+            "total_optimize_wall_clock_s": sum(
+                r.optimize_wall_clock_s for r in self.records
+            ),
+        }
+
+    def to_record(self) -> Dict[str, object]:
+        """JSON-serializable form (cache / report payload)."""
+        return {
+            "summary": self.summary(),
+            "epochs": [record.as_dict() for record in self.records],
+        }
+
+
+def bundles_from_routing(
+    routing, traffic_matrix: TrafficMatrix
+) -> Tuple[List[Bundle], List[Aggregate]]:
+    """Route *traffic_matrix* over an installed routing table.
+
+    Each aggregate's (possibly new) flow count is apportioned over its
+    installed path splits proportionally to the split flow counts — the
+    online controller keeps the split weights until the offline controller
+    replaces them.  Returns the bundle list plus the aggregates the routing
+    has no route for (new aggregates are invisible to the data plane until
+    the next cycle installs rules for them).
+    """
+    bundles: List[Bundle] = []
+    unrouted: List[Aggregate] = []
+    for aggregate in traffic_matrix:
+        if aggregate.key not in routing:
+            unrouted.append(aggregate)
+            continue
+        route = routing.route_of(aggregate.key)
+        allocation = {split.path: split.num_flows for split in route.splits}
+        for path, flows in apportion_flows(allocation, aggregate.num_flows).items():
+            bundles.append(Bundle(aggregate=aggregate, path=path, num_flows=flows))
+    return bundles, unrouted
+
+
+def _carry_epoch_traffic(
+    sdn: SdnController,
+    model: TrafficModel,
+    true_matrix: TrafficMatrix,
+    interval_s: float,
+) -> Tuple[TrafficModelResult, List[Aggregate]]:
+    """Drive one epoch of true traffic through the installed rules.
+
+    The traffic model decides the per-bundle achieved rates; the ingress
+    switches observe them (fresh rates, accumulating byte totals).  Returns
+    the model result — its utility is the epoch's *delivered* utility,
+    averaged over the routed aggregates (the unrouted ones, returned
+    alongside, received no service and are reported separately) — and the
+    unrouted aggregates themselves.
+    """
+    routing = sdn.installed_routing
+    if routing is None:
+        raise DynamicsError("cannot carry traffic before any routing is installed")
+    bundles, unrouted = bundles_from_routing(routing, true_matrix)
+    result = model.evaluate(bundles)
+    sdn.reset_counters()
+    feed_model_result(sdn, result, interval_s=interval_s)
+    return result, unrouted
+
+
+def run_control_loop(
+    network: Network,
+    process: TrafficProcess,
+    fubar_config: Optional[FubarConfig] = None,
+    loop_config: Optional[ControlLoopConfig] = None,
+    policy: Optional[PathPolicy] = None,
+    model_config: Optional[TrafficModelConfig] = None,
+) -> ControlLoopResult:
+    """Run the closed control loop over *process* on *network*.
+
+    Epoch *t* (0-based):
+
+    1. re-optimize on the currently observed matrix — the epoch-0 bootstrap
+       observes the true matrix directly (the online controller's initial
+       hand-off); later epochs use what the switches measured — warm-started
+       from the previous plan when configured;
+    2. differentially install the new rules (churn accounting);
+    3. carry the epoch's *true* traffic (``process.matrix_at(t)``) over the
+       installed rules; the switches measure it, producing the matrix epoch
+       *t + 1* optimizes.
+    """
+    loop_config = loop_config or ControlLoopConfig()
+    fubar = Fubar(network, config=fubar_config, policy=policy, model_config=model_config)
+    sdn = SdnController(network)
+    model = TrafficModel(network, model_config)
+
+    observed = process.matrix_at(0)
+    plan: Optional[FubarPlan] = None
+    records: List[EpochRecord] = []
+    for epoch in range(loop_config.num_epochs):
+        if len(observed) == 0:
+            raise DynamicsError(
+                f"epoch {epoch} observed an empty traffic matrix; the loop "
+                "cannot re-optimize without measurements"
+            )
+        started = time.perf_counter()
+        plan = fubar.optimize(
+            observed, warm_start=plan if loop_config.warm_start else None
+        )
+        optimize_wall = time.perf_counter() - started
+        install = sdn.install_routing(plan.routing)
+
+        true_matrix = process.matrix_at(epoch)
+        delivered, unrouted = _carry_epoch_traffic(
+            sdn, model, true_matrix, loop_config.epoch_duration_s
+        )
+        records.append(
+            EpochRecord(
+                epoch=epoch,
+                observed_aggregates=len(observed),
+                planned_utility=plan.network_utility,
+                delivered_utility=delivered.network_utility(),
+                model_evaluations=plan.result.model_evaluations,
+                steps=plan.result.num_steps,
+                optimize_wall_clock_s=optimize_wall,
+                install=install,
+                unrouted_aggregates=len(unrouted),
+            )
+        )
+        observed = sdn.measured_traffic_matrix(name=f"measured-epoch{epoch}")
+        # Packet-in style discovery: aggregates with no installed rule left
+        # no counters, but their unmatched traffic reaches the controller,
+        # which hands them to the next cycle so rules get installed for them.
+        for aggregate in unrouted:
+            if aggregate.key not in observed:
+                observed.add(aggregate)
+
+    assert plan is not None  # num_epochs >= 1
+    return ControlLoopResult(
+        records=records,
+        final_plan=plan,
+        config=loop_config,
+        process_name=process.name,
+    )
+
+
+def format_epoch_table(epochs: Sequence[Mapping[str, object]]) -> str:
+    """Render per-epoch records (``EpochRecord.as_dict`` shape) as a table."""
+    rows = []
+    for record in epochs:
+        install = record.get("install", {})
+        rows.append(
+            (
+                record.get("epoch"),
+                record.get("observed_aggregates"),
+                f"{float(record.get('planned_utility', 0.0)):.4f}",
+                f"{float(record.get('delivered_utility', 0.0)):.4f}",
+                record.get("model_evaluations"),
+                record.get("steps"),
+                f"+{install.get('rules_added', 0)}/-{install.get('rules_removed', 0)}"
+                f"/~{install.get('rules_updated', 0)}",
+                f"{float(record.get('optimize_wall_clock_s', 0.0)):.2f}",
+            )
+        )
+    return format_table(
+        (
+            "epoch",
+            "aggregates",
+            "planned",
+            "delivered",
+            "evals",
+            "steps",
+            "churn(+/-/~)",
+            "opt_s",
+        ),
+        rows,
+    )

@@ -1,0 +1,299 @@
+"""Time-varying traffic processes.
+
+The paper's evaluation optimizes one static traffic matrix; its deployment
+story (§5) is a loop that keeps re-optimizing as demand changes.  This module
+supplies the demand side of that loop: a :class:`TrafficProcess` wraps a base
+matrix (typically from :mod:`repro.traffic.generators`) and produces the
+*true* matrix of every measurement epoch by scaling each aggregate with a
+per-epoch multiplier.
+
+Three dynamics are built in, each a classic traffic-engineering workload:
+
+* :class:`DiurnalProcess` — a sinusoidal day/night swing applied to every
+  aggregate's per-flow demand;
+* :class:`FlashCrowdProcess` — a transient burst of extra *flows* towards one
+  destination (ramp up, hold, ramp down);
+* :class:`RandomWalkProcess` — independent multiplicative random-walk drift
+  per aggregate, the workload warm-start re-optimization is benchmarked on.
+
+Processes are deterministic functions of ``(base matrix, parameters, epoch)``
+— calling :meth:`TrafficProcess.matrix_at` twice for the same epoch returns
+identical matrices, which keeps control-loop runs reproducible and cacheable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DynamicsError
+from repro.traffic.aggregate import Aggregate, AggregateKey
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TrafficProcess:
+    """Base class: the true traffic matrix as a function of the epoch index.
+
+    Subclasses implement :meth:`multipliers`; the base class turns the
+    multipliers into a scaled copy of the base matrix.  The default scaling
+    acts on per-flow demand (the bandwidth peak of the utility function);
+    subclasses may override :meth:`scale_aggregate` to act on flow counts
+    instead (see :class:`FlashCrowdProcess`).
+    """
+
+    #: Registry name; subclasses override.
+    kind = "static"
+
+    def __init__(self, base_matrix: TrafficMatrix, name: Optional[str] = None) -> None:
+        if len(base_matrix) == 0:
+            raise DynamicsError("a traffic process needs a non-empty base matrix")
+        self.base_matrix = base_matrix
+        self.name = name or f"{base_matrix.name}-{self.kind}"
+
+    # -------------------------------------------------------------- interface
+
+    def multipliers(self, epoch: int) -> Dict[AggregateKey, float]:
+        """Per-aggregate demand multipliers at *epoch*.
+
+        Missing keys default to 1.0, so a process only lists the aggregates
+        it actually perturbs.
+        """
+        return {}
+
+    def scale_aggregate(self, aggregate: Aggregate, multiplier: float) -> Aggregate:
+        """Apply one multiplier to one aggregate (default: per-flow demand)."""
+        demand = max(aggregate.per_flow_demand_bps * multiplier, 1.0)
+        return aggregate.with_utility(aggregate.utility.with_demand(demand))
+
+    # -------------------------------------------------------------- execution
+
+    def matrix_at(self, epoch: int) -> TrafficMatrix:
+        """The true traffic matrix of measurement epoch *epoch* (0-based)."""
+        if epoch < 0:
+            raise DynamicsError(f"epoch must be non-negative, got {epoch!r}")
+        multipliers = self.multipliers(epoch)
+        matrix = TrafficMatrix(name=f"{self.name}-epoch{epoch}")
+        for aggregate in self.base_matrix:
+            multiplier = multipliers.get(aggregate.key, 1.0)
+            if multiplier == 1.0:
+                matrix.add(aggregate)
+            else:
+                matrix.add(self.scale_aggregate(aggregate, multiplier))
+        return matrix
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(base={self.base_matrix.name!r})"
+
+
+class StaticProcess(TrafficProcess):
+    """The degenerate process: every epoch repeats the base matrix.
+
+    Used by the warm-vs-cold equivalence gate — on static traffic a
+    warm-started cycle must match a cold-started one.
+    """
+
+    kind = "static"
+
+
+class DiurnalProcess(TrafficProcess):
+    """A sinusoidal day/night swing shared by every aggregate.
+
+    The multiplier at epoch *t* is ``1 + amplitude * sin(2π (t + phase) /
+    period)``: demand peaks once per period and dips symmetrically below the
+    base level half a period later.
+    """
+
+    kind = "diurnal"
+
+    def __init__(
+        self,
+        base_matrix: TrafficMatrix,
+        period_epochs: float = 24.0,
+        amplitude: float = 0.3,
+        phase_epochs: float = 0.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if period_epochs <= 0.0:
+            raise DynamicsError(f"period_epochs must be positive, got {period_epochs!r}")
+        if not 0.0 <= amplitude < 1.0:
+            raise DynamicsError(f"amplitude must be in [0, 1), got {amplitude!r}")
+        super().__init__(base_matrix, name=name)
+        self.period_epochs = float(period_epochs)
+        self.amplitude = float(amplitude)
+        self.phase_epochs = float(phase_epochs)
+
+    def multiplier_at(self, epoch: int) -> float:
+        """The (aggregate-independent) multiplier of one epoch."""
+        angle = 2.0 * math.pi * (epoch + self.phase_epochs) / self.period_epochs
+        return 1.0 + self.amplitude * math.sin(angle)
+
+    def multipliers(self, epoch: int) -> Dict[AggregateKey, float]:
+        multiplier = self.multiplier_at(epoch)
+        return {aggregate.key: multiplier for aggregate in self.base_matrix}
+
+
+class FlashCrowdProcess(TrafficProcess):
+    """A transient burst of flows towards one destination.
+
+    The flow counts of every aggregate destined to ``destination`` ramp
+    linearly up to ``magnitude`` times the base count over ``ramp_epochs``,
+    hold there for ``duration_epochs`` and ramp back down — the classic
+    flash-crowd shape.  Scaling *flows* rather than per-flow demand matches
+    the phenomenon (more users, not faster users) and exercises warm-start
+    flow re-apportionment.
+    """
+
+    kind = "flash-crowd"
+
+    def __init__(
+        self,
+        base_matrix: TrafficMatrix,
+        destination: Optional[str] = None,
+        start_epoch: int = 2,
+        duration_epochs: int = 2,
+        magnitude: float = 4.0,
+        ramp_epochs: int = 1,
+        name: Optional[str] = None,
+    ) -> None:
+        if magnitude < 1.0:
+            raise DynamicsError(f"magnitude must be >= 1, got {magnitude!r}")
+        if start_epoch < 0 or duration_epochs < 0 or ramp_epochs < 1:
+            raise DynamicsError(
+                "start_epoch/duration_epochs must be non-negative and "
+                f"ramp_epochs positive, got {start_epoch!r}/{duration_epochs!r}/"
+                f"{ramp_epochs!r}"
+            )
+        super().__init__(base_matrix, name=name)
+        resolved = destination or busiest_destination(base_matrix)
+        if not any(a.destination == resolved for a in base_matrix):
+            raise DynamicsError(
+                f"no aggregate in {base_matrix.name!r} is destined to {resolved!r}"
+            )
+        self.destination = resolved
+        self.start_epoch = int(start_epoch)
+        self.duration_epochs = int(duration_epochs)
+        self.magnitude = float(magnitude)
+        self.ramp_epochs = int(ramp_epochs)
+
+    def multiplier_at(self, epoch: int) -> float:
+        """The crowd-size multiplier of one epoch (1.0 outside the event)."""
+        ramp_up_end = self.start_epoch + self.ramp_epochs
+        hold_end = ramp_up_end + self.duration_epochs
+        ramp_down_end = hold_end + self.ramp_epochs
+        if epoch < self.start_epoch or epoch >= ramp_down_end:
+            return 1.0
+        if epoch < ramp_up_end:
+            progress = (epoch - self.start_epoch + 1) / self.ramp_epochs
+            return 1.0 + (self.magnitude - 1.0) * progress
+        if epoch < hold_end:
+            return self.magnitude
+        progress = (epoch - hold_end + 1) / self.ramp_epochs
+        return max(1.0, self.magnitude - (self.magnitude - 1.0) * progress)
+
+    def multipliers(self, epoch: int) -> Dict[AggregateKey, float]:
+        multiplier = self.multiplier_at(epoch)
+        if multiplier == 1.0:
+            return {}
+        return {
+            aggregate.key: multiplier
+            for aggregate in self.base_matrix
+            if aggregate.destination == self.destination
+        }
+
+    def scale_aggregate(self, aggregate: Aggregate, multiplier: float) -> Aggregate:
+        return aggregate.with_num_flows(max(1, int(round(aggregate.num_flows * multiplier))))
+
+
+class RandomWalkProcess(TrafficProcess):
+    """Independent multiplicative random-walk drift per aggregate.
+
+    Each aggregate's log-multiplier performs a Gaussian random walk with one
+    step per epoch, clamped to ``[min_multiplier, max_multiplier]``.  The walk
+    is regenerated from the seed on every query (epoch counts are small), so
+    ``matrix_at`` is a pure function of ``(seed, epoch)`` — epoch *t* extends
+    the exact trajectory of epoch *t - 1*.
+    """
+
+    kind = "random-walk"
+
+    def __init__(
+        self,
+        base_matrix: TrafficMatrix,
+        seed: int = 0,
+        step_std: float = 0.08,
+        min_multiplier: float = 0.25,
+        max_multiplier: float = 4.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if step_std < 0.0:
+            raise DynamicsError(f"step_std must be non-negative, got {step_std!r}")
+        if not 0.0 < min_multiplier <= 1.0 <= max_multiplier:
+            raise DynamicsError(
+                "multiplier clamp must satisfy 0 < min <= 1 <= max, got "
+                f"[{min_multiplier!r}, {max_multiplier!r}]"
+            )
+        super().__init__(base_matrix, name=name)
+        self.seed = int(seed)
+        self.step_std = float(step_std)
+        self.min_multiplier = float(min_multiplier)
+        self.max_multiplier = float(max_multiplier)
+        self._keys: Tuple[AggregateKey, ...] = base_matrix.keys
+
+    def multipliers(self, epoch: int) -> Dict[AggregateKey, float]:
+        if epoch == 0 or self.step_std == 0.0:
+            return {}
+        rng = np.random.default_rng(self.seed)
+        # Row-major fill means the first t rows are a prefix of any longer
+        # draw, so epoch t extends epoch t-1's trajectory exactly.
+        steps = rng.normal(0.0, self.step_std, size=(epoch, len(self._keys)))
+        walk = np.exp(steps.sum(axis=0))
+        clamped = np.clip(walk, self.min_multiplier, self.max_multiplier)
+        return {key: float(value) for key, value in zip(self._keys, clamped)}
+
+
+def busiest_destination(matrix: TrafficMatrix) -> str:
+    """The destination receiving the most total demand (flash-crowd default)."""
+    totals: Dict[str, float] = {}
+    for aggregate in matrix:
+        totals[aggregate.destination] = (
+            totals.get(aggregate.destination, 0.0) + aggregate.total_demand_bps
+        )
+    return max(sorted(totals), key=totals.__getitem__)
+
+
+#: Process kinds constructible by :func:`build_process`.
+PROCESS_KINDS: Dict[str, type] = {
+    StaticProcess.kind: StaticProcess,
+    DiurnalProcess.kind: DiurnalProcess,
+    FlashCrowdProcess.kind: FlashCrowdProcess,
+    RandomWalkProcess.kind: RandomWalkProcess,
+}
+
+
+def build_process(
+    kind: str,
+    base_matrix: TrafficMatrix,
+    seed: int = 0,
+    **params: object,
+) -> TrafficProcess:
+    """Construct a traffic process by registry name.
+
+    ``seed`` is forwarded to the processes that consume one (currently the
+    random walk) and ignored by the deterministic ones, so callers can pass
+    the scenario seed unconditionally.
+    """
+    try:
+        process_class = PROCESS_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(PROCESS_KINDS))
+        raise DynamicsError(
+            f"unknown traffic process {kind!r}; expected one of: {known}"
+        ) from None
+    if process_class is RandomWalkProcess:
+        params.setdefault("seed", seed)
+    try:
+        return process_class(base_matrix, **params)
+    except TypeError as error:
+        raise DynamicsError(f"invalid parameters for process {kind!r}: {error}") from error

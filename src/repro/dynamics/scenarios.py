@@ -1,0 +1,132 @@
+"""Dynamic scenarios: a static sweep scenario plus a traffic process.
+
+A dynamic scenario is an ordinary
+:class:`~repro.experiments.scenarios.Scenario` (topology, base traffic
+matrix, optimizer config) whose ``metadata["dynamics"]`` entry describes the
+time-varying process and the control-loop configuration to run it under.
+Keeping the static scenario machinery untouched means dynamic families plug
+into the existing runner registry, spec hashing and result cache for free;
+:func:`run_scenario_loop` is the one extra step the sweep engine takes when
+it sees the metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.dynamics.loop import ControlLoopConfig, ControlLoopResult, run_control_loop
+from repro.dynamics.processes import TrafficProcess, build_process
+from repro.exceptions import DynamicsError
+from repro.experiments.scenarios import (
+    DEFAULT_TARGET_DEMANDED_UTILIZATION,
+    Scenario,
+    build_sweep_scenario,
+)
+
+#: Metadata key marking a scenario as dynamic.
+DYNAMICS_METADATA_KEY = "dynamics"
+
+
+def build_dynamic_scenario(
+    topology: str = "hurricane-electric",
+    num_pops: Optional[int] = None,
+    provisioning_ratio: float = 1.0,
+    process: str = "random-walk",
+    num_epochs: int = 6,
+    epoch_duration_s: float = 60.0,
+    warm_start: bool = True,
+    seed: int = 0,
+    target_demanded_utilization: float = DEFAULT_TARGET_DEMANDED_UTILIZATION,
+    max_steps: Optional[int] = None,
+    # Process-specific knobs; None keeps the process default.  They are
+    # explicit keywords (not **kwargs) so sweep specs stay introspectable.
+    amplitude: Optional[float] = None,
+    period_epochs: Optional[float] = None,
+    magnitude: Optional[float] = None,
+    step_std: Optional[float] = None,
+) -> Scenario:
+    """Build one dynamic control-loop scenario.
+
+    The static part (topology, base matrix, calibration, optimizer config)
+    comes from :func:`~repro.experiments.scenarios.build_sweep_scenario` at
+    the same seed, so a dynamic cell's epoch-0 demand is exactly the static
+    cell's matrix; the dynamics ride on top as per-epoch multipliers.
+    """
+    static = build_sweep_scenario(
+        topology=topology,
+        num_pops=num_pops,
+        provisioning_ratio=provisioning_ratio,
+        seed=seed,
+        target_demanded_utilization=target_demanded_utilization,
+        max_steps=max_steps,
+    )
+    process_params: Dict[str, object] = {}
+    if amplitude is not None:
+        process_params["amplitude"] = amplitude
+    if period_epochs is not None:
+        process_params["period_epochs"] = period_epochs
+    if magnitude is not None:
+        process_params["magnitude"] = magnitude
+    if step_std is not None:
+        process_params["step_std"] = step_std
+    # Build the process once up front so misconfigurations fail at scenario
+    # construction, not mid-sweep inside a worker.
+    build_process(process, static.traffic_matrix, seed=seed, **process_params)
+
+    metadata = dict(static.metadata)
+    metadata[DYNAMICS_METADATA_KEY] = {
+        "process": process,
+        "process_params": process_params,
+        "num_epochs": num_epochs,
+        "epoch_duration_s": epoch_duration_s,
+        "warm_start": warm_start,
+    }
+    return Scenario(
+        name=f"{static.name}-{process}",
+        network=static.network,
+        traffic_matrix=static.traffic_matrix,
+        fubar_config=static.fubar_config,
+        description=(
+            f"{static.description}; driven over {num_epochs} epochs of "
+            f"{process} traffic through the closed SDN control loop"
+            + (" (warm-started)" if warm_start else " (cold-started)")
+        ),
+        metadata=metadata,
+    )
+
+
+def is_dynamic(scenario: Scenario) -> bool:
+    """True when *scenario* carries a control-loop specification."""
+    return DYNAMICS_METADATA_KEY in scenario.metadata
+
+
+def loop_inputs(scenario: Scenario) -> Tuple[TrafficProcess, ControlLoopConfig]:
+    """Reconstruct the traffic process and loop config of a dynamic scenario."""
+    if not is_dynamic(scenario):
+        raise DynamicsError(
+            f"scenario {scenario.name!r} has no {DYNAMICS_METADATA_KEY!r} metadata"
+        )
+    spec = scenario.metadata[DYNAMICS_METADATA_KEY]
+    process = build_process(
+        str(spec["process"]),
+        scenario.traffic_matrix,
+        seed=int(scenario.metadata.get("seed", 0)),
+        **dict(spec.get("process_params", {})),
+    )
+    loop_config = ControlLoopConfig(
+        num_epochs=int(spec["num_epochs"]),
+        epoch_duration_s=float(spec["epoch_duration_s"]),
+        warm_start=bool(spec["warm_start"]),
+    )
+    return process, loop_config
+
+
+def run_scenario_loop(scenario: Scenario) -> ControlLoopResult:
+    """Run a dynamic scenario's control loop end to end."""
+    process, loop_config = loop_inputs(scenario)
+    return run_control_loop(
+        scenario.network,
+        process,
+        fubar_config=scenario.fubar_config,
+        loop_config=loop_config,
+    )

@@ -92,3 +92,7 @@ class MeasurementError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness when a scenario is misconfigured."""
+
+
+class DynamicsError(ReproError):
+    """Raised by the dynamic control-loop subsystem (:mod:`repro.dynamics`)."""

@@ -9,7 +9,7 @@ container: insertion-ordered, duplicate-free, delay-aware.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import PathError
 from repro.topology.graph import LinkId, Network, Path
@@ -22,6 +22,7 @@ class PathSet:
         self._network = network
         self._paths: List[Path] = []
         self._delays: Dict[Path, float] = {}
+        self._links: Dict[Path, FrozenSet[LinkId]] = {}
         for path in paths or ():
             self.add(path)
 
@@ -34,6 +35,7 @@ class PathSet:
             return False
         self._paths.append(validated)
         self._delays[validated] = self._network.path_delay(validated)
+        self._links[validated] = frozenset(zip(validated, validated[1:]))
         return True
 
     def add_many(self, paths: Sequence[Sequence[str]]) -> int:
@@ -71,17 +73,22 @@ class PathSet:
             raise PathError("path set is empty")
         return min(self._paths, key=self._delays.__getitem__)
 
+    def links_of(self, path: Sequence[str]) -> FrozenSet[LinkId]:
+        """The (cached) set of links a member path traverses."""
+        key = tuple(path)
+        if key not in self._links:
+            raise PathError(f"path {key!r} is not in the path set")
+        return self._links[key]
+
     def paths_avoiding(self, link_id: LinkId) -> Tuple[Path, ...]:
         """Member paths that do not traverse *link_id*."""
         return tuple(
-            path
-            for path in self._paths
-            if link_id not in zip(path, path[1:])
+            path for path in self._paths if link_id not in self._links[path]
         )
 
     def uses_link(self, link_id: LinkId) -> bool:
         """True when any member path traverses *link_id*."""
-        return any(link_id in zip(path, path[1:]) for path in self._paths)
+        return any(link_id in self._links[path] for path in self._paths)
 
     # --------------------------------------------------------------- dunders
 

@@ -30,6 +30,8 @@ from repro.baselines.minmax_lp import minmax_lp_routing
 from repro.baselines.shortest_path import shortest_path_routing
 from repro.baselines.upper_bound import upper_bound_utility
 from repro.core.controller import Fubar, FubarPlan
+from repro.dynamics.loop import ControlLoopResult
+from repro.dynamics.scenarios import is_dynamic, run_scenario_loop
 from repro.experiments.scenarios import Scenario
 from repro.metrics.reporting import relative_improvement
 from repro.runner.cache import ResultCache
@@ -61,6 +63,8 @@ class CellOutcome:
     baselines: Dict[str, BaselineResult]
     upper_bound: float
     wall_clock_s: float
+    #: Per-epoch control-loop trajectory; None for static (single-shot) cells.
+    dynamics: Optional[ControlLoopResult] = None
 
     @property
     def final_utility(self) -> float:
@@ -74,7 +78,14 @@ class CellOutcome:
 
     def improvement_over_shortest_path(self) -> Optional[float]:
         """Relative utility improvement of FUBAR over shortest-path routing,
-        or ``None`` when the shortest-path utility is non-positive."""
+        or ``None`` when the shortest-path utility is non-positive.
+
+        Also ``None`` for dynamic cells: the loop's final plan is scored on
+        the final *measured* matrix while the baseline routes the base
+        matrix, so the ratio would compare different demand; reports render
+        it "n/a" and show the per-epoch trajectory instead."""
+        if self.dynamics is not None:
+            return None
         return relative_improvement(self.final_utility, self.shortest_path_utility)
 
     def to_record(self) -> Dict[str, object]:
@@ -101,7 +112,7 @@ class CellOutcome:
                 "demanded_utilization": baseline.model_result.demanded_utilization(),
                 "congested_links": len(baseline.model_result.congested_links),
             }
-        return {
+        record = {
             "schema": RECORD_SCHEMA_VERSION,
             "spec": self.spec.to_dict(),
             "config_hash": self.spec.config_hash(),
@@ -112,14 +123,29 @@ class CellOutcome:
             "improvement_over_shortest_path": self.improvement_over_shortest_path(),
             "wall_clock_s": self.wall_clock_s,
         }
+        if self.dynamics is not None:
+            record["dynamics"] = self.dynamics.to_record()
+        return record
 
 
 def evaluate_cell(spec: CellSpec) -> CellOutcome:
-    """Evaluate one cell: FUBAR plus every baseline on the same scenario."""
+    """Evaluate one cell: FUBAR plus every baseline on the same scenario.
+
+    Static cells run one optimization; dynamic cells (scenarios carrying
+    control-loop metadata) run the closed measure → optimize → install loop
+    and report its final plan plus the per-epoch trajectory.  Baselines and
+    the upper bound are always computed on the base (epoch-0) matrix, which
+    for dynamic cells is the reference the loop's trajectory starts from.
+    """
     started = time.perf_counter()
     scenario = build_scenario(spec)
-    controller = Fubar(scenario.network, config=scenario.fubar_config)
-    plan = controller.optimize(scenario.traffic_matrix)
+    loop_result: Optional[ControlLoopResult] = None
+    if is_dynamic(scenario):
+        loop_result = run_scenario_loop(scenario)
+        plan = loop_result.final_plan
+    else:
+        controller = Fubar(scenario.network, config=scenario.fubar_config)
+        plan = controller.optimize(scenario.traffic_matrix)
     baselines = {
         name: runner(scenario.network, scenario.traffic_matrix)
         for name, runner in _BASELINE_RUNNERS.items()
@@ -132,6 +158,7 @@ def evaluate_cell(spec: CellSpec) -> CellOutcome:
         baselines=baselines,
         upper_bound=bound,
         wall_clock_s=time.perf_counter() - started,
+        dynamics=loop_result,
     )
 
 

@@ -21,6 +21,7 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Tuple
 
+from repro.dynamics.scenarios import build_dynamic_scenario
 from repro.exceptions import ExperimentError
 from repro.experiments.scenarios import (
     DEFAULT_PRIORITY_FACTOR,
@@ -230,17 +231,72 @@ _sweep_family(
 )
 
 
+# -------------------------------------------------------- dynamic families
+#
+# Dynamic families run the closed SDN control loop (repro.dynamics) instead
+# of a single-shot optimization: per cell, `num_epochs` cycles of
+# measure -> re-optimize (warm-started by default) -> differential install
+# over a time-varying traffic process layered on the same base matrix the
+# static families use at that seed.
+
+_DYNAMIC_AXES = (
+    "num_pops",
+    "provisioning_ratio",
+    "num_epochs",
+    "warm_start",
+    "amplitude",
+    "period_epochs",
+    "magnitude",
+    "step_std",
+    "target_demanded_utilization",
+    "max_steps",
+)
+
+
+def _dynamic_family(name: str, description: str, **defaults) -> ScenarioFamily:
+    return register_family(
+        ScenarioFamily(
+            name=name,
+            description=description,
+            builder=build_dynamic_scenario,
+            defaults=defaults,
+            sweepable=_DYNAMIC_AXES,
+        )
+    )
+
+
+_dynamic_family(
+    "he-diurnal",
+    "Control loop: HE core under a sinusoidal day/night demand swing",
+    topology="hurricane-electric",
+    process="diurnal",
+)
+_dynamic_family(
+    "he-flash-crowd",
+    "Control loop: HE core with a transient flash crowd at the busiest POP",
+    topology="hurricane-electric",
+    process="flash-crowd",
+)
+_dynamic_family(
+    "he-drift",
+    "Control loop: HE core under per-aggregate random-walk demand drift",
+    topology="hurricane-electric",
+    process="random-walk",
+    provisioning_ratio=0.75,
+)
+
+
 # ------------------------------------------------------------------- presets
 
 
 def default_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
-    """The default sweep grid: eight cells across five topology families.
+    """The default sweep grid: nine cells across five topology families.
 
     The cell sizes are chosen so the whole grid completes in seconds on a
     laptop while still covering both provisioning regimes, a prioritized
-    cell, two real research backbones and both random families.  Pass more
-    seeds to replicate the grid per seed (the Figure 7 treatment, applied to
-    every family).
+    cell, two real research backbones, both random families and one dynamic
+    control-loop cell.  Pass more seeds to replicate the grid per seed (the
+    Figure 7 treatment, applied to every family).
     """
     grid = [
         CellSpec("he-provisioned", {"num_pops": 6}),
@@ -251,6 +307,7 @@ def default_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
         CellSpec("geant", {}),
         CellSpec("waxman", {"num_pops": 8, "provisioning_ratio": 0.75}),
         CellSpec("random-core", {"num_pops": 8}),
+        CellSpec("he-drift", {"num_pops": 6, "num_epochs": 4}),
     ]
     return [
         CellSpec(cell.family, cell.params, seed=seed) for seed in seeds for cell in grid

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.dynamics.loop import format_epoch_table
 from repro.metrics.reporting import format_markdown_table, format_table
 from repro.runner.engine import BASELINE_SCHEMES
 
@@ -53,6 +54,27 @@ def comparison_rows(records: Iterable[Mapping[str, object]]) -> List[List[str]]:
 
 
 COMPARISON_HEADERS = ("cell", *REPORT_SCHEMES, "upper-bound", "vs sp")
+
+
+def dynamics_sections(records: Iterable[Mapping[str, object]]) -> List[str]:
+    """Per-epoch control-loop sections for every dynamic cell record."""
+    sections: List[str] = []
+    for record in records:
+        dynamics = record.get("dynamics")
+        if not isinstance(dynamics, Mapping):
+            continue
+        summary = dynamics.get("summary", {})
+        header = (
+            f"control loop: {record.get('label', '?')} — "
+            f"{summary.get('process', '?')}, "
+            f"{'warm' if summary.get('warm_start') else 'cold'} start, "
+            f"mean delivered utility "
+            f"{float(summary.get('mean_delivered_utility', 0.0)):.4f}, "
+            f"{float(summary.get('mean_model_evaluations_per_cycle', 0.0)):.1f} "
+            f"evals/cycle, total churn {summary.get('total_rule_churn', 0)}"
+        )
+        sections.append(header + "\n" + format_epoch_table(dynamics.get("epochs", ())))
+    return sections
 
 
 def aggregate_summary(records: Sequence[Mapping[str, object]]) -> Dict[str, object]:
@@ -140,6 +162,9 @@ def format_sweep_report(
             + (f", {duplicates} duplicates" if duplicates else "")
             + f" in {float(stats.get('wall_clock_s', 0.0)):.1f}s"
         )
+    for section in dynamics_sections(records):
+        lines.append("")
+        lines.append(section)
     for record in records:
         if "error" in record:
             lines.append(f"\n{record.get('label', '?')} failed: {record['error']}")
@@ -171,5 +196,14 @@ def format_markdown_report(
             f"{stats.get('failures', 0)} failures, "
             f"{float(stats.get('wall_clock_s', 0.0)):.1f}s wall clock"
         )
+    sections = dynamics_sections(records)
+    if sections:
+        lines.append("")
+        lines.append("## Control-loop cells")
+        for section in sections:
+            lines.append("")
+            lines.append("```")
+            lines.append(section)
+            lines.append("```")
     lines.append("")
     return "\n".join(lines)

@@ -1,19 +1,21 @@
 """Simulated SDN substrate: switches, rules, controller, deployment."""
 
-from repro.sdn.controller import SdnController
-from repro.sdn.deployment import DeploymentReport, deploy_plan, remeasure
+from repro.sdn.controller import InstallReport, SdnController
+from repro.sdn.deployment import DeploymentReport, deploy_plan, feed_model_result, remeasure
 from repro.sdn.rules import ForwardingRule, WeightedNextHop, compile_rules, rules_for_switch
 from repro.sdn.switch import RuleCounters, Switch
 
 __all__ = [
     "DeploymentReport",
     "ForwardingRule",
+    "InstallReport",
     "RuleCounters",
     "SdnController",
     "Switch",
     "WeightedNextHop",
     "compile_rules",
     "deploy_plan",
+    "feed_model_result",
     "remeasure",
     "rules_for_switch",
 ]

@@ -12,6 +12,7 @@ switch reports only its own aggregates, and the controller merges them).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.routing import RoutingTable
@@ -22,6 +23,47 @@ from repro.topology.graph import Network
 from repro.traffic.aggregate import Aggregate, AggregateKey
 from repro.traffic.classes import default_traffic_classes
 from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class InstallReport:
+    """Rule-churn accounting of one :meth:`SdnController.install_routing` call.
+
+    ``rules_installed`` is the total flow-table size after the install; the
+    remaining counts classify what the differential install did to each rule:
+    freshly added, removed as stale, updated in place (same aggregate and
+    switch, different next-hop weights) or left untouched.  Updated and
+    unchanged rules keep their byte counters — only removed rules lose them.
+    """
+
+    rules_installed: int
+    rules_added: int
+    rules_removed: int
+    rules_updated: int
+    rules_unchanged: int
+
+    @property
+    def churn(self) -> int:
+        """Number of flow-table writes the install caused (adds + removes + updates)."""
+        return self.rules_added + self.rules_removed + self.rules_updated
+
+    @property
+    def churn_fraction(self) -> float:
+        """Churn relative to the installed table size (0 on an empty table)."""
+        if self.rules_installed == 0:
+            return 0.0
+        return self.churn / self.rules_installed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rules_installed": self.rules_installed,
+            "rules_added": self.rules_added,
+            "rules_removed": self.rules_removed,
+            "rules_updated": self.rules_updated,
+            "rules_unchanged": self.rules_unchanged,
+            "churn": self.churn,
+            "churn_fraction": self.churn_fraction,
+        }
 
 
 class SdnController:
@@ -54,24 +96,54 @@ class SdnController:
 
     # ----------------------------------------------------------------- rules
 
-    def install_routing(self, routing: RoutingTable) -> int:
-        """Compile *routing* and install the rules on every switch.
+    def install_routing(self, routing: RoutingTable) -> InstallReport:
+        """Compile *routing* and differentially install the rules.
 
-        Returns the number of rules installed.  Previously installed rules
-        are cleared first — the offline controller replaces the whole
-        configuration each cycle.
+        Each switch's flow table is reconciled against the compiled rules:
+        stale rules are uninstalled, changed rules are replaced in place and
+        identical rules are left alone.  Rules that survive (updated or
+        unchanged) keep their counters — :class:`~repro.sdn.switch.RuleCounters`
+        byte totals persist across cycles, as they would on real hardware;
+        wiping the whole table every cycle (the old behaviour) silently
+        zeroed them.  Returns the :class:`InstallReport` churn accounting.
         """
-        for switch in self._switches.values():
-            switch.clear()
         compiled = compile_rules(routing)
-        installed = 0
-        for node, rules in compiled.items():
-            switch = self.switch(node)
-            for rule in rules:
-                switch.install(rule)
-                installed += 1
+        unknown = sorted(node for node in compiled if node not in self._switches)
+        if unknown:
+            raise ReproError(
+                f"routing table references switches this controller does not "
+                f"manage: {unknown}"
+            )
+        desired: Dict[str, Dict[AggregateKey, ForwardingRule]] = {
+            node: {rule.aggregate: rule for rule in rules}
+            for node, rules in compiled.items()
+        }
+        added = removed = updated = unchanged = 0
+        for name, switch in self._switches.items():
+            wanted = desired.get(name, {})
+            for aggregate in [
+                rule.aggregate for rule in switch.rules if rule.aggregate not in wanted
+            ]:
+                switch.uninstall(aggregate)
+                removed += 1
+            for aggregate, rule in wanted.items():
+                current = switch.rule_for(aggregate)
+                if current is None:
+                    switch.install(rule)
+                    added += 1
+                elif current != rule:
+                    switch.install(rule)
+                    updated += 1
+                else:
+                    unchanged += 1
         self._installed_routing = routing
-        return installed
+        return InstallReport(
+            rules_installed=self.num_rules_installed,
+            rules_added=added,
+            rules_removed=removed,
+            rules_updated=updated,
+            rules_unchanged=unchanged,
+        )
 
     @property
     def installed_routing(self) -> Optional[RoutingTable]:

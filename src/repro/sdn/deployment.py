@@ -15,7 +15,7 @@ from typing import Dict, Optional
 
 from repro.core.controller import FubarPlan
 from repro.exceptions import MeasurementError
-from repro.sdn.controller import SdnController
+from repro.sdn.controller import InstallReport, SdnController
 from repro.topology.graph import LinkId, Network
 from repro.traffic.matrix import TrafficMatrix
 from repro.trafficmodel.result import TrafficModelResult
@@ -25,10 +25,15 @@ from repro.trafficmodel.result import TrafficModelResult
 class DeploymentReport:
     """What happened when a plan was pushed to the switches."""
 
-    num_rules_installed: int
+    install: InstallReport
     num_aggregates: int
     link_loads_bps: Dict[LinkId, float]
     overloaded_links: Dict[LinkId, float]
+
+    @property
+    def num_rules_installed(self) -> int:
+        """Total rules in the flow tables after the install."""
+        return self.install.rules_installed
 
     @property
     def has_overload(self) -> bool:
@@ -41,6 +46,37 @@ def _link_loads_from_result(result: TrafficModelResult) -> Dict[LinkId, float]:
         link.link_id: float(result.link_loads_bps[link.index])
         for link in result.network.links
     }
+
+
+def feed_model_result(
+    controller: SdnController,
+    model_result: TrafficModelResult,
+    interval_s: float = 60.0,
+) -> Dict:
+    """Feed a traffic-model result into the ingress-switch counters.
+
+    The per-bundle achieved rates are rolled up per aggregate and recorded as
+    one measurement interval of traffic (zero-rate aggregates are skipped —
+    they would be omitted from the measured matrix anyway).  Shared by
+    :func:`deploy_plan` and the control loop
+    (:mod:`repro.dynamics.loop`), so the measurement-feed semantics cannot
+    drift between the two.  Returns the per-aggregate rate roll-up.
+    """
+    per_aggregate_rate: Dict = {}
+    per_aggregate_flows: Dict = {}
+    for outcome in model_result.outcomes:
+        key = outcome.bundle.aggregate_key
+        per_aggregate_rate[key] = per_aggregate_rate.get(key, 0.0) + outcome.rate_bps
+        per_aggregate_flows[key] = (
+            per_aggregate_flows.get(key, 0) + outcome.bundle.num_flows
+        )
+    for key, rate in per_aggregate_rate.items():
+        if rate <= 0.0:
+            continue
+        controller.record_aggregate_traffic(
+            key, rate, per_aggregate_flows[key], interval_s=interval_s
+        )
+    return per_aggregate_rate
 
 
 def deploy_plan(
@@ -58,21 +94,12 @@ def deploy_plan(
         raise MeasurementError(
             "the plan was computed for a different network than the controller manages"
         )
-    installed = controller.install_routing(plan.routing)
+    install = controller.install_routing(plan.routing)
 
     model_result = plan.result.model_result
-    per_aggregate_rate: Dict = {}
-    per_aggregate_flows: Dict = {}
-    for outcome in model_result.outcomes:
-        key = outcome.bundle.aggregate_key
-        per_aggregate_rate[key] = per_aggregate_rate.get(key, 0.0) + outcome.rate_bps
-        per_aggregate_flows[key] = (
-            per_aggregate_flows.get(key, 0) + outcome.bundle.num_flows
-        )
-    for key, rate in per_aggregate_rate.items():
-        controller.record_aggregate_traffic(
-            key, rate, per_aggregate_flows[key], interval_s=measurement_interval_s
-        )
+    per_aggregate_rate = feed_model_result(
+        controller, model_result, interval_s=measurement_interval_s
+    )
 
     link_loads = _link_loads_from_result(model_result)
     overloaded = {
@@ -81,7 +108,7 @@ def deploy_plan(
         if link_loads[link.link_id] > link.capacity_bps * (1.0 + 1e-9)
     }
     return DeploymentReport(
-        num_rules_installed=installed,
+        install=install,
         num_aggregates=len(per_aggregate_rate),
         link_loads_bps=link_loads,
         overloaded_links=overloaded,

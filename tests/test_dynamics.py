@@ -1,0 +1,415 @@
+"""Tests for the dynamic control-loop subsystem (repro.dynamics)."""
+
+import pytest
+
+from repro.core.controller import Fubar
+from repro.core.state import AllocationState, apportion_flows
+from repro.dynamics.loop import (
+    ControlLoopConfig,
+    bundles_from_routing,
+    format_epoch_table,
+    run_control_loop,
+)
+from repro.dynamics.processes import (
+    DiurnalProcess,
+    FlashCrowdProcess,
+    RandomWalkProcess,
+    StaticProcess,
+    build_process,
+    busiest_destination,
+)
+from repro.dynamics.scenarios import (
+    build_dynamic_scenario,
+    is_dynamic,
+    loop_inputs,
+    run_scenario_loop,
+)
+from repro.exceptions import DynamicsError
+from repro.experiments.scenarios import build_sweep_scenario
+from repro.sdn.controller import SdnController
+from repro.sdn.deployment import deploy_plan, remeasure
+from repro.topology.builders import triangle_topology
+from repro.traffic.matrix import TrafficMatrix
+from repro.units import kbps, mbps
+from tests.conftest import make_aggregate
+
+
+@pytest.fixture
+def base_matrix():
+    return TrafficMatrix(
+        [
+            make_aggregate("A", "B", num_flows=60, demand_bps=kbps(300)),
+            make_aggregate("C", "B", num_flows=10, demand_bps=kbps(100)),
+            make_aggregate("B", "A", num_flows=20, demand_bps=kbps(200)),
+        ]
+    )
+
+
+@pytest.fixture
+def small_scenario():
+    return build_sweep_scenario(
+        topology="hurricane-electric", num_pops=6, provisioning_ratio=0.75, seed=1
+    )
+
+
+class TestProcesses:
+    def test_static_process_repeats_base(self, base_matrix):
+        process = StaticProcess(base_matrix)
+        for epoch in (0, 3, 7):
+            matrix = process.matrix_at(epoch)
+            assert matrix.keys == base_matrix.keys
+            for aggregate in matrix:
+                original = base_matrix.get(aggregate.key)
+                assert aggregate.num_flows == original.num_flows
+                assert aggregate.per_flow_demand_bps == original.per_flow_demand_bps
+
+    def test_diurnal_swings_demand_periodically(self, base_matrix):
+        process = DiurnalProcess(base_matrix, period_epochs=8, amplitude=0.5)
+        peak = process.matrix_at(2)  # sin peaks a quarter period in
+        trough = process.matrix_at(6)
+        for key in base_matrix.keys:
+            base = base_matrix.get(key).per_flow_demand_bps
+            assert peak.get(key).per_flow_demand_bps == pytest.approx(1.5 * base)
+            assert trough.get(key).per_flow_demand_bps == pytest.approx(0.5 * base)
+        # One full period later the matrix repeats.
+        again = process.matrix_at(10)
+        for key in base_matrix.keys:
+            assert again.get(key).per_flow_demand_bps == pytest.approx(
+                peak.get(key).per_flow_demand_bps
+            )
+
+    def test_diurnal_validation(self, base_matrix):
+        with pytest.raises(DynamicsError):
+            DiurnalProcess(base_matrix, amplitude=1.5)
+        with pytest.raises(DynamicsError):
+            DiurnalProcess(base_matrix, period_epochs=0)
+
+    def test_flash_crowd_scales_flows_to_one_destination(self, base_matrix):
+        process = FlashCrowdProcess(
+            base_matrix,
+            destination="B",
+            start_epoch=2,
+            duration_epochs=1,
+            magnitude=3.0,
+            ramp_epochs=1,
+        )
+        before = process.matrix_at(1)
+        during = process.matrix_at(2)
+        after = process.matrix_at(5)
+        for key in base_matrix.keys:
+            base = base_matrix.get(key)
+            assert before.get(key).num_flows == base.num_flows
+            assert after.get(key).num_flows == base.num_flows
+            if key[1] == "B":
+                assert during.get(key).num_flows == 3 * base.num_flows
+            else:
+                assert during.get(key).num_flows == base.num_flows
+            # Flash crowds add users, never per-flow demand.
+            assert during.get(key).per_flow_demand_bps == base.per_flow_demand_bps
+
+    def test_flash_crowd_defaults_to_busiest_destination(self, base_matrix):
+        assert busiest_destination(base_matrix) == "B"
+        process = FlashCrowdProcess(base_matrix)
+        assert process.destination == "B"
+
+    def test_flash_crowd_unknown_destination_rejected(self, base_matrix):
+        with pytest.raises(DynamicsError):
+            FlashCrowdProcess(base_matrix, destination="Z")
+
+    def test_random_walk_is_deterministic_and_clamped(self, base_matrix):
+        process = RandomWalkProcess(
+            base_matrix, seed=7, step_std=2.0, min_multiplier=0.5, max_multiplier=2.0
+        )
+        twin = RandomWalkProcess(
+            base_matrix, seed=7, step_std=2.0, min_multiplier=0.5, max_multiplier=2.0
+        )
+        assert process.multipliers(0) == {}
+        for epoch in (1, 4):
+            ours = process.multipliers(epoch)
+            theirs = twin.multipliers(epoch)
+            assert ours == theirs
+            assert all(0.5 <= value <= 2.0 for value in ours.values())
+        # A huge step_std must hit the clamp somewhere.
+        assert any(
+            value in (0.5, 2.0) for value in process.multipliers(4).values()
+        )
+
+    def test_random_walk_epochs_extend_the_same_trajectory(self, base_matrix):
+        process = RandomWalkProcess(base_matrix, seed=3, step_std=0.1)
+        # The epoch-2 multipliers must be reproducible after querying epoch 5
+        # (regenerated from the seed, not mutated in place).
+        at_two = process.multipliers(2)
+        process.multipliers(5)
+        assert process.multipliers(2) == at_two
+
+    def test_build_process_registry(self, base_matrix):
+        for kind in ("static", "diurnal", "flash-crowd", "random-walk"):
+            assert build_process(kind, base_matrix, seed=1).matrix_at(1) is not None
+        with pytest.raises(DynamicsError):
+            build_process("nope", base_matrix)
+        with pytest.raises(DynamicsError):
+            build_process("diurnal", base_matrix, bogus_param=1)
+
+    def test_empty_base_matrix_rejected(self):
+        with pytest.raises(DynamicsError):
+            StaticProcess(TrafficMatrix())
+
+
+class TestWarmStart:
+    def test_warm_start_preserves_split_on_same_matrix(self, small_scenario):
+        plan = Fubar(
+            small_scenario.network, config=small_scenario.fubar_config
+        ).optimize(small_scenario.traffic_matrix)
+        state = plan.result.state
+        warm = AllocationState.warm_start(state, small_scenario.traffic_matrix)
+        for key in state.aggregate_keys:
+            assert warm.allocation_of(key) == state.allocation_of(key)
+
+    def test_warm_start_apportions_new_flow_counts(self, small_scenario):
+        plan = Fubar(
+            small_scenario.network, config=small_scenario.fubar_config
+        ).optimize(small_scenario.traffic_matrix)
+        doubled = small_scenario.traffic_matrix.scaled_flows(2.0)
+        warm = AllocationState.warm_start(plan.result.state, doubled)
+        for aggregate in doubled:
+            allocation = warm.allocation_of(aggregate.key)
+            assert sum(allocation.values()) == aggregate.num_flows
+            # Split paths survive the rescale.
+            assert set(allocation) <= set(
+                plan.result.state.allocation_of(aggregate.key)
+            )
+
+    def test_warm_start_handles_new_and_removed_aggregates(self):
+        network = triangle_topology(capacity_bps=mbps(100))
+        first = TrafficMatrix(
+            [make_aggregate("A", "B", num_flows=10, demand_bps=kbps(100))]
+        )
+        plan = Fubar(network).optimize(first)
+        second = TrafficMatrix(
+            [
+                make_aggregate("A", "C", num_flows=4, demand_bps=kbps(100)),
+                make_aggregate("A", "B", num_flows=12, demand_bps=kbps(100)),
+            ]
+        )
+        warm = AllocationState.warm_start(plan.result.state, second)
+        assert set(warm.aggregate_keys) == set(second.keys)
+        assert warm.total_flows() == second.total_flows
+
+    def test_apportion_flows_is_exact_and_proportional(self):
+        allocation = {("A", "B"): 30, ("A", "C", "B"): 10}
+        result = apportion_flows(allocation, 9)
+        assert sum(result.values()) == 9
+        assert result[("A", "B")] > result[("A", "C", "B")]
+        # Shrinking hard enough drops the minority path entirely.
+        tiny = apportion_flows({("A", "B"): 99, ("A", "C", "B"): 1}, 2)
+        assert tiny == {("A", "B"): 2}
+
+    def test_warm_started_result_has_no_shortest_path_reference(self, small_scenario):
+        fubar = Fubar(small_scenario.network, config=small_scenario.fubar_config)
+        cold = fubar.optimize(small_scenario.traffic_matrix)
+        assert cold.result.initial_point is not None
+        assert cold.improvement_over_shortest_path is not None
+        warm = fubar.optimize(small_scenario.traffic_matrix, warm_start=cold)
+        assert warm.result.warm_started
+        assert warm.result.initial_point is None
+        assert warm.improvement_over_shortest_path is None
+        assert warm.summary()["improvement_over_shortest_path"] is None
+
+    def test_warm_start_matches_cold_utility_on_static_matrix(self, small_scenario):
+        fubar = Fubar(small_scenario.network, config=small_scenario.fubar_config)
+        cold = fubar.optimize(small_scenario.traffic_matrix)
+        warm = fubar.optimize(small_scenario.traffic_matrix, warm_start=cold)
+        assert warm.network_utility == pytest.approx(
+            cold.network_utility, rel=0.01
+        )
+        # Starting at the optimum, the warm cycle re-checks congestion but
+        # commits (almost) no moves.
+        assert warm.result.model_evaluations < cold.result.model_evaluations
+
+    def test_warm_start_does_not_mutate_previous_path_sets(self, small_scenario):
+        fubar = Fubar(small_scenario.network, config=small_scenario.fubar_config)
+        cold = fubar.optimize(small_scenario.traffic_matrix)
+        sizes_before = {
+            key: len(path_set) for key, path_set in cold.result.path_sets.items()
+        }
+        fubar.optimize(small_scenario.traffic_matrix, warm_start=cold)
+        assert {
+            key: len(path_set) for key, path_set in cold.result.path_sets.items()
+        } == sizes_before
+
+
+class TestControlLoop:
+    def test_closed_loop_round_trips_utility(self):
+        """optimize -> install -> observe -> measured matrix -> re-optimize."""
+        network = triangle_topology(capacity_bps=mbps(100))
+        matrix = TrafficMatrix(
+            [
+                make_aggregate("A", "B", num_flows=600, demand_bps=kbps(300)),
+                make_aggregate("C", "B", num_flows=10, demand_bps=kbps(100)),
+            ]
+        )
+        fubar = Fubar(network)
+        plan = fubar.optimize(matrix)
+        controller = SdnController(network)
+        deploy_plan(controller, plan)
+        measured = remeasure(controller)
+        second = fubar.optimize(measured, warm_start=plan)
+        assert second.network_utility == pytest.approx(
+            plan.network_utility, rel=1e-3
+        )
+
+    def test_loop_records_every_epoch(self, small_scenario):
+        process = RandomWalkProcess(small_scenario.traffic_matrix, seed=1)
+        result = run_control_loop(
+            small_scenario.network,
+            process,
+            fubar_config=small_scenario.fubar_config,
+            loop_config=ControlLoopConfig(num_epochs=3),
+        )
+        assert [record.epoch for record in result.records] == [0, 1, 2]
+        first = result.records[0]
+        # Epoch 0 installs into empty tables: pure adds, no removes/updates.
+        assert first.install.rules_added == first.install.rules_installed
+        assert first.install.rules_removed == 0
+        for record in result.records:
+            assert record.observed_aggregates == len(small_scenario.traffic_matrix)
+            assert record.model_evaluations >= 1
+            assert 0.0 <= record.delivered_utility <= 1.0
+            assert record.unrouted_aggregates == 0
+        summary = result.summary()
+        assert summary["num_epochs"] == 3
+        assert summary["total_rule_churn"] >= first.install.churn
+        # The record round-trips to JSON shape and renders.
+        rendered = format_epoch_table(result.to_record()["epochs"])
+        assert "delivered" in rendered
+
+    def test_warm_loop_uses_fewer_evaluations_than_cold(self, small_scenario):
+        process = RandomWalkProcess(
+            small_scenario.traffic_matrix, seed=1, step_std=0.15
+        )
+        results = {}
+        for warm in (False, True):
+            results[warm] = run_control_loop(
+                small_scenario.network,
+                process,
+                fubar_config=small_scenario.fubar_config,
+                loop_config=ControlLoopConfig(num_epochs=4, warm_start=warm),
+            )
+        assert results[True].mean_model_evaluations() < (
+            results[False].mean_model_evaluations()
+        )
+        # Epoch 0 has no previous plan, so both runs start identically.
+        assert results[True].records[0].model_evaluations == (
+            results[False].records[0].model_evaluations
+        )
+
+    def test_warm_loop_matches_cold_on_static_traffic(self, small_scenario):
+        process = StaticProcess(small_scenario.traffic_matrix)
+        utilities = {}
+        for warm in (False, True):
+            result = run_control_loop(
+                small_scenario.network,
+                process,
+                fubar_config=small_scenario.fubar_config,
+                loop_config=ControlLoopConfig(num_epochs=3, warm_start=warm),
+            )
+            utilities[warm] = result.mean_delivered_utility()
+        assert utilities[True] == pytest.approx(utilities[False], rel=0.01)
+
+    def test_bundles_from_routing_apportions_and_counts_unrouted(self):
+        network = triangle_topology(capacity_bps=mbps(100))
+        matrix = TrafficMatrix(
+            [make_aggregate("A", "B", num_flows=600, demand_bps=kbps(300))]
+        )
+        plan = Fubar(network).optimize(matrix)
+        grown = TrafficMatrix(
+            [
+                make_aggregate("A", "B", num_flows=900, demand_bps=kbps(300)),
+                make_aggregate("C", "A", num_flows=5, demand_bps=kbps(100)),
+            ]
+        )
+        bundles, unrouted = bundles_from_routing(plan.routing, grown)
+        # C->A never had rules installed.
+        assert [aggregate.key for aggregate in unrouted] == [("C", "A", "bulk")]
+        assert sum(bundle.num_flows for bundle in bundles) == 900
+
+    def test_new_aggregates_are_discovered_and_routed_next_epoch(self):
+        network = triangle_topology(capacity_bps=mbps(100))
+        base = TrafficMatrix(
+            [make_aggregate("A", "B", num_flows=20, demand_bps=kbps(100))]
+        )
+        newcomer = make_aggregate("C", "A", num_flows=5, demand_bps=kbps(100))
+
+        class ArrivalProcess(StaticProcess):
+            def matrix_at(self, epoch):
+                matrix = super().matrix_at(epoch)
+                if epoch >= 1:
+                    matrix.add(newcomer)
+                return matrix
+
+        result = run_control_loop(
+            network,
+            ArrivalProcess(base),
+            loop_config=ControlLoopConfig(num_epochs=3),
+        )
+        # Epoch 1: the newcomer has no rules yet and is reported unrouted;
+        # packet-in discovery hands it to epoch 2, which routes it.
+        assert [r.unrouted_aggregates for r in result.records] == [0, 1, 0]
+        assert newcomer.key in result.final_plan.routing
+
+    def test_loop_config_validation(self):
+        with pytest.raises(DynamicsError):
+            ControlLoopConfig(num_epochs=0)
+        with pytest.raises(DynamicsError):
+            ControlLoopConfig(epoch_duration_s=0.0)
+
+
+class TestDynamicScenarios:
+    def test_build_dynamic_scenario_marks_metadata(self):
+        scenario = build_dynamic_scenario(
+            num_pops=6, process="diurnal", num_epochs=4, amplitude=0.2, seed=2
+        )
+        assert is_dynamic(scenario)
+        process, loop_config = loop_inputs(scenario)
+        assert process.kind == "diurnal"
+        assert process.amplitude == 0.2
+        assert loop_config.num_epochs == 4
+        assert loop_config.warm_start
+
+    def test_static_scenario_is_not_dynamic(self, small_scenario):
+        assert not is_dynamic(small_scenario)
+        with pytest.raises(DynamicsError):
+            loop_inputs(small_scenario)
+
+    def test_run_scenario_loop_end_to_end(self):
+        scenario = build_dynamic_scenario(
+            num_pops=5, process="random-walk", num_epochs=2, seed=0
+        )
+        result = run_scenario_loop(scenario)
+        assert len(result.records) == 2
+        assert result.final_plan.result.warm_started
+
+    def test_bad_process_fails_at_build_time(self):
+        with pytest.raises(DynamicsError):
+            build_dynamic_scenario(num_pops=5, process="no-such-process")
+
+
+class TestRunnerIntegration:
+    def test_dynamic_family_cell_record(self):
+        from repro.runner.engine import evaluate_cell
+        from repro.runner.spec import CellSpec
+
+        spec = CellSpec("he-drift", {"num_pops": 5, "num_epochs": 2}, seed=0)
+        outcome = evaluate_cell(spec)
+        assert outcome.dynamics is not None
+        assert outcome.improvement_over_shortest_path() is None
+        record = outcome.to_record()
+        assert len(record["dynamics"]["epochs"]) == 2
+        assert record["improvement_over_shortest_path"] is None
+
+        from repro.runner.report import format_markdown_report, format_sweep_report
+
+        report = format_sweep_report([record])
+        assert "control loop" in report
+        assert "n/a" in report
+        assert "Control-loop cells" in format_markdown_report([record])

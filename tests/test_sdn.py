@@ -119,10 +119,58 @@ class TestControllerAndDeployment:
     def test_install_routing_counts_rules(self, plan_and_network):
         network, _, plan = plan_and_network
         controller = SdnController(network)
-        installed = controller.install_routing(plan.routing)
-        assert installed == controller.num_rules_installed
-        assert installed > 0
+        report = controller.install_routing(plan.routing)
+        assert report.rules_installed == controller.num_rules_installed
+        assert report.rules_installed > 0
+        assert report.rules_added == report.rules_installed
+        assert report.rules_removed == report.rules_updated == report.rules_unchanged == 0
+        assert report.churn == report.rules_added
         assert controller.installed_routing is plan.routing
+
+    def test_reinstall_same_routing_is_churn_free(self, plan_and_network):
+        network, _, plan = plan_and_network
+        controller = SdnController(network)
+        controller.install_routing(plan.routing)
+        report = controller.install_routing(plan.routing)
+        assert report.churn == 0
+        assert report.churn_fraction == 0.0
+        assert report.rules_unchanged == report.rules_installed
+
+    def test_differential_install_preserves_surviving_counters(self, plan_and_network):
+        network, matrix, plan = plan_and_network
+        controller = SdnController(network)
+        deploy_plan(controller, plan)
+        key = ("A", "B", "bulk")
+        bytes_before = controller.switch("A").counters_for(key).bytes_total
+        assert bytes_before > 0.0
+        # Re-deploying the same plan keeps every rule, so byte totals keep
+        # accumulating instead of restarting from zero.
+        deploy_plan(controller, plan)
+        bytes_after = controller.switch("A").counters_for(key).bytes_total
+        assert bytes_after == pytest.approx(2 * bytes_before)
+
+    def test_install_routing_rejects_foreign_networks(self, plan_and_network):
+        _, _, plan = plan_and_network
+        from repro.topology.builders import line_topology
+
+        foreign = SdnController(line_topology(2, capacity_bps=mbps(100)))
+        with pytest.raises(ReproError):
+            foreign.install_routing(plan.routing)
+
+    def test_differential_install_uninstalls_stale_rules(self, plan_and_network):
+        network, matrix, plan = plan_and_network
+        controller = SdnController(network)
+        controller.install_routing(plan.routing)
+        before = controller.num_rules_installed
+        # A routing table with only the C->B aggregate: every A->B rule is stale.
+        smaller = TrafficMatrix([make_aggregate("C", "B", num_flows=10, demand_bps=kbps(100))])
+        smaller_plan = Fubar(network).optimize(smaller)
+        report = controller.install_routing(smaller_plan.routing)
+        assert report.rules_removed > 0
+        assert controller.num_rules_installed < before
+        for switch in controller.switches:
+            for rule in switch.rules:
+                assert rule.aggregate == ("C", "B", "bulk")
 
     def test_deploy_plan_report(self, plan_and_network):
         network, matrix, plan = plan_and_network
