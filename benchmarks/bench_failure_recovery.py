@@ -1,0 +1,275 @@
+"""Failure-recovery benchmark: warm reroute vs cold restart across a link cut.
+
+The survivability counterpart of ``bench_dynamic_loop``: the control loop
+runs on *static* traffic — so the only disturbance is the topology — and a
+link of the Hurricane Electric core is cut mid-run.  The warm loop reroutes
+by pruning the deployed solution (surviving path splits kept, dead-path
+flows re-apportioned, paths regenerated only for stranded aggregates); the
+cold loop restarts every cycle from shortest paths.  Two gates:
+
+* **post-failure model evaluations** — the warm reroute must need fewer
+  evaluations per post-failure cycle than the cold restart (the whole point
+  of pruning instead of restarting);
+* **delivered utility within 1%** — the cheaper reroute must not trade
+  solution quality away.
+
+    PYTHONPATH=src python -m benchmarks.bench_failure_recovery \
+        --num-pops 31 --num-epochs 4 --output BENCH_failure_recovery.json
+
+The pytest entry point runs the same comparison at reduced scale inside the
+CI bench-smoke job, so a regression in failure recovery fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+from benchmarks.conftest import BENCH_SEED, print_header, run_once
+from repro.dynamics.loop import ControlLoopConfig, format_epoch_table, run_control_loop
+from repro.dynamics.processes import StaticProcess
+from repro.experiments.scenarios import build_sweep_scenario
+from repro.failures.schedule import FailureSchedule, undirected_link_pairs
+from repro.metrics.reporting import format_table
+
+#: Default location of the failure-recovery benchmark record (repo root).
+BENCH_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_failure_recovery.json"
+
+#: Schema version of BENCH_failure_recovery.json.
+BENCH_SCHEMA = 1
+
+#: Warm reroute and cold restart must agree on delivered utility within this
+#: relative tolerance (the reroute-quality gate).
+DELIVERED_UTILITY_RTOL = 0.01
+
+
+def _run_loop(scenario, schedule, num_epochs: int, warm_start: bool) -> Dict:
+    result = run_control_loop(
+        scenario.network,
+        StaticProcess(scenario.traffic_matrix),
+        fubar_config=scenario.fubar_config,
+        loop_config=ControlLoopConfig(num_epochs=num_epochs, warm_start=warm_start),
+        failures=schedule,
+    )
+    record = dict(result.summary())
+    record["epochs"] = [epoch.as_dict() for epoch in result.records]
+    return record
+
+
+def _post_failure_evals(record: Dict, failure_epoch: int) -> float:
+    """Mean optimizer model evaluations over the degraded cycles."""
+    epochs = [e for e in record["epochs"] if e["epoch"] >= failure_epoch]
+    return sum(e["model_evaluations"] for e in epochs) / len(epochs)
+
+
+def measure_failure_recovery(
+    seed: int = BENCH_SEED,
+    num_epochs: int = 4,
+    num_pops: Optional[int] = None,
+    provisioning_ratio: float = 0.75,
+    failed_link: int = 1,
+    failure_epoch: int = 1,
+    max_steps: Optional[int] = None,
+) -> Dict:
+    """Compare warm reroute vs cold restart across one link cut.
+
+    The underprovisioned regime keeps congestion alive, so a cold restart
+    genuinely re-optimizes every cycle while the warm reroute only repairs
+    what the failure broke.  ``max_steps`` bounds each cycle's committed
+    steps for affordable full-scale records (mirroring
+    ``bench_dynamic_loop``); the utility-equivalence gate still applies —
+    both modes are capped alike.
+    """
+    if not 0 < failure_epoch < num_epochs:
+        raise ValueError(
+            f"failure_epoch {failure_epoch} must fall inside the run's "
+            f"{num_epochs} epochs (and leave a healthy epoch 0 as reference)"
+        )
+    scenario = build_sweep_scenario(
+        topology="hurricane-electric",
+        num_pops=num_pops,
+        provisioning_ratio=provisioning_ratio,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    pairs = undirected_link_pairs(scenario.network)
+    target = pairs[failed_link % len(pairs)]
+    schedule = FailureSchedule.single_link(target, epoch=failure_epoch)
+
+    runs = {
+        "warm": _run_loop(scenario, schedule, num_epochs, warm_start=True),
+        "cold": _run_loop(scenario, schedule, num_epochs, warm_start=False),
+    }
+
+    warm_evals = _post_failure_evals(runs["warm"], failure_epoch)
+    cold_evals = _post_failure_evals(runs["cold"], failure_epoch)
+    return {
+        "schema": BENCH_SCHEMA,
+        "scenario": dict(scenario.summary()),
+        "seed": seed,
+        "num_epochs": num_epochs,
+        "failed_link": list(target),
+        "failure_epoch": failure_epoch,
+        "max_steps": max_steps,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "runs": runs,
+        "comparison": {
+            "warm_post_failure_evaluations_per_cycle": warm_evals,
+            "cold_post_failure_evaluations_per_cycle": cold_evals,
+            "evaluations_saved_fraction": (
+                1.0 - warm_evals / cold_evals if cold_evals else None
+            ),
+            "warm_mean_delivered_utility": runs["warm"]["mean_delivered_utility"],
+            "cold_mean_delivered_utility": runs["cold"]["mean_delivered_utility"],
+            "warm_recovery_epochs": runs["warm"].get("recovery_epochs"),
+            "cold_recovery_epochs": runs["cold"].get("recovery_epochs"),
+            "warm_rules_invalidated": runs["warm"].get("rules_invalidated", 0),
+            "warm_total_rule_churn": runs["warm"]["total_rule_churn"],
+            "cold_total_rule_churn": runs["cold"]["total_rule_churn"],
+            "total_stranded_demand_bps": runs["warm"].get(
+                "total_stranded_demand_bps", 0.0
+            ),
+        },
+    }
+
+
+def _assert_acceptance(record: Dict) -> None:
+    """The acceptance gates, shared by pytest and the CLI."""
+    comparison = record["comparison"]
+    assert comparison["warm_post_failure_evaluations_per_cycle"] <= (
+        comparison["cold_post_failure_evaluations_per_cycle"]
+    ), "warm reroute needed more model evaluations than a cold restart"
+    warm = comparison["warm_mean_delivered_utility"]
+    cold = comparison["cold_mean_delivered_utility"]
+    assert abs(warm - cold) <= DELIVERED_UTILITY_RTOL * max(abs(cold), 1e-12), (
+        "warm reroute traded delivered utility away vs the cold restart: "
+        f"{warm} vs {cold}"
+    )
+
+
+def _print_record(record: Dict) -> None:
+    print_header("Failure recovery: warm reroute vs cold restart")
+    rows = []
+    for mode, run in record["runs"].items():
+        rows.append(
+            (
+                mode,
+                f"{run['mean_model_evaluations_per_cycle']:.1f}",
+                run["total_steps"],
+                f"{run['mean_delivered_utility']:.4f}",
+                run["total_rule_churn"],
+                run.get("rules_invalidated", 0),
+                (
+                    str(run.get("recovery_epochs"))
+                    if run.get("recovery_epochs") is not None
+                    else "n/a"
+                ),
+            )
+        )
+    print(
+        format_table(
+            (
+                "start",
+                "evals/cycle",
+                "steps",
+                "delivered",
+                "churn",
+                "invalidated",
+                "recovery",
+            ),
+            rows,
+        )
+    )
+    comparison = record["comparison"]
+    saved = comparison["evaluations_saved_fraction"]
+    print(
+        f"\nwarm reroute saves {saved:.0%} of post-failure model evaluations "
+        f"({comparison['warm_post_failure_evaluations_per_cycle']:.1f} vs "
+        f"{comparison['cold_post_failure_evaluations_per_cycle']:.1f} per cycle) "
+        f"after cutting {'–'.join(record['failed_link'])}"
+    )
+    print("\nper-epoch trajectory (warm reroute):")
+    print(format_epoch_table(record["runs"]["warm"]["epochs"]))
+
+
+# ------------------------------------------------------------------- pytest
+
+
+def test_failure_recovery_warm_reroute(benchmark):
+    """CI smoke gate: warm reroute cheaper than cold restart, equal utility."""
+    record = run_once(benchmark, measure_failure_recovery, num_epochs=4)
+    _print_record(record)
+    _assert_acceptance(record)
+
+
+# -------------------------------------------------------------------- main
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure failure recovery and write BENCH_failure_recovery.json"
+    )
+    parser.add_argument(
+        "--num-pops",
+        type=int,
+        default=None,
+        help="POP count (defaults to the scenario default; 31 = paper scale)",
+    )
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument(
+        "--num-epochs",
+        type=int,
+        default=4,
+        help="control-loop cycles per run (default 4)",
+    )
+    parser.add_argument(
+        "--failed-link",
+        type=int,
+        default=1,
+        help="undirected link-pair index to cut (default 1)",
+    )
+    parser.add_argument(
+        "--failure-epoch",
+        type=int,
+        default=1,
+        help="epoch at which the link goes down (default 1)",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="optimizer step budget per cycle (bounds full-scale wall clock)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=BENCH_JSON_PATH,
+        help=f"where to write the JSON record (default {BENCH_JSON_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    record = measure_failure_recovery(
+        seed=args.seed,
+        num_epochs=args.num_epochs,
+        num_pops=args.num_pops,
+        failed_link=args.failed_link,
+        failure_epoch=args.failure_epoch,
+        max_steps=args.max_steps,
+    )
+    _print_record(record)
+    _assert_acceptance(record)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,11 @@ def ecmp_routing(
 
     allocations: Dict = {}
     for aggregate in traffic_matrix:
+        if aggregate.num_flows < 1:
+            # Degenerate aggregates (e.g. hand-built measurement records with
+            # zeroed flow counts) have nothing to spread; allocating over
+            # zero usable paths would divide by zero below.
+            continue
         paths = equal_cost_paths(
             network, generator, aggregate.source, aggregate.destination, max_paths
         )

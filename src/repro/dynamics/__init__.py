@@ -21,8 +21,11 @@ from repro.dynamics.processes import (
 )
 from repro.dynamics.scenarios import (
     build_dynamic_scenario,
+    build_failure_scenario,
+    failure_schedule,
     is_dynamic,
     loop_inputs,
+    resolve_failure_target,
     run_scenario_loop,
 )
 
@@ -37,12 +40,15 @@ __all__ = [
     "StaticProcess",
     "TrafficProcess",
     "build_dynamic_scenario",
+    "build_failure_scenario",
     "build_process",
     "bundles_from_routing",
     "busiest_destination",
+    "failure_schedule",
     "format_epoch_table",
     "is_dynamic",
     "loop_inputs",
+    "resolve_failure_target",
     "run_control_loop",
     "run_scenario_loop",
 ]

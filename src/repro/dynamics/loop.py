@@ -29,15 +29,21 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import FubarConfig
-from repro.core.controller import Fubar, FubarPlan
-from repro.core.state import apportion_flows
+from repro.core.controller import FubarPlan
+from repro.core.optimizer import FubarOptimizer
+from repro.core.routing import RoutingTable
+from repro.core.state import AllocationState, apportion_flows
 from repro.dynamics.processes import TrafficProcess
 from repro.exceptions import DynamicsError
+from repro.failures.recovery import prune_warm_start, split_routable
+from repro.failures.schedule import FailureSchedule
 from repro.metrics.reporting import format_table
+from repro.paths.generator import PathGenerator
 from repro.paths.policy import PathPolicy
 from repro.sdn.controller import InstallReport, SdnController
 from repro.sdn.deployment import feed_model_result
 from repro.topology.graph import Network
+from repro.topology.validation import require_routable
 from repro.traffic.aggregate import Aggregate
 from repro.traffic.matrix import TrafficMatrix
 from repro.trafficmodel.bundle import Bundle
@@ -77,7 +83,15 @@ class ControlLoopConfig:
 
 @dataclass(frozen=True)
 class EpochRecord:
-    """Everything one control-loop epoch produced."""
+    """Everything one control-loop epoch produced.
+
+    The failure fields are all zero for demand-only epochs: ``failed_links``
+    counts the directed links masked out of the epoch's topology,
+    ``stranded_aggregates`` / ``stranded_demand_bps`` the aggregates (and
+    their offered demand) the degraded topology cannot route at all — they
+    received no service this epoch and are excluded from the delivered
+    utility, which averages over the aggregates that could be carried.
+    """
 
     epoch: int
     observed_aggregates: int
@@ -88,11 +102,20 @@ class EpochRecord:
     optimize_wall_clock_s: float
     install: InstallReport
     unrouted_aggregates: int
+    failed_links: int = 0
+    failed_nodes: int = 0
+    stranded_aggregates: int = 0
+    stranded_demand_bps: float = 0.0
 
     @property
     def accounting_gap(self) -> float:
         """Delivered minus planned utility (measurement-feedback error)."""
         return self.delivered_utility - self.planned_utility
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when this epoch ran on a failure-degraded topology."""
+        return self.failed_links > 0 or self.failed_nodes > 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -106,6 +129,10 @@ class EpochRecord:
             "optimize_wall_clock_s": self.optimize_wall_clock_s,
             "install": self.install.as_dict(),
             "unrouted_aggregates": self.unrouted_aggregates,
+            "failed_links": self.failed_links,
+            "failed_nodes": self.failed_nodes,
+            "stranded_aggregates": self.stranded_aggregates,
+            "stranded_demand_bps": self.stranded_demand_bps,
         }
 
 
@@ -114,9 +141,16 @@ class ControlLoopResult:
     """The full trajectory of one control-loop run."""
 
     records: List[EpochRecord]
-    final_plan: FubarPlan
+    #: The last successfully computed plan of the run (epochs whose every
+    #: aggregate was stranded compute none).  ``None`` only when *no* epoch
+    #: could compute a plan — a failure disconnected every aggregate from
+    #: the very first epoch.
+    final_plan: Optional[FubarPlan]
     config: ControlLoopConfig
     process_name: str
+    #: Human-readable description of the failure schedule driven through the
+    #: run, or ``None`` for demand-only runs.
+    failures_name: Optional[str] = None
 
     def mean_model_evaluations(self, skip_first: bool = True) -> float:
         """Mean optimizer model evaluations per cycle.
@@ -147,9 +181,60 @@ class ControlLoopResult:
         records = self.records[1:] if skip_first and len(self.records) > 1 else self.records
         return sum(r.install.churn for r in records) / len(records)
 
+    # ------------------------------------------------------------ survivability
+
+    def has_failures(self) -> bool:
+        """True when any epoch ran on a degraded topology."""
+        return any(record.is_degraded for record in self.records)
+
+    def first_failure_epoch(self) -> Optional[int]:
+        """The first degraded epoch, or ``None`` for demand-only runs."""
+        for record in self.records:
+            if record.is_degraded:
+                return record.epoch
+        return None
+
+    def recovery_epochs(self, utility_rtol: float = 0.01) -> Optional[int]:
+        """Epochs from failure onset until pre-failure *service* returned.
+
+        An epoch counts as recovered only when it (a) strands no aggregate
+        and (b) delivers utility within *utility_rtol* of the last healthy
+        epoch's.  Condition (a) matters because the delivered utility
+        averages over the aggregates that could be carried: a failure that
+        strands hard-to-serve demand can *raise* that average while serving
+        strictly fewer users, and must not be reported as recovered.  0
+        means the failure epoch itself already delivered pre-failure service
+        (the reroute fully absorbed the loss).  ``None`` when there is no
+        failure, when the failure hits epoch 0 (no healthy reference
+        exists), or when the run ends without recovering — permanently
+        stranding failures therefore never recover.
+        """
+        onset = self.first_failure_epoch()
+        if onset is None or onset == 0:
+            return None
+        reference = self.records[onset - 1].delivered_utility
+        floor = (1.0 - utility_rtol) * reference
+        for record in self.records[onset:]:
+            if record.stranded_aggregates == 0 and record.delivered_utility >= floor:
+                return record.epoch - onset
+        return None
+
+    def total_stranded_demand_bps(self) -> float:
+        """Offered demand that went unserved across the whole run, summed
+        over epochs (bps·epochs — the survivability cost of the schedule)."""
+        return sum(r.stranded_demand_bps for r in self.records)
+
+    def max_stranded_aggregates(self) -> int:
+        """The worst single-epoch stranded-aggregate count."""
+        return max((r.stranded_aggregates for r in self.records), default=0)
+
+    def total_rules_invalidated(self) -> int:
+        """Rules force-uninstalled by topology failures across the run."""
+        return sum(r.install.rules_invalidated for r in self.records)
+
     def summary(self) -> Dict[str, object]:
         """Compact roll-up used by reports, benchmarks and the runner cache."""
-        return {
+        summary: Dict[str, object] = {
             "process": self.process_name,
             "num_epochs": len(self.records),
             "warm_start": self.config.warm_start,
@@ -164,6 +249,18 @@ class ControlLoopResult:
                 r.optimize_wall_clock_s for r in self.records
             ),
         }
+        if self.failures_name is not None or self.has_failures():
+            summary.update(
+                {
+                    "failures": self.failures_name,
+                    "first_failure_epoch": self.first_failure_epoch(),
+                    "recovery_epochs": self.recovery_epochs(),
+                    "total_stranded_demand_bps": self.total_stranded_demand_bps(),
+                    "max_stranded_aggregates": self.max_stranded_aggregates(),
+                    "rules_invalidated": self.total_rules_invalidated(),
+                }
+            )
+        return summary
 
     def to_record(self) -> Dict[str, object]:
         """JSON-serializable form (cache / report payload)."""
@@ -203,7 +300,7 @@ def _carry_epoch_traffic(
     model: TrafficModel,
     true_matrix: TrafficMatrix,
     interval_s: float,
-) -> Tuple[TrafficModelResult, List[Aggregate]]:
+) -> Tuple[Optional[TrafficModelResult], List[Aggregate]]:
     """Drive one epoch of true traffic through the installed rules.
 
     The traffic model decides the per-bundle achieved rates; the ingress
@@ -211,12 +308,16 @@ def _carry_epoch_traffic(
     the model result — its utility is the epoch's *delivered* utility,
     averaged over the routed aggregates (the unrouted ones, returned
     alongside, received no service and are reported separately) — and the
-    unrouted aggregates themselves.
+    unrouted aggregates themselves.  The result is ``None`` when no
+    aggregate could be carried at all (a fully stranding failure).
     """
     routing = sdn.installed_routing
     if routing is None:
         raise DynamicsError("cannot carry traffic before any routing is installed")
     bundles, unrouted = bundles_from_routing(routing, true_matrix)
+    if not bundles:
+        sdn.reset_counters()
+        return None, unrouted
     result = model.evaluate(bundles)
     sdn.reset_counters()
     feed_model_result(sdn, result, interval_s=interval_s)
@@ -230,103 +331,207 @@ def run_control_loop(
     loop_config: Optional[ControlLoopConfig] = None,
     policy: Optional[PathPolicy] = None,
     model_config: Optional[TrafficModelConfig] = None,
+    failures: Optional[FailureSchedule] = None,
 ) -> ControlLoopResult:
     """Run the closed control loop over *process* on *network*.
 
     Epoch *t* (0-based):
 
-    1. re-optimize on the currently observed matrix — the epoch-0 bootstrap
+    1. apply the failure schedule, when given: mask the elements down during
+       *t* out of the topology, force-uninstall rules forwarding over newly
+       dead links, and prune the warm-start seed (surviving path splits are
+       kept, flows of dead paths re-apportioned, paths regenerated only for
+       stranded aggregates — never a cold restart);
+    2. re-optimize on the currently observed matrix — the epoch-0 bootstrap
        observes the true matrix directly (the online controller's initial
        hand-off); later epochs use what the switches measured — warm-started
-       from the previous plan when configured;
-    2. differentially install the new rules (churn accounting);
-    3. carry the epoch's *true* traffic (``process.matrix_at(t)``) over the
+       from the previous plan when configured.  Aggregates the degraded
+       topology cannot route at all sit out the cycle and are accounted as
+       stranded;
+    3. differentially install the new rules (churn accounting);
+    4. carry the epoch's *true* traffic (``process.matrix_at(t)``) over the
        installed rules; the switches measure it, producing the matrix epoch
        *t + 1* optimizes.
     """
     loop_config = loop_config or ControlLoopConfig()
-    fubar = Fubar(network, config=fubar_config, policy=policy, model_config=model_config)
+    fubar_config = fubar_config or FubarConfig()
+    require_routable(network)
     sdn = SdnController(network)
+
+    current = network
+    generator = PathGenerator(network, policy)
     model = TrafficModel(network, model_config)
 
     observed = process.matrix_at(0)
     plan: Optional[FubarPlan] = None
+    last_plan: Optional[FubarPlan] = None
+    warm_state: Optional[AllocationState] = None
+    warm_path_sets: Dict = {}
     records: List[EpochRecord] = []
     for epoch in range(loop_config.num_epochs):
+        invalidated = 0
+        if failures is not None:
+            epoch_network = failures.network_at(epoch, network)
+            if epoch_network is not current:
+                # Topology changed (failure or repair).  Rules whose next
+                # hop died are uninstalled immediately — real switches drop
+                # them rather than blackhole traffic — and the warm-start
+                # seed is rebased onto the new topology.
+                dead = getattr(epoch_network, "failed_links", frozenset())
+                previously_dead = getattr(current, "failed_links", frozenset())
+                newly_dead = dead - previously_dead
+                if newly_dead:
+                    invalidated = sdn.uninstall_rules_crossing(newly_dead)
+                current = epoch_network
+                generator = PathGenerator(current, policy)
+                model = TrafficModel(current, model_config)
+                if warm_state is not None:
+                    pruned = prune_warm_start(
+                        warm_state, warm_path_sets, current, generator
+                    )
+                    warm_state = pruned.state
+                    warm_path_sets = pruned.path_sets
+
         if len(observed) == 0:
             raise DynamicsError(
                 f"epoch {epoch} observed an empty traffic matrix; the loop "
                 "cannot re-optimize without measurements"
             )
+        degraded = current is not network
+        if degraded:
+            routable, _ = split_routable(observed, generator)
+        else:
+            routable = observed
+
         started = time.perf_counter()
-        plan = fubar.optimize(
-            observed, warm_start=plan if loop_config.warm_start else None
-        )
+        if len(routable) == 0:
+            # Every observed aggregate is stranded: nothing to optimize.
+            # Install an empty table so no stale rule pretends to route.
+            plan = None
+            warm_state, warm_path_sets = None, {}
+            install = sdn.install_routing(RoutingTable({}))
+        else:
+            optimizer = FubarOptimizer(
+                current,
+                routable,
+                config=fubar_config,
+                path_generator=generator,
+                model_config=model_config,
+            )
+            initial_state = None
+            initial_path_sets = None
+            if loop_config.warm_start and warm_state is not None:
+                initial_state = AllocationState.warm_start(
+                    warm_state, routable, generator
+                )
+                initial_path_sets = warm_path_sets
+            result = optimizer.run(
+                initial_state=initial_state, initial_path_sets=initial_path_sets
+            )
+            plan = FubarPlan(result=result, routing=RoutingTable.from_state(result.state))
+            last_plan = plan
+            if loop_config.warm_start:
+                warm_state, warm_path_sets = result.state, result.path_sets
+            install = sdn.install_routing(plan.routing)
         optimize_wall = time.perf_counter() - started
-        install = sdn.install_routing(plan.routing)
+        if invalidated:
+            install = install.with_invalidated(invalidated)
 
         true_matrix = process.matrix_at(epoch)
         delivered, unrouted = _carry_epoch_traffic(
             sdn, model, true_matrix, loop_config.epoch_duration_s
         )
+        if degraded:
+            stranded = [
+                aggregate
+                for aggregate in unrouted
+                if generator.lowest_delay_path(aggregate.source, aggregate.destination)
+                is None
+            ]
+        else:
+            stranded = []
         records.append(
             EpochRecord(
                 epoch=epoch,
                 observed_aggregates=len(observed),
-                planned_utility=plan.network_utility,
-                delivered_utility=delivered.network_utility(),
-                model_evaluations=plan.result.model_evaluations,
-                steps=plan.result.num_steps,
+                planned_utility=plan.network_utility if plan is not None else 0.0,
+                delivered_utility=(
+                    delivered.network_utility() if delivered is not None else 0.0
+                ),
+                model_evaluations=plan.result.model_evaluations if plan else 0,
+                steps=plan.result.num_steps if plan else 0,
                 optimize_wall_clock_s=optimize_wall,
                 install=install,
-                unrouted_aggregates=len(unrouted),
+                unrouted_aggregates=len(unrouted) - len(stranded),
+                failed_links=len(getattr(current, "failed_links", ())),
+                failed_nodes=len(getattr(current, "failed_nodes", ())),
+                stranded_aggregates=len(stranded),
+                stranded_demand_bps=sum(a.total_demand_bps for a in stranded),
             )
         )
         observed = sdn.measured_traffic_matrix(name=f"measured-epoch{epoch}")
         # Packet-in style discovery: aggregates with no installed rule left
         # no counters, but their unmatched traffic reaches the controller,
         # which hands them to the next cycle so rules get installed for them.
+        # Stranded aggregates stay in the observed set too — the moment a
+        # repair reconnects them, the next cycle routes them again.
         for aggregate in unrouted:
             if aggregate.key not in observed:
                 observed.add(aggregate)
 
-    assert plan is not None  # num_epochs >= 1
     return ControlLoopResult(
         records=records,
-        final_plan=plan,
+        final_plan=last_plan,
         config=loop_config,
         process_name=process.name,
+        failures_name=failures.describe() if failures is not None else None,
     )
 
 
 def format_epoch_table(epochs: Sequence[Mapping[str, object]]) -> str:
-    """Render per-epoch records (``EpochRecord.as_dict`` shape) as a table."""
+    """Render per-epoch records (``EpochRecord.as_dict`` shape) as a table.
+
+    The survivability columns (failed links, stranded aggregates + demand,
+    rules invalidated by failures) only appear when some epoch actually ran
+    degraded, so demand-only trajectories render exactly as before.
+    """
+    has_failures = any(
+        record.get("failed_links") or record.get("failed_nodes") for record in epochs
+    )
     rows = []
     for record in epochs:
         install = record.get("install", {})
-        rows.append(
-            (
-                record.get("epoch"),
-                record.get("observed_aggregates"),
-                f"{float(record.get('planned_utility', 0.0)):.4f}",
-                f"{float(record.get('delivered_utility', 0.0)):.4f}",
-                record.get("model_evaluations"),
-                record.get("steps"),
-                f"+{install.get('rules_added', 0)}/-{install.get('rules_removed', 0)}"
-                f"/~{install.get('rules_updated', 0)}",
-                f"{float(record.get('optimize_wall_clock_s', 0.0)):.2f}",
+        row = [
+            record.get("epoch"),
+            record.get("observed_aggregates"),
+            f"{float(record.get('planned_utility', 0.0)):.4f}",
+            f"{float(record.get('delivered_utility', 0.0)):.4f}",
+            record.get("model_evaluations"),
+            record.get("steps"),
+            f"+{install.get('rules_added', 0)}/-{install.get('rules_removed', 0)}"
+            f"/~{install.get('rules_updated', 0)}",
+            f"{float(record.get('optimize_wall_clock_s', 0.0)):.2f}",
+        ]
+        if has_failures:
+            row.extend(
+                [
+                    record.get("failed_links", 0),
+                    record.get("stranded_aggregates", 0),
+                    f"{float(record.get('stranded_demand_bps', 0.0)) / 1e6:.2f}",
+                    install.get("rules_invalidated", 0),
+                ]
             )
-        )
-    return format_table(
-        (
-            "epoch",
-            "aggregates",
-            "planned",
-            "delivered",
-            "evals",
-            "steps",
-            "churn(+/-/~)",
-            "opt_s",
-        ),
-        rows,
-    )
+        rows.append(tuple(row))
+    headers = [
+        "epoch",
+        "aggregates",
+        "planned",
+        "delivered",
+        "evals",
+        "steps",
+        "churn(+/-/~)",
+        "opt_s",
+    ]
+    if has_failures:
+        headers.extend(["dead_links", "stranded", "stranded_mbps", "invalidated"])
+    return format_table(tuple(headers), rows)

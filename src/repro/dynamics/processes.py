@@ -210,10 +210,15 @@ class RandomWalkProcess(TrafficProcess):
     """Independent multiplicative random-walk drift per aggregate.
 
     Each aggregate's log-multiplier performs a Gaussian random walk with one
-    step per epoch, clamped to ``[min_multiplier, max_multiplier]``.  The walk
-    is regenerated from the seed on every query (epoch counts are small), so
-    ``matrix_at`` is a pure function of ``(seed, epoch)`` — epoch *t* extends
-    the exact trajectory of epoch *t - 1*.
+    step per epoch, clamped to ``[min_multiplier, max_multiplier]``.  The
+    cumulative walk is cached per instance and extended on demand: querying
+    epoch *t* after epoch *t - 1* draws only the one missing row instead of
+    regenerating the whole trajectory, turning a loop over *T* epochs from
+    O(T²) draws into O(T).  Because the generator fills arrays from one
+    sequential stream, the cached prefix is bit-identical to the rows a
+    fresh ``size=(t, n)`` draw would produce — ``matrix_at`` stays a pure
+    function of ``(seed, epoch)`` regardless of query order, and epoch *t*
+    extends the exact trajectory of epoch *t - 1*.
     """
 
     kind = "random-walk"
@@ -240,15 +245,29 @@ class RandomWalkProcess(TrafficProcess):
         self.min_multiplier = float(min_multiplier)
         self.max_multiplier = float(max_multiplier)
         self._keys: Tuple[AggregateKey, ...] = base_matrix.keys
+        self._rng = np.random.default_rng(self.seed)
+        #: Cumulative step sums, one row per drawn epoch (row t-1 = epoch t).
+        self._cumulative: Optional[np.ndarray] = None
+
+    def _cumulative_steps(self, epoch: int) -> np.ndarray:
+        """The summed steps of epochs 1..*epoch*, extending the cache as needed."""
+        drawn = 0 if self._cumulative is None else len(self._cumulative)
+        if epoch > drawn:
+            fresh = self._rng.normal(
+                0.0, self.step_std, size=(epoch - drawn, len(self._keys))
+            )
+            extension = np.cumsum(fresh, axis=0)
+            if drawn:
+                extension += self._cumulative[-1]
+                self._cumulative = np.vstack([self._cumulative, extension])
+            else:
+                self._cumulative = extension
+        return self._cumulative[epoch - 1]
 
     def multipliers(self, epoch: int) -> Dict[AggregateKey, float]:
         if epoch == 0 or self.step_std == 0.0:
             return {}
-        rng = np.random.default_rng(self.seed)
-        # Row-major fill means the first t rows are a prefix of any longer
-        # draw, so epoch t extends epoch t-1's trajectory exactly.
-        steps = rng.normal(0.0, self.step_std, size=(epoch, len(self._keys)))
-        walk = np.exp(steps.sum(axis=0))
+        walk = np.exp(self._cumulative_steps(epoch))
         clamped = np.clip(walk, self.min_multiplier, self.max_multiplier)
         return {key: float(value) for key, value in zip(self._keys, clamped)}
 

@@ -22,9 +22,19 @@ from repro.experiments.scenarios import (
     Scenario,
     build_sweep_scenario,
 )
+from repro.failures.schedule import (
+    LINK_FAILURE,
+    NODE_FAILURE,
+    FailureSchedule,
+    undirected_link_pairs,
+)
+from repro.topology.graph import Network
 
 #: Metadata key marking a scenario as dynamic.
 DYNAMICS_METADATA_KEY = "dynamics"
+
+#: Sub-key of the dynamics metadata describing a failure schedule.
+FAILURES_METADATA_KEY = "failures"
 
 
 def build_dynamic_scenario(
@@ -95,6 +105,147 @@ def build_dynamic_scenario(
     )
 
 
+def resolve_failure_target(
+    network: Network, failure_kind: str, failed_link: int, failed_node: object
+) -> Tuple[str, object]:
+    """Resolve a sweepable failure index into a concrete topology element.
+
+    Link failures address the network's stable undirected pair enumeration
+    (:func:`~repro.failures.schedule.undirected_link_pairs`); node failures
+    accept either a node name or an index into the node order.  Returns
+    ``(kind, target)`` with the target a (src, dst) pair or a node name.
+    """
+    if failure_kind == LINK_FAILURE:
+        pairs = undirected_link_pairs(network)
+        index = int(failed_link)
+        if not 0 <= index < len(pairs):
+            raise DynamicsError(
+                f"failed_link index {index} out of range; {network.name!r} has "
+                f"{len(pairs)} undirected link pairs"
+            )
+        return LINK_FAILURE, pairs[index]
+    if failure_kind == NODE_FAILURE:
+        if isinstance(failed_node, str):
+            name = failed_node
+        else:
+            names = network.node_names
+            index = int(failed_node)
+            if not 0 <= index < len(names):
+                raise DynamicsError(
+                    f"failed_node index {index} out of range; {network.name!r} "
+                    f"has {len(names)} nodes"
+                )
+            name = names[index]
+        if not network.has_node(name):
+            raise DynamicsError(f"cannot fail unknown node {name!r}")
+        return NODE_FAILURE, name
+    raise DynamicsError(
+        f"unknown failure_kind {failure_kind!r}; expected "
+        f"{LINK_FAILURE!r} or {NODE_FAILURE!r}"
+    )
+
+
+def build_failure_scenario(
+    topology: str = "hurricane-electric",
+    num_pops: Optional[int] = None,
+    provisioning_ratio: float = 1.0,
+    process: str = "static",
+    failure_kind: str = LINK_FAILURE,
+    failed_link: int = 0,
+    failed_node: object = 0,
+    failure_epoch: int = 1,
+    repair_epoch: Optional[int] = None,
+    num_epochs: int = 4,
+    epoch_duration_s: float = 60.0,
+    warm_start: bool = True,
+    seed: int = 0,
+    target_demanded_utilization: float = DEFAULT_TARGET_DEMANDED_UTILIZATION,
+    max_steps: Optional[int] = None,
+    step_std: Optional[float] = None,
+) -> Scenario:
+    """Build one survivability cell: a control loop driven through a failure.
+
+    The demand side reuses :func:`build_dynamic_scenario`'s construction (a
+    traffic process over the static cell's matrix at the same seed); the
+    supply side is a :class:`~repro.failures.schedule.FailureSchedule` that
+    takes the addressed element down at ``failure_epoch`` and optionally
+    repairs it at ``repair_epoch``.  The failure target is addressed by a
+    stable *index* (undirected link pair or node position), which is what
+    makes "every single-link failure" an enumerable sweep axis.
+    """
+    if not 0 <= failure_epoch < num_epochs:
+        raise DynamicsError(
+            f"failure_epoch {failure_epoch!r} must fall inside the run's "
+            f"{num_epochs} epochs"
+        )
+    if repair_epoch is not None and repair_epoch > num_epochs:
+        raise DynamicsError(
+            f"repair_epoch {repair_epoch!r} lies beyond the run's "
+            f"{num_epochs} epochs"
+        )
+    scenario = build_dynamic_scenario(
+        topology=topology,
+        num_pops=num_pops,
+        provisioning_ratio=provisioning_ratio,
+        process=process,
+        num_epochs=num_epochs,
+        epoch_duration_s=epoch_duration_s,
+        warm_start=warm_start,
+        seed=seed,
+        target_demanded_utilization=target_demanded_utilization,
+        max_steps=max_steps,
+        step_std=step_std,
+    )
+    kind, target = resolve_failure_target(
+        scenario.network, failure_kind, failed_link, failed_node
+    )
+    failure_spec: Dict[str, object] = {
+        "kind": kind,
+        "target": list(target) if kind == LINK_FAILURE else target,
+        "failure_epoch": failure_epoch,
+        "repair_epoch": repair_epoch,
+    }
+    # One spec dict feeds both the construction-time schedule (event window
+    # validation) and the metadata `failure_schedule` later reconstructs
+    # from, so the two can never drift apart.
+    schedule = _schedule_from_spec(failure_spec)
+    scenario.metadata[DYNAMICS_METADATA_KEY][FAILURES_METADATA_KEY] = failure_spec
+    label = "–".join(target) if kind == LINK_FAILURE else target
+    return Scenario(
+        name=f"{scenario.name}-{kind}fail-{label}",
+        network=scenario.network,
+        traffic_matrix=scenario.traffic_matrix,
+        fubar_config=scenario.fubar_config,
+        description=(
+            f"{scenario.description}; {schedule.describe()}"
+        ),
+        metadata=scenario.metadata,
+    )
+
+
+def _schedule_from_spec(spec: Dict[str, object]) -> FailureSchedule:
+    kind = str(spec["kind"])
+    target = spec["target"]
+    epoch = int(spec["failure_epoch"])
+    repair = spec.get("repair_epoch")
+    repair_epoch = int(repair) if repair is not None else None
+    if kind == LINK_FAILURE:
+        return FailureSchedule.single_link(
+            (str(target[0]), str(target[1])), epoch=epoch, repair_epoch=repair_epoch
+        )
+    return FailureSchedule.single_node(str(target), epoch=epoch, repair_epoch=repair_epoch)
+
+
+def failure_schedule(scenario: Scenario) -> Optional[FailureSchedule]:
+    """Reconstruct the failure schedule of a scenario (None when demand-only)."""
+    if not is_dynamic(scenario):
+        return None
+    spec = scenario.metadata[DYNAMICS_METADATA_KEY].get(FAILURES_METADATA_KEY)
+    if spec is None:
+        return None
+    return _schedule_from_spec(dict(spec))
+
+
 def is_dynamic(scenario: Scenario) -> bool:
     """True when *scenario* carries a control-loop specification."""
     return DYNAMICS_METADATA_KEY in scenario.metadata
@@ -122,11 +273,17 @@ def loop_inputs(scenario: Scenario) -> Tuple[TrafficProcess, ControlLoopConfig]:
 
 
 def run_scenario_loop(scenario: Scenario) -> ControlLoopResult:
-    """Run a dynamic scenario's control loop end to end."""
+    """Run a dynamic scenario's control loop end to end.
+
+    Failure scenarios (``metadata["dynamics"]["failures"]``) drive their
+    reconstructed schedule through the loop; demand-only scenarios run
+    exactly as before.
+    """
     process, loop_config = loop_inputs(scenario)
     return run_control_loop(
         scenario.network,
         process,
         fubar_config=scenario.fubar_config,
         loop_config=loop_config,
+        failures=failure_schedule(scenario),
     )

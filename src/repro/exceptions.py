@@ -96,3 +96,7 @@ class ExperimentError(ReproError):
 
 class DynamicsError(ReproError):
     """Raised by the dynamic control-loop subsystem (:mod:`repro.dynamics`)."""
+
+
+class FailureError(ReproError):
+    """Raised by the failure-resilience subsystem (:mod:`repro.failures`)."""

@@ -1,0 +1,44 @@
+"""The failure-resilience subsystem: timed link/node failure schedules,
+degraded network views that preserve dense link indices, and warm-start
+pruning so re-optimization survives topology change without a cold restart.
+"""
+
+from repro.failures.degraded import (
+    DegradedNetwork,
+    degrade,
+    normalize_failed_links,
+    path_is_alive,
+)
+from repro.failures.recovery import (
+    PruneReport,
+    PrunedWarmStart,
+    prune_warm_start,
+    split_routable,
+)
+from repro.failures.schedule import (
+    LINK_FAILURE,
+    NODE_FAILURE,
+    FailureEvent,
+    FailureSchedule,
+    single_link_failure_schedules,
+    single_node_failure_schedules,
+    undirected_link_pairs,
+)
+
+__all__ = [
+    "DegradedNetwork",
+    "FailureEvent",
+    "FailureSchedule",
+    "LINK_FAILURE",
+    "NODE_FAILURE",
+    "PruneReport",
+    "PrunedWarmStart",
+    "degrade",
+    "normalize_failed_links",
+    "path_is_alive",
+    "prune_warm_start",
+    "single_link_failure_schedules",
+    "single_node_failure_schedules",
+    "split_routable",
+    "undirected_link_pairs",
+]

@@ -1,0 +1,139 @@
+"""A degraded view of a :class:`~repro.topology.graph.Network`.
+
+When a link or node fails mid-deployment the controller must route on what
+is left — but the traffic-model engines address dense numpy arrays by the
+*base* network's link indices, and warm-started path sets were validated
+against the base network.  :class:`DegradedNetwork` therefore masks failed
+elements out of the lookup and adjacency structures (so path generation,
+``validate_path`` and ``is_connected`` all see the degraded topology) while
+keeping the base network's full link-index table intact: surviving links
+keep their dense index, ``capacities()`` / ``delays()`` keep their length,
+and compiled traffic-model rows computed for surviving paths stay valid.
+
+Failed nodes keep their :class:`~repro.topology.graph.Node` entry (the POP
+and its switch still physically exist) but lose every adjacent link, which
+is how a node failure manifests to routing.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.exceptions import FailureError
+from repro.topology.graph import Link, LinkId, Network
+
+
+def normalize_failed_links(
+    network: Network,
+    failed_links: Iterable[LinkId] = (),
+    failed_nodes: Iterable[str] = (),
+) -> Tuple[FrozenSet[LinkId], FrozenSet[str]]:
+    """Expand failure targets into the exact set of dead directed links.
+
+    A link failure is a fibre cut: it takes out *both* directions of the
+    (src, dst) pair when the reverse link exists.  A node failure takes out
+    every link adjacent to the node.  Unknown targets raise
+    :class:`~repro.exceptions.FailureError` — a schedule that names elements
+    the topology does not have is a configuration bug.
+    """
+    dead: set = set()
+    nodes = frozenset(failed_nodes)
+    for node in nodes:
+        if not network.has_node(node):
+            raise FailureError(f"cannot fail unknown node {node!r}")
+        dead.update(link.link_id for link in network.out_links(node))
+        dead.update(link.link_id for link in network.in_links(node))
+    for src, dst in failed_links:
+        if not network.has_link(src, dst):
+            raise FailureError(f"cannot fail unknown link {(src, dst)!r}")
+        dead.add((src, dst))
+        if network.has_link(dst, src):
+            dead.add((dst, src))
+    return frozenset(dead), nodes
+
+
+class DegradedNetwork(Network):
+    """*network* with a set of failed links/nodes masked out.
+
+    The view behaves like a smaller network for every topological query
+    (``has_link``, adjacency, path validation, connectivity) while
+    preserving the base network's dense link indices:
+
+    * ``links`` / ``num_links`` / ``capacities()`` / ``delays()`` still
+      cover the *full* index table, failed entries included, so arrays
+      indexed by ``Link.index`` keep their shape (no path ever references a
+      dead link, so its capacity row is simply idle);
+    * ``alive_links`` / ``num_alive_links`` describe the surviving subset.
+
+    The view shares the base network's (immutable) node and link objects;
+    it never mutates the base.
+    """
+
+    def __init__(
+        self,
+        base: Network,
+        failed_links: Iterable[LinkId] = (),
+        failed_nodes: Iterable[str] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        dead_links, dead_nodes = normalize_failed_links(base, failed_links, failed_nodes)
+        super().__init__(name=name or f"{base.name}-degraded")
+        self.base = base
+        self.failed_links: FrozenSet[LinkId] = dead_links
+        self.failed_nodes: FrozenSet[str] = dead_nodes
+        self._nodes = {node.name: node for node in base.nodes}
+        self._links_by_index = list(base.links)
+        self._adjacency = {node: {} for node in self._nodes}
+        self._in_adjacency = {node: {} for node in self._nodes}
+        for link in base.links:
+            if link.link_id in dead_links:
+                continue
+            self._links[link.link_id] = link
+            self._adjacency[link.src][link.dst] = link
+            self._in_adjacency[link.dst][link.src] = link
+
+    # ------------------------------------------------------------- alive set
+
+    @property
+    def alive_links(self) -> Tuple[Link, ...]:
+        """The surviving links, in base index order."""
+        return tuple(
+            link for link in self._links_by_index if link.link_id in self._links
+        )
+
+    @property
+    def num_alive_links(self) -> int:
+        """Number of surviving links."""
+        return len(self._links)
+
+    def is_alive(self, link_id: LinkId) -> bool:
+        """True when the directed link survived the failure set."""
+        return link_id in self._links
+
+    def __repr__(self) -> str:
+        return (
+            f"DegradedNetwork(base={self.base.name!r}, "
+            f"failed_links={len(self.failed_links)}, "
+            f"failed_nodes={len(self.failed_nodes)})"
+        )
+
+
+def degrade(
+    network: Network,
+    failed_links: Iterable[LinkId] = (),
+    failed_nodes: Iterable[str] = (),
+    name: Optional[str] = None,
+) -> Network:
+    """Return the degraded view of *network*, or *network* itself when the
+    failure set is empty (so the healthy case carries zero overhead)."""
+    failed_links = tuple(failed_links)
+    failed_nodes = tuple(failed_nodes)
+    if not failed_links and not failed_nodes:
+        return network
+    base = network.base if isinstance(network, DegradedNetwork) else network
+    return DegradedNetwork(base, failed_links, failed_nodes, name=name)
+
+
+def path_is_alive(network: Network, path: Sequence[str]) -> bool:
+    """True when every hop of *path* exists on (possibly degraded) *network*."""
+    return all(network.has_link(a, b) for a, b in zip(path, path[1:]))

@@ -1,0 +1,140 @@
+"""Warm-start re-optimization across a topology change.
+
+A failure invalidates part of the deployed solution: allocations and path-set
+entries that traverse a dead link are unusable, and aggregates whose every
+path died are stranded until new paths are generated.  A cold restart throws
+the whole solution away; this module instead *prunes* — it keeps every
+surviving path split, re-apportions the flows of dead paths onto the
+survivors, regenerates a path only for aggregates left with nothing, and
+drops only the aggregates the degraded topology cannot route at all.  The
+pruned state seeds :meth:`~repro.core.optimizer.FubarOptimizer.run` exactly
+like an ordinary warm start, which is what makes post-failure reroutes
+cheaper than cold restarts (``benchmarks/bench_failure_recovery.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.state import AllocationState, apportion_flows
+from repro.failures.degraded import path_is_alive
+from repro.paths.generator import PathGenerator
+from repro.paths.pathset import PathSet
+from repro.topology.graph import Network
+from repro.traffic.aggregate import Aggregate, AggregateKey
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass
+class PruneReport:
+    """What pruning a warm-start seed across a topology change did."""
+
+    #: Aggregates whose split survived untouched.
+    kept: int = 0
+    #: Aggregates that lost some paths and had flows re-apportioned onto
+    #: their surviving paths.
+    reapportioned: int = 0
+    #: Aggregates that lost every path and received a freshly generated one.
+    regenerated: int = 0
+    #: Aggregates the degraded topology cannot route at all.
+    dropped: Tuple[AggregateKey, ...] = ()
+    #: Path-set entries discarded because they crossed a dead link.
+    paths_pruned: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kept": self.kept,
+            "reapportioned": self.reapportioned,
+            "regenerated": self.regenerated,
+            "dropped": len(self.dropped),
+            "paths_pruned": self.paths_pruned,
+        }
+
+
+@dataclass
+class PrunedWarmStart:
+    """A warm-start seed rebased onto a degraded (or repaired) topology."""
+
+    state: Optional[AllocationState]
+    path_sets: Dict[AggregateKey, PathSet] = field(default_factory=dict)
+    report: PruneReport = field(default_factory=PruneReport)
+
+
+def prune_warm_start(
+    state: AllocationState,
+    path_sets: Dict[AggregateKey, PathSet],
+    network: Network,
+    generator: Optional[PathGenerator] = None,
+) -> PrunedWarmStart:
+    """Rebase a previous cycle's (state, path sets) onto *network*.
+
+    *network* is the current topology — typically a
+    :class:`~repro.failures.degraded.DegradedNetwork`, but pruning against
+    the healthy base network after a repair is equally valid (nothing is
+    pruned, and the optimizer is free to move flows back onto the restored
+    link).  Returns a seed whose every path is alive on *network*; the
+    ``state`` is ``None`` only when no aggregate survived.
+    """
+    generator = generator or PathGenerator(network)
+    report = PruneReport()
+    allocations: Dict[AggregateKey, Dict] = {}
+    for key in state.aggregate_keys:
+        allocation = state.allocation_of(key)
+        surviving = {
+            path: flows
+            for path, flows in allocation.items()
+            if path_is_alive(network, path)
+        }
+        if len(surviving) == len(allocation):
+            allocations[key] = allocation
+            report.kept += 1
+            continue
+        total = sum(allocation.values())
+        if surviving:
+            allocations[key] = apportion_flows(surviving, total)
+            report.reapportioned += 1
+            continue
+        path = generator.lowest_delay_path(key[0], key[1])
+        if path is not None:
+            allocations[key] = {path: total}
+            report.regenerated += 1
+        else:
+            report.dropped = (*report.dropped, key)
+
+    pruned_sets: Dict[AggregateKey, PathSet] = {}
+    for key, path_set in path_sets.items():
+        if key not in allocations:
+            report.paths_pruned += len(path_set)
+            continue
+        alive = [path for path in path_set.paths if path_is_alive(network, path)]
+        report.paths_pruned += len(path_set) - len(alive)
+        pruned_sets[key] = PathSet(network, alive)
+
+    if not allocations:
+        return PrunedWarmStart(state=None, path_sets={}, report=report)
+    pruned_state = AllocationState(network, state.traffic_matrix, allocations)
+    return PrunedWarmStart(state=pruned_state, path_sets=pruned_sets, report=report)
+
+
+def split_routable(
+    matrix: TrafficMatrix,
+    generator: PathGenerator,
+    name: Optional[str] = None,
+) -> Tuple[TrafficMatrix, List[Aggregate]]:
+    """Split *matrix* into (routable on the generator's network, stranded).
+
+    Stranded aggregates — endpoints the degraded topology cannot connect —
+    must be excluded before optimization; the control loop reports them as
+    stranded demand instead of crashing on
+    :class:`~repro.exceptions.NoPathError`.  The generator's shortest-path
+    cache makes repeated checks of the same endpoints free.
+    """
+    routable = TrafficMatrix(name=name or f"{matrix.name}-routable")
+    stranded: List[Aggregate] = []
+    for aggregate in matrix:
+        if generator.lowest_delay_path(aggregate.source, aggregate.destination) is None:
+            stranded.append(aggregate)
+        else:
+            routable.add(aggregate)
+    return routable, stranded

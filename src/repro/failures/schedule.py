@@ -1,0 +1,219 @@
+"""Timed link/node failure and repair events.
+
+An SDN controller's defining stress test is a topology change: a failed link
+invalidates installed rules and warm-started path sets mid-flight.  A
+:class:`FailureSchedule` is the supply-side counterpart of a
+:class:`~repro.dynamics.processes.TrafficProcess`: where the process says
+what the *demand* of epoch *t* is, the schedule says what the *topology* of
+epoch *t* is.  The two compose freely inside
+:func:`~repro.dynamics.loop.run_control_loop`.
+
+Like the traffic processes, a schedule is a deterministic pure function of
+the epoch index — ``network_at(epoch, base)`` always returns the same view —
+which keeps failure runs reproducible and cacheable.  Repairing an element
+restores the *base* network's link objects, so a repaired link reappears
+with its exact pre-failure dense index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import FailureError
+from repro.failures.degraded import degrade
+from repro.topology.graph import LinkId, Network
+
+#: Event kinds a schedule understands.
+LINK_FAILURE = "link"
+NODE_FAILURE = "node"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One element going down at ``epoch`` and (optionally) back up.
+
+    Parameters
+    ----------
+    epoch:
+        First epoch (0-based) at which the element is down.
+    kind:
+        ``"link"`` or ``"node"``.
+    link:
+        The (src, dst) pair of a link failure.  Fibre-cut semantics: both
+        directions of the pair fail together (see
+        :func:`~repro.failures.degraded.normalize_failed_links`).
+    node:
+        The name of a failed node; every adjacent link fails with it.
+    repair_epoch:
+        First epoch at which the element is back up; ``None`` means the
+        failure is permanent for the run.
+    """
+
+    epoch: int
+    kind: str
+    link: Optional[LinkId] = None
+    node: Optional[str] = None
+    repair_epoch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise FailureError(f"failure epoch must be non-negative, got {self.epoch!r}")
+        if self.kind not in (LINK_FAILURE, NODE_FAILURE):
+            raise FailureError(
+                f"unknown failure kind {self.kind!r}; expected "
+                f"{LINK_FAILURE!r} or {NODE_FAILURE!r}"
+            )
+        if self.kind == LINK_FAILURE and self.link is None:
+            raise FailureError("a link failure event needs a link=(src, dst) target")
+        if self.kind == NODE_FAILURE and not self.node:
+            raise FailureError("a node failure event needs a node name target")
+        if self.repair_epoch is not None and self.repair_epoch <= self.epoch:
+            raise FailureError(
+                f"repair epoch {self.repair_epoch!r} must come after the "
+                f"failure epoch {self.epoch!r}"
+            )
+        if self.link is not None:
+            object.__setattr__(self, "link", (str(self.link[0]), str(self.link[1])))
+
+    def is_down_at(self, epoch: int) -> bool:
+        """True when the element is failed during *epoch*."""
+        if epoch < self.epoch:
+            return False
+        return self.repair_epoch is None or epoch < self.repair_epoch
+
+    def describe(self) -> str:
+        target = f"{self.link[0]}–{self.link[1]}" if self.kind == LINK_FAILURE else self.node
+        window = (
+            f"epoch {self.epoch}+"
+            if self.repair_epoch is None
+            else f"epochs {self.epoch}–{self.repair_epoch - 1}"
+        )
+        return f"{self.kind} {target} down {window}"
+
+
+class FailureSchedule:
+    """An ordered collection of failure events driving topology over time."""
+
+    def __init__(self, events: Sequence[FailureEvent], name: str = "failures") -> None:
+        if not events:
+            raise FailureError("a failure schedule needs at least one event")
+        self.events: Tuple[FailureEvent, ...] = tuple(
+            sorted(events, key=lambda event: event.epoch)
+        )
+        self.name = name
+        # Degraded views are cheap but not free; the loop asks for the same
+        # epoch's view repeatedly, so memoize per (base, failure-set).
+        self._views: Dict[Tuple[int, FrozenSet[LinkId], FrozenSet[str]], Network] = {}
+
+    # ------------------------------------------------------------ composition
+
+    @classmethod
+    def single_link(
+        cls, link: LinkId, epoch: int = 1, repair_epoch: Optional[int] = None
+    ) -> "FailureSchedule":
+        """The canonical survivability event: one link down at *epoch*."""
+        event = FailureEvent(
+            epoch=epoch, kind=LINK_FAILURE, link=link, repair_epoch=repair_epoch
+        )
+        return cls([event], name=f"link-{link[0]}-{link[1]}")
+
+    @classmethod
+    def single_node(
+        cls, node: str, epoch: int = 1, repair_epoch: Optional[int] = None
+    ) -> "FailureSchedule":
+        """One node (and every adjacent link) down at *epoch*."""
+        event = FailureEvent(
+            epoch=epoch, kind=NODE_FAILURE, node=node, repair_epoch=repair_epoch
+        )
+        return cls([event], name=f"node-{node}")
+
+    # -------------------------------------------------------------- queries
+
+    def targets_at(self, epoch: int) -> Tuple[Tuple[LinkId, ...], Tuple[str, ...]]:
+        """The raw (links, nodes) failed during *epoch*, in event order."""
+        if epoch < 0:
+            raise FailureError(f"epoch must be non-negative, got {epoch!r}")
+        links: List[LinkId] = []
+        nodes: List[str] = []
+        for event in self.events:
+            if not event.is_down_at(epoch):
+                continue
+            if event.kind == LINK_FAILURE and event.link not in links:
+                links.append(event.link)
+            elif event.kind == NODE_FAILURE and event.node not in nodes:
+                nodes.append(event.node)
+        return tuple(links), tuple(nodes)
+
+    def is_degraded_at(self, epoch: int) -> bool:
+        """True when any element is down during *epoch*."""
+        links, nodes = self.targets_at(epoch)
+        return bool(links or nodes)
+
+    def first_failure_epoch(self) -> int:
+        """The epoch of the earliest event."""
+        return self.events[0].epoch
+
+    def network_at(self, epoch: int, base: Network) -> Network:
+        """The (memoized) topology of *epoch*: *base* or a degraded view."""
+        links, nodes = self.targets_at(epoch)
+        if not links and not nodes:
+            return base
+        key = (id(base), frozenset(links), frozenset(nodes))
+        cached = self._views.get(key)
+        if cached is not None:
+            return cached
+        view = degrade(base, links, nodes)
+        self._views[key] = view
+        return view
+
+    def describe(self) -> str:
+        return "; ".join(event.describe() for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"FailureSchedule(name={self.name!r}, events={len(self.events)})"
+
+
+# ----------------------------------------------------- failure enumeration
+
+
+def undirected_link_pairs(network: Network) -> Tuple[LinkId, ...]:
+    """The network's undirected link pairs, in a stable, index-driven order.
+
+    Each duplex pair appears once (as the direction whose endpoints sort
+    lowest); a simplex link appears as itself.  This is the enumeration base
+    of the single-link survivability sweep: failing pair *i* of the same
+    topology always fails the same fibre.
+    """
+    seen = set()
+    pairs: List[LinkId] = []
+    for link in network.links:
+        key = tuple(sorted((link.src, link.dst)))
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append(link.link_id)
+    return tuple(pairs)
+
+
+def single_link_failure_schedules(
+    network: Network, epoch: int = 1, repair_epoch: Optional[int] = None
+) -> List[FailureSchedule]:
+    """One single-link schedule per undirected link pair of *network*."""
+    return [
+        FailureSchedule.single_link(pair, epoch=epoch, repair_epoch=repair_epoch)
+        for pair in undirected_link_pairs(network)
+    ]
+
+
+def single_node_failure_schedules(
+    network: Network, epoch: int = 1, repair_epoch: Optional[int] = None
+) -> List[FailureSchedule]:
+    """One single-node schedule per node of *network*."""
+    return [
+        FailureSchedule.single_node(name, epoch=epoch, repair_epoch=repair_epoch)
+        for name in network.node_names
+    ]

@@ -28,7 +28,10 @@ from repro.runner.registry import (
     ScenarioFamily,
     build_scenario,
     default_sweep_specs,
+    expand_failure_specs,
+    failure_sweep_specs,
     get_family,
+    is_failure_family,
     list_families,
     register_family,
     resolve_spec,
@@ -60,9 +63,12 @@ __all__ = [
     "default_cache_dir",
     "default_sweep_specs",
     "evaluate_cell",
+    "expand_failure_specs",
+    "failure_sweep_specs",
     "format_markdown_report",
     "format_sweep_report",
     "get_family",
+    "is_failure_family",
     "list_families",
     "parse_param_overrides",
     "register_family",

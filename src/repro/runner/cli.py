@@ -39,6 +39,7 @@ from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_dir
 from repro.runner.engine import run_sweep
 from repro.runner.registry import (
     SWEEP_PRESETS,
+    expand_failure_specs,
     get_family,
     list_families,
 )
@@ -130,7 +131,9 @@ def _build_sweep_specs(args: argparse.Namespace) -> List[CellSpec]:
         for name in args.family:
             get_family(name)
             specs.extend(CellSpec(name, overrides, seed=seed) for seed in seeds)
-        return specs
+        # Survivability sweeps: a failure-family spec without an explicit
+        # target enumerates every single failure of its topology.
+        return expand_failure_specs(specs)
     if args.set:
         raise ExperimentError("--set requires --family (presets fix their parameters)")
     try:
@@ -139,11 +142,13 @@ def _build_sweep_specs(args: argparse.Namespace) -> List[CellSpec]:
         raise ExperimentError(
             f"unknown preset {args.preset!r}; available: {', '.join(sorted(SWEEP_PRESETS))}"
         ) from None
-    return [
-        CellSpec(spec.family, spec.params, seed=seed)
-        for seed in seeds
-        for spec in preset()
-    ]
+    return expand_failure_specs(
+        [
+            CellSpec(spec.family, spec.params, seed=seed)
+            for seed in seeds
+            for spec in preset()
+        ]
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

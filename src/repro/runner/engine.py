@@ -32,6 +32,7 @@ from repro.baselines.upper_bound import upper_bound_utility
 from repro.core.controller import Fubar, FubarPlan
 from repro.dynamics.loop import ControlLoopResult
 from repro.dynamics.scenarios import is_dynamic, run_scenario_loop
+from repro.exceptions import ExperimentError
 from repro.experiments.scenarios import Scenario
 from repro.metrics.reporting import relative_improvement
 from repro.runner.cache import ResultCache
@@ -142,6 +143,15 @@ def evaluate_cell(spec: CellSpec) -> CellOutcome:
     loop_result: Optional[ControlLoopResult] = None
     if is_dynamic(scenario):
         loop_result = run_scenario_loop(scenario)
+        if loop_result.final_plan is None:
+            # Only possible when a failure strands every aggregate from the
+            # very first epoch — there is no plan to compare against, so the
+            # cell reports a clean per-cell error instead of crashing the
+            # record builder.
+            raise ExperimentError(
+                f"cell {spec.label()} stranded every aggregate in every "
+                "epoch; no plan was ever computed"
+            )
         plan = loop_result.final_plan
     else:
         controller = Fubar(scenario.network, config=scenario.fubar_config)

@@ -21,16 +21,19 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Tuple
 
-from repro.dynamics.scenarios import build_dynamic_scenario
+from repro.dynamics.scenarios import build_dynamic_scenario, build_failure_scenario
 from repro.exceptions import ExperimentError
 from repro.experiments.scenarios import (
     DEFAULT_PRIORITY_FACTOR,
     RANDOM_TOPOLOGY_FAMILIES,
+    SWEEP_TOPOLOGY_BUILDERS,
     Scenario,
     build_sweep_scenario,
     default_num_pops,
 )
+from repro.failures.schedule import LINK_FAILURE, NODE_FAILURE, undirected_link_pairs
 from repro.runner.spec import CellSpec
+from repro.topology.hurricane_electric import PROVISIONED_CAPACITY_BPS
 
 
 @dataclass(frozen=True)
@@ -286,6 +289,125 @@ _dynamic_family(
 )
 
 
+# -------------------------------------------------------- failure families
+#
+# Survivability families run the control loop through a timed link/node
+# failure (and optional repair).  The failure target is addressed by a
+# stable index — `failed_link` into the topology's undirected link pairs,
+# `failed_node` into its node order — which makes "every single failure" an
+# enumerable sweep axis: `expand_failure_specs` turns a spec without an
+# explicit target into one cell per possible failure.
+
+_FAILURE_AXES = (
+    "num_pops",
+    "provisioning_ratio",
+    "failed_link",
+    "failed_node",
+    "failure_epoch",
+    "repair_epoch",
+    "num_epochs",
+    "warm_start",
+    "step_std",
+    "target_demanded_utilization",
+    "max_steps",
+)
+
+
+def _failure_family(name: str, description: str, **defaults) -> ScenarioFamily:
+    return register_family(
+        ScenarioFamily(
+            name=name,
+            description=description,
+            builder=build_failure_scenario,
+            defaults=defaults,
+            sweepable=_FAILURE_AXES,
+        )
+    )
+
+
+_failure_family(
+    "he-single-link-failure",
+    "Survivability: HE core with one link cut mid-run (sweep failed_link to "
+    "enumerate every fibre)",
+    topology="hurricane-electric",
+    failure_kind=LINK_FAILURE,
+    process="static",
+)
+_failure_family(
+    "he-node-failure",
+    "Survivability: HE core with one POP down mid-run (strands its traffic)",
+    topology="hurricane-electric",
+    failure_kind=NODE_FAILURE,
+    process="static",
+)
+_failure_family(
+    "he-failure-under-drift",
+    "Survivability: link cut while demand drifts (failure + dynamics composed)",
+    topology="hurricane-electric",
+    failure_kind=LINK_FAILURE,
+    process="random-walk",
+    provisioning_ratio=0.75,
+)
+
+def is_failure_family(name: str) -> bool:
+    """True when *name* is registered with the failure scenario builder."""
+    try:
+        return get_family(name).builder is build_failure_scenario
+    except ExperimentError:
+        return False
+
+
+def _failure_target_count(spec: CellSpec) -> int:
+    """How many distinct failures the cell's topology admits.
+
+    Builds only the topology (never the traffic matrix or calibration), so
+    enumerating a sweep stays cheap.  Uses the resolved spec so the
+    environment scale and family defaults are honoured.
+    """
+    resolved = resolve_spec(spec)
+    params = resolved.params
+    topology = str(params.get("topology", "hurricane-electric"))
+    num_pops = params.get("num_pops")
+    ratio = float(params.get("provisioning_ratio", 1.0))
+    network = SWEEP_TOPOLOGY_BUILDERS[topology](
+        int(num_pops) if num_pops is not None else None,
+        PROVISIONED_CAPACITY_BPS * ratio,
+        resolved.seed,
+    )
+    if params.get("failure_kind", LINK_FAILURE) == NODE_FAILURE:
+        return network.num_nodes
+    return len(undirected_link_pairs(network))
+
+
+def expand_failure_specs(specs: List[CellSpec]) -> List[CellSpec]:
+    """Expand failure-family specs without an explicit target.
+
+    A spec of a failure family that pins neither ``failed_link`` nor
+    ``failed_node`` stands for the *whole* survivability sweep: it is
+    replaced by one cell per enumerable failure of its topology (every
+    undirected link pair, or every node).  Specs with an explicit target —
+    and specs of every other family — pass through untouched.
+    """
+    expanded: List[CellSpec] = []
+    for spec in specs:
+        if not is_failure_family(spec.family) or (
+            "failed_link" in spec.params or "failed_node" in spec.params
+        ):
+            expanded.append(spec)
+            continue
+        kind = str(
+            {**get_family(spec.family).defaults, **spec.params}.get(
+                "failure_kind", LINK_FAILURE
+            )
+        )
+        axis = "failed_node" if kind == NODE_FAILURE else "failed_link"
+        expanded.extend(
+            CellSpec(spec.family, {**spec.params, axis: index}, seed=spec.seed)
+            for index in range(_failure_target_count(spec))
+        )
+    return expanded
+
+
 # ------------------------------------------------------------------- presets
 
 
@@ -308,6 +430,10 @@ def default_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
         CellSpec("waxman", {"num_pops": 8, "provisioning_ratio": 0.75}),
         CellSpec("random-core", {"num_pops": 8}),
         CellSpec("he-drift", {"num_pops": 6, "num_epochs": 4}),
+        CellSpec(
+            "he-single-link-failure",
+            {"num_pops": 6, "num_epochs": 3, "failed_link": 0},
+        ),
     ]
     return [
         CellSpec(cell.family, cell.params, seed=seed) for seed in seeds for cell in grid
@@ -319,8 +445,27 @@ def smoke_sweep_specs() -> List[CellSpec]:
     return [CellSpec("he-provisioned", {"num_pops": 5})]
 
 
+def failure_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
+    """The survivability grid: every single-link and single-node failure.
+
+    The specs intentionally pin no failure target —
+    :func:`expand_failure_specs` (applied by the sweep CLI) blows each one up
+    into one cell per enumerable failure of the topology, so the preset
+    scales with the resolved scale (``FUBAR_FULL_SCALE=1`` enumerates the
+    full 31-POP core's fibres).
+    """
+    grid = [
+        CellSpec("he-single-link-failure", {"num_epochs": 3}),
+        CellSpec("he-node-failure", {"num_epochs": 3}),
+    ]
+    return [
+        CellSpec(cell.family, cell.params, seed=seed) for seed in seeds for cell in grid
+    ]
+
+
 #: Named sweep presets selectable from the CLI.
 SWEEP_PRESETS: Dict[str, Callable[[], List[CellSpec]]] = {
     "default": default_sweep_specs,
     "smoke": smoke_sweep_specs,
+    "failures": failure_sweep_specs,
 }

@@ -12,8 +12,8 @@ switch reports only its own aggregates, and the controller merges them).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import AbstractSet, Dict, Optional, Tuple
 
 from repro.core.routing import RoutingTable
 from repro.exceptions import MeasurementError, ReproError
@@ -34,6 +34,11 @@ class InstallReport:
     freshly added, removed as stale, updated in place (same aggregate and
     switch, different next-hop weights) or left untouched.  Updated and
     unchanged rules keep their byte counters — only removed rules lose them.
+
+    ``rules_invalidated`` counts rules force-uninstalled *before* the
+    differential install because a topology change killed their next-hop
+    link (:meth:`SdnController.uninstall_rules_crossing`); it is 0 for
+    ordinary demand-only cycles.
     """
 
     rules_installed: int
@@ -41,11 +46,18 @@ class InstallReport:
     rules_removed: int
     rules_updated: int
     rules_unchanged: int
+    rules_invalidated: int = 0
 
     @property
     def churn(self) -> int:
-        """Number of flow-table writes the install caused (adds + removes + updates)."""
-        return self.rules_added + self.rules_removed + self.rules_updated
+        """Flow-table writes the install caused (adds + removes + updates +
+        failure invalidations)."""
+        return (
+            self.rules_added
+            + self.rules_removed
+            + self.rules_updated
+            + self.rules_invalidated
+        )
 
     @property
     def churn_fraction(self) -> float:
@@ -61,9 +73,14 @@ class InstallReport:
             "rules_removed": self.rules_removed,
             "rules_updated": self.rules_updated,
             "rules_unchanged": self.rules_unchanged,
+            "rules_invalidated": self.rules_invalidated,
             "churn": self.churn,
             "churn_fraction": self.churn_fraction,
         }
+
+    def with_invalidated(self, rules_invalidated: int) -> "InstallReport":
+        """This report with the pre-install failure invalidations folded in."""
+        return replace(self, rules_invalidated=rules_invalidated)
 
 
 class SdnController:
@@ -144,6 +161,44 @@ class SdnController:
             rules_updated=updated,
             rules_unchanged=unchanged,
         )
+
+    def uninstall_rules_crossing(self, dead_links: AbstractSet[Tuple[str, str]]) -> int:
+        """Uninstall every rule forwarding over one of *dead_links*.
+
+        This is the data-plane consequence of a topology failure: a rule at
+        switch *u* whose next-hop group includes neighbour *v* is dead the
+        moment link (u, v) goes down, and real switches drop it (fast
+        failover) rather than blackhole traffic.  Counters of uninstalled
+        rules are lost, exactly like an ordinary uninstall; surviving rules
+        keep theirs.  The deployed :attr:`installed_routing` is filtered in
+        step: routes with a split over a dead link lose their forwarding and
+        are removed, so the advertised routing never names paths the flow
+        tables can no longer carry.  Returns the number of rules removed —
+        reported by the control loop as
+        :attr:`InstallReport.rules_invalidated`.
+        """
+        removed = 0
+        for name, switch in self._switches.items():
+            doomed = [
+                rule.aggregate
+                for rule in switch.rules
+                if any((name, hop.next_hop) in dead_links for hop in rule.next_hops)
+            ]
+            for aggregate in doomed:
+                switch.uninstall(aggregate)
+                removed += 1
+        if self._installed_routing is not None:
+            surviving = {
+                route.key: route
+                for route in self._installed_routing
+                if not any(
+                    (a, b) in dead_links
+                    for split in route.splits
+                    for a, b in zip(split.path, split.path[1:])
+                )
+            }
+            self._installed_routing = RoutingTable(surviving)
+        return removed
 
     @property
     def installed_routing(self) -> Optional[RoutingTable]:

@@ -400,20 +400,31 @@ class Network:
         return [link.delay_s for link in self._links_by_index]
 
     def is_connected(self) -> bool:
-        """Return True when every node can reach every other node over directed links."""
+        """Return True when every node can reach every other node over directed links.
+
+        Strong connectivity needs only two O(V+E) sweeps from one root: if
+        the root reaches everyone (forward edges) and everyone reaches the
+        root (reverse edges), then any pair is connected through the root.
+        The survivability sweeps call this once per enumerated failure, so
+        the previous all-pairs version (one BFS per node, O(V·(V+E))) was a
+        real cost on large topologies.
+        """
         if self.num_nodes <= 1:
             return True
-        for source in self._nodes:
-            if len(self._reachable_from(source)) != self.num_nodes:
-                return False
-        return True
+        root = next(iter(self._nodes))
+        if len(self._reachable_from(root, self._adjacency)) != self.num_nodes:
+            return False
+        return len(self._reachable_from(root, self._in_adjacency)) == self.num_nodes
 
-    def _reachable_from(self, source: str) -> set:
+    def _reachable_from(
+        self, source: str, adjacency: Optional[Dict[str, Dict[str, Link]]] = None
+    ) -> set:
+        adjacency = adjacency if adjacency is not None else self._adjacency
         seen = {source}
         frontier = [source]
         while frontier:
             current = frontier.pop()
-            for neighbour in self._adjacency[current]:
+            for neighbour in adjacency[current]:
                 if neighbour not in seen:
                     seen.add(neighbour)
                     frontier.append(neighbour)

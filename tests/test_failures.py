@@ -1,0 +1,587 @@
+"""Tests for the failure-resilience subsystem (repro.failures) and the
+satellite fixes riding along with it."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ecmp import ecmp_routing
+from repro.core.config import FubarConfig
+from repro.core.optimizer import FubarOptimizer
+from repro.core.routing import RoutingTable
+from repro.core.state import AllocationState, build_path_sets
+from repro.dynamics.loop import ControlLoopConfig, run_control_loop
+from repro.dynamics.processes import RandomWalkProcess, StaticProcess
+from repro.dynamics.scenarios import (
+    build_failure_scenario,
+    failure_schedule,
+    is_dynamic,
+    run_scenario_loop,
+)
+from repro.exceptions import FailureError, UnknownLinkError
+from repro.failures.degraded import DegradedNetwork, degrade, path_is_alive
+from repro.failures.recovery import prune_warm_start, split_routable
+from repro.failures.schedule import (
+    FailureEvent,
+    FailureSchedule,
+    single_link_failure_schedules,
+    single_node_failure_schedules,
+    undirected_link_pairs,
+)
+from repro.paths.generator import PathGenerator
+from repro.paths.pathset import PathSet
+from repro.runner.registry import expand_failure_specs, is_failure_family
+from repro.runner.spec import CellSpec
+from repro.sdn.controller import SdnController
+from repro.experiments.scenarios import build_sweep_scenario
+from repro.topology.builders import line_topology, ring_topology, triangle_topology
+from repro.topology.hurricane_electric import reduced_core
+from repro.traffic.matrix import TrafficMatrix
+from repro.units import kbps, mbps, ms
+from tests.conftest import make_aggregate
+
+
+@pytest.fixture
+def triangle():
+    return triangle_topology(
+        capacity_bps=mbps(100), short_delay_s=ms(5), long_delay_s=ms(20)
+    )
+
+
+@pytest.fixture
+def triangle_matrix():
+    return TrafficMatrix(
+        [
+            make_aggregate("A", "B", num_flows=40, demand_bps=kbps(300)),
+            make_aggregate("B", "C", num_flows=20, demand_bps=kbps(200)),
+            make_aggregate("C", "A", num_flows=10, demand_bps=kbps(100)),
+        ],
+        name="triangle-traffic",
+    )
+
+
+# ----------------------------------------------------------- degraded view
+
+
+class TestDegradedNetwork:
+    def test_masks_both_directions_of_a_cut_fibre(self, triangle):
+        view = degrade(triangle, failed_links=[("A", "B")])
+        assert not view.has_link("A", "B")
+        assert not view.has_link("B", "A")
+        assert view.has_link("A", "C")
+        assert ("A", "B") in view.failed_links and ("B", "A") in view.failed_links
+
+    def test_preserves_dense_link_indices(self, triangle):
+        view = degrade(triangle, failed_links=[("A", "B")])
+        # The full index table keeps its shape, so numpy arrays indexed by
+        # Link.index stay valid for surviving links.
+        assert view.num_links == triangle.num_links
+        assert view.capacities() == triangle.capacities()
+        for link in view.alive_links:
+            assert triangle.link_by_index(link.index) is link
+        assert view.num_alive_links == triangle.num_links - 2
+
+    def test_node_failure_kills_adjacent_links_keeps_node(self, triangle):
+        view = degrade(triangle, failed_nodes=["C"])
+        assert view.has_node("C")
+        assert view.successors("C") == ()
+        assert view.predecessors("C") == ()
+        assert view.has_link("A", "B") and view.has_link("B", "A")
+
+    def test_path_validation_respects_failures(self, triangle):
+        view = degrade(triangle, failed_links=[("A", "B")])
+        assert not view.is_valid_path(("A", "B"))
+        assert view.is_valid_path(("A", "C", "B"))
+        with pytest.raises(UnknownLinkError):
+            view.path_links(("A", "B"))
+        assert path_is_alive(view, ("A", "C", "B"))
+        assert not path_is_alive(view, ("A", "B"))
+
+    def test_connectivity_reflects_degradation(self):
+        line = line_topology(3, capacity_bps=mbps(100), delay_s=ms(5))
+        view = degrade(line, failed_links=[("N1", "N2")])
+        assert line.is_connected()
+        assert not view.is_connected()
+
+    def test_unknown_targets_rejected(self, triangle):
+        with pytest.raises(FailureError):
+            degrade(triangle, failed_links=[("A", "Z")])
+        with pytest.raises(FailureError):
+            degrade(triangle, failed_nodes=["Z"])
+
+    def test_killing_every_link_leaves_an_empty_but_valid_view(self, triangle):
+        view = DegradedNetwork(triangle, failed_nodes=["A", "B", "C"])
+        assert view.num_alive_links == 0
+        assert view.num_links == triangle.num_links
+        assert not view.is_connected()
+
+    def test_empty_failure_set_returns_base(self, triangle):
+        assert degrade(triangle) is triangle
+
+
+# -------------------------------------------------------------- schedules
+
+
+class TestFailureSchedule:
+    def test_event_windows(self):
+        event = FailureEvent(epoch=2, kind="link", link=("A", "B"), repair_epoch=4)
+        assert not event.is_down_at(1)
+        assert event.is_down_at(2) and event.is_down_at(3)
+        assert not event.is_down_at(4)
+        permanent = FailureEvent(epoch=1, kind="node", node="C")
+        assert permanent.is_down_at(100)
+
+    def test_event_validation(self):
+        with pytest.raises(FailureError):
+            FailureEvent(epoch=-1, kind="link", link=("A", "B"))
+        with pytest.raises(FailureError):
+            FailureEvent(epoch=0, kind="link")
+        with pytest.raises(FailureError):
+            FailureEvent(epoch=0, kind="node")
+        with pytest.raises(FailureError):
+            FailureEvent(epoch=2, kind="link", link=("A", "B"), repair_epoch=2)
+        with pytest.raises(FailureError):
+            FailureEvent(epoch=0, kind="meteor", node="C")
+
+    def test_repair_restores_exact_prefailure_link_index(self, triangle):
+        schedule = FailureSchedule.single_link(("A", "B"), epoch=1, repair_epoch=2)
+        before = triangle.link("A", "B")
+        degraded_view = schedule.network_at(1, triangle)
+        assert not degraded_view.has_link("A", "B")
+        repaired = schedule.network_at(2, triangle)
+        # Repair returns the base network itself: the link object, and in
+        # particular its dense index, are exactly the pre-failure ones.
+        assert repaired is triangle
+        assert repaired.link("A", "B") is before
+        assert repaired.link("A", "B").index == before.index
+
+    def test_views_are_memoized_per_failure_set(self, triangle):
+        schedule = FailureSchedule.single_link(("A", "B"), epoch=1, repair_epoch=3)
+        assert schedule.network_at(1, triangle) is schedule.network_at(2, triangle)
+
+    def test_enumeration_covers_every_pair_and_node(self, triangle):
+        pairs = undirected_link_pairs(triangle)
+        assert len(pairs) == 3  # three duplex fibres
+        assert len(single_link_failure_schedules(triangle)) == 3
+        assert len(single_node_failure_schedules(triangle)) == 3
+
+    def test_schedule_is_pure_in_epoch(self, triangle):
+        schedule = FailureSchedule.single_node("C", epoch=1)
+        links_a, nodes_a = schedule.targets_at(5)
+        links_b, nodes_b = schedule.targets_at(5)
+        assert links_a == links_b and nodes_a == nodes_b == ("C",)
+
+
+# ------------------------------------------------------ warm-start pruning
+
+
+class TestPruning:
+    def _optimized(self, network, matrix):
+        optimizer = FubarOptimizer(network, matrix, config=FubarConfig())
+        result = optimizer.run()
+        return result.state, result.path_sets
+
+    def test_prune_reapportions_dead_path_flows(self, triangle, triangle_matrix):
+        state, path_sets = self._optimized(triangle, triangle_matrix)
+        view = degrade(triangle, failed_links=[("A", "B")])
+        pruned = prune_warm_start(state, path_sets, view)
+        assert pruned.state is not None
+        for key in pruned.state.aggregate_keys:
+            allocation = pruned.state.allocation_of(key)
+            aggregate = triangle_matrix.get(key)
+            assert sum(allocation.values()) == aggregate.num_flows
+            for path in allocation:
+                assert path_is_alive(view, path)
+        report = pruned.report.as_dict()
+        assert report["reapportioned"] + report["regenerated"] >= 1
+        assert report["dropped"] == 0  # the triangle stays connected
+
+    def test_pruned_path_sets_contain_only_alive_paths(self, triangle, triangle_matrix):
+        state, path_sets = self._optimized(triangle, triangle_matrix)
+        view = degrade(triangle, failed_links=[("A", "B")])
+        pruned = prune_warm_start(state, path_sets, view)
+        for path_set in pruned.path_sets.values():
+            for path in path_set:
+                assert path_is_alive(view, path)
+
+    def test_disconnecting_failure_drops_stranded_aggregates(self):
+        line = line_topology(3, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix(
+            [
+                make_aggregate("N0", "N1", num_flows=10),
+                make_aggregate("N0", "N2", num_flows=10),
+            ]
+        )
+        state = AllocationState.initial(line, matrix)
+        path_sets = build_path_sets(line, state)
+        view = degrade(line, failed_links=[("N1", "N2")])
+        pruned = prune_warm_start(state, path_sets, view)
+        assert pruned.state is not None
+        assert ("N0", "N1", "bulk") in pruned.state.aggregate_keys
+        assert pruned.report.dropped == (("N0", "N2", "bulk"),)
+
+    def test_split_routable_separates_stranded(self):
+        line = line_topology(3, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix(
+            [
+                make_aggregate("N0", "N1", num_flows=10),
+                make_aggregate("N0", "N2", num_flows=10),
+            ]
+        )
+        view = degrade(line, failed_links=[("N1", "N2")])
+        routable, stranded = split_routable(matrix, PathGenerator(view))
+        assert routable.keys == (("N0", "N1", "bulk"),)
+        assert [a.key for a in stranded] == [("N0", "N2", "bulk")]
+
+
+# ----------------------------------------------------- control-loop runs
+
+
+class TestFailureLoop:
+    def test_loop_survives_disconnecting_failure(self):
+        # Failing the only fibre of a 2-node network strands everything;
+        # the loop must account for it instead of crashing.
+        line = line_topology(2, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix([make_aggregate("N0", "N1", num_flows=10)])
+        schedule = FailureSchedule.single_link(("N0", "N1"), epoch=1, repair_epoch=2)
+        result = run_control_loop(
+            line,
+            StaticProcess(matrix),
+            loop_config=ControlLoopConfig(num_epochs=3),
+            failures=schedule,
+        )
+        down = result.records[1]
+        assert down.stranded_aggregates == 1
+        assert down.stranded_demand_bps == pytest.approx(10 * kbps(100))
+        assert down.delivered_utility == 0.0
+        assert down.install.rules_invalidated >= 1
+        # After the repair the aggregate is routed and served again.
+        recovered = result.records[2]
+        assert recovered.stranded_aggregates == 0
+        assert recovered.delivered_utility > 0.9
+        assert result.recovery_epochs() == 1
+
+    def test_failure_and_repair_round_trip_on_ring(self):
+        ring = ring_topology(6, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix(
+            [
+                make_aggregate("N0", "N3", num_flows=30, demand_bps=kbps(300)),
+                make_aggregate("N1", "N4", num_flows=20, demand_bps=kbps(200)),
+            ]
+        )
+        schedule = FailureSchedule.single_link(("N0", "N1"), epoch=1, repair_epoch=3)
+        result = run_control_loop(
+            ring,
+            StaticProcess(matrix),
+            loop_config=ControlLoopConfig(num_epochs=4),
+            failures=schedule,
+        )
+        # The ring stays connected, so nothing strands; traffic rides the
+        # other way round while the fibre is down.
+        assert all(r.stranded_aggregates == 0 for r in result.records)
+        assert result.records[1].failed_links == 2
+        assert result.records[1].install.rules_invalidated >= 1
+        assert result.records[3].failed_links == 0
+        assert result.has_failures()
+        summary = result.summary()
+        assert summary["first_failure_epoch"] == 1
+        assert summary["rules_invalidated"] >= 1
+
+    def test_permanent_stranding_never_counts_as_recovered(self):
+        # Stranding hard-to-serve demand can *raise* the delivered average
+        # (it only covers carried aggregates); recovery must not report
+        # that as service restored.
+        line = line_topology(3, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix(
+            [
+                make_aggregate("N0", "N1", num_flows=10),
+                make_aggregate("N0", "N2", num_flows=10),
+            ]
+        )
+        schedule = FailureSchedule.single_link(("N1", "N2"), epoch=1)
+        result = run_control_loop(
+            line,
+            StaticProcess(matrix),
+            loop_config=ControlLoopConfig(num_epochs=3),
+            failures=schedule,
+        )
+        assert result.records[1].stranded_aggregates == 1
+        assert result.records[2].stranded_aggregates == 1
+        assert result.recovery_epochs() is None
+
+    def test_final_plan_survives_a_fully_stranded_last_epoch(self):
+        line = line_topology(2, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix([make_aggregate("N0", "N1", num_flows=10)])
+        schedule = FailureSchedule.single_link(("N0", "N1"), epoch=1)
+        result = run_control_loop(
+            line,
+            StaticProcess(matrix),
+            loop_config=ControlLoopConfig(num_epochs=2),
+            failures=schedule,
+        )
+        # Epoch 1 strands everything, but epoch 0's plan is still the run's
+        # last computed plan.
+        assert result.final_plan is not None
+        assert result.records[1].stranded_aggregates == 1
+
+    def test_invalidation_filters_installed_routing(self):
+        ring = ring_topology(4, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix(
+            [
+                make_aggregate("N0", "N1", num_flows=10),
+                make_aggregate("N2", "N3", num_flows=10),
+            ]
+        )
+        state = AllocationState.initial(ring, matrix)
+        sdn = SdnController(ring)
+        sdn.install_routing(RoutingTable.from_state(state))
+        sdn.uninstall_rules_crossing({("N0", "N1"), ("N1", "N0")})
+        # The advertised routing drops the broken route alongside its rule,
+        # so callers never see routes the flow tables cannot carry.
+        assert ("N0", "N1", "bulk") not in sdn.installed_routing
+        assert ("N2", "N3", "bulk") in sdn.installed_routing
+
+    def test_demand_only_loop_has_no_failure_keys(self):
+        ring = ring_topology(4, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix([make_aggregate("N0", "N2", num_flows=10)])
+        result = run_control_loop(
+            ring, StaticProcess(matrix), loop_config=ControlLoopConfig(num_epochs=2)
+        )
+        assert not result.has_failures()
+        assert "failures" not in result.summary()
+
+    def test_warm_reroute_is_cheaper_than_cold_restart(self):
+        # The calibrated underprovisioned cell keeps congestion alive, so a
+        # cold restart genuinely has to re-optimize every cycle while the
+        # pruned warm seed only repairs what the failure broke.
+        scenario = build_sweep_scenario(
+            topology="hurricane-electric", num_pops=6, provisioning_ratio=0.75, seed=1
+        )
+        pairs = undirected_link_pairs(scenario.network)
+        schedule = FailureSchedule.single_link(pairs[1], epoch=1)
+        results = {}
+        for warm in (True, False):
+            results[warm] = run_control_loop(
+                scenario.network,
+                StaticProcess(scenario.traffic_matrix),
+                fubar_config=scenario.fubar_config,
+                loop_config=ControlLoopConfig(num_epochs=3, warm_start=warm),
+                failures=schedule,
+            )
+        warm_evals = sum(r.model_evaluations for r in results[True].records[1:])
+        cold_evals = sum(r.model_evaluations for r in results[False].records[1:])
+        assert warm_evals < cold_evals
+        warm_delivered = results[True].mean_delivered_utility()
+        cold_delivered = results[False].mean_delivered_utility()
+        assert warm_delivered == pytest.approx(cold_delivered, rel=0.02)
+
+    def test_differential_install_after_invalidation_preserves_counters(self):
+        # Satellite: uninstalling failed-link rules must not wipe the byte
+        # counters of rules that survive the subsequent differential install.
+        ring = ring_topology(4, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix(
+            [
+                make_aggregate("N0", "N1", num_flows=10),
+                make_aggregate("N2", "N3", num_flows=10),
+            ]
+        )
+        state = AllocationState.initial(ring, matrix)
+        routing = RoutingTable.from_state(state)
+        sdn = SdnController(ring)
+        sdn.install_routing(routing)
+        sdn.record_aggregate_traffic(("N0", "N1", "bulk"), kbps(500), 10, 60.0)
+        sdn.record_aggregate_traffic(("N2", "N3", "bulk"), kbps(500), 10, 60.0)
+        surviving_bytes = sdn.switch("N2").counters_for(("N2", "N3", "bulk")).bytes_total
+        assert surviving_bytes > 0
+
+        invalidated = sdn.uninstall_rules_crossing({("N0", "N1"), ("N1", "N0")})
+        assert invalidated == 1
+        assert sdn.switch("N0").rule_for(("N0", "N1", "bulk")) is None
+
+        report = sdn.install_routing(routing).with_invalidated(invalidated)
+        # The N0 rule is re-added (its counters restarted), the untouched
+        # N2 rule keeps its accumulated bytes.
+        assert report.rules_added == 1
+        assert report.rules_unchanged >= 1
+        assert report.rules_invalidated == 1
+        assert report.churn == report.rules_added + 1
+        assert (
+            sdn.switch("N2").counters_for(("N2", "N3", "bulk")).bytes_total
+            == surviving_bytes
+        )
+
+    def test_install_report_dict_includes_invalidations(self):
+        ring = ring_topology(4, capacity_bps=mbps(100), delay_s=ms(5))
+        matrix = TrafficMatrix([make_aggregate("N0", "N2", num_flows=10)])
+        state = AllocationState.initial(ring, matrix)
+        sdn = SdnController(ring)
+        report = sdn.install_routing(RoutingTable.from_state(state))
+        assert report.as_dict()["rules_invalidated"] == 0
+
+
+# ------------------------------------------------------ scenarios / runner
+
+
+class TestFailureScenarios:
+    def test_build_failure_scenario_metadata_and_schedule(self):
+        scenario = build_failure_scenario(
+            num_pops=5, failed_link=0, failure_epoch=1, num_epochs=3, seed=0
+        )
+        assert is_dynamic(scenario)
+        schedule = failure_schedule(scenario)
+        assert schedule is not None
+        assert schedule.first_failure_epoch() == 1
+        assert not schedule.is_degraded_at(0)
+        assert schedule.is_degraded_at(2)
+
+    def test_failure_target_validation(self):
+        with pytest.raises(Exception):
+            build_failure_scenario(num_pops=5, failed_link=9999, num_epochs=3)
+        with pytest.raises(Exception):
+            build_failure_scenario(num_pops=5, failure_epoch=7, num_epochs=3)
+
+    def test_run_failure_scenario_end_to_end(self):
+        scenario = build_failure_scenario(
+            num_pops=5, failed_link=1, failure_epoch=1, num_epochs=3, seed=0
+        )
+        result = run_scenario_loop(scenario)
+        assert result.has_failures()
+        assert result.records[1].failed_links >= 1
+
+    def test_node_failure_scenario_strands_pop_traffic(self):
+        scenario = build_failure_scenario(
+            num_pops=5,
+            failure_kind="node",
+            failed_node=2,
+            failure_epoch=1,
+            num_epochs=2,
+            seed=0,
+        )
+        result = run_scenario_loop(scenario)
+        down = result.records[1]
+        assert down.failed_nodes == 1
+        # Every aggregate sourced at or destined to the dead POP strands.
+        assert down.stranded_aggregates > 0
+        assert down.stranded_demand_bps > 0
+
+    def test_expand_failure_specs_enumerates_every_fibre(self):
+        spec = CellSpec("he-single-link-failure", {"num_pops": 5, "num_epochs": 3})
+        expanded = expand_failure_specs([spec])
+        network = reduced_core(5, capacity_bps=mbps(100))
+        assert len(expanded) == len(undirected_link_pairs(network))
+        assert {s.params["failed_link"] for s in expanded} == set(range(len(expanded)))
+        # Explicit targets and non-failure families pass through untouched.
+        pinned = CellSpec("he-single-link-failure", {"failed_link": 2})
+        assert expand_failure_specs([pinned]) == [pinned]
+        plain = CellSpec("he-provisioned", {"num_pops": 5})
+        assert expand_failure_specs([plain]) == [plain]
+
+    def test_node_family_expands_over_nodes(self):
+        spec = CellSpec("he-node-failure", {"num_pops": 5, "num_epochs": 2})
+        expanded = expand_failure_specs([spec])
+        assert len(expanded) == 5
+        assert all("failed_node" in s.params for s in expanded)
+
+    def test_is_failure_family(self):
+        assert is_failure_family("he-single-link-failure")
+        assert is_failure_family("he-failure-under-drift")
+        assert not is_failure_family("he-drift")
+        assert not is_failure_family("no-such-family")
+
+
+# ------------------------------------------------------------- satellites
+
+
+class TestSatelliteFixes:
+    def test_ecmp_skips_zero_flow_aggregates(self, triangle):
+        # Aggregate validation forbids zero flows, but measurement pipelines
+        # can hand the baseline a record whose count was zeroed after
+        # construction; ECMP must skip it instead of dividing by zero.
+        matrix = TrafficMatrix(
+            [
+                make_aggregate("A", "B", num_flows=5),
+                make_aggregate("A", "C", num_flows=3),
+            ]
+        )
+        broken = matrix.get(("A", "C", "bulk"))
+        object.__setattr__(broken, "num_flows", 0)
+        result = ecmp_routing(triangle, matrix)
+        assert ("A", "B", "bulk") in result.state.aggregate_keys
+        assert ("A", "C", "bulk") not in result.state.aggregate_keys
+
+    def test_ecmp_single_flow_aggregate_uses_one_path(self, triangle):
+        matrix = TrafficMatrix([make_aggregate("A", "B", num_flows=1)])
+        result = ecmp_routing(triangle, matrix)
+        assert result.state.num_paths(("A", "B", "bulk")) == 1
+
+    def test_is_connected_matches_all_pairs_reachability(self):
+        # The single forward+reverse sweep must agree with the quadratic
+        # definition on connected, weakly-connected and split graphs.
+        cases = []
+        ring = ring_topology(5, capacity_bps=mbps(100), delay_s=ms(5))
+        cases.append(ring)
+        cases.append(degrade(ring, failed_links=[("N0", "N1")]))
+        one_way = Network_one_way()
+        cases.append(one_way)
+        for network in cases:
+            expected = all(
+                len(network._reachable_from(node)) == network.num_nodes
+                for node in network.node_names
+            )
+            assert network.is_connected() == expected
+
+    def test_random_walk_cache_matches_uncached_draws(self):
+        matrix = TrafficMatrix(
+            [
+                make_aggregate("A", "B", num_flows=10),
+                make_aggregate("B", "C", num_flows=10),
+            ]
+        )
+        cached = RandomWalkProcess(matrix, seed=7, step_std=0.2)
+        for epoch in (1, 3, 2, 6, 6):
+            got = cached.multipliers(epoch)
+            rng = np.random.default_rng(7)
+            steps = rng.normal(0.0, 0.2, size=(epoch, 2))
+            walk = np.clip(np.exp(steps.sum(axis=0)), 0.25, 4.0)
+            expected = dict(zip(matrix.keys, walk))
+            assert set(got) == set(expected)
+            for key, value in expected.items():
+                assert got[key] == pytest.approx(value, rel=1e-9)
+
+    def test_random_walk_query_order_does_not_matter(self):
+        matrix = TrafficMatrix([make_aggregate("A", "B", num_flows=10)])
+        ascending = RandomWalkProcess(matrix, seed=3)
+        descending = RandomWalkProcess(matrix, seed=3)
+        up = [ascending.multipliers(epoch) for epoch in (1, 2, 3, 4)]
+        down = list(reversed([descending.multipliers(epoch) for epoch in (4, 3, 2, 1)]))
+        assert up == down
+
+    def test_random_walk_loop_is_linear_in_draws(self):
+        matrix = TrafficMatrix([make_aggregate("A", "B", num_flows=10)])
+        process = RandomWalkProcess(matrix, seed=0)
+        draws = []
+        real_rng = process._rng
+
+        class CountingRng:
+            def normal(self, *args, **kwargs):
+                draws.append(kwargs.get("size"))
+                return real_rng.normal(*args, **kwargs)
+
+        process._rng = CountingRng()
+        for epoch in range(1, 50):
+            process.multipliers(epoch)
+        # One new row per epoch: the cache extends instead of regenerating.
+        assert all(size == (1, 1) for size in draws)
+        assert len(draws) == 49
+
+
+def Network_one_way():
+    """Two nodes reachable one way only (weakly but not strongly connected)."""
+    from repro.topology.graph import Network
+
+    network = Network(name="one-way")
+    network.add_node("A")
+    network.add_node("B")
+    network.add_node("C")
+    network.add_duplex_link("A", "B", mbps(100), ms(5))
+    network.add_link("B", "C", mbps(100), ms(5))
+    return network
