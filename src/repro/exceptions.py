@@ -100,3 +100,7 @@ class DynamicsError(ReproError):
 
 class FailureError(ReproError):
     """Raised by the failure-resilience subsystem (:mod:`repro.failures`)."""
+
+
+class ProvisioningError(ReproError):
+    """Raised by the capacity-planning subsystem (:mod:`repro.provisioning`)."""

@@ -118,7 +118,12 @@ def calibrate_flow_counts(
     factor = target_demanded_utilization / demanded
     if abs(factor - 1.0) < 0.05:
         return traffic_matrix
-    return traffic_matrix.scaled_flows(factor, name=f"{traffic_matrix.name}-calibrated")
+    # Keep every endpoint pair represented (drop_empty=False): the paper's
+    # construction assumes the full aggregate set, and a strong
+    # down-calibration must not silently delete 1-2-flow aggregates.
+    return traffic_matrix.scaled_flows(
+        factor, name=f"{traffic_matrix.name}-calibrated", drop_empty=False
+    )
 
 
 def _calibrate_against_provisioned(

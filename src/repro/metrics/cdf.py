@@ -42,6 +42,11 @@ class EmpiricalCDF:
         self._values = value_array[order]
         self._weights = weight_array[order]
         self._cumulative = np.cumsum(self._weights) / self._weights.sum()
+        # cumsum(w)/sum(w) can land the last entry at 0.999... instead of
+        # exactly 1.0, making evaluate(max) < 1 and percentile(100) reach
+        # max only through the index clamp.  The final CDF value is 1 by
+        # definition; pin it.
+        self._cumulative[-1] = 1.0
 
     # ------------------------------------------------------------ evaluation
 

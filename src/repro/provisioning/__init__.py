@@ -1,0 +1,65 @@
+"""The capacity-planning subsystem: provisioning as an optimization target.
+
+The paper names two ISP levers — where traffic flows and how much capacity
+to provision — and the rest of this repository exercises the first.  This
+package turns the second into something the optimizer can answer questions
+about: the minimal uniform capacity for a utility goal (warm-started
+bisection over the provisioning axis), the best sequence of targeted link
+upgrades (greedy marginal-utility search over cheap capacity-override
+probes), and the survivable capacity that holds the goal through every
+single-link failure (composing with :mod:`repro.failures`).
+"""
+
+from repro.provisioning.frontier import (
+    CapacityFrontier,
+    FrontierPoint,
+    minimal_uniform_capacity,
+    rebase_state,
+    reference_capacity,
+)
+from repro.provisioning.scenarios import (
+    FRONTIER_MODE,
+    PROVISIONING_METADATA_KEY,
+    PROVISIONING_MODES,
+    SURVIVABLE_MODE,
+    UPGRADES_MODE,
+    ProvisioningOutcome,
+    build_provisioning_scenario,
+    is_provisioning,
+    run_scenario_provisioning,
+)
+from repro.provisioning.survivable import (
+    SurvivableCapacityResult,
+    SurvivableProbe,
+    survivable_capacity,
+    utility_under_failure,
+)
+from repro.provisioning.upgrades import (
+    UpgradePlan,
+    UpgradeStep,
+    greedy_link_upgrades,
+)
+
+__all__ = [
+    "CapacityFrontier",
+    "FRONTIER_MODE",
+    "FrontierPoint",
+    "PROVISIONING_METADATA_KEY",
+    "PROVISIONING_MODES",
+    "ProvisioningOutcome",
+    "SURVIVABLE_MODE",
+    "SurvivableCapacityResult",
+    "SurvivableProbe",
+    "UPGRADES_MODE",
+    "UpgradePlan",
+    "UpgradeStep",
+    "build_provisioning_scenario",
+    "greedy_link_upgrades",
+    "is_provisioning",
+    "minimal_uniform_capacity",
+    "rebase_state",
+    "reference_capacity",
+    "run_scenario_provisioning",
+    "survivable_capacity",
+    "utility_under_failure",
+]

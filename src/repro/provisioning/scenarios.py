@@ -1,0 +1,200 @@
+"""Provisioning scenarios: capacity planning as runner cells.
+
+Mirrors :mod:`repro.dynamics.scenarios`: a provisioning cell is an ordinary
+static :class:`~repro.experiments.scenarios.Scenario` whose
+``metadata["provisioning"]`` entry describes which capacity-planning
+question to answer on top of it — the minimal-capacity frontier, a greedy
+upgrade path, or the survivable capacity.  Riding on the static scenario
+machinery means the new families plug into the existing registry, spec
+hashing, result cache and parallel sweep engine unchanged;
+:func:`run_scenario_provisioning` is the one extra step
+:func:`~repro.runner.engine.evaluate_cell` takes when it sees the metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exceptions import ProvisioningError
+from repro.experiments.scenarios import (
+    DEFAULT_TARGET_DEMANDED_UTILIZATION,
+    Scenario,
+    build_sweep_scenario,
+)
+from repro.provisioning.frontier import (
+    CapacityFrontier,
+    minimal_uniform_capacity,
+    reference_capacity,
+)
+from repro.provisioning.survivable import SurvivableCapacityResult, survivable_capacity
+from repro.provisioning.upgrades import UpgradePlan, greedy_link_upgrades
+
+#: Metadata key marking a scenario as a provisioning cell.
+PROVISIONING_METADATA_KEY = "provisioning"
+
+#: The capacity-planning questions a cell can ask.
+FRONTIER_MODE = "frontier"
+UPGRADES_MODE = "upgrades"
+SURVIVABLE_MODE = "survivable"
+PROVISIONING_MODES = (FRONTIER_MODE, UPGRADES_MODE, SURVIVABLE_MODE)
+
+#: Default utility goal of the capacity searches.  Below the no-congestion
+#: plateau (1.0) but above what the underprovisioned regimes reach, so the
+#: bisection brackets a genuinely interesting capacity.
+DEFAULT_TARGET_UTILITY = 0.97
+
+
+def build_provisioning_scenario(
+    topology: str = "hurricane-electric",
+    num_pops: Optional[int] = None,
+    provisioning_ratio: float = 1.0,
+    mode: str = FRONTIER_MODE,
+    target_utility: float = DEFAULT_TARGET_UTILITY,
+    min_scale: float = 0.4,
+    max_scale: float = 1.5,
+    relative_tolerance: float = 0.05,
+    max_probes: int = 10,
+    num_upgrades: int = 4,
+    upgrade_factor: float = 1.25,
+    candidates_per_round: int = 4,
+    warm_start: bool = True,
+    seed: int = 0,
+    target_demanded_utilization: float = DEFAULT_TARGET_DEMANDED_UTILIZATION,
+    max_steps: Optional[int] = None,
+) -> Scenario:
+    """Build one capacity-planning cell.
+
+    The static part (topology, calibrated matrix, optimizer config) comes
+    from :func:`~repro.experiments.scenarios.build_sweep_scenario` at the
+    same seed, so a provisioning cell's demand is exactly the static cell's;
+    the provisioning question rides on top as metadata.  ``min_scale`` /
+    ``max_scale`` bound the capacity searches relative to the scenario
+    network's reference (largest link) capacity; the upgrade mode instead
+    starts from the scenario network as provisioned (use
+    ``provisioning_ratio < 1`` to leave congestion worth upgrading away).
+    """
+    if mode not in PROVISIONING_MODES:
+        raise ProvisioningError(
+            f"unknown provisioning mode {mode!r}; expected one of {PROVISIONING_MODES}"
+        )
+    if not 0.0 < min_scale < max_scale:
+        raise ProvisioningError(
+            f"capacity scales must satisfy 0 < min_scale < max_scale, got "
+            f"[{min_scale!r}, {max_scale!r}]"
+        )
+    static = build_sweep_scenario(
+        topology=topology,
+        num_pops=num_pops,
+        provisioning_ratio=provisioning_ratio,
+        seed=seed,
+        target_demanded_utilization=target_demanded_utilization,
+        max_steps=max_steps,
+    )
+    metadata = dict(static.metadata)
+    metadata[PROVISIONING_METADATA_KEY] = {
+        "mode": mode,
+        "target_utility": target_utility,
+        "min_scale": min_scale,
+        "max_scale": max_scale,
+        "relative_tolerance": relative_tolerance,
+        "max_probes": max_probes,
+        "num_upgrades": num_upgrades,
+        "upgrade_factor": upgrade_factor,
+        "candidates_per_round": candidates_per_round,
+        "warm_start": warm_start,
+    }
+    question = {
+        FRONTIER_MODE: f"minimal capacity for utility >= {target_utility:g}",
+        UPGRADES_MODE: f"best {num_upgrades} link upgrades (x{upgrade_factor:g} each)",
+        SURVIVABLE_MODE: (
+            f"capacity sustaining utility >= {target_utility:g} under every "
+            "single-link failure"
+        ),
+    }[mode]
+    return Scenario(
+        name=f"{static.name}-{mode}",
+        network=static.network,
+        traffic_matrix=static.traffic_matrix,
+        fubar_config=static.fubar_config,
+        description=f"{static.description}; capacity planning: {question}",
+        metadata=metadata,
+    )
+
+
+def is_provisioning(scenario: Scenario) -> bool:
+    """True when *scenario* carries a capacity-planning specification."""
+    return PROVISIONING_METADATA_KEY in scenario.metadata
+
+
+@dataclass
+class ProvisioningOutcome:
+    """The result of answering one cell's capacity-planning question."""
+
+    mode: str
+    frontier: Optional[CapacityFrontier] = None
+    upgrades: Optional[UpgradePlan] = None
+    survivable: Optional[SurvivableCapacityResult] = None
+
+    def to_record(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"mode": self.mode}
+        if self.frontier is not None:
+            record["frontier"] = self.frontier.as_dict()
+        if self.upgrades is not None:
+            record["upgrades"] = self.upgrades.as_dict()
+        if self.survivable is not None:
+            record["survivable"] = self.survivable.as_dict()
+        return record
+
+
+def run_scenario_provisioning(scenario: Scenario) -> ProvisioningOutcome:
+    """Answer a provisioning scenario's capacity-planning question."""
+    if not is_provisioning(scenario):
+        raise ProvisioningError(
+            f"scenario {scenario.name!r} has no {PROVISIONING_METADATA_KEY!r} metadata"
+        )
+    spec = scenario.metadata[PROVISIONING_METADATA_KEY]
+    mode = str(spec["mode"])
+    reference = reference_capacity(scenario.network)
+    if mode == FRONTIER_MODE:
+        return ProvisioningOutcome(
+            mode=mode,
+            frontier=minimal_uniform_capacity(
+                scenario.network,
+                scenario.traffic_matrix,
+                target_utility=float(spec["target_utility"]),
+                min_capacity_bps=float(spec["min_scale"]) * reference,
+                max_capacity_bps=float(spec["max_scale"]) * reference,
+                relative_tolerance=float(spec["relative_tolerance"]),
+                max_probes=int(spec["max_probes"]),
+                fubar_config=scenario.fubar_config,
+                warm_start=bool(spec["warm_start"]),
+            ),
+        )
+    if mode == UPGRADES_MODE:
+        return ProvisioningOutcome(
+            mode=mode,
+            upgrades=greedy_link_upgrades(
+                scenario.network,
+                scenario.traffic_matrix,
+                num_upgrades=int(spec["num_upgrades"]),
+                upgrade_factor=float(spec["upgrade_factor"]),
+                candidates_per_round=int(spec["candidates_per_round"]),
+                fubar_config=scenario.fubar_config,
+                warm_start=bool(spec["warm_start"]),
+            ),
+        )
+    return ProvisioningOutcome(
+        mode=mode,
+        survivable=survivable_capacity(
+            scenario.network,
+            scenario.traffic_matrix,
+            target_utility=float(spec["target_utility"]),
+            min_capacity_bps=float(spec["min_scale"]) * reference,
+            max_capacity_bps=float(spec["max_scale"]) * reference,
+            relative_tolerance=float(spec["relative_tolerance"]),
+            max_probes=int(spec["max_probes"]),
+            fubar_config=scenario.fubar_config,
+            warm_start=bool(spec["warm_start"]),
+        ),
+    )

@@ -21,7 +21,9 @@ Examples
 
     python -m repro.runner list
     python -m repro.runner run he-provisioned --set num_pops=6 --seed 1
+    python -m repro.runner run he-capacity-plan --set target_utility=0.97
     python -m repro.runner sweep --jobs 4 --seeds 0,1
+    python -m repro.runner sweep --preset provisioning
     python -m repro.runner sweep --family waxman --family random-core --seeds 0:3
     python -m repro.runner report --output sweep-report.md
 """

@@ -35,6 +35,11 @@ from repro.dynamics.scenarios import is_dynamic, run_scenario_loop
 from repro.exceptions import ExperimentError
 from repro.experiments.scenarios import Scenario
 from repro.metrics.reporting import relative_improvement
+from repro.provisioning.scenarios import (
+    ProvisioningOutcome,
+    is_provisioning,
+    run_scenario_provisioning,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.registry import build_scenario, resolve_spec
 from repro.runner.spec import SPEC_SCHEMA_VERSION, CellSpec
@@ -66,6 +71,9 @@ class CellOutcome:
     wall_clock_s: float
     #: Per-epoch control-loop trajectory; None for static (single-shot) cells.
     dynamics: Optional[ControlLoopResult] = None
+    #: Capacity-planning answer (frontier / upgrade plan / survivable
+    #: capacity); None for cells without provisioning metadata.
+    provisioning: Optional[ProvisioningOutcome] = None
 
     @property
     def final_utility(self) -> float:
@@ -126,6 +134,8 @@ class CellOutcome:
         }
         if self.dynamics is not None:
             record["dynamics"] = self.dynamics.to_record()
+        if self.provisioning is not None:
+            record["provisioning"] = self.provisioning.to_record()
         return record
 
 
@@ -134,12 +144,18 @@ def evaluate_cell(spec: CellSpec) -> CellOutcome:
 
     Static cells run one optimization; dynamic cells (scenarios carrying
     control-loop metadata) run the closed measure → optimize → install loop
-    and report its final plan plus the per-epoch trajectory.  Baselines and
-    the upper bound are always computed on the base (epoch-0) matrix, which
-    for dynamic cells is the reference the loop's trajectory starts from.
+    and report its final plan plus the per-epoch trajectory.  Provisioning
+    cells (capacity-planning metadata) additionally answer their capacity
+    question — the single-shot optimization still runs on the scenario
+    network, so the comparison table stays populated.  Baselines and the
+    upper bound are always computed on the base (epoch-0) matrix, which for
+    dynamic cells is the reference the loop's trajectory starts from.
     """
     started = time.perf_counter()
     scenario = build_scenario(spec)
+    provisioning_outcome: Optional[ProvisioningOutcome] = None
+    if is_provisioning(scenario):
+        provisioning_outcome = run_scenario_provisioning(scenario)
     loop_result: Optional[ControlLoopResult] = None
     if is_dynamic(scenario):
         loop_result = run_scenario_loop(scenario)
@@ -169,6 +185,7 @@ def evaluate_cell(spec: CellSpec) -> CellOutcome:
         upper_bound=bound,
         wall_clock_s=time.perf_counter() - started,
         dynamics=loop_result,
+        provisioning=provisioning_outcome,
     )
 
 

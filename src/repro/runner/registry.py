@@ -32,6 +32,12 @@ from repro.experiments.scenarios import (
     default_num_pops,
 )
 from repro.failures.schedule import LINK_FAILURE, NODE_FAILURE, undirected_link_pairs
+from repro.provisioning.scenarios import (
+    FRONTIER_MODE,
+    SURVIVABLE_MODE,
+    UPGRADES_MODE,
+    build_provisioning_scenario,
+)
 from repro.runner.spec import CellSpec
 from repro.topology.hurricane_electric import PROVISIONED_CAPACITY_BPS
 
@@ -349,6 +355,72 @@ _failure_family(
     provisioning_ratio=0.75,
 )
 
+# --------------------------------------------------- provisioning families
+#
+# Capacity-planning families answer "how much capacity, and where?" on top
+# of the same calibrated scenarios the static families build: the minimal
+# uniform capacity for a utility goal (warm-started bisection), the best
+# sequence of targeted fibre upgrades (greedy marginal-utility search), and
+# the capacity that sustains the goal under every single-link failure.
+
+_PROVISIONING_AXES = (
+    "num_pops",
+    "provisioning_ratio",
+    "target_utility",
+    "min_scale",
+    "max_scale",
+    "relative_tolerance",
+    "max_probes",
+    "num_upgrades",
+    "upgrade_factor",
+    "candidates_per_round",
+    "warm_start",
+    "target_demanded_utilization",
+    "max_steps",
+)
+
+
+def _provisioning_family(name: str, description: str, **defaults) -> ScenarioFamily:
+    return register_family(
+        ScenarioFamily(
+            name=name,
+            description=description,
+            builder=build_provisioning_scenario,
+            defaults=defaults,
+            sweepable=_PROVISIONING_AXES,
+        )
+    )
+
+
+_provisioning_family(
+    "he-capacity-plan",
+    "Capacity planning: minimal uniform capacity for a utility goal "
+    "(warm-started bisection frontier)",
+    topology="hurricane-electric",
+    mode=FRONTIER_MODE,
+)
+_provisioning_family(
+    "he-upgrade-path",
+    "Capacity planning: greedy marginal-utility fibre upgrades on an "
+    "underprovisioned core",
+    topology="hurricane-electric",
+    mode=UPGRADES_MODE,
+    provisioning_ratio=0.6,
+)
+_provisioning_family(
+    "he-survivable-capacity",
+    "Capacity planning: capacity sustaining the goal under every "
+    "single-link failure",
+    topology="hurricane-electric",
+    mode=SURVIVABLE_MODE,
+    target_utility=0.95,
+    max_probes=6,
+    # Surviving the worst cut can take well over twice the healthy minimal
+    # capacity; the wider ceiling keeps the answer inside the search range.
+    max_scale=3.0,
+)
+
+
 def is_failure_family(name: str) -> bool:
     """True when *name* is registered with the failure scenario builder."""
     try:
@@ -434,6 +506,7 @@ def default_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
             "he-single-link-failure",
             {"num_pops": 6, "num_epochs": 3, "failed_link": 0},
         ),
+        CellSpec("he-capacity-plan", {"num_pops": 6, "max_probes": 6}),
     ]
     return [
         CellSpec(cell.family, cell.params, seed=seed) for seed in seeds for cell in grid
@@ -463,9 +536,28 @@ def failure_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
     ]
 
 
+def provisioning_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
+    """The capacity-planning grid: frontier, upgrade path and survivability.
+
+    One cell per provisioning question on the reduced Hurricane Electric
+    core — the minimal-capacity frontier, the greedy fibre-upgrade path on
+    the underprovisioned variant, and the survivable capacity — sized so the
+    whole grid stays in the seconds range.
+    """
+    grid = [
+        CellSpec("he-capacity-plan", {"num_pops": 6}),
+        CellSpec("he-upgrade-path", {"num_pops": 6}),
+        CellSpec("he-survivable-capacity", {"num_pops": 6}),
+    ]
+    return [
+        CellSpec(cell.family, cell.params, seed=seed) for seed in seeds for cell in grid
+    ]
+
+
 #: Named sweep presets selectable from the CLI.
 SWEEP_PRESETS: Dict[str, Callable[[], List[CellSpec]]] = {
     "default": default_sweep_specs,
     "smoke": smoke_sweep_specs,
     "failures": failure_sweep_specs,
+    "provisioning": provisioning_sweep_specs,
 }

@@ -98,6 +98,116 @@ def dynamics_sections(records: Iterable[Mapping[str, object]]) -> List[str]:
     return sections
 
 
+def _frontier_section(label: str, frontier: Mapping[str, object]) -> str:
+    """Render one capacity-vs-utility frontier as header + table."""
+    minimal = frontier.get("minimal_capacity_bps")
+    header = (
+        f"capacity frontier: {label} — target utility "
+        f">= {float(frontier.get('target_utility', 0.0)):g}, minimal capacity "
+        + (f"{float(minimal) / 1e6:.1f} Mbps" if minimal is not None else "not found")
+        + f", {frontier.get('total_model_evaluations', 0)} model evaluations "
+        + ("(warm-started probes)" if frontier.get("warm_start") else "(cold probes)")
+        + ("" if frontier.get("monotone", True) else " [NON-MONOTONE]")
+    )
+    rows = [
+        (
+            f"{float(point['capacity_bps']) / 1e6:.1f}",
+            f"{float(point['utility']):.4f}",
+            "yes" if point.get("feasible") else "no",
+            str(point.get("model_evaluations", "?")),
+            ("warm" if point.get("warm_started") else "cold")
+            + ("+repair" if point.get("repaired") else ""),
+        )
+        for point in frontier.get("points", ())
+    ]
+    table = format_table(
+        ("capacity (Mbps)", "utility", "feasible", "evals", "probe"), rows
+    )
+    return header + "\n" + table
+
+
+def _upgrades_section(label: str, plan: Mapping[str, object]) -> str:
+    """Render one greedy upgrade plan as header + per-step table."""
+    header = (
+        f"upgrade path: {label} — utility {float(plan.get('base_utility', 0.0)):.4f} "
+        f"-> {float(plan.get('final_utility', 0.0)):.4f} after "
+        f"{len(plan.get('steps', ()))} upgrade(s) "
+        f"(+{float(plan.get('total_added_bps', 0.0)) / 1e6:.0f} Mbps), "
+        f"stopped: {plan.get('termination_reason', '?')}"
+    )
+    rows = [
+        (
+            str(index + 1),
+            "–".join(step.get("link", ("?", "?"))),
+            f"{float(step['old_capacity_bps']) / 1e6:.0f}"
+            f"->{float(step['new_capacity_bps']) / 1e6:.0f}",
+            f"{float(step['utility_gain']):+.4f}",
+            f"{float(step['marginal_utility_per_gbps']):.4f}",
+            str(step.get("candidates_probed", "?")),
+        )
+        for index, step in enumerate(plan.get("steps", ()))
+    ]
+    table = format_table(
+        ("step", "fibre", "capacity (Mbps)", "Δutility", "utility/Gbps", "probed"),
+        rows,
+    )
+    return header + "\n" + table
+
+
+def _survivable_section(label: str, survivable: Mapping[str, object]) -> str:
+    """Render one survivable-capacity search as header + probe table."""
+    minimal = survivable.get("survivable_capacity_bps")
+    skipped = int(survivable.get("skipped_disconnecting", 0) or 0)
+    header = (
+        f"survivable capacity: {label} — target utility "
+        f">= {float(survivable.get('target_utility', 0.0)):g} under every "
+        f"single-link failure ({survivable.get('num_failures', '?')} fibres"
+        + (f", {skipped} disconnecting skipped" if skipped else "")
+        + "), "
+        + (f"{float(minimal) / 1e6:.1f} Mbps" if minimal is not None else "not found")
+        + f", {survivable.get('total_model_evaluations', 0)} model evaluations"
+    )
+    rows = []
+    for probe in survivable.get("probes", ()):
+        worst = probe.get("worst_failure_utility")
+        fibre = probe.get("worst_failure")
+        rows.append(
+            (
+                f"{float(probe['capacity_bps']) / 1e6:.1f}",
+                f"{float(probe['healthy_utility']):.4f}",
+                f"{float(worst):.4f}" if worst is not None else "-",
+                "–".join(fibre) if fibre else "-",
+                f"{probe.get('failures_evaluated', 0)}",
+                "yes" if probe.get("feasible") else "no",
+            )
+        )
+    table = format_table(
+        ("capacity (Mbps)", "healthy", "worst-failure", "worst fibre", "cuts", "ok"),
+        rows,
+    )
+    return header + "\n" + table
+
+
+def provisioning_sections(records: Iterable[Mapping[str, object]]) -> List[str]:
+    """Capacity-planning sections for every provisioning cell record."""
+    sections: List[str] = []
+    for record in records:
+        provisioning = record.get("provisioning")
+        if not isinstance(provisioning, Mapping):
+            continue
+        label = str(record.get("label", "?"))
+        frontier = provisioning.get("frontier")
+        if isinstance(frontier, Mapping):
+            sections.append(_frontier_section(label, frontier))
+        upgrades = provisioning.get("upgrades")
+        if isinstance(upgrades, Mapping):
+            sections.append(_upgrades_section(label, upgrades))
+        survivable = provisioning.get("survivable")
+        if isinstance(survivable, Mapping):
+            sections.append(_survivable_section(label, survivable))
+    return sections
+
+
 def aggregate_summary(records: Sequence[Mapping[str, object]]) -> Dict[str, object]:
     """Sweep-level aggregates over the successful cells."""
     ok = [record for record in records if "error" not in record]
@@ -195,6 +305,9 @@ def format_sweep_report(
     for section in dynamics_sections(records):
         lines.append("")
         lines.append(section)
+    for section in provisioning_sections(records):
+        lines.append("")
+        lines.append(section)
     for record in records:
         if "error" in record:
             lines.append(f"\n{record.get('label', '?')} failed: {record['error']}")
@@ -231,6 +344,15 @@ def format_markdown_report(
         lines.append("")
         lines.append("## Control-loop cells")
         for section in sections:
+            lines.append("")
+            lines.append("```")
+            lines.append(section)
+            lines.append("```")
+    capacity_sections = provisioning_sections(records)
+    if capacity_sections:
+        lines.append("")
+        lines.append("## Capacity-planning cells")
+        for section in capacity_sections:
             lines.append("")
             lines.append("```")
             lines.append(section)

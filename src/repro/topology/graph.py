@@ -449,9 +449,15 @@ class Network:
 
     # ------------------------------------------------------------------ copy
 
-    def copy(self, name: Optional[str] = None) -> "Network":
-        """Return a deep, independent copy of this network."""
-        other = Network(name=name or self.name)
+    def _rebuilt(self, name: str, capacity_of) -> "Network":
+        """Deep-copy nodes and links, with per-link capacity from *capacity_of*.
+
+        The single rebuild loop behind every capacity-variant helper below:
+        node order, link order — and therefore the dense link indices — are
+        always preserved, so arrays built against one variant address any
+        other.
+        """
+        other = Network(name=name)
         for node in self.nodes:
             other.add_node(
                 node.name,
@@ -463,11 +469,15 @@ class Network:
             other.add_link(
                 link.src,
                 link.dst,
-                capacity_bps=link.capacity_bps,
+                capacity_bps=capacity_of(link),
                 delay_s=link.delay_s,
                 metadata=dict(link.metadata),
             )
         return other
+
+    def copy(self, name: Optional[str] = None) -> "Network":
+        """Return a deep, independent copy of this network."""
+        return self._rebuilt(name or self.name, lambda link: link.capacity_bps)
 
     def with_scaled_capacity(self, factor: float, name: Optional[str] = None) -> "Network":
         """Return a copy of the network with every link capacity multiplied by *factor*.
@@ -478,23 +488,37 @@ class Network:
         """
         if factor <= 0.0:
             raise TopologyError(f"capacity scale factor must be positive, got {factor!r}")
-        other = Network(name=name or f"{self.name}-x{factor:g}")
-        for node in self.nodes:
-            other.add_node(
-                node.name,
-                latitude=node.latitude,
-                longitude=node.longitude,
-                metadata=dict(node.metadata),
-            )
-        for link in self.links:
-            other.add_link(
-                link.src,
-                link.dst,
-                capacity_bps=link.capacity_bps * factor,
-                delay_s=link.delay_s,
-                metadata=dict(link.metadata),
-            )
-        return other
+        return self._rebuilt(
+            name or f"{self.name}-x{factor:g}", lambda link: link.capacity_bps * factor
+        )
+
+    def with_link_capacities(
+        self, capacities: Mapping[LinkId, float], name: Optional[str] = None
+    ) -> "Network":
+        """Return a copy with the given directed links' capacities replaced.
+
+        The capacity-planning subsystem (:mod:`repro.provisioning`) commits
+        targeted upgrades with this helper — both directions of a fibre in
+        one rebuild.  Links absent from *capacities* keep theirs.
+        """
+        replacements: Dict[LinkId, float] = {}
+        for link_id, capacity_bps in capacities.items():
+            target = (link_id[0], link_id[1])
+            if target not in self._links:
+                raise UnknownLinkError(target)
+            if capacity_bps <= 0.0:
+                raise TopologyError(f"capacity must be positive, got {capacity_bps!r}")
+            replacements[target] = float(capacity_bps)
+        return self._rebuilt(
+            name or self.name,
+            lambda link: replacements.get(link.link_id, link.capacity_bps),
+        )
+
+    def with_link_capacity(
+        self, link_id: LinkId, capacity_bps: float, name: Optional[str] = None
+    ) -> "Network":
+        """Return a copy with one directed link's capacity replaced."""
+        return self.with_link_capacities({link_id: capacity_bps}, name=name)
 
     def with_uniform_capacity(
         self, capacity_bps: float, name: Optional[str] = None
@@ -502,23 +526,7 @@ class Network:
         """Return a copy with every link capacity replaced by *capacity_bps*."""
         if capacity_bps <= 0.0:
             raise TopologyError(f"capacity must be positive, got {capacity_bps!r}")
-        other = Network(name=name or self.name)
-        for node in self.nodes:
-            other.add_node(
-                node.name,
-                latitude=node.latitude,
-                longitude=node.longitude,
-                metadata=dict(node.metadata),
-            )
-        for link in self.links:
-            other.add_link(
-                link.src,
-                link.dst,
-                capacity_bps=capacity_bps,
-                delay_s=link.delay_s,
-                metadata=dict(link.metadata),
-            )
-        return other
+        return self._rebuilt(name or self.name, lambda link: capacity_bps)
 
     # -------------------------------------------------------------- networkx
 

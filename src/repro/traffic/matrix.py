@@ -26,6 +26,10 @@ class TrafficMatrix:
 
     def __init__(self, aggregates: Optional[Iterable[Aggregate]] = None, name: str = "traffic") -> None:
         self.name = name
+        #: Aggregates removed by the last :meth:`scaled_flows` transform
+        #: because their count rounded to zero (0 for matrices built any
+        #: other way).
+        self.dropped_aggregates: int = 0
         self._aggregates: Dict[AggregateKey, Aggregate] = {}
         for aggregate in aggregates or ():
             self.add(aggregate)
@@ -145,13 +149,37 @@ class TrafficMatrix:
 
     # ------------------------------------------------------------ transforms
 
-    def scaled_flows(self, factor: float, name: Optional[str] = None) -> "TrafficMatrix":
-        """Return a copy with every flow count multiplied by *factor* (min 1)."""
+    def scaled_flows(
+        self,
+        factor: float,
+        name: Optional[str] = None,
+        drop_empty: bool = True,
+    ) -> "TrafficMatrix":
+        """Return a copy with every flow count multiplied by *factor*.
+
+        Counts round to the nearest integer; ``factor=1.0`` is an exact
+        identity.  With ``drop_empty`` (the default) aggregates whose count
+        rounds to zero are *dropped* — and counted on the result's
+        ``dropped_aggregates`` attribute — so down-scaling a matrix truly
+        shrinks its demand.  (The seed code pinned every aggregate at >= 1
+        flow, so scaling a matrix with many 1-flow aggregates silently left
+        total demand nearly unchanged — misleading for provisioning sweeps
+        that scale load.)  Pass ``drop_empty=False`` to keep the >= 1 floor
+        when every endpoint pair must stay represented.
+        """
         if factor <= 0.0:
             raise TrafficError(f"flow scale factor must be positive, got {factor!r}")
         scaled = TrafficMatrix(name=name or f"{self.name}-x{factor:g}")
+        dropped = 0
         for aggregate in self._aggregates.values():
-            scaled.add(aggregate.with_num_flows(max(1, int(round(aggregate.num_flows * factor)))))
+            num_flows = int(round(aggregate.num_flows * factor))
+            if num_flows < 1:
+                if drop_empty:
+                    dropped += 1
+                    continue
+                num_flows = 1
+            scaled.add(aggregate.with_num_flows(num_flows))
+        scaled.dropped_aggregates = dropped
         return scaled
 
     def filtered(self, predicate, name: Optional[str] = None) -> "TrafficMatrix":

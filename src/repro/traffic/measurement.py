@@ -72,20 +72,48 @@ class TrafficMatrixMeasurer:
         self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def measure_aggregate(self, aggregate: Aggregate) -> Optional[Aggregate]:
-        """Return a noisy copy of one aggregate, or None when it was dropped."""
+        """Return a noisy copy of one aggregate, or None when it was dropped.
+
+        Both noise channels are *mean-preserving*: over many measurement
+        epochs the expected measured demand equals the true demand — an
+        aggregate whose count measures zero is dropped for the epoch and
+        contributes nothing, which is what keeps even 1-flow aggregates
+        unbiased — so anything optimizing against measured matrices sees an
+        unbiased view of the traffic.  (The seed code drew demand noise as
+        ``exp(normal(0, σ))``, whose mean is ``exp(σ²/2) > 1``, and
+        clamped/floored flow counts upward — every measured matrix was
+        systematically inflated.)
+        """
         config = self.config
         if config.drop_probability > 0.0 and self._rng.random() < config.drop_probability:
             return None
 
         measured = aggregate
         if config.flow_count_relative_error > 0.0:
-            noise = self._rng.normal(1.0, config.flow_count_relative_error)
-            measured_flows = max(1, int(round(aggregate.num_flows * max(noise, 0.1))))
+            sigma = config.flow_count_relative_error
+            # Clamp the relative noise to a band *symmetric* around 1 (the
+            # old one-sided max(noise, 0.1) clamp truncated only the lower
+            # tail, pushing the mean up), then round stochastically: the
+            # expected count equals the scaled value exactly, which
+            # round-then-floor cannot achieve for small counts.
+            low = max(1.0 - 3.0 * sigma, 0.0)
+            noise = float(
+                np.clip(self._rng.normal(1.0, sigma), low, 2.0 - low)
+            )
+            scaled = aggregate.num_flows * noise
+            base = int(np.floor(scaled))
+            measured_flows = base + (1 if self._rng.random() < scaled - base else 0)
+            if measured_flows == 0:
+                # A count measured at zero means the collector saw no flows
+                # this epoch: the aggregate produces no record, exactly like
+                # a drop.  Flooring it to 1 instead would re-introduce the
+                # upward bias for 1-flow aggregates.
+                return None
             measured = measured.with_num_flows(measured_flows)
         if config.demand_relative_error > 0.0:
-            noise = float(
-                np.exp(self._rng.normal(0.0, config.demand_relative_error))
-            )
+            sigma = config.demand_relative_error
+            # Log-normal with μ = -σ²/2 has mean exactly 1.
+            noise = float(np.exp(self._rng.normal(-0.5 * sigma * sigma, sigma)))
             demand = max(aggregate.per_flow_demand_bps * noise, 1.0)
             measured = measured.with_utility(measured.utility.with_demand(demand))
         return measured

@@ -475,7 +475,9 @@ class CompiledTrafficModel:
 
     # ----------------------------------------------------------------- solve
 
-    def solve(self, compiled: CompiledBundles) -> _Solution:
+    def solve(
+        self, compiled: CompiledBundles, capacities: Optional[np.ndarray] = None
+    ) -> _Solution:
         """Run the waterfall solver on compiled arrays; counts one evaluation.
 
         Semantics match :func:`~repro.trafficmodel.waterfill.reference_evaluate`:
@@ -483,12 +485,27 @@ class CompiledTrafficModel:
         the model's relative slack) or a link on its path saturates (with the
         model's absolute + relative capacity slack); a saturating link
         freezes every still-growing bundle that crosses it.
+
+        ``capacities`` overrides the engine's per-link capacity vector (same
+        dense index order) for this one solve.  The capacity-planning probes
+        in :mod:`repro.provisioning` use it to score candidate link upgrades
+        against an unchanged compiled allocation — the rows, incidence and
+        growth arrays are all capacity-independent, so a what-if capacity
+        only has to swap this vector, never recompile.
         """
         self.evaluations += 1
         demands = compiled.demands
         growth = compiled.growth
         incidence = compiled.incidence
-        capacities = self._capacities
+        if capacities is None:
+            capacities = self._capacities
+        else:
+            capacities = np.asarray(capacities, dtype=float)
+            if capacities.shape != self._capacities.shape:
+                raise TrafficModelError(
+                    f"capacity override has shape {capacities.shape}, "
+                    f"expected {self._capacities.shape}"
+                )
         num_bundles = demands.shape[0]
         num_links = capacities.shape[0]
 

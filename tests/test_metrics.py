@@ -92,6 +92,28 @@ class TestEmpiricalCDF:
         percentiles = [cdf.percentile(q) for q in (10, 25, 50, 75, 90)]
         assert all(b >= a for a, b in zip(percentiles, percentiles[1:]))
 
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1e6, max_value=1e6),
+                st.floats(min_value=1e-6, max_value=1e3),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_tops_out_at_exactly_one(self, samples):
+        # Regression: cumsum(w)/sum(w) can land the last cumulative entry at
+        # 0.999..., making evaluate(max) < 1.0; the constructor pins it.
+        values = [value for value, _ in samples]
+        weights = [weight for _, weight in samples]
+        cdf = EmpiricalCDF(values, weights=weights)
+        assert cdf.evaluate(cdf.max) == 1.0
+        assert cdf.percentile(100.0) == cdf.max
+        _, ys = cdf.points()
+        assert ys[-1] == 1.0
+
 
 class TestDelayMetrics:
     def test_flow_delay_cdf_weights_by_flows(self):

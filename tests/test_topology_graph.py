@@ -186,6 +186,36 @@ class TestConnectivityAndCopies:
         uniform = net.with_uniform_capacity(mbps(42))
         assert all(link.capacity_bps == mbps(42) for link in uniform.links)
 
+    def test_with_link_capacity_changes_only_the_target(self, net):
+        upgraded = net.with_link_capacity(("A", "B"), mbps(250))
+        assert upgraded.link("A", "B").capacity_bps == mbps(250)
+        assert net.link("A", "B").capacity_bps == mbps(100)
+        for link in net.links:
+            if link.link_id != ("A", "B"):
+                assert (
+                    upgraded.link_by_id(link.link_id).capacity_bps == link.capacity_bps
+                )
+
+    def test_with_link_capacity_preserves_dense_indices(self, net):
+        upgraded = net.with_link_capacity(("A", "B"), mbps(250))
+        assert upgraded.link_ids == net.link_ids
+        for link in net.links:
+            assert upgraded.link_by_id(link.link_id).index == link.index
+
+    def test_with_link_capacity_validation(self, net):
+        with pytest.raises(UnknownLinkError):
+            net.with_link_capacity(("A", "Z"), mbps(10))
+        with pytest.raises(TopologyError):
+            net.with_link_capacity(("A", "B"), 0.0)
+
+    def test_with_link_capacities_upgrades_several_links_at_once(self, net):
+        upgraded = net.with_link_capacities(
+            {("A", "B"): mbps(250), ("A", "C"): mbps(300)}
+        )
+        assert upgraded.link("A", "B").capacity_bps == mbps(250)
+        assert upgraded.link("A", "C").capacity_bps == mbps(300)
+        assert upgraded.link_ids == net.link_ids
+
     def test_total_capacity(self, net):
         assert net.total_capacity() == pytest.approx(mbps(160))
 

@@ -108,9 +108,26 @@ class TestTrafficMatrix:
         assert scaled.total_flows == 70
         assert matrix.total_flows == 35
 
-    def test_scaled_flows_never_drops_to_zero(self, matrix):
-        scaled = matrix.scaled_flows(0.01)
+    def test_scaled_flows_identity_at_factor_one(self, matrix):
+        scaled = matrix.scaled_flows(1.0)
+        assert scaled.total_flows == matrix.total_flows
+        assert scaled.dropped_aggregates == 0
+        assert [a.num_flows for a in scaled] == [a.num_flows for a in matrix]
+
+    def test_scaled_flows_drops_empty_aggregates(self, matrix):
+        # Down-scaling rounds small counts to zero; those aggregates are
+        # dropped (and counted) instead of being silently pinned at 1 flow,
+        # so total demand genuinely shrinks.
+        scaled = matrix.scaled_flows(0.05)
+        assert 0 < scaled.num_aggregates < matrix.num_aggregates
+        assert scaled.dropped_aggregates == matrix.num_aggregates - scaled.num_aggregates
         assert all(a.num_flows >= 1 for a in scaled)
+
+    def test_scaled_flows_floor_path_keeps_every_aggregate(self, matrix):
+        kept = matrix.scaled_flows(0.01, drop_empty=False)
+        assert kept.num_aggregates == matrix.num_aggregates
+        assert kept.dropped_aggregates == 0
+        assert all(a.num_flows >= 1 for a in kept)
 
     def test_scaled_flows_rejects_non_positive(self, matrix):
         with pytest.raises(TrafficError):

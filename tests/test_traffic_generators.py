@@ -26,7 +26,9 @@ from repro.traffic.measurement import (
     TrafficMatrixMeasurer,
     measure_traffic_matrix,
 )
+from repro.traffic.matrix import TrafficMatrix
 from repro.units import mbps
+from tests.conftest import make_aggregate
 
 
 class TestPaperTrafficMatrix:
@@ -248,3 +250,50 @@ class TestMeasurementNoise:
         )
         measured = measurer.measure(matrix)
         assert all(a.num_flows >= 1 for a in measured)
+
+    def test_measured_demand_is_unbiased(self, matrix):
+        # Regression: the seed code drew demand noise as exp(normal(0, σ))
+        # (mean exp(σ²/2) > 1) and clamped/floored flow counts upward, so
+        # every measured matrix systematically inflated demand.  The mean
+        # measured demand over many epochs must converge to the truth.
+        measurer = TrafficMatrixMeasurer(
+            MeasurementConfig(demand_relative_error=0.2, flow_count_relative_error=0.2),
+            seed=11,
+        )
+        draws = 400
+        mean_demand = (
+            sum(measurer.measure(matrix).total_demand_bps for _ in range(draws)) / draws
+        )
+        assert mean_demand == pytest.approx(matrix.total_demand_bps, rel=0.01)
+
+    def test_measured_flow_counts_are_unbiased(self, matrix):
+        measurer = TrafficMatrixMeasurer(
+            MeasurementConfig(demand_relative_error=0.0, flow_count_relative_error=0.15),
+            seed=13,
+        )
+        draws = 400
+        mean_flows = (
+            sum(measurer.measure(matrix).total_flows for _ in range(draws)) / draws
+        )
+        assert mean_flows == pytest.approx(matrix.total_flows, rel=0.01)
+
+    def test_one_flow_aggregates_stay_unbiased_via_drops(self):
+        # A 1-flow aggregate whose count measures zero must be dropped for
+        # the epoch (contributing nothing), not floored back to 1 — the
+        # floor would inflate the mean for exactly these aggregates.
+        tiny = TrafficMatrix(
+            [
+                make_aggregate("A", "B", num_flows=1),
+                make_aggregate("B", "A", num_flows=1),
+                make_aggregate("A", "C", num_flows=50),
+            ],
+            name="tiny-counts",
+        )
+        measurer = TrafficMatrixMeasurer(
+            MeasurementConfig(demand_relative_error=0.0, flow_count_relative_error=0.3),
+            seed=17,
+        )
+        draws = 1500
+        totals = [measurer.measure(tiny).total_flows for _ in range(draws)]
+        assert min(totals) < tiny.total_flows  # drops do happen
+        assert sum(totals) / draws == pytest.approx(tiny.total_flows, rel=0.01)

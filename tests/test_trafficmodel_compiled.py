@@ -333,6 +333,43 @@ class TestDeltaEquivalence:
         assert high.outcomes[0].rate_bps == pytest.approx(kbps(2000))
 
 
+class TestCapacityOverride:
+    """``solve(compiled, capacities=...)``: the provisioning cheap probe."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_override_matches_engine_built_on_upgraded_network(self, seed):
+        network, bundles = random_scenario(seed)
+        target = network.links[seed % network.num_links].link_id
+        upgraded = network.with_link_capacity(
+            target, 2.0 * network.link_by_id(target).capacity_bps
+        )
+        base_engine = CompiledTrafficModel(network)
+        compiled = base_engine.compile(bundles)
+        override = np.asarray(upgraded.capacities(), dtype=float)
+        probed = base_engine.solve(compiled, capacities=override)
+
+        fresh_engine = CompiledTrafficModel(upgraded)
+        reference = fresh_engine.solve(fresh_engine.compile(bundles))
+        assert np.array_equal(probed.rates, reference.rates)
+        assert np.array_equal(probed.bottleneck, reference.bottleneck)
+
+    def test_override_does_not_disturb_the_engine(self):
+        network, bundles = random_scenario(2)
+        engine = CompiledTrafficModel(network)
+        compiled = engine.compile(bundles)
+        before = engine.solve(compiled)
+        engine.solve(compiled, capacities=10.0 * np.asarray(network.capacities()))
+        after = engine.solve(compiled)
+        assert np.array_equal(before.rates, after.rates)
+
+    def test_override_shape_is_validated(self):
+        network, bundles = random_scenario(1)
+        engine = CompiledTrafficModel(network)
+        compiled = engine.compile(bundles)
+        with pytest.raises(TrafficModelError):
+            engine.solve(compiled, capacities=np.ones(network.num_links + 1))
+
+
 # ------------------------------------------------------------------ regressions
 
 
