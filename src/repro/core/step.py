@@ -21,7 +21,7 @@ from repro.paths.generator import PathGenerator
 from repro.paths.pathset import PathSet
 from repro.topology.graph import LinkId, Path
 from repro.traffic.aggregate import AggregateKey
-from repro.trafficmodel.compiled import CompiledBundles
+from repro.trafficmodel.compiled import BatchedCandidateScorer, CompiledBundles
 from repro.trafficmodel.result import TrafficModelResult
 from repro.trafficmodel.waterfill import TrafficModel
 
@@ -163,6 +163,12 @@ def _best_move_incremental(
     The base bundle list is compiled once; every candidate patches only the
     one or two bundles its move changes, and is scored with the vectorized
     utility roll-up — no result objects, no graph walks.
+
+    With ``config.use_batched_scorer`` (the default) all candidate patches
+    are scored through stacked :meth:`~repro.trafficmodel.compiled.
+    CompiledTrafficModel.solve_batched` calls; the batched scores are
+    bitwise equal to per-move solves, so both branches select the same
+    move (tests/test_batched_scorer.py).
     """
     engine = model.engine
     weights = config.priority_weights
@@ -179,6 +185,25 @@ def _best_move_incremental(
     best_score = engine.weighted_utility(compiled_base, base_rates, weights)
     best_score += config.min_utility_improvement
     best: Optional[_Move] = None
+
+    if config.use_batched_scorer:
+        moves: List[_Move] = []
+        deltas = []
+        for bundle, candidate, num_to_move in _candidate_moves(
+            link_id, state, path_sets, generator, config, current_result,
+            escalation_level,
+        ):
+            key = bundle.aggregate_key
+            moves.append((key, bundle.path, candidate, num_to_move))
+            deltas.append(state.move_delta(key, bundle.path, candidate, num_to_move))
+        if not moves:
+            return None
+        scorer = BatchedCandidateScorer(engine, compiled_base, weights)
+        for move, score in zip(moves, scorer.score(deltas)):
+            if score > best_score:
+                best_score = score
+                best = move
+        return best
 
     for bundle, candidate, num_to_move in _candidate_moves(
         link_id, state, path_sets, generator, config, current_result, escalation_level

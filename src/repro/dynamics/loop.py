@@ -38,6 +38,7 @@ from repro.exceptions import DynamicsError
 from repro.failures.recovery import prune_warm_start, split_routable
 from repro.failures.schedule import FailureSchedule
 from repro.metrics.reporting import format_table
+from repro.paths.cache import PathSetCache
 from repro.paths.generator import PathGenerator
 from repro.paths.policy import PathPolicy
 from repro.sdn.controller import InstallReport, SdnController
@@ -332,6 +333,7 @@ def run_control_loop(
     policy: Optional[PathPolicy] = None,
     model_config: Optional[TrafficModelConfig] = None,
     failures: Optional[FailureSchedule] = None,
+    path_cache: Optional[PathSetCache] = None,
 ) -> ControlLoopResult:
     """Run the closed control loop over *process* on *network*.
 
@@ -352,14 +354,28 @@ def run_control_loop(
     4. carry the epoch's *true* traffic (``process.matrix_at(t)``) over the
        installed rules; the switches measure it, producing the matrix epoch
        *t + 1* optimizes.
+
+    When *path_cache* is given, path generators are obtained through it
+    instead of rebuilt from scratch on every topology change: a repair that
+    restores a previously seen topology (most commonly the base network)
+    reuses that topology's generator together with its warm shortest-path
+    cache.  The cache keys on topology content, so any capacity change or
+    failure still gets a fresh generator (see
+    :mod:`repro.paths.cache`).  The cache must have been built with the
+    same *policy* passed here.
     """
     loop_config = loop_config or ControlLoopConfig()
     fubar_config = fubar_config or FubarConfig()
     require_routable(network)
     sdn = SdnController(network)
 
+    def _generator_for(topology: Network) -> PathGenerator:
+        if path_cache is not None:
+            return path_cache.generator_for(topology)
+        return PathGenerator(topology, policy)
+
     current = network
-    generator = PathGenerator(network, policy)
+    generator = _generator_for(network)
     model = TrafficModel(network, model_config)
 
     observed = process.matrix_at(0)
@@ -383,7 +399,7 @@ def run_control_loop(
                 if newly_dead:
                     invalidated = sdn.uninstall_rules_crossing(newly_dead)
                 current = epoch_network
-                generator = PathGenerator(current, policy)
+                generator = _generator_for(current)
                 model = TrafficModel(current, model_config)
                 if warm_state is not None:
                     pruned = prune_warm_start(

@@ -22,6 +22,7 @@ from repro.experiments.scenarios import (
     Scenario,
     build_sweep_scenario,
 )
+from repro.paths.cache import PathSetCache
 from repro.failures.schedule import (
     LINK_FAILURE,
     NODE_FAILURE,
@@ -286,4 +287,8 @@ def run_scenario_loop(scenario: Scenario) -> ControlLoopResult:
         fubar_config=scenario.fubar_config,
         loop_config=loop_config,
         failures=failure_schedule(scenario),
+        # Share path generators across epochs: on failure/repair schedules
+        # the topology oscillates between a few states, and a repair epoch
+        # gets the base network's warm generator back instead of a rebuild.
+        path_cache=PathSetCache(),
     )

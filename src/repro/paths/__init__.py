@@ -7,6 +7,7 @@ from repro.paths.dijkstra import (
     shortest_path_or_none,
     shortest_path_tree,
 )
+from repro.paths.cache import PathSetCache, topology_signature
 from repro.paths.generator import AlternativePaths, PathGenerator
 from repro.paths.ksp import k_shortest_paths, k_shortest_paths_or_fewer, path_diversity
 from repro.paths.pathset import PathSet
@@ -17,6 +18,7 @@ __all__ = [
     "PathGenerator",
     "PathPolicy",
     "PathSet",
+    "PathSetCache",
     "all_pairs_shortest_paths",
     "k_shortest_paths",
     "k_shortest_paths_or_fewer",
@@ -25,4 +27,5 @@ __all__ = [
     "shortest_path",
     "shortest_path_or_none",
     "shortest_path_tree",
+    "topology_signature",
 ]

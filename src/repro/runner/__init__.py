@@ -35,6 +35,7 @@ from repro.runner.registry import (
     list_families,
     register_family,
     resolve_spec,
+    scale_sweep_specs,
     smoke_sweep_specs,
 )
 from repro.runner.report import (
@@ -74,5 +75,6 @@ __all__ = [
     "register_family",
     "resolve_spec",
     "run_sweep",
+    "scale_sweep_specs",
     "smoke_sweep_specs",
 ]

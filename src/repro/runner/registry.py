@@ -31,6 +31,7 @@ from repro.experiments.scenarios import (
     build_sweep_scenario,
     default_num_pops,
 )
+from repro.experiments.tiered import build_tiered_scenario
 from repro.failures.schedule import LINK_FAILURE, NODE_FAILURE, undirected_link_pairs
 from repro.provisioning.scenarios import (
     FRONTIER_MODE,
@@ -237,6 +238,58 @@ _sweep_family(
     "random-core",
     "Random cores matching the HE core's mean degree; seed draws the instance",
     topology="random-core",
+)
+
+
+# --------------------------------------------------------- tiered families
+#
+# Internet-scale hierarchical topologies (repro.topology.hierarchical) with
+# sampled paper traffic (repro.experiments.tiered).  The seed draws the
+# topology instance, the pair sample and the per-aggregate classes, so one
+# (family, params, seed) triple regenerates the identical cell.
+
+_TIERED_AXES = (
+    "num_nodes",
+    "num_aggregates",
+    "provisioning_ratio",
+    "real_time_probability",
+    "large_probability",
+    "priority_factor",
+    "target_demanded_utilization",
+    "max_steps",
+)
+
+
+def _tiered_family(name: str, description: str, **defaults) -> ScenarioFamily:
+    return register_family(
+        ScenarioFamily(
+            name=name,
+            description=description,
+            builder=build_tiered_scenario,
+            defaults=defaults,
+            sweepable=_TIERED_AXES,
+        )
+    )
+
+
+_tiered_family(
+    "tiered-small",
+    "Hierarchical ISP, ~15 nodes (3 backbone / 2 metros each): test scale",
+    size="small",
+)
+_tiered_family(
+    "tiered-metro",
+    "Hierarchical ISP, ~95 nodes (5 backbone / 6 metros each): benchmark scale",
+    size="metro",
+    # ~95 nodes is already an order of magnitude past the paper's core; a
+    # step cap keeps a cell in the seconds range while staying deterministic.
+    max_steps=15,
+)
+_tiered_family(
+    "tiered-continental",
+    "Hierarchical ISP sized by num_nodes (default 1000): scaling stress test",
+    size="continental",
+    max_steps=10,
 )
 
 
@@ -554,10 +607,31 @@ def provisioning_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
     ]
 
 
+def scale_sweep_specs(seeds: Tuple[int, ...] = (0,)) -> List[CellSpec]:
+    """The scaling grid: tiered topologies from test scale to 1000 nodes.
+
+    Three cells per seed — the small tiered instance at full fidelity, the
+    ~95-node metro instance, and a 1000-node continental instance with a
+    tight step cap.  The continental cell is the acceptance check that an
+    Internet-scale topology completes end to end through the runner; its
+    wall-clock is dominated by the batched candidate scorer's stacked
+    solves (see benchmarks/bench_scale.py).
+    """
+    grid = [
+        CellSpec("tiered-small", {}),
+        CellSpec("tiered-metro", {}),
+        CellSpec("tiered-continental", {"num_nodes": 1000, "max_steps": 5}),
+    ]
+    return [
+        CellSpec(cell.family, cell.params, seed=seed) for seed in seeds for cell in grid
+    ]
+
+
 #: Named sweep presets selectable from the CLI.
 SWEEP_PRESETS: Dict[str, Callable[[], List[CellSpec]]] = {
     "default": default_sweep_specs,
     "smoke": smoke_sweep_specs,
     "failures": failure_sweep_specs,
     "provisioning": provisioning_sweep_specs,
+    "scale": scale_sweep_specs,
 }

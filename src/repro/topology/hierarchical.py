@@ -1,0 +1,450 @@
+"""Hierarchical (tiered) ISP topology generator.
+
+The paper evaluates FUBAR on a single 31-POP backbone, but positions the
+algorithm as running at ISP scale.  Real ISP networks are tiered: a small
+long-haul backbone (tier 1), regional metro/aggregation networks hanging off
+each backbone POP (tier 2), and access stubs at the edge (tier 3).  This
+module generates such topologies deterministically from a seed:
+
+* **Tier 1** — backbone POPs on a continental-scale ring with random chords,
+  so the core is 2-connected and has realistic path diversity.
+* **Tier 2** — one metro region per backbone POP: a connected Waxman-style
+  subgraph drawn inside a metro-scale disc, dual-homed into its backbone
+  anchor through two gateway uplinks (one when the region has a single
+  metro node).
+* **Tier 3** — access stubs, each single-homed on a metro parent.
+
+Every node carries planar coordinates (metres, stored in node metadata as
+``x_m``/``y_m``) and every link's propagation delay is
+``stretch * distance / PROPAGATION_SPEED`` — distance over light speed in
+fibre, inflated by the usual fibre-routing stretch plus optional *seeded*
+jitter (only ever drawn from the family's ``numpy.random.Generator``, never
+from global randomness, so regeneration from the same seed is byte
+identical).  Capacities are assigned per tier and ordered
+``backbone >= transit >= access``.
+
+After construction each node is annotated with a ``role`` derived from its
+unweighted betweenness centrality (Brandes' algorithm): ``core`` for nodes
+carrying at least half the maximum betweenness, ``relay`` for any other node
+that lies on some shortest path, ``edge`` for the rest.  The runner's tiered
+scenario families (``tiered-small`` / ``tiered-metro`` /
+``tiered-continental``) build on these generators.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Network
+from repro.topology.random_topologies import (
+    DEFAULT_REGION_SIZE_METRES,
+    PROPAGATION_SPEED,
+)
+from repro.units import gbps, mbps
+
+__all__ = [
+    "HierarchicalConfig",
+    "hierarchical_topology",
+    "node_betweenness",
+    "scaled_hierarchical_config",
+    "tiered_continental",
+    "tiered_metro",
+    "tiered_small",
+]
+
+#: Node roles assigned from betweenness centrality.
+ROLE_CORE = "core"
+ROLE_RELAY = "relay"
+ROLE_EDGE = "edge"
+
+#: Fraction of the maximum betweenness above which a node counts as core.
+_CORE_BETWEENNESS_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class HierarchicalConfig:
+    """Shape and physics of a generated tiered ISP topology.
+
+    Parameters
+    ----------
+    num_backbone:
+        Tier-1 POP count (ring length).
+    metros_per_region:
+        Tier-2 nodes in each backbone POP's metro region.
+    access_per_metro:
+        Tier-3 stubs hanging off each metro node.
+    backbone_capacity_bps, transit_capacity_bps, access_capacity_bps:
+        Per-tier link capacities; must satisfy backbone >= transit >= access.
+    region_size_metres:
+        Side of the continental square the backbone ring is inscribed in.
+    metro_radius_metres:
+        Radius of the disc each metro region is drawn in.
+    backbone_chord_probability:
+        Probability of each non-ring backbone chord.
+    metro_alpha, metro_beta:
+        Waxman parameters of the intra-region metro mesh.
+    delay_stretch:
+        Fibre-routing stretch applied to straight-line distance (>= 1 so
+        delays never undercut distance over light speed in fibre).
+    delay_jitter:
+        Upper bound of the *additive* per-link delay jitter fraction; the
+        factor ``1 + delay_jitter * u`` with ``u ~ U[0, 1)`` is drawn from
+        the family's seeded generator, keeping generation deterministic and
+        delays >= distance / PROPAGATION_SPEED.
+    assign_roles:
+        When True (default) annotate nodes with betweenness-derived roles.
+    """
+
+    num_backbone: int = 4
+    metros_per_region: int = 3
+    access_per_metro: int = 1
+    backbone_capacity_bps: float = gbps(1)
+    transit_capacity_bps: float = mbps(400)
+    access_capacity_bps: float = mbps(100)
+    region_size_metres: float = DEFAULT_REGION_SIZE_METRES
+    metro_radius_metres: float = 150_000.0
+    backbone_chord_probability: float = 0.3
+    metro_alpha: float = 0.6
+    metro_beta: float = 0.5
+    delay_stretch: float = 1.3
+    delay_jitter: float = 0.05
+    assign_roles: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_backbone < 3:
+            raise TopologyError(
+                f"need at least 3 backbone POPs for a ring, got {self.num_backbone}"
+            )
+        if self.metros_per_region < 0 or self.access_per_metro < 0:
+            raise TopologyError("tier-2/3 node counts must be non-negative")
+        if not (
+            self.backbone_capacity_bps
+            >= self.transit_capacity_bps
+            >= self.access_capacity_bps
+            > 0.0
+        ):
+            raise TopologyError(
+                "tier capacities must satisfy backbone >= transit >= access > 0, got "
+                f"{self.backbone_capacity_bps!r} / {self.transit_capacity_bps!r} / "
+                f"{self.access_capacity_bps!r}"
+            )
+        if self.region_size_metres <= 0.0 or self.metro_radius_metres <= 0.0:
+            raise TopologyError("region and metro extents must be positive")
+        if not 0.0 <= self.backbone_chord_probability <= 1.0:
+            raise TopologyError(
+                f"backbone_chord_probability must be in [0, 1], "
+                f"got {self.backbone_chord_probability!r}"
+            )
+        if not (0.0 < self.metro_alpha <= 1.0) or not (0.0 < self.metro_beta <= 1.0):
+            raise TopologyError(
+                f"metro Waxman parameters must be in (0, 1], "
+                f"got {self.metro_alpha!r}, {self.metro_beta!r}"
+            )
+        if self.delay_stretch < 1.0:
+            raise TopologyError(
+                f"delay_stretch must be >= 1 so delays respect light speed, "
+                f"got {self.delay_stretch!r}"
+            )
+        if self.delay_jitter < 0.0:
+            raise TopologyError(
+                f"delay_jitter must be non-negative, got {self.delay_jitter!r}"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count the configuration generates."""
+        per_region = self.metros_per_region * (1 + self.access_per_metro)
+        return self.num_backbone * (1 + per_region)
+
+
+def _link_delay(
+    positions: Dict[str, Tuple[float, float]],
+    node_a: str,
+    node_b: str,
+    config: HierarchicalConfig,
+    generator: np.random.Generator,
+) -> float:
+    ax, ay = positions[node_a]
+    bx, by = positions[node_b]
+    distance = math.hypot(ax - bx, ay - by)
+    jitter = 1.0
+    if config.delay_jitter > 0.0:
+        jitter = 1.0 + config.delay_jitter * float(generator.random())
+    return config.delay_stretch * jitter * distance / PROPAGATION_SPEED
+
+
+def hierarchical_topology(
+    config: Optional[HierarchicalConfig] = None,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    name: Optional[str] = None,
+) -> Network:
+    """Generate a tiered ISP topology (see the module docstring).
+
+    All randomness flows through one ``numpy.random.Generator`` (``rng``, or
+    one seeded with ``seed``), so the same seed always regenerates a
+    byte-identical network — including node order, coordinates, link set,
+    delays and metadata.  The result is always connected: the backbone is a
+    ring, each metro region is spanning-tree connected and uplinked to its
+    anchor, and every access stub has a parent.
+    """
+    config = config or HierarchicalConfig()
+    generator = rng if rng is not None else np.random.default_rng(seed)
+
+    network = Network(name=name or f"tiered-{config.num_nodes}")
+    positions: Dict[str, Tuple[float, float]] = {}
+
+    def add_node(node: str, tier: int, region: str, x: float, y: float) -> None:
+        positions[node] = (x, y)
+        network.add_node(
+            node,
+            metadata={"tier": tier, "region": region, "x_m": x, "y_m": y},
+        )
+
+    # ------------------------------------------------------------- tier 1
+    num_backbone = config.num_backbone
+    half = config.region_size_metres / 2.0
+    ring_radius = 0.35 * config.region_size_metres
+    backbone_names: List[str] = []
+    for i in range(num_backbone):
+        angle = 2.0 * math.pi * i / num_backbone
+        x = half + ring_radius * math.cos(angle)
+        y = half + ring_radius * math.sin(angle)
+        # Perturb the ideal ring position so no two seeds look alike.
+        x += float(generator.uniform(-0.05, 0.05)) * config.region_size_metres
+        y += float(generator.uniform(-0.05, 0.05)) * config.region_size_metres
+        node = f"B{i}"
+        add_node(node, 1, f"R{i}", x, y)
+        backbone_names.append(node)
+
+    backbone_meta = {"kind": "backbone"}
+    for i in range(num_backbone):
+        a, b = backbone_names[i], backbone_names[(i + 1) % num_backbone]
+        delay = _link_delay(positions, a, b, config, generator)
+        network.add_duplex_link(
+            a, b, config.backbone_capacity_bps, delay, backbone_meta
+        )
+    for i in range(num_backbone):
+        for j in range(i + 2, num_backbone):
+            if i == 0 and j == num_backbone - 1:
+                continue  # that pair is the closing ring segment
+            if generator.random() < config.backbone_chord_probability:
+                a, b = backbone_names[i], backbone_names[j]
+                delay = _link_delay(positions, a, b, config, generator)
+                network.add_duplex_link(
+                    a, b, config.backbone_capacity_bps, delay, backbone_meta
+                )
+
+    # ------------------------------------------------------------- tier 2
+    transit_meta = {"kind": "transit"}
+    access_meta = {"kind": "access"}
+    for r in range(num_backbone):
+        anchor = backbone_names[r]
+        region = f"R{r}"
+        ax, ay = positions[anchor]
+        metro_names: List[str] = []
+        for m in range(config.metros_per_region):
+            # Uniform over the metro disc around the anchor.
+            radius = config.metro_radius_metres * math.sqrt(float(generator.random()))
+            angle = 2.0 * math.pi * float(generator.random())
+            node = f"{region}M{m}"
+            add_node(node, 2, region, ax + radius * math.cos(angle), ay + radius * math.sin(angle))
+            metro_names.append(node)
+        if not metro_names:
+            continue
+
+        # Random spanning tree keeps the metro mesh connected per seed.
+        order = [int(i) for i in generator.permutation(len(metro_names))]
+        connected = [order[0]]
+        for idx in order[1:]:
+            attach_to = int(generator.choice(connected))
+            a, b = metro_names[idx], metro_names[attach_to]
+            delay = _link_delay(positions, a, b, config, generator)
+            network.add_duplex_link(a, b, config.transit_capacity_bps, delay, transit_meta)
+            connected.append(idx)
+        # Waxman chords densify the mesh; probability decays with distance
+        # relative to the metro diameter.
+        diameter = max(2.0 * config.metro_radius_metres, 1.0)
+        for i in range(len(metro_names)):
+            for j in range(i + 1, len(metro_names)):
+                a, b = metro_names[i], metro_names[j]
+                if network.has_link(a, b):
+                    continue
+                ax_i, ay_i = positions[a]
+                bx_j, by_j = positions[b]
+                distance = math.hypot(ax_i - bx_j, ay_i - by_j)
+                probability = config.metro_alpha * math.exp(
+                    -distance / (config.metro_beta * diameter)
+                )
+                if generator.random() < probability:
+                    delay = _link_delay(positions, a, b, config, generator)
+                    network.add_duplex_link(
+                        a, b, config.transit_capacity_bps, delay, transit_meta
+                    )
+
+        # Dual-home the region: two distinct gateways uplink to the anchor.
+        gateways = metro_names[: min(2, len(metro_names))]
+        for gateway in gateways:
+            delay = _link_delay(positions, anchor, gateway, config, generator)
+            network.add_duplex_link(
+                anchor, gateway, config.transit_capacity_bps, delay, transit_meta
+            )
+
+        # --------------------------------------------------------- tier 3
+        for m, parent in enumerate(metro_names):
+            px, py = positions[parent]
+            for a_idx in range(config.access_per_metro):
+                radius = 0.15 * config.metro_radius_metres * math.sqrt(
+                    float(generator.random())
+                )
+                angle = 2.0 * math.pi * float(generator.random())
+                node = f"{region}M{m}A{a_idx}"
+                add_node(node, 3, region, px + radius * math.cos(angle), py + radius * math.sin(angle))
+                delay = _link_delay(positions, node, parent, config, generator)
+                network.add_duplex_link(
+                    node, parent, config.access_capacity_bps, delay, access_meta
+                )
+
+    if config.assign_roles:
+        _assign_roles(network)
+    return network
+
+
+def node_betweenness(network: Network) -> Dict[str, float]:
+    """Unweighted betweenness centrality per node (Brandes' algorithm).
+
+    Treats the network as undirected (links come in duplex pairs) and counts
+    shortest paths by hop count — the quantity that decides which nodes act
+    as transit relays in a tiered topology.  Deterministic: iteration order
+    follows the network's stable node order.
+    """
+    names = list(network.node_names)
+    index = {node: i for i, node in enumerate(names)}
+    adjacency: List[List[int]] = [[] for _ in names]
+    seen = set()
+    for link in network.links:
+        pair = (link.src, link.dst)
+        if (link.dst, link.src) in seen:
+            continue
+        seen.add(pair)
+        adjacency[index[link.src]].append(index[link.dst])
+        adjacency[index[link.dst]].append(index[link.src])
+
+    centrality = np.zeros(len(names), dtype=float)
+    for source in range(len(names)):
+        # Single-source shortest-path counts (BFS).
+        stack: List[int] = []
+        predecessors: List[List[int]] = [[] for _ in names]
+        sigma = np.zeros(len(names), dtype=float)
+        sigma[source] = 1.0
+        distance = np.full(len(names), -1, dtype=np.int64)
+        distance[source] = 0
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            stack.append(v)
+            for w in adjacency[v]:
+                if distance[w] < 0:
+                    distance[w] = distance[v] + 1
+                    queue.append(w)
+                if distance[w] == distance[v] + 1:
+                    sigma[w] += sigma[v]
+                    predecessors[w].append(v)
+        # Dependency accumulation in reverse BFS order.
+        delta = np.zeros(len(names), dtype=float)
+        while stack:
+            w = stack.pop()
+            for v in predecessors[w]:
+                delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+            if w != source:
+                centrality[w] += delta[w]
+    # Undirected graphs count each path twice.
+    centrality /= 2.0
+    return {node: float(centrality[i]) for i, node in enumerate(names)}
+
+
+def _assign_roles(network: Network) -> None:
+    """Annotate every node with a betweenness-derived ``role``."""
+    centrality = node_betweenness(network)
+    max_centrality = max(centrality.values(), default=0.0)
+    core_cut = _CORE_BETWEENNESS_FRACTION * max_centrality
+    for node in network.nodes:
+        value = centrality[node.name]
+        if max_centrality > 0.0 and value >= core_cut:
+            role = ROLE_CORE
+        elif value > 0.0:
+            role = ROLE_RELAY
+        else:
+            role = ROLE_EDGE
+        node.metadata["role"] = role
+        node.metadata["betweenness"] = value
+
+
+# ----------------------------------------------------------------- presets
+
+
+def tiered_small(
+    seed: Optional[int] = None, rng: Optional[np.random.Generator] = None
+) -> Network:
+    """A ~15-node tiered topology for tests and smoke runs (3 regions)."""
+    config = HierarchicalConfig(
+        num_backbone=3, metros_per_region=2, access_per_metro=1
+    )
+    return hierarchical_topology(config, seed=seed, rng=rng, name="tiered-small")
+
+
+def tiered_metro(
+    seed: Optional[int] = None, rng: Optional[np.random.Generator] = None
+) -> Network:
+    """A ~95-node tiered topology — five regions of metro + access weight."""
+    config = HierarchicalConfig(
+        num_backbone=5, metros_per_region=6, access_per_metro=2
+    )
+    return hierarchical_topology(config, seed=seed, rng=rng, name="tiered-metro")
+
+
+def tiered_continental(
+    num_nodes: int = 1000,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    num_backbone: int = 8,
+    access_per_metro: int = 3,
+) -> Network:
+    """An Internet-scale tiered topology sized to ~``num_nodes`` nodes.
+
+    Splits the non-backbone budget evenly across regions and converts it to
+    metro counts given the access fan-out, so ``num_nodes=1000`` with the
+    defaults yields exactly 8 + 8*31*(1+3) = 1000 nodes.  The node count is
+    matched as closely as the tier arithmetic allows, never exceeded by more
+    than one region's rounding.
+    """
+    config = scaled_hierarchical_config(
+        num_nodes, num_backbone=num_backbone, access_per_metro=access_per_metro
+    )
+    return hierarchical_topology(
+        config, seed=seed, rng=rng, name=f"tiered-continental-{config.num_nodes}"
+    )
+
+
+def scaled_hierarchical_config(
+    num_nodes: int, num_backbone: int = 8, access_per_metro: int = 3
+) -> HierarchicalConfig:
+    """The :class:`HierarchicalConfig` ``tiered_continental`` uses for a
+    target node count — exposed so benchmarks can report exact sizes."""
+    if num_nodes < num_backbone * 2:
+        raise TopologyError(
+            f"num_nodes={num_nodes} too small for {num_backbone} backbone POPs"
+        )
+    per_region = (num_nodes - num_backbone) // num_backbone
+    metros = max(1, per_region // (1 + access_per_metro))
+    return HierarchicalConfig(
+        num_backbone=num_backbone,
+        metros_per_region=metros,
+        access_per_metro=access_per_metro,
+    )

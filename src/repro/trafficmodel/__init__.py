@@ -2,6 +2,7 @@
 
 from repro.trafficmodel.bundle import Bundle
 from repro.trafficmodel.compiled import (
+    BatchedCandidateScorer,
     CompiledBundles,
     CompiledTrafficModel,
 )
@@ -20,6 +21,7 @@ from repro.trafficmodel.waterfill import (
 )
 
 __all__ = [
+    "BatchedCandidateScorer",
     "Bundle",
     "BundleOutcome",
     "CompiledBundles",

@@ -24,6 +24,15 @@ bundle.  This module removes both costs:
   all demand-satisfaction events inside the interval are resolved at once and
   the loop runs one round per saturated link (a handful) instead of one event
   per bundle (hundreds);
+* :meth:`CompiledTrafficModel.solve_batched` stacks many independent compiled
+  bundle lists into one block-diagonal system (block *k* owns stacked links
+  ``k*L .. (k+1)*L-1``) and runs the waterfall over all of them in one pass —
+  the per-solve fixed costs (CSR build, sorting, array setup) are paid once
+  per batch instead of once per candidate.  ``solve`` is the one-block case
+  of the same code path, so a batched solve is *bitwise* identical to solving
+  each block alone; :class:`BatchedCandidateScorer` builds on this to score
+  every candidate move of an optimization step in a handful of stacked
+  solves;
 * :meth:`CompiledTrafficModel.weighted_utility` scores a solution without
   constructing any result objects, vectorizing the flow-weighted utility
   roll-up over cached per-path delay factors and grouped bandwidth
@@ -41,6 +50,11 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+try:  # SciPy's C counting sort builds the stacked CSR ~3x faster than argsort.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy ships with the baselines
+    _sparse = None
 
 from repro.exceptions import TrafficModelError
 from repro.topology.graph import Network, Path
@@ -117,7 +131,7 @@ class CompiledBundles:
         "demands",
         "growth",
         "flows",
-        "incidence",
+        "num_links",
         "agg_ids",
         "aggregates",
         "agg_index",
@@ -126,6 +140,7 @@ class CompiledBundles:
         "comp_ids",
         "components",
         "delay_factors",
+        "_incidence",
         "_index",
         "_agg_flows",
         "_flat_links",
@@ -139,7 +154,7 @@ class CompiledBundles:
         demands: np.ndarray,
         growth: np.ndarray,
         flows: np.ndarray,
-        incidence: np.ndarray,
+        incidence: Optional[np.ndarray],
         agg_ids: np.ndarray,
         aggregates: List[Aggregate],
         agg_index: Dict[AggregateKey, int],
@@ -148,13 +163,15 @@ class CompiledBundles:
         comp_ids: np.ndarray,
         components: List[object],
         delay_factors: np.ndarray,
+        num_links: int,
     ) -> None:
         self.bundles = bundles
         self.rows = rows
         self.demands = demands
         self.growth = growth
         self.flows = flows
-        self.incidence = incidence
+        self.num_links = num_links
+        self._incidence = incidence
         self.agg_ids = agg_ids
         self.aggregates = aggregates
         self.agg_index = agg_index
@@ -170,6 +187,22 @@ class CompiledBundles:
 
     def __len__(self) -> int:
         return len(self.bundles)
+
+    @property
+    def incidence(self) -> np.ndarray:
+        """Dense link x bundle incidence matrix, built on first use.
+
+        The solver works off :attr:`flat_links` (sparse, deterministic
+        accumulation order), so patched candidates on the optimizer's hot
+        path never pay the O(links x bundles) stack; the dense matrix is
+        only materialized for diagnostics and external consumers.
+        """
+        if self._incidence is None:
+            if self.rows:
+                self._incidence = np.stack([row.column for row in self.rows], axis=1)
+            else:
+                self._incidence = np.zeros((self.num_links, 0), dtype=float)
+        return self._incidence
 
     @property
     def index(self) -> Dict[Tuple[AggregateKey, Path], int]:
@@ -207,6 +240,187 @@ class CompiledBundles:
                 self._flat_links = np.zeros(0, dtype=np.intp)
                 self._link_counts = np.zeros(0, dtype=np.intp)
         return self._flat_links, self._link_counts
+
+
+def _spliced_flat_links(
+    base: CompiledBundles,
+    edits: Dict[int, Optional[np.ndarray]],
+    added_rows: Sequence[_BundleRow],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Derive a patched bundle list's flat-link arrays from the base's.
+
+    ``edits`` maps a base column to its replacement link array (``None``
+    drops the column); ``added_rows`` are appended at the end.  Splicing
+    costs O(edited columns) slices plus one concatenate over the entries,
+    instead of the O(bundles) python rebuild the lazy ``flat_links``
+    property performs — the difference dominates candidate compilation once
+    topologies reach hundreds of nodes.
+    """
+    base_flat, base_counts = base.flat_links
+    if not edits and not added_rows:
+        return base_flat, base_counts
+    offsets = np.zeros(base_counts.shape[0] + 1, dtype=np.intp)
+    np.cumsum(base_counts, out=offsets[1:])
+    flat_parts: List[np.ndarray] = []
+    count_parts: List[np.ndarray] = []
+    prev = 0
+    for column in sorted(edits):
+        if column > prev:
+            flat_parts.append(base_flat[offsets[prev] : offsets[column]])
+            count_parts.append(base_counts[prev:column])
+        links = edits[column]
+        if links is not None:
+            flat_parts.append(links)
+            count_parts.append(np.asarray([links.shape[0]], dtype=np.intp))
+        prev = column + 1
+    if prev < base_counts.shape[0]:
+        flat_parts.append(base_flat[offsets[prev] :])
+        count_parts.append(base_counts[prev:])
+    for row in added_rows:
+        flat_parts.append(row.link_indices)
+        count_parts.append(np.asarray([row.link_indices.shape[0]], dtype=np.intp))
+    if not flat_parts:
+        return np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp)
+    return np.concatenate(flat_parts), np.concatenate(count_parts)
+
+
+def _gather_slices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices gathering ``concatenate(arr[s : s + c] for s, c)``.
+
+    Vectorizes the slice-and-concatenate pattern (O(total) repeat plus
+    intra-slice offsets) so callers can pull the entries of many CSR
+    segments without a Python-level loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.intp)
+    if starts.shape[0] == 1:
+        first = int(starts[0])
+        return np.arange(first, first + total, dtype=np.intp)
+    offsets = np.zeros(counts.shape[0] + 1, dtype=np.intp)
+    np.cumsum(counts, out=offsets[1:])
+    intra = np.arange(total, dtype=np.intp) - np.repeat(offsets[:-1], counts)
+    return np.repeat(starts, counts) + intra
+
+
+def _csr_entry_order(
+    links: np.ndarray, positions: np.ndarray, num_rows: int, num_cols: int
+) -> np.ndarray:
+    """Permutation sorting entries row-major (by link) then column-minor.
+
+    The (link, position) pairs must be unique — the traffic model guarantees
+    it because paths are simple.  SciPy's COO→CSR conversion is a C counting
+    sort over exactly this key and runs ~3x faster than the numpy radix
+    fallback; both produce the identical permutation, so results are bitwise
+    independent of which path is taken.
+    """
+    if _sparse is not None:
+        matrix = _sparse.coo_matrix(
+            (np.arange(links.shape[0], dtype=np.intp), (links, positions)),
+            shape=(num_rows, num_cols),
+        ).tocsr()
+        matrix.sort_indices()
+        return matrix.data
+    # One radix argsort over a combined (link, pos) key beats lexsort's two
+    # mergesort passes ~2x; int32 keys halve the radix passes again whenever
+    # the key space allows.
+    key = links * num_cols + positions
+    if num_rows * num_cols < np.iinfo(np.int32).max:
+        key = key.astype(np.int32)
+    return np.argsort(key, kind="stable")
+
+
+def _padded_prefix_into(
+    values: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    segments: Optional[np.ndarray],
+    width: int,
+    out: np.ndarray,
+) -> None:
+    """Per-segment sequential prefix sums via one padded 2-D cumsum.
+
+    Each selected segment becomes a zero-padded row; ``np.cumsum`` along the
+    rows reduces every segment strictly left to right, independently of its
+    neighbours, and the prefixes are scattered back into *out* at the
+    segments' flat locations.
+    """
+    if segments is None:
+        # All segments: the gather is the identity, so index values/out
+        # directly.
+        seg_counts = counts
+        selected = values
+    else:
+        seg_counts = counts[segments]
+        src = _gather_slices(offsets[:-1][segments], seg_counts)
+        if src.size == 0:
+            return
+        selected = values[src]
+    if selected.size == 0:
+        return
+    num_rows = seg_counts.shape[0]
+    sub_offsets = np.zeros(num_rows + 1, dtype=np.intp)
+    np.cumsum(seg_counts, out=sub_offsets[1:])
+    intra = np.arange(selected.shape[0], dtype=np.intp) - np.repeat(
+        sub_offsets[:-1], seg_counts
+    )
+    rows = np.repeat(np.arange(num_rows, dtype=np.intp), seg_counts)
+    matrix = np.zeros((num_rows, width), dtype=float)
+    matrix[rows, intra] = selected
+    np.cumsum(matrix, axis=1, out=matrix)
+    if segments is None:
+        out[:] = matrix[rows, intra]
+    else:
+        out[src] = matrix[rows, intra]
+
+
+def _segment_prefix_sums(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Inclusive per-segment prefix sums, bitwise independent of grouping.
+
+    *values* holds concatenated segments of the given lengths; the result is
+    aligned with *values* and carries, at each element, the strictly
+    sequential sum of its segment up to and including it.  Every segment is
+    reduced through its own left-to-right cumsum — never through differences
+    of a running sum shared with its neighbours — so a segment's prefixes
+    are bitwise identical no matter which other segments share the call.
+    That invariance is what lets the batched solver group per-link
+    reductions freely across blocks while staying bitwise equal to a
+    standalone one-block solve.
+
+    Segments of wildly different lengths are bucketed by width (factors of
+    four) before padding, bounding the padded work at ~4x the real entries.
+    """
+    total = values.shape[0]
+    num_segments = counts.shape[0]
+    if total == 0:
+        return np.zeros(0, dtype=float)
+    if num_segments == 1:
+        return np.cumsum(values)
+    out = np.empty(total, dtype=float)
+    offsets = np.zeros(num_segments + 1, dtype=np.intp)
+    np.cumsum(counts, out=offsets[1:])
+    max_width = int(counts.max())
+    if num_segments * max_width <= max(4 * total, 1 << 20):
+        # One padded matrix for everything: a megacell of padding costs far
+        # less than the gather/scatter overhead of multiple buckets.
+        _padded_prefix_into(values, counts, offsets, None, max_width, out)
+        return out
+    boundaries: List[int] = []
+    width = 4
+    while width < max_width:
+        boundaries.append(width)
+        width *= 4
+    bucket_of = np.searchsorted(
+        np.asarray(boundaries, dtype=np.intp), counts, side="left"
+    )
+    for bucket in range(len(boundaries) + 1):
+        segments = np.nonzero(bucket_of == bucket)[0]
+        if segments.size == 0:
+            continue
+        _padded_prefix_into(
+            values, counts, offsets, segments, int(counts[segments].max()), out
+        )
+    return out
 
 
 class CompiledTrafficModel:
@@ -297,18 +511,13 @@ class CompiledTrafficModel:
                 components.append(row.bandwidth)
             comp_ids[j] = comp_id
 
-        if num_bundles:
-            incidence = np.stack([row.column for row in rows], axis=1)
-        else:
-            incidence = np.zeros((self._num_links, 0), dtype=float)
-
         return CompiledBundles(
             bundles=tuple(bundles),
             rows=rows,
             demands=demands,
             growth=growth,
             flows=flows,
-            incidence=incidence,
+            incidence=None,
             agg_ids=agg_ids,
             aggregates=aggregates,
             agg_index=agg_index,
@@ -317,6 +526,7 @@ class CompiledTrafficModel:
             comp_ids=comp_ids,
             components=components,
             delay_factors=delay_factors,
+            num_links=self._num_links,
         )
 
     def compile_patched(
@@ -382,13 +592,16 @@ class CompiledTrafficModel:
                 comp_ids[column] = component_id
 
         if not removed and not additions:
-            return CompiledBundles(
+            patched = CompiledBundles(
                 bundles=tuple(bundles_list),
                 rows=tuple(rows_list),
                 demands=demands,
                 growth=growth,
                 flows=flows,
-                incidence=base.incidence,
+                # A changed row keeps its (key, path), hence its column of
+                # the incidence matrix — the base's (possibly unbuilt) dense
+                # matrix stays valid as-is.
+                incidence=base._incidence,
                 agg_ids=base.agg_ids,
                 aggregates=base.aggregates,
                 agg_index=base.agg_index,
@@ -397,7 +610,17 @@ class CompiledTrafficModel:
                 comp_ids=comp_ids,
                 components=components,
                 delay_factors=delay_factors,
+                num_links=base.num_links,
             )
+            edits: Dict[int, Optional[np.ndarray]] = {
+                column: rows_list[column].link_indices
+                for column, _ in changed
+                if rows_list[column] is not base.rows[column]
+            }
+            patched._flat_links, patched._link_counts = _spliced_flat_links(
+                base, edits, ()
+            )
+            return patched
 
         keep = np.ones(num_base, dtype=bool)
         keep[removed] = False
@@ -441,10 +664,7 @@ class CompiledTrafficModel:
 
         kept_bundles = [b for b, k in zip(bundles_list, keep) if k]
         kept_rows = [r for r, k in zip(rows_list, keep) if k]
-        columns = [base.incidence[:, keep]] + [
-            row.column[:, None] for row in added_rows
-        ]
-        return CompiledBundles(
+        patched = CompiledBundles(
             bundles=tuple(kept_bundles) + tuple(additions),
             rows=tuple(kept_rows) + tuple(added_rows),
             demands=np.concatenate(
@@ -456,7 +676,7 @@ class CompiledTrafficModel:
             flows=np.concatenate(
                 [flows[keep], [float(b.num_flows) for b in additions]]
             ),
-            incidence=np.concatenate(columns, axis=1),
+            incidence=None,
             agg_ids=np.concatenate(
                 [base.agg_ids[keep], np.asarray(added_agg_ids, dtype=np.intp)]
             ),
@@ -471,7 +691,16 @@ class CompiledTrafficModel:
             delay_factors=np.concatenate(
                 [delay_factors[keep], [row.delay_utility for row in added_rows]]
             ),
+            num_links=base.num_links,
         )
+        edits: Dict[int, Optional[np.ndarray]] = {column: None for column in removed}
+        for column, _ in changed:
+            if rows_list[column] is not base.rows[column]:
+                edits[column] = rows_list[column].link_indices
+        patched._flat_links, patched._link_counts = _spliced_flat_links(
+            base, edits, added_rows
+        )
+        return patched
 
     # ----------------------------------------------------------------- solve
 
@@ -489,14 +718,62 @@ class CompiledTrafficModel:
         ``capacities`` overrides the engine's per-link capacity vector (same
         dense index order) for this one solve.  The capacity-planning probes
         in :mod:`repro.provisioning` use it to score candidate link upgrades
-        against an unchanged compiled allocation — the rows, incidence and
+        against an unchanged compiled allocation — the rows, link and
         growth arrays are all capacity-independent, so a what-if capacity
         only has to swap this vector, never recompile.
+
+        Implemented as the one-block case of :meth:`solve_batched`, so a
+        standalone solve and a batched solve containing the same arrays are
+        bitwise identical.
         """
-        self.evaluations += 1
-        demands = compiled.demands
-        growth = compiled.growth
-        incidence = compiled.incidence
+        return self.solve_batched([compiled], capacities=capacities)[0]
+
+    def solve_batched(
+        self,
+        blocks: Sequence[CompiledBundles],
+        capacities: Optional[np.ndarray] = None,
+        *,
+        warm_tau: Optional[np.ndarray] = None,
+        fresh_links: Optional[Sequence[Optional[np.ndarray]]] = None,
+        initial_tau_out: Optional[np.ndarray] = None,
+    ) -> List[_Solution]:
+        """Solve many independent compiled bundle lists in one stacked pass.
+
+        Block *k* owns the stacked link range ``k*L .. (k+1)*L-1`` of a
+        block-diagonal system.  The event loop runs in *lockstep rounds*:
+        each round commits the next saturation event of every block that
+        still has one pending, with the candidate search, the slack-band
+        load sweep and the freeze bookkeeping vectorized across blocks.  A
+        batch therefore costs max-events-per-block rounds of array work
+        instead of total-events passes through Python — that is what makes
+        batched candidate scoring faster than per-move solves.
+
+        Bitwise equivalence with per-block ``solve`` calls is maintained by
+        making every floating-point reduction *exactly segment-local*: the
+        per-block stable sort, the per-segment prefix sums of the
+        crossing-time kernel (:func:`_segment_prefix_sums`), the per-link
+        ``np.add.reduceat`` load sums and the per-index ``bincount`` frozen
+        folds each see exactly the operand groupings a standalone one-block
+        solve would, no matter which blocks share the batch.  The fast
+        candidate scorer therefore provably selects the same move as the
+        per-move path (tests/test_batched_scorer.py).
+
+        Counts ``len(blocks)`` evaluations.  ``capacities`` overrides the
+        engine's per-link capacity vector for every block of this batch.
+
+        ``warm_tau`` seeds each block's initial per-link crossing times with
+        a vector previously captured via ``initial_tau_out`` (which copies
+        block 0's initial crossing times before the event loop runs).  Only
+        the per-block local link indices in ``fresh_links`` are recomputed
+        (``None`` for a block means all of its links).  Seeding is bitwise
+        safe exactly when, for every non-fresh link, the block's crossing
+        bundles and their stable-sorted order match the solve that produced
+        the warm vector — the candidate scorer guarantees this by marking
+        every link on a patched bundle's old or new path as fresh — and the
+        capacities must match as well.
+        """
+        num_blocks = len(blocks)
+        self.evaluations += num_blocks
         if capacities is None:
             capacities = self._capacities
         else:
@@ -506,72 +783,162 @@ class CompiledTrafficModel:
                     f"capacity override has shape {capacities.shape}, "
                     f"expected {self._capacities.shape}"
                 )
-        num_bundles = demands.shape[0]
         num_links = capacities.shape[0]
+        if num_blocks == 0:
+            return []
 
-        rates = np.zeros(num_bundles, dtype=float)
-        bottleneck = np.full(num_bundles, -1, dtype=np.intp)
-        if num_bundles == 0:
-            return _Solution(rates, bottleneck)
+        def _concat(arrays: List[np.ndarray]) -> np.ndarray:
+            return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
+        block_sizes = np.asarray([len(block) for block in blocks], dtype=np.intp)
+        bundle_offsets = np.zeros(num_blocks + 1, dtype=np.intp)
+        np.cumsum(block_sizes, out=bundle_offsets[1:])
+        total_bundles = int(bundle_offsets[-1])
+        total_links = num_blocks * num_links
+
+        rates = np.zeros(total_bundles, dtype=float)
+        bottleneck = np.full(total_bundles, -1, dtype=np.intp)
+
+        def solutions() -> List[_Solution]:
+            return [
+                _Solution(
+                    rates[bundle_offsets[k] : bundle_offsets[k + 1]],
+                    bottleneck[bundle_offsets[k] : bundle_offsets[k + 1]],
+                )
+                for k in range(num_blocks)
+            ]
+
+        if total_bundles == 0:
+            return solutions()
+
+        demands = _concat([block.demands for block in blocks])
+        growth = _concat([block.growth for block in blocks])
+        if num_links == 0:
+            rates[:] = demands
+            return solutions()
 
         # Absolute time at which each bundle meets its demand, if unconstrained.
+        # Sorted per block (stable), blocks concatenated, so block k's sorted
+        # positions stay contiguous — a single global argsort would interleave
+        # blocks and regroup every reduction relative to a standalone solve.
         satisfy_at = demands / growth
-        order = np.argsort(satisfy_at, kind="stable")
-        e_sorted = satisfy_at[order]
+        order_cols = np.empty(total_bundles, dtype=np.intp)  # pos -> column
+        inverse_pos = np.empty(total_bundles, dtype=np.intp)  # column -> pos
+        # Same-size blocks sort through one row-wise 2-D argsort — a row's
+        # stable sort is bitwise the standalone 1-D sort of that block, and
+        # batching the calls removes the dominant per-block Python overhead
+        # (candidate batches are all patches of one base, so sizes cluster).
+        for size in np.unique(block_sizes):
+            size = int(size)
+            if size == 0:
+                continue
+            members = np.nonzero(block_sizes == size)[0]
+            starts = bundle_offsets[members]
+            if members.size == 1:
+                lo = int(starts[0])
+                hi = lo + size
+                local_order = np.argsort(satisfy_at[lo:hi], kind="stable")
+                order_cols[lo:hi] = local_order + lo
+                inverse_pos[lo:hi][local_order] = (
+                    np.arange(size, dtype=np.intp) + lo
+                )
+                continue
+            gather = starts[:, None] + np.arange(size, dtype=np.intp)[None, :]
+            local_orders = np.argsort(
+                satisfy_at[gather], kind="stable", axis=1
+            )
+            columns_flat = (local_orders + starts[:, None]).ravel()
+            positions_flat = gather.ravel()
+            order_cols[positions_flat] = columns_flat
+            inverse_pos[columns_flat] = positions_flat
 
-        # Per-link growth contributions in satisfy-time order (constant; the
-        # set of *active* columns shrinks as bundles freeze).
-        contributions = incidence[:, order] * growth[order]  # (L, B)
+        # Columns and sorted positions share the block partition, so one
+        # bundle -> block map serves both index spaces.
+        block_of_bundle = np.repeat(
+            np.arange(num_blocks, dtype=np.intp), block_sizes
+        )
+        block_link_base = np.arange(num_blocks, dtype=np.intp) * num_links
+
+        e_sorted = satisfy_at[order_cols]
         # Time at which each bundle (sorted order) stops growing: its satisfy
         # time, overwritten with the saturation instant when truncated.  A
         # frozen bundle's constant contribution is growth * stop.
         stop_sorted = e_sorted.copy()
 
-        active_sorted = np.ones(num_bundles, dtype=bool)
-        saturated = np.zeros(num_links, dtype=bool)
+        active_sorted = np.ones(total_bundles, dtype=bool)
+        saturated = np.zeros(total_links, dtype=bool)
         #: Load contributed by frozen bundles (constant from their freeze on),
         #: accumulated bundle-by-bundle so the arithmetic is deterministic.
-        fixed = np.zeros(num_links, dtype=float)
-        threshold = capacities - (capacities * _REL_EPS + _ABS_EPS)
-        tau = np.empty(num_links, dtype=float)
-        now = 0.0
+        fixed = np.zeros(total_links, dtype=float)
+        capacities_stacked = (
+            capacities if num_blocks == 1 else np.tile(capacities, num_blocks)
+        )
+        threshold = capacities_stacked - (capacities_stacked * _REL_EPS + _ABS_EPS)
+        tau = np.empty(total_links, dtype=float)
+        now_blocks = np.zeros(num_blocks, dtype=float)
 
-        # CSR over links: which sorted columns cross each link.  Restricting a
-        # link's load curve to its own crossing bundles leaves the arithmetic
-        # bitwise identical (absent columns contribute exactly zero) but makes
-        # recomputation O(crossing bundles) instead of O(all bundles).
-        csr_links, csr_positions = np.nonzero(contributions)
-        csr_offsets = np.zeros(num_links + 1, dtype=np.intp)
-        np.cumsum(np.bincount(csr_links, minlength=num_links), out=csr_offsets[1:])
+        # Row-major stacked link arrays (each bundle's links in path order,
+        # column order, block by block): shared by the CSR build, bottleneck
+        # attribution and the frozen-load folding.
+        row_links_local = _concat([block.flat_links[0] for block in blocks])
+        row_counts = _concat([block.flat_links[1] for block in blocks])
+        row_offsets = np.zeros(total_bundles + 1, dtype=np.intp)
+        np.cumsum(row_counts, out=row_offsets[1:])
+
+        # Stacked CSR over links: entry (link, pos, value) says the bundle at
+        # sorted position *pos* contributes *value* (its growth rate) to the
+        # link's load while growing.  Entries are ordered link-major /
+        # position-minor, the layout np.nonzero over a dense incidence matrix
+        # would produce, but built from the per-bundle link lists in O(nnz)
+        # without materializing anything dense.  (Paths are simple — Bundle
+        # enforces it — so no (link, pos) pair repeats.)
+        if row_links_local.size:
+            entry_links = row_links_local + np.repeat(
+                block_link_base[block_of_bundle], row_counts
+            )
+            entry_positions = np.repeat(inverse_pos, row_counts)
+            entry_values = np.repeat(growth, row_counts)
+            entry_order = _csr_entry_order(
+                entry_links, entry_positions, total_links, total_bundles
+            )
+            csr_links = entry_links[entry_order]
+            csr_positions = entry_positions[entry_order]
+            csr_values = entry_values[entry_order]
+        else:
+            csr_links = np.zeros(0, dtype=np.intp)
+            csr_positions = np.zeros(0, dtype=np.intp)
+            csr_values = np.zeros(0, dtype=float)
+        csr_offsets = np.zeros(total_links + 1, dtype=np.intp)
+        np.cumsum(np.bincount(csr_links, minlength=total_links), out=csr_offsets[1:])
+        csr_counts = np.diff(csr_offsets)
+        nonempty_links = np.nonzero(csr_counts > 0)[0]
+        # Each entry's block, via its bundle (cheaper than dividing links).
+        csr_blocks = block_of_bundle[csr_positions]
 
         def recompute_tau(links: np.ndarray) -> None:
             """Earliest capacity-crossing time of each link in *links* under
             the currently active bundles (inf when it never crosses).
 
             Works on the flattened (link, crossing bundle) pairs of the links
-            in question — O(total crossing bundles), every reduction a
-            sequential cumsum, so the arithmetic is deterministic.
+            in question — O(total crossing bundles).  Every reduction is an
+            exact per-segment prefix sum (:func:`_segment_prefix_sums`), so a
+            link's crossing time is bitwise independent of which other links
+            — of any block — share the call; the lockstep loop resolves the
+            stale links of a whole batch in one invocation.
             """
             if links.size == 0:
                 return
-            if links.size == num_links:
-                flat_all = csr_positions
-                raw_starts = csr_offsets[:-1]
-                raw_counts = np.diff(csr_offsets)
-            else:
-                slices = [
-                    csr_positions[csr_offsets[l] : csr_offsets[l + 1]] for l in links
-                ]
-                flat_all = np.concatenate(slices)
-                raw_counts = np.asarray([s.shape[0] for s in slices], dtype=np.intp)
-                raw_starts = np.zeros(links.shape[0], dtype=np.intp)
-                np.cumsum(raw_counts[:-1], out=raw_starts[1:])
-
-            mask = active_sorted[flat_all]
-            cum_mask = np.zeros(flat_all.shape[0] + 1, dtype=np.intp)
+            counts_raw = csr_counts[links]
+            src = _gather_slices(csr_offsets[links], counts_raw)
+            flat_raw = csr_positions[src]
+            mask = active_sorted[flat_raw]
+            cum_mask = np.zeros(flat_raw.shape[0] + 1, dtype=np.intp)
             np.cumsum(mask, out=cum_mask[1:])
-            counts = cum_mask[raw_starts + raw_counts] - cum_mask[raw_starts]
-            flat = flat_all[mask]
+            raw_offsets = np.zeros(links.shape[0] + 1, dtype=np.intp)
+            np.cumsum(counts_raw, out=raw_offsets[1:])
+            counts = cum_mask[raw_offsets[1:]] - cum_mask[raw_offsets[:-1]]
+            src_active = src[mask]
+            flat = flat_raw[mask]
             new_tau = np.full(links.shape[0], np.inf)
             if flat.size == 0:
                 tau[links] = new_tau
@@ -583,145 +950,273 @@ class CompiledTrafficModel:
             seg_of = np.repeat(np.arange(num_segments, dtype=np.intp), counts)
             link_of = links[seg_of]
 
-            a = contributions[link_of, flat]
+            a = csr_values[src_active]
             e_flat = e_sorted[flat]
-            prefix_growth = np.zeros(flat.shape[0] + 1, dtype=float)
-            np.cumsum(a, out=prefix_growth[1:])
-            prefix_carried = np.zeros(flat.shape[0] + 1, dtype=float)
-            np.cumsum(a * e_flat, out=prefix_carried[1:])
-            base_growth = prefix_growth[offsets[:-1]]
-            base_carried = prefix_carried[offsets[:-1]]
-            seg_growth = prefix_growth[offsets[1:]] - base_growth
+            prefix_growth = _segment_prefix_sums(a, counts)
+            prefix_carried = _segment_prefix_sums(a * e_flat, counts)
+            seg_growth = np.where(
+                counts > 0, prefix_growth[np.maximum(offsets[1:] - 1, 0)], 0.0
+            )
 
             # Load of each link at each crossing bundle's satisfy time:
             # earlier bundles contribute their full demand, later ones keep
             # growing.
             load_at_e = (
                 fixed[link_of]
-                + (prefix_carried[1:] - base_carried[seg_of])
-                + (seg_growth[seg_of] - (prefix_growth[1:] - base_growth[seg_of]))
-                * e_flat
+                + prefix_carried
+                + (seg_growth[seg_of] - prefix_growth) * e_flat
             )
-            crossed_at = np.nonzero(load_at_e >= capacities[link_of])[0]
+            crossed_at = np.nonzero(load_at_e >= capacities_stacked[link_of])[0]
             if crossed_at.size:
-                first_seg, first_index = np.unique(
-                    seg_of[crossed_at], return_index=True
-                )
+                # First crossing per segment: seg_of is nondecreasing, so the
+                # firsts are exactly where the segment id steps up.
+                crossed_seg = seg_of[crossed_at]
+                first_index = np.nonzero(np.diff(crossed_seg, prepend=-1) > 0)[0]
+                first_seg = crossed_seg[first_index]
                 i_star = crossed_at[first_index]
-                # Exclusive prefixes right before the crossing bundle.
-                excl_growth = prefix_growth[i_star] - base_growth[first_seg]
-                excl_carried = prefix_carried[i_star] - base_carried[first_seg]
+                intra_star = i_star - offsets[first_seg]
+                # Exclusive prefixes right before the crossing bundle — read
+                # directly from the previous slot, never reconstructed by
+                # subtraction (which would not be exact).
+                excl_growth = np.where(
+                    intra_star > 0, prefix_growth[np.maximum(i_star - 1, 0)], 0.0
+                )
+                excl_carried = np.where(
+                    intra_star > 0, prefix_carried[np.maximum(i_star - 1, 0)], 0.0
+                )
                 slope = seg_growth[first_seg] - excl_growth
                 link_star = links[first_seg]
-                headroom = capacities[link_star] - fixed[link_star] - excl_carried
+                headroom = (
+                    capacities_stacked[link_star] - fixed[link_star] - excl_carried
+                )
                 crossing_time = np.where(
                     slope > 0.0,
                     headroom / np.where(slope > 0.0, slope, 1.0),
                     e_flat[i_star],
                 )
-                new_tau[first_seg] = np.maximum(crossing_time, now)
+                new_tau[first_seg] = np.maximum(
+                    crossing_time, now_blocks[link_star // num_links]
+                )
             tau[links] = new_tau
 
-        recompute_tau(np.arange(num_links, dtype=np.intp))
+        # Initial crossing-time pass over every stacked link at once — the
+        # kernel's grouping independence makes one call equal to per-block
+        # calls.  With a warm seed, only each block's fresh links pay the
+        # kernel; every other link's crossing bundles (and their sorted
+        # order, hence every prefix sum) are identical to the solve that
+        # produced the seed, so copying is bitwise equal to recomputing.
+        if warm_tau is None:
+            recompute_tau(np.arange(total_links, dtype=np.intp))
+        else:
+            if warm_tau.shape != (num_links,):
+                raise TrafficModelError(
+                    f"warm_tau has shape {warm_tau.shape}, "
+                    f"expected {(num_links,)}"
+                )
+            tau_view = tau.reshape(num_blocks, num_links)
+            tau_view[:] = warm_tau[None, :]
+            fresh_parts: List[np.ndarray] = []
+            for k in range(num_blocks):
+                local = None if fresh_links is None else fresh_links[k]
+                if local is None:
+                    fresh_parts.append(
+                        np.arange(num_links, dtype=np.intp) + k * num_links
+                    )
+                elif len(local):
+                    fresh_parts.append(
+                        np.asarray(local, dtype=np.intp) + k * num_links
+                    )
+            if fresh_parts:
+                recompute_tau(_concat(fresh_parts))
+        if initial_tau_out is not None:
+            initial_tau_out[:] = tau[:num_links]
         # Truncating a bundle only ever *delays* the saturation of the other
         # links it crosses, so a stale tau is a lower bound.  Links touched by
         # a truncation are marked dirty and lazily recomputed only when they
-        # become the candidate minimum.
-        dirty = np.zeros(num_links, dtype=bool)
+        # reach their block's candidate minimum.
+        dirty = np.zeros(total_links, dtype=bool)
 
-        for _ in range(num_links + 1):
+        tau_matrix = tau.reshape(num_blocks, num_links)
+        dirty_matrix = dirty.reshape(num_blocks, num_links)
+        saturated_matrix = saturated.reshape(num_blocks, num_links)
+        threshold_matrix = threshold.reshape(num_blocks, num_links)
+        active_counts = block_sizes.copy()
+
+        # Lockstep event loop: each round commits the next saturation event
+        # of every block that still has one pending.  A block's event
+        # sequence — and all of its arithmetic — is exactly the serial
+        # per-block waterfall's; rounds merely run the blocks' next events
+        # side by side, so a batch costs max-events-per-block rounds of
+        # vectorized work instead of total-events passes through Python.
+        for _ in range(num_links + 2):
             if not active_sorted.any():
                 break
-            while True:
-                candidate = int(np.argmin(tau))
-                if dirty[candidate] and np.isfinite(tau[candidate]):
-                    recompute_tau(np.asarray([candidate], dtype=np.intp))
-                    dirty[candidate] = False
-                    continue
-                # Resolve any dirty link whose stale lower bound ties the
-                # minimum before it can be swept into the saturation set.
-                stale = np.nonzero(dirty & (tau <= tau[candidate]) & np.isfinite(tau))[0]
-                if stale.size == 0:
-                    break
-                recompute_tau(stale)
-                dirty[stale] = False
-            tau_star = float(tau[candidate])
-            if not np.isfinite(tau_star):
-                # No link ever saturates: every remaining bundle meets demand.
-                remaining = order[active_sorted]
+            # Per-block candidate minima, with stale lower bounds resolved
+            # before any event commits.  A block's true event time is the
+            # minimum over its *clean* links — stale bounds only ever
+            # underestimate — so one grouped recompute of every dirty link
+            # at or below that clean minimum settles the round: recomputed
+            # values are at least their stale bounds, every remaining dirty
+            # bound exceeds the clean minimum, and therefore nothing dirty
+            # can tie or beat the committed candidate.  Recomputed values
+            # depend only on state frozen for the whole resolution, so the
+            # grouping-independent kernel resolves all blocks in one call.
+            if dirty.any():
+                clean_min = np.where(dirty_matrix, np.inf, tau_matrix).min(axis=1)
+                stale_matrix = (
+                    dirty_matrix
+                    & np.isfinite(tau_matrix)
+                    & (tau_matrix <= clean_min[:, None])
+                )
+                stale = np.nonzero(stale_matrix.ravel())[0]
+                if stale.size:
+                    recompute_tau(stale)
+                    dirty[stale] = False
+            cand_tau = tau_matrix.min(axis=1)
+
+            live = active_counts > 0
+            finite = np.isfinite(cand_tau)
+            finish = live & ~finite
+            process = live & finite
+            if finish.any():
+                # No remaining link of these blocks ever saturates: every
+                # remaining bundle meets demand (a standalone solve exits
+                # its event loop here).
+                finish_pos = active_sorted & finish[block_of_bundle]
+                remaining = order_cols[finish_pos]
                 rates[remaining] = demands[remaining]
-                active_sorted[:] = False
-                break
+                active_sorted[finish_pos] = False
+                active_counts[finish] = 0
+            if not process.any():
+                continue
 
-            # Saturate the crossing link(s) plus any link swept into the
-            # capacity slack band at the same instant (mirrors the reference
-            # model's per-event saturation check).  The matrix product is
-            # only used for this set decision, never for reported numbers.
-            load_now = contributions @ np.minimum(stop_sorted, tau_star)
-            newly = (~saturated) & ((tau <= tau_star) | (load_now >= threshold))
-            if not newly.any():
+            # The event instant per block; -inf for blocks without an event
+            # this round, which propagates through every comparison below as
+            # "never" (growth rates are positive, so no 0 * inf NaNs).
+            tau_star_blocks = np.where(process, cand_tau, -np.inf)
+
+            # Saturation sweep: the load of every link at its block's event
+            # instant, mirroring the reference model's per-event slack-band
+            # check.  np.add.reduceat reduces each link's CSR segment from
+            # its own contiguous entries alone, so the per-link sums are
+            # bitwise the sums a standalone solve computes (locked in by the
+            # batched-vs-single equivalence suite).
+            load_now = np.zeros(total_links, dtype=float)
+            if csr_values.size:
+                contrib = csr_values * np.minimum(
+                    stop_sorted[csr_positions], tau_star_blocks[csr_blocks]
+                )
+                load_now[nonempty_links] = np.add.reduceat(
+                    contrib, csr_offsets[nonempty_links]
+                )
+            load_matrix = load_now.reshape(num_blocks, num_links)
+
+            newly_matrix = (
+                process[:, None]
+                & ~saturated_matrix
+                & (
+                    (tau_matrix <= tau_star_blocks[:, None])
+                    | (load_matrix >= threshold_matrix)
+                )
+            )
+            if not newly_matrix.any(axis=1)[process].all():
                 raise TrafficModelError("traffic model made no progress")
-            saturated |= newly
-            tau[newly] = np.inf
+            saturated_matrix |= newly_matrix
+            tau_matrix[newly_matrix] = np.inf
 
-            # Bundles that met their demand at or before the saturation instant
-            # (with the model's relative slack) freeze satisfied.  Their stop
-            # was already encoded in the load curves, so they do not perturb
-            # the saturation times of other links.
-            satisfied_pos = active_sorted & (e_sorted * (1.0 - _REL_EPS) <= tau_star)
-            satisfied_idx = order[satisfied_pos]
+            # Bundles that met their demand at or before their block's
+            # saturation instant (with the model's relative slack) freeze
+            # satisfied.  Their stop was already encoded in the load curves,
+            # so they do not perturb the saturation times of other links.
+            tau_star_pos = tau_star_blocks[block_of_bundle]
+            satisfied_pos = active_sorted & (
+                e_sorted * (1.0 - _REL_EPS) <= tau_star_pos
+            )
+            satisfied_idx = order_cols[satisfied_pos]
             rates[satisfied_idx] = demands[satisfied_idx]
             active_sorted &= ~satisfied_pos
 
             # Still-growing bundles crossing a newly saturated link freeze
             # truncated, attributing the first saturated link on their path.
             # Unlike satisfied freezes, truncation changes the load curves of
-            # every other link those bundles cross, so their saturation times
-            # are recomputed.
-            newly_idx = np.nonzero(newly)[0]
-            crossing_candidates = np.concatenate(
-                [csr_positions[csr_offsets[l] : csr_offsets[l + 1]] for l in newly_idx]
-            )
-            crossing_pos = np.zeros(num_bundles, dtype=bool)
-            crossing_pos[crossing_candidates] = True
+            # every other link those bundles cross, so those links go dirty.
+            newly_flags = newly_matrix.ravel()
+            newly_links = np.nonzero(newly_flags)[0]
+            crossing_pos = np.zeros(total_bundles, dtype=bool)
+            if newly_links.size:
+                hit_src = _gather_slices(
+                    csr_offsets[newly_links], csr_counts[newly_links]
+                )
+                crossing_pos[csr_positions[hit_src]] = True
             crossing_pos &= active_sorted
-            affected: List[np.ndarray] = []
             crossing_positions = np.nonzero(crossing_pos)[0]
-            crossing_idx = order[crossing_positions]
+            crossing_idx = order_cols[crossing_positions]
+            affected_links: Optional[np.ndarray] = None
             if crossing_idx.size:
-                rates[crossing_idx] = growth[crossing_idx] * tau_star
-                stop_sorted[crossing_positions] = tau_star
-                for j in crossing_idx:
-                    for link_index in compiled.rows[j].link_indices:
-                        if newly[link_index]:
-                            bottleneck[j] = link_index
-                            break
-                    affected.append(compiled.rows[j].link_indices)
-                active_sorted &= ~crossing_pos
+                cross_tau = tau_star_pos[crossing_positions]
+                rates[crossing_idx] = growth[crossing_idx] * cross_tau
+                stop_sorted[crossing_positions] = cross_tau
+                active_sorted[crossing_positions] = False
+                # First newly saturated link on each truncated bundle's path,
+                # in path order; bottlenecks are reported in the block's
+                # local dense link index space.
+                c_counts = row_counts[crossing_idx]
+                c_src = _gather_slices(row_offsets[crossing_idx], c_counts)
+                c_links_local = row_links_local[c_src]
+                c_links_global = c_links_local + np.repeat(
+                    block_link_base[block_of_bundle[crossing_positions]], c_counts
+                )
+                c_seg = np.repeat(
+                    np.arange(crossing_idx.shape[0], dtype=np.intp), c_counts
+                )
+                hits = np.nonzero(newly_flags[c_links_global])[0]
+                hit_seg = c_seg[hits]
+                first_at = np.nonzero(np.diff(hit_seg, prepend=-1) > 0)[0]
+                bottleneck[crossing_idx[hit_seg[first_at]]] = c_links_local[
+                    hits[first_at]
+                ]
+                affected_links = c_links_global
 
-            # Fold every bundle frozen this round into the fixed load
-            # (bincount accumulates in a fixed order — deterministic).
-            frozen_idx = order[np.nonzero(satisfied_pos | crossing_pos)[0]]
-            if frozen_idx.size:
-                frozen_links = [compiled.rows[j].link_indices for j in frozen_idx]
-                frozen_counts = np.asarray([f.shape[0] for f in frozen_links], dtype=np.intp)
+            # Fold every bundle frozen this round into the fixed load.
+            # bincount accumulates per index in entry order, and a bundle's
+            # entries touch only its own block's link range, so each link
+            # sees its own block's freezes in position order — exactly the
+            # standalone solve's addition sequence.
+            frozen_pos = satisfied_pos | crossing_pos
+            frozen_positions = np.nonzero(frozen_pos)[0]
+            if frozen_positions.size:
+                frozen_idx = order_cols[frozen_positions]
+                f_counts = row_counts[frozen_idx]
+                f_src = _gather_slices(row_offsets[frozen_idx], f_counts)
+                f_links = row_links_local[f_src] + np.repeat(
+                    block_link_base[block_of_bundle[frozen_positions]], f_counts
+                )
                 fixed += np.bincount(
-                    np.concatenate(frozen_links),
-                    weights=np.repeat(rates[frozen_idx], frozen_counts),
-                    minlength=num_links,
+                    f_links,
+                    weights=np.repeat(rates[frozen_idx], f_counts),
+                    minlength=total_links,
+                )
+                active_counts -= np.bincount(
+                    block_of_bundle[frozen_positions], minlength=num_blocks
                 )
 
-            if affected:
-                touched = np.unique(np.concatenate(affected))
-                dirty[touched[~saturated[touched]]] = True
-            now = tau_star
+            if affected_links is not None:
+                # Boolean scatter — duplicates are harmless, no dedup needed.
+                dirty[affected_links[~saturated[affected_links]]] = True
+            now_blocks[process] = cand_tau[process]
+            done = process & (active_counts == 0)
+            if done.any():
+                # Finished blocks: silence their remaining links so they can
+                # never become a candidate minimum again (a standalone solve
+                # would simply have exited its event loop here).
+                tau_matrix[done] = np.inf
 
         if active_sorted.any():
             raise TrafficModelError(
                 "traffic model did not converge within the event budget; "
                 "this indicates an internal inconsistency"
             )
-        return _Solution(rates, bottleneck)
+        return solutions()
 
     # --------------------------------------------------------------- scoring
 
@@ -829,3 +1324,108 @@ class CompiledTrafficModel:
             base_bundles = self.compile(base_bundles)
         patched = self.compile_patched(base_bundles, replacements)
         return self.result_of(patched, self.solve(patched))
+
+
+#: Maximum candidates per stacked solve.  Bounds the O(batch x links) argmin
+#: scans of the shared event loop while still amortizing per-solve setup.
+DEFAULT_SCORER_BATCH = 64
+
+#: Adaptive batch sizing targets about this many stacked links per solve:
+#: per-round work scales with batch x links, so larger topologies run
+#: smaller batches (64 blocks at 500 links, ~12 at 2 600).
+SCORER_BATCH_TARGET_LINKS = 32768
+
+#: Adaptive floor: below this the per-solve fixed costs stop amortizing.
+SCORER_BATCH_MIN = 8
+
+
+def _adaptive_batch_size(num_links: int) -> int:
+    """Batch size bounding the stacked system to the target link count."""
+    return max(
+        SCORER_BATCH_MIN,
+        min(DEFAULT_SCORER_BATCH, SCORER_BATCH_TARGET_LINKS // max(num_links, 1)),
+    )
+
+
+class BatchedCandidateScorer:
+    """Scores candidate patches of one compiled base through stacked solves.
+
+    The per-move scoring path compiles and solves one candidate at a time;
+    at scale the per-solve fixed costs dominate the optimizer.  This scorer
+    compiles each candidate patch (cheap — O(changed rows)) and solves whole
+    batches through :meth:`CompiledTrafficModel.solve_batched`, whose
+    block-scoped arithmetic makes every score *bitwise* equal to the
+    per-move path — the optimizer selects the same move either way, which
+    tests/test_batched_scorer.py enforces move-for-move.
+
+    Candidates are patches of one shared base, so the scorer also solves the
+    base once and warm-seeds every candidate block's initial crossing times
+    from it: a candidate only re-derives the links its patched bundles
+    cross (old path or new), a few percent of the topology, instead of every
+    link from scratch.  Per-link crossing times on unpatched links are
+    bitwise the base's — the patch does not change those links' crossing
+    bundles or their stable-sorted order — so scores are unchanged.
+    """
+
+    __slots__ = ("engine", "base", "weights", "batch_size", "_warm_tau")
+
+    def __init__(
+        self,
+        engine: CompiledTrafficModel,
+        base: CompiledBundles,
+        weights: Optional[PriorityWeights] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        if batch_size is None:
+            batch_size = _adaptive_batch_size(engine._capacities.shape[0])
+        elif batch_size < 1:
+            raise TrafficModelError(
+                f"batch_size must be positive, got {batch_size!r}"
+            )
+        self.engine = engine
+        self.base = base
+        self.weights = weights
+        self.batch_size = batch_size
+        self._warm_tau: Optional[np.ndarray] = None
+
+    def _base_tau(self) -> np.ndarray:
+        """Initial per-link crossing times of the base block (solved once)."""
+        if self._warm_tau is None:
+            buf = np.empty(self.engine._capacities.shape[0], dtype=float)
+            self.engine.solve_batched([self.base], initial_tau_out=buf)
+            self._warm_tau = buf
+        return self._warm_tau
+
+    def _fresh_links(self, patch: BundlePatch) -> np.ndarray:
+        """Local link indices whose crossing times the patch can change:
+        every link on a patched bundle's old path or new path."""
+        parts: List[np.ndarray] = []
+        for (key, path), bundle in patch.items():
+            column = self.base.index.get((key, tuple(path)))
+            if column is not None:
+                parts.append(self.base.rows[column].link_indices)
+            if bundle is not None:
+                parts.append(self.engine._row_for(bundle).link_indices)
+        if not parts:
+            return np.zeros(0, dtype=np.intp)
+        return np.unique(np.concatenate(parts))
+
+    def score(self, patches: Sequence[BundlePatch]) -> List[float]:
+        """Weighted utility of each patched candidate, in input order."""
+        scores: List[float] = []
+        warm_tau = self._base_tau()
+        for start in range(0, len(patches), self.batch_size):
+            chunk = patches[start : start + self.batch_size]
+            compiled = [
+                self.engine.compile_patched(self.base, patch) for patch in chunk
+            ]
+            solved = self.engine.solve_batched(
+                compiled,
+                warm_tau=warm_tau,
+                fresh_links=[self._fresh_links(patch) for patch in chunk],
+            )
+            scores.extend(
+                self.engine.weighted_utility(candidate, solution.rates, self.weights)
+                for candidate, solution in zip(compiled, solved)
+            )
+        return scores

