@@ -48,10 +48,16 @@ def ecmp_routing(
     policy: Optional[PathPolicy] = None,
     model_config: Optional[TrafficModelConfig] = None,
     max_paths: int = 8,
+    generator: Optional[PathGenerator] = None,
+    model: Optional[TrafficModel] = None,
 ) -> BaselineResult:
-    """Split every aggregate evenly across its equal-cost lowest-delay paths."""
+    """Split every aggregate evenly across its equal-cost lowest-delay paths.
+
+    ``generator`` / ``model`` let callers pass warm instances (see
+    :mod:`repro.runner.worker`); both default to fresh builds as before.
+    """
     traffic_matrix.require_routable_on(network)
-    generator = PathGenerator(network, policy)
+    generator = generator or PathGenerator(network, policy)
 
     allocations: Dict = {}
     for aggregate in traffic_matrix:
@@ -75,6 +81,6 @@ def ecmp_routing(
         allocations[aggregate.key] = allocation
 
     state = AllocationState(network, traffic_matrix, allocations)
-    model = TrafficModel(network, model_config)
+    model = model or TrafficModel(network, model_config)
     result = model.evaluate(state.bundles())
     return BaselineResult(name="ecmp", state=state, model_result=result)

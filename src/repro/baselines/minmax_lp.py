@@ -142,10 +142,16 @@ def minmax_lp_routing(
     policy: Optional[PathPolicy] = None,
     model_config: Optional[TrafficModelConfig] = None,
     paths_per_aggregate: int = 4,
+    generator: Optional[PathGenerator] = None,
+    model: Optional[TrafficModel] = None,
 ) -> BaselineResult:
-    """Classic min-max-utilization TE: solve the LP, round to flows, evaluate."""
+    """Classic min-max-utilization TE: solve the LP, round to flows, evaluate.
+
+    ``generator`` / ``model`` let callers pass warm instances (see
+    :mod:`repro.runner.worker`); both default to fresh builds as before.
+    """
     traffic_matrix.require_routable_on(network)
-    generator = PathGenerator(network, policy)
+    generator = generator or PathGenerator(network, policy)
     candidates = _candidate_paths(network, generator, traffic_matrix, paths_per_aggregate)
     fractions = solve_minmax_fractions(network, traffic_matrix, candidates)
 
@@ -161,6 +167,6 @@ def minmax_lp_routing(
         allocations[aggregate.key] = allocation
 
     state = AllocationState(network, traffic_matrix, allocations)
-    model = TrafficModel(network, model_config)
+    model = model or TrafficModel(network, model_config)
     result = model.evaluate(state.bundles())
     return BaselineResult(name="minmax-lp", state=state, model_result=result)

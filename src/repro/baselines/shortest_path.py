@@ -24,11 +24,17 @@ def shortest_path_routing(
     traffic_matrix: TrafficMatrix,
     policy: Optional[PathPolicy] = None,
     model_config: Optional[TrafficModelConfig] = None,
+    generator: Optional[PathGenerator] = None,
+    model: Optional[TrafficModel] = None,
 ) -> BaselineResult:
-    """Route every aggregate over its lowest-delay path and evaluate the result."""
+    """Route every aggregate over its lowest-delay path and evaluate the result.
+
+    ``generator`` / ``model`` let callers (the sweep runner's worker caches)
+    pass warm instances; both default to fresh builds as before.
+    """
     traffic_matrix.require_routable_on(network)
-    generator = PathGenerator(network, policy)
+    generator = generator or PathGenerator(network, policy)
     state = AllocationState.initial(network, traffic_matrix, generator)
-    model = TrafficModel(network, model_config)
+    model = model or TrafficModel(network, model_config)
     result = model.evaluate(state.bundles())
     return BaselineResult(name="shortest-path", state=state, model_result=result)

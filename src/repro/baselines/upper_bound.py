@@ -86,15 +86,19 @@ def upper_bound_utility(
     model_config: Optional[TrafficModelConfig] = None,
     weights: Optional[PriorityWeights] = None,
     max_split_paths: int = 3,
+    generator: Optional[PathGenerator] = None,
+    model: Optional[TrafficModel] = None,
 ) -> float:
     """The paper's upper-bound reference: mean isolated utility over aggregates.
 
     The mean is flow-weighted so it is directly comparable with the "total
-    average" utility FUBAR reports.
+    average" utility FUBAR reports.  ``generator`` / ``model`` let callers
+    pass warm instances (see :mod:`repro.runner.worker`); both default to
+    fresh builds as before.
     """
     traffic_matrix.require_routable_on(network)
-    generator = PathGenerator(network, policy)
-    model = TrafficModel(network, model_config)
+    generator = generator or PathGenerator(network, policy)
+    model = model or TrafficModel(network, model_config)
     utilities: List[AggregateUtility] = []
     for aggregate in traffic_matrix:
         value = isolated_aggregate_utility(

@@ -81,6 +81,13 @@ class Fubar:
         Path policy applied to every generated path.
     model_config:
         Traffic-model configuration (RTT floor, RTT fairness on/off).
+    path_cache:
+        Optional warm :class:`~repro.paths.cache.PathSetCache`; used only
+        under the unrestricted default policy (the cache serves one policy).
+    model_cache:
+        Optional warm
+        :class:`~repro.trafficmodel.compiled.CompiledModelCache` supplying
+        the optimizer's traffic-model engine.
     """
 
     def __init__(
@@ -89,12 +96,16 @@ class Fubar:
         config: Optional[FubarConfig] = None,
         policy: Optional[PathPolicy] = None,
         model_config: Optional[TrafficModelConfig] = None,
+        path_cache=None,
+        model_cache=None,
     ) -> None:
         require_routable(network)
         self.network = network
         self.config = config or FubarConfig()
         self.policy = policy or PathPolicy.unrestricted()
         self.model_config = model_config
+        self._path_cache = path_cache
+        self._model_cache = model_cache
 
     def optimize(
         self,
@@ -115,13 +126,24 @@ class Fubar:
         config:
             Per-cycle configuration override; defaults to the controller's.
         """
-        generator = PathGenerator(self.network, self.policy)
+        if self._path_cache is not None and self.policy == PathPolicy.unrestricted():
+            generator = self._path_cache.generator_for(self.network)
+        else:
+            generator = PathGenerator(self.network, self.policy)
+        traffic_model = None
+        if self._model_cache is not None:
+            from repro.trafficmodel.waterfill import TrafficModel
+
+            traffic_model = TrafficModel.from_engine(
+                self._model_cache.engine_for(self.network, self.model_config)
+            )
         optimizer = FubarOptimizer(
             self.network,
             traffic_matrix,
             config=config or self.config,
             path_generator=generator,
-            model_config=self.model_config,
+            traffic_model=traffic_model,
+            model_config=None if traffic_model is not None else self.model_config,
         )
         initial_state = None
         initial_path_sets = None

@@ -334,6 +334,7 @@ def run_control_loop(
     model_config: Optional[TrafficModelConfig] = None,
     failures: Optional[FailureSchedule] = None,
     path_cache: Optional[PathSetCache] = None,
+    model_cache=None,
 ) -> ControlLoopResult:
     """Run the closed control loop over *process* on *network*.
 
@@ -363,6 +364,13 @@ def run_control_loop(
     failure still gets a fresh generator (see
     :mod:`repro.paths.cache`).  The cache must have been built with the
     same *policy* passed here.
+
+    *model_cache* (a
+    :class:`~repro.trafficmodel.compiled.CompiledModelCache`) plays the same
+    role for traffic-model engines: the loop's model — rebuilt on every
+    topology change — comes from the cache, so oscillating failure/repair
+    topologies and consecutive same-topology sweep cells reuse warm
+    compiled rows instead of recompiling them.
     """
     loop_config = loop_config or ControlLoopConfig()
     fubar_config = fubar_config or FubarConfig()
@@ -374,9 +382,16 @@ def run_control_loop(
             return path_cache.generator_for(topology)
         return PathGenerator(topology, policy)
 
+    def _model_for(topology: Network) -> TrafficModel:
+        if model_cache is not None:
+            return TrafficModel.from_engine(
+                model_cache.engine_for(topology, model_config)
+            )
+        return TrafficModel(topology, model_config)
+
     current = network
     generator = _generator_for(network)
-    model = TrafficModel(network, model_config)
+    model = _model_for(network)
 
     observed = process.matrix_at(0)
     plan: Optional[FubarPlan] = None
@@ -400,7 +415,7 @@ def run_control_loop(
                     invalidated = sdn.uninstall_rules_crossing(newly_dead)
                 current = epoch_network
                 generator = _generator_for(current)
-                model = TrafficModel(current, model_config)
+                model = _model_for(current)
                 if warm_state is not None:
                     pruned = prune_warm_start(
                         warm_state, warm_path_sets, current, generator
@@ -432,7 +447,10 @@ def run_control_loop(
                 routable,
                 config=fubar_config,
                 path_generator=generator,
-                model_config=model_config,
+                traffic_model=(
+                    _model_for(current) if model_cache is not None else None
+                ),
+                model_config=None if model_cache is not None else model_config,
             )
             initial_state = None
             initial_path_sets = None

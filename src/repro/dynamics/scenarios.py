@@ -273,12 +273,17 @@ def loop_inputs(scenario: Scenario) -> Tuple[TrafficProcess, ControlLoopConfig]:
     return process, loop_config
 
 
-def run_scenario_loop(scenario: Scenario) -> ControlLoopResult:
+def run_scenario_loop(
+    scenario: Scenario, path_cache=None, model_cache=None
+) -> ControlLoopResult:
     """Run a dynamic scenario's control loop end to end.
 
     Failure scenarios (``metadata["dynamics"]["failures"]``) drive their
     reconstructed schedule through the loop; demand-only scenarios run
-    exactly as before.
+    exactly as before.  *path_cache* / *model_cache* let the sweep runner
+    pass its process-local worker caches so consecutive same-topology cells
+    share warm state; by default each run gets a private path cache (shared
+    across its own epochs) and no model cache, exactly as before.
     """
     process, loop_config = loop_inputs(scenario)
     return run_control_loop(
@@ -290,5 +295,6 @@ def run_scenario_loop(scenario: Scenario) -> ControlLoopResult:
         # Share path generators across epochs: on failure/repair schedules
         # the topology oscillates between a few states, and a repair epoch
         # gets the base network's warm generator back instead of a rebuild.
-        path_cache=PathSetCache(),
+        path_cache=path_cache or PathSetCache(),
+        model_cache=model_cache,
     )

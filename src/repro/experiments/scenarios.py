@@ -111,7 +111,19 @@ def calibrate_flow_counts(
             "target demanded utilization must be in (0, 2), got "
             f"{target_demanded_utilization!r}"
         )
-    baseline = shortest_path_routing(network, traffic_matrix)
+    # Inside a shared-cache sweep worker (repro.runner.worker) the calibration
+    # route reuses the warm path generator and traffic-model engine for this
+    # topology; outside one, caches is None and fresh instances are built
+    # exactly as before.  Lazy import: the runner layer sits above this one.
+    from repro.runner.worker import active_worker_caches
+
+    caches = active_worker_caches()
+    baseline = shortest_path_routing(
+        network,
+        traffic_matrix,
+        generator=caches.generator_for(network) if caches else None,
+        model=caches.model_for(network) if caches else None,
+    )
     demanded = baseline.model_result.demanded_utilization()
     if demanded <= 0.0:
         raise ExperimentError("traffic matrix has no demand; cannot calibrate")

@@ -71,6 +71,7 @@ class PathGenerator:
         self.network = network
         self.policy = policy or PathPolicy.unrestricted()
         self._cache: Dict[Tuple[str, str, FrozenSet[LinkId]], Optional[Path]] = {}
+        self._ksp_cache: Dict[Tuple[str, str, int], List[Path]] = {}
 
     # ----------------------------------------------------------- basic paths
 
@@ -88,11 +89,22 @@ class PathGenerator:
         return self._query(source, destination, frozenset(excluded_links))
 
     def k_shortest(self, source: str, destination: str, k: int) -> List[Path]:
-        """Up to *k* policy-compliant lowest-delay paths (used by baselines/ablations)."""
-        paths = k_shortest_paths_or_fewer(self.network, source, destination, k)
-        return [
-            path for path in paths if self.policy.is_compliant(self.network, path)
-        ]
+        """Up to *k* policy-compliant lowest-delay paths (used by baselines/ablations).
+
+        Results are cached per ``(source, destination, k)`` — Yen's algorithm
+        dominates baseline construction, and the same queries repeat across
+        cells sharing a topology.  Callers get a fresh list each time so the
+        cached answer cannot be mutated in place.
+        """
+        cache_key = (source, destination, k)
+        cached = self._ksp_cache.get(cache_key)
+        if cached is None:
+            paths = k_shortest_paths_or_fewer(self.network, source, destination, k)
+            cached = [
+                path for path in paths if self.policy.is_compliant(self.network, path)
+            ]
+            self._ksp_cache[cache_key] = cached
+        return list(cached)
 
     # --------------------------------------------------- §2.4 alternatives
 
@@ -177,6 +189,7 @@ class PathGenerator:
     def clear_cache(self) -> None:
         """Drop all cached shortest-path answers (e.g. after editing the network)."""
         self._cache.clear()
+        self._ksp_cache.clear()
 
     @property
     def cache_size(self) -> int:

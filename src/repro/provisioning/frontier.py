@@ -164,12 +164,16 @@ class _ProbeRunner:
         traffic_matrix: TrafficMatrix,
         config: Optional[FubarConfig],
         warm_start: bool,
+        path_cache=None,
+        model_cache=None,
     ) -> None:
         traffic_matrix.require_routable_on(network)
         self.network = network
         self.traffic_matrix = traffic_matrix
         self.config = config or FubarConfig()
         self.warm_start = warm_start
+        self.path_cache = path_cache
+        self.model_cache = model_cache
         self.results: Dict[float, FubarResult] = {}
         self.total_model_evaluations = 0
 
@@ -177,6 +181,29 @@ class _ProbeRunner:
         return self.network.with_uniform_capacity(
             capacity_bps, name=f"{self.network.name}@{capacity_bps / 1e6:g}Mbps"
         )
+
+    def generator_for(self, probe_network: Network) -> PathGenerator:
+        """A (possibly warm) path generator for one probe network.
+
+        Every probed capacity has a distinct topology signature, so a warm
+        cache only hits when the *same* capacity is probed again — which is
+        exactly what happens when consecutive sweep cells rerun the search.
+        """
+        if self.path_cache is not None:
+            return self.path_cache.generator_for(probe_network)
+        return PathGenerator(probe_network)
+
+    def model_for(self, probe_network: Network) -> TrafficModel:
+        """A (possibly warm) traffic model for one probe network.
+
+        Evaluation accounting is unaffected: every caller counts its own
+        evaluations explicitly rather than reading the shared counter.
+        """
+        if self.model_cache is not None:
+            return TrafficModel.from_engine(
+                self.model_cache.engine_for(probe_network)
+            )
+        return TrafficModel(probe_network)
 
     def warm_source(
         self, capacity_bps: float, probe_network: Network
@@ -200,7 +227,7 @@ class _ProbeRunner:
         if len(candidates) == 1:
             source = self.results[candidates[0]]
             return source, rebase_state(source.state, probe_network), 0
-        model = TrafficModel(probe_network)
+        model = self.model_for(probe_network)
         scored = []
         for capacity in candidates:
             source = self.results[capacity]
@@ -223,7 +250,12 @@ class _ProbeRunner:
             probe_network,
             self.traffic_matrix,
             config=self.config,
-            path_generator=PathGenerator(probe_network),
+            path_generator=self.generator_for(probe_network),
+            traffic_model=(
+                self.model_for(probe_network)
+                if self.model_cache is not None
+                else None
+            ),
         )
         source, initial_state, scoring_evaluations = self.warm_source(
             capacity_bps, probe_network
@@ -274,6 +306,8 @@ def minimal_uniform_capacity(
     max_probes: int = 12,
     fubar_config: Optional[FubarConfig] = None,
     warm_start: bool = True,
+    path_cache=None,
+    model_cache=None,
 ) -> CapacityFrontier:
     """Find the smallest uniform link capacity that meets a utility target.
 
@@ -300,7 +334,14 @@ def minimal_uniform_capacity(
             f"relative_tolerance must be positive, got {relative_tolerance!r}"
         )
 
-    runner = _ProbeRunner(network, traffic_matrix, fubar_config, warm_start)
+    runner = _ProbeRunner(
+        network,
+        traffic_matrix,
+        fubar_config,
+        warm_start,
+        path_cache=path_cache,
+        model_cache=model_cache,
+    )
     points: List[FrontierPoint] = []
 
     def take(capacity_bps: float) -> FrontierPoint:
@@ -376,7 +417,7 @@ def _repair_monotone(
         state = own_state
         if point.utility < best_utility and best_state is not None:
             probe_network = runner.network_at(point.capacity_bps)
-            rescored = TrafficModel(probe_network).evaluate(
+            rescored = runner.model_for(probe_network).evaluate(
                 rebase_state(best_state, probe_network).bundles()
             )
             runner.total_model_evaluations += 1

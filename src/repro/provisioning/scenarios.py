@@ -147,8 +147,16 @@ class ProvisioningOutcome:
         return record
 
 
-def run_scenario_provisioning(scenario: Scenario) -> ProvisioningOutcome:
-    """Answer a provisioning scenario's capacity-planning question."""
+def run_scenario_provisioning(
+    scenario: Scenario, path_cache=None, model_cache=None
+) -> ProvisioningOutcome:
+    """Answer a provisioning scenario's capacity-planning question.
+
+    *path_cache* / *model_cache* are the sweep runner's process-local worker
+    caches (see :mod:`repro.runner.worker`); consecutive cells probing the
+    same capacities reuse warm path generators and compiled-model rows.
+    Both default to None — a standalone run behaves exactly as before.
+    """
     if not is_provisioning(scenario):
         raise ProvisioningError(
             f"scenario {scenario.name!r} has no {PROVISIONING_METADATA_KEY!r} metadata"
@@ -169,6 +177,8 @@ def run_scenario_provisioning(scenario: Scenario) -> ProvisioningOutcome:
                 max_probes=int(spec["max_probes"]),
                 fubar_config=scenario.fubar_config,
                 warm_start=bool(spec["warm_start"]),
+                path_cache=path_cache,
+                model_cache=model_cache,
             ),
         )
     if mode == UPGRADES_MODE:
@@ -182,6 +192,8 @@ def run_scenario_provisioning(scenario: Scenario) -> ProvisioningOutcome:
                 candidates_per_round=int(spec["candidates_per_round"]),
                 fubar_config=scenario.fubar_config,
                 warm_start=bool(spec["warm_start"]),
+                path_cache=path_cache,
+                model_cache=model_cache,
             ),
         )
     return ProvisioningOutcome(
@@ -196,5 +208,7 @@ def run_scenario_provisioning(scenario: Scenario) -> ProvisioningOutcome:
             max_probes=int(spec["max_probes"]),
             fubar_config=scenario.fubar_config,
             warm_start=bool(spec["warm_start"]),
+            path_cache=path_cache,
+            model_cache=model_cache,
         ),
     )

@@ -112,6 +112,7 @@ def utility_under_failure(
     warm_path_sets: Optional[Dict] = None,
     routable: Optional[TrafficMatrix] = None,
     stranded_flows: Optional[int] = None,
+    path_cache=None,
 ) -> Tuple[float, int]:
     """Re-optimized utility of *traffic_matrix* after one fibre cut.
 
@@ -127,7 +128,11 @@ def utility_under_failure(
     per-aggregate path checks once.
     """
     degraded = degrade(network, failed_links=[failed_link])
-    generator = PathGenerator(degraded)
+    generator = (
+        path_cache.generator_for(degraded)
+        if path_cache is not None
+        else PathGenerator(degraded)
+    )
     if routable is None:
         routable, stranded = split_routable(traffic_matrix, generator)
         stranded_flows = sum(a.num_flows for a in stranded)
@@ -175,7 +180,7 @@ class _FailureCase:
 
 
 def _enumerate_failures(
-    network: Network, traffic_matrix: TrafficMatrix
+    network: Network, traffic_matrix: TrafficMatrix, path_cache=None
 ) -> List[_FailureCase]:
     """Precompute the routability split of every single-fibre cut.
 
@@ -186,7 +191,12 @@ def _enumerate_failures(
     cases: List[_FailureCase] = []
     for pair in undirected_link_pairs(network):
         degraded = degrade(network, failed_links=[pair])
-        routable, stranded = split_routable(traffic_matrix, PathGenerator(degraded))
+        generator = (
+            path_cache.generator_for(degraded)
+            if path_cache is not None
+            else PathGenerator(degraded)
+        )
+        routable, stranded = split_routable(traffic_matrix, generator)
         cases.append(
             _FailureCase(
                 pair=pair,
@@ -208,6 +218,8 @@ def survivable_capacity(
     fubar_config: Optional[FubarConfig] = None,
     warm_start: bool = True,
     skip_disconnecting: bool = True,
+    path_cache=None,
+    model_cache=None,
 ) -> SurvivableCapacityResult:
     """Find the smallest uniform capacity that survives every fibre cut.
 
@@ -231,12 +243,19 @@ def survivable_capacity(
             f"relative_tolerance must be positive, got {relative_tolerance!r}"
         )
 
-    cases = _enumerate_failures(network, traffic_matrix)
+    cases = _enumerate_failures(network, traffic_matrix, path_cache=path_cache)
     skipped = 0
     if skip_disconnecting:
         skipped = sum(1 for case in cases if case.disconnecting)
         cases = [case for case in cases if not case.disconnecting]
-    runner = _ProbeRunner(network, traffic_matrix, fubar_config, warm_start)
+    runner = _ProbeRunner(
+        network,
+        traffic_matrix,
+        fubar_config,
+        warm_start,
+        path_cache=path_cache,
+        model_cache=model_cache,
+    )
     config = runner.config
     probes: List[SurvivableProbe] = []
 
@@ -259,6 +278,7 @@ def survivable_capacity(
                     warm_path_sets=healthy.path_sets if warm_start else None,
                     routable=case.routable,
                     stranded_flows=case.stranded_flows,
+                    path_cache=path_cache,
                 )
                 evaluations += failure_evals
                 runner.total_model_evaluations += failure_evals

@@ -158,6 +158,8 @@ def greedy_link_upgrades(
     candidates_per_round: int = 4,
     fubar_config: Optional[FubarConfig] = None,
     warm_start: bool = True,
+    path_cache=None,
+    model_cache=None,
 ) -> UpgradePlan:
     """Greedily upgrade the most valuable congested fibres.
 
@@ -172,6 +174,10 @@ def greedy_link_upgrades(
     warm_start:
         Seed each post-commit re-optimization from the incumbent plan
         instead of restarting from shortest paths.
+    path_cache / model_cache:
+        Optional warm worker caches (see :mod:`repro.runner.worker`);
+        upgrades change link capacities and therefore the topology
+        signature, so only the shared pre-upgrade stages hit across cells.
     """
     if num_upgrades < 1:
         raise ProvisioningError(f"num_upgrades must be positive, got {num_upgrades!r}")
@@ -186,12 +192,22 @@ def greedy_link_upgrades(
     traffic_matrix.require_routable_on(network)
     config = fubar_config or FubarConfig()
 
+    def _generator_for(topology: Network) -> PathGenerator:
+        if path_cache is not None:
+            return path_cache.generator_for(topology)
+        return PathGenerator(topology)
+
+    def _engine_for(topology: Network) -> CompiledTrafficModel:
+        if model_cache is not None:
+            return model_cache.engine_for(topology)
+        return CompiledTrafficModel(topology)
+
     current_network = network
     result: FubarResult = FubarOptimizer(
         current_network,
         traffic_matrix,
         config=config,
-        path_generator=PathGenerator(current_network),
+        path_generator=_generator_for(current_network),
     ).run()
     plan = UpgradePlan(
         base_utility=result.weighted_utility,
@@ -220,7 +236,7 @@ def greedy_link_upgrades(
 
         # Cheap probes: compile the incumbent allocation once, then score
         # every candidate by solving with a patched capacity vector.
-        engine = CompiledTrafficModel(current_network)
+        engine = _engine_for(current_network)
         compiled = engine.compile(result.state.bundles())
         base_capacities = np.asarray(current_network.capacities(), dtype=float)
         utility_now = engine.weighted_utility(
@@ -265,7 +281,7 @@ def greedy_link_upgrades(
             upgraded,
             traffic_matrix,
             config=config,
-            path_generator=PathGenerator(upgraded),
+            path_generator=_generator_for(upgraded),
         )
         utility_before = result.weighted_utility
         if warm_start:

@@ -20,7 +20,9 @@ from repro.runner.engine import (
     CellOutcome,
     SweepResult,
     SweepStats,
+    default_jobs,
     evaluate_cell,
+    iter_sweep,
     run_sweep,
 )
 from repro.runner.registry import (
@@ -40,11 +42,19 @@ from repro.runner.registry import (
 )
 from repro.runner.report import (
     aggregate_summary,
+    append_jsonl_record,
     comparison_rows,
     format_markdown_report,
     format_sweep_report,
+    load_jsonl_records,
 )
 from repro.runner.spec import CellSpec, canonical_json, parse_param_overrides
+from repro.runner.worker import (
+    WorkerCaches,
+    active_worker_caches,
+    clear_worker_caches,
+    install_worker_caches,
+)
 
 __all__ = [
     "BASELINE_SCHEMES",
@@ -57,11 +67,16 @@ __all__ = [
     "ScenarioFamily",
     "SweepResult",
     "SweepStats",
+    "WorkerCaches",
+    "active_worker_caches",
     "aggregate_summary",
+    "append_jsonl_record",
     "build_scenario",
     "canonical_json",
+    "clear_worker_caches",
     "comparison_rows",
     "default_cache_dir",
+    "default_jobs",
     "default_sweep_specs",
     "evaluate_cell",
     "expand_failure_specs",
@@ -69,8 +84,11 @@ __all__ = [
     "format_markdown_report",
     "format_sweep_report",
     "get_family",
+    "install_worker_caches",
     "is_failure_family",
+    "iter_sweep",
     "list_families",
+    "load_jsonl_records",
     "parse_param_overrides",
     "register_family",
     "resolve_spec",

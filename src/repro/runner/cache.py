@@ -26,6 +26,12 @@ CACHE_DIR_ENV_VAR = "FUBAR_CACHE_DIR"
 #: Directory used when neither the CLI flag nor the env var names one.
 DEFAULT_CACHE_DIR = ".fubar-cache"
 
+#: Subdirectory holding cached *error* records.  Error records live apart
+#: from successes so the top-level globs (``records``/``hashes``/``len``)
+#: keep meaning "completed cells", and so a deterministic failing cell can
+#: be served (or explicitly retried) without ever shadowing a success.
+ERROR_SUBDIR = "errors"
+
 
 def default_cache_dir() -> Path:
     """Resolve the cache directory from the environment or the default."""
@@ -62,12 +68,14 @@ class ResultCache:
 
     def store(self, config_hash: str, record: Dict[str, object]) -> Path:
         """Atomically persist *record* under *config_hash* and return its path."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path_for(config_hash)
+        return self._write(self._path_for(config_hash), record)
+
+    def _write(self, path: Path, record: Dict[str, object]) -> Path:
+        path.parent.mkdir(parents=True, exist_ok=True)
         # The temp suffix must not end in ".json": the record globs would
         # otherwise pick up an orphan left by a killed process as an entry.
         descriptor, temp_name = tempfile.mkstemp(
-            dir=str(self.directory), prefix=".tmp-", suffix=".json.tmp"
+            dir=str(path.parent), prefix=".tmp-", suffix=".json.tmp"
         )
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
@@ -81,6 +89,43 @@ class ResultCache:
                 pass
             raise
         return path
+
+    # -------------------------------------------------------- error records
+
+    def _error_path_for(self, config_hash: str) -> Path:
+        return self.directory / ERROR_SUBDIR / f"{config_hash}.json"
+
+    def store_error(self, config_hash: str, record: Dict[str, object]) -> Path:
+        """Persist an error record under the distinct error key.
+
+        Cached errors make deterministic failures explicit: a rerun serves
+        the stored error instead of silently recomputing, unless the caller
+        asks for a retry (``retry_errors`` in the sweep engine / CLI).
+        """
+        return self._write(self._error_path_for(config_hash), record)
+
+    def load_error(self, config_hash: str) -> Optional[Dict[str, object]]:
+        """The cached error record for *config_hash*, or None."""
+        try:
+            with self._error_path_for(config_hash).open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def discard_error(self, config_hash: str) -> bool:
+        """Drop the cached error for *config_hash* (e.g. after a retry succeeds)."""
+        try:
+            self._error_path_for(config_hash).unlink()
+            return True
+        except OSError:
+            return False
+
+    def error_hashes(self) -> List[str]:
+        """Config hashes of every cached error record."""
+        error_dir = self.directory / ERROR_SUBDIR
+        if not error_dir.is_dir():
+            return []
+        return sorted(path.stem for path in error_dir.glob("*.json"))
 
     def records(self) -> Iterator[Dict[str, object]]:
         """Iterate over every readable cached record (order: by filename)."""
@@ -100,14 +145,46 @@ class ResultCache:
         return sorted(path.stem for path in self.directory.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
+        """Delete every cached entry (successes and errors); returns the count."""
         removed = 0
-        for path in self.directory.glob("*.json") if self.directory.is_dir() else ():
+        paths: List[Path] = []
+        if self.directory.is_dir():
+            paths.extend(self.directory.glob("*.json"))
+            paths.extend((self.directory / ERROR_SUBDIR).glob("*.json"))
+        for path in paths:
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 continue
+        return removed
+
+    def prune(self, current_schema: int) -> int:
+        """Drop entries whose schema differs from *current_schema*; return the count.
+
+        A ``SPEC_SCHEMA_VERSION`` bump changes every config hash, so stale
+        entries are never *served* — but their files accumulate forever.
+        Pruning removes success and error records carrying an old (or
+        missing) schema tag, plus unreadable/corrupt files.
+        """
+        removed = 0
+        paths: List[Path] = []
+        if self.directory.is_dir():
+            paths.extend(self.directory.glob("*.json"))
+            paths.extend((self.directory / ERROR_SUBDIR).glob("*.json"))
+        for path in paths:
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+                stale = not isinstance(record, dict) or record.get("schema") != current_schema
+            except (OSError, json.JSONDecodeError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
         return removed
 
     def __len__(self) -> int:

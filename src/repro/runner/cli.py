@@ -1,6 +1,6 @@
 """The ``python -m repro.runner`` command-line interface.
 
-Four subcommands drive the sweep machinery:
+Five subcommands drive the sweep machinery:
 
 ``list``
     Show every registered scenario family, its defaults and sweepable axes,
@@ -11,9 +11,14 @@ Four subcommands drive the sweep machinery:
 ``sweep``
     Run a grid of cells in parallel through the result cache and print the
     aggregated comparison report; ``--report`` additionally writes a
-    markdown report.
+    markdown report and ``--stream-jsonl`` appends every finished cell to a
+    JSONL stream the moment it completes.
 ``report``
-    Re-render the report from cached results without running anything.
+    Re-render the report from cached results (or, with ``--from-jsonl``,
+    from a possibly partial sweep stream) without running anything.
+``cache``
+    Inspect or maintain the result cache: ``list`` entries, ``prune`` stale
+    schemas, ``clear`` everything.
 
 Examples
 --------
@@ -23,9 +28,11 @@ Examples
     python -m repro.runner run he-provisioned --set num_pops=6 --seed 1
     python -m repro.runner run he-capacity-plan --set target_utility=0.97
     python -m repro.runner sweep --jobs 4 --seeds 0,1
-    python -m repro.runner sweep --preset provisioning
+    python -m repro.runner sweep --preset provisioning --stream-jsonl sweep.jsonl
     python -m repro.runner sweep --family waxman --family random-core --seeds 0:3
     python -m repro.runner report --output sweep-report.md
+    python -m repro.runner report --from-jsonl sweep.jsonl
+    python -m repro.runner cache prune
 """
 
 from __future__ import annotations
@@ -45,8 +52,13 @@ from repro.runner.registry import (
     get_family,
     list_families,
 )
-from repro.runner.report import format_markdown_report, format_sweep_report
-from repro.runner.spec import CellSpec, parse_param_overrides
+from repro.runner.report import (
+    append_jsonl_record,
+    format_markdown_report,
+    format_sweep_report,
+    load_jsonl_records,
+)
+from repro.runner.spec import SPEC_SCHEMA_VERSION, CellSpec, parse_param_overrides
 
 
 def _parse_seeds(text: str) -> List[int]:
@@ -155,12 +167,22 @@ def _build_sweep_specs(args: argparse.Namespace) -> List[CellSpec]:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     specs = _build_sweep_specs(args)
+    on_record = None
+    if args.stream_jsonl:
+        stream_path = Path(args.stream_jsonl)
+
+        def on_record(event: str, record) -> None:  # noqa: F811
+            append_jsonl_record(stream_path, record)
+
     result = run_sweep(
         specs,
         jobs=args.jobs,
         cache=_make_cache(args),
         force=args.force,
+        retry_errors=args.retry_errors,
+        share_caches=args.share_caches,
         progress=_progress_printer(sys.stderr),
+        on_record=on_record,
     )
     print(format_sweep_report(result.records, result.stats.as_dict()))
     if args.report:
@@ -174,17 +196,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    cache = _make_cache(args)
-    records = list(cache.records())
-    if not records:
-        print(f"no cached results under {cache.directory}", file=sys.stderr)
-        return 1
+    if args.from_jsonl:
+        records = load_jsonl_records(args.from_jsonl)
+        if not records:
+            print(f"no readable records in {args.from_jsonl}", file=sys.stderr)
+            return 1
+    else:
+        cache = _make_cache(args)
+        records = list(cache.records())
+        if not records:
+            print(f"no cached results under {cache.directory}", file=sys.stderr)
+            return 1
     records.sort(key=lambda record: str(record.get("label", "")))
     print(format_sweep_report(records))
     if args.output:
         path = Path(args.output)
         path.write_text(format_markdown_report(records), encoding="utf-8")
         print(f"\nmarkdown report written to {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = _make_cache(args)
+    if args.action == "list":
+        hashes = cache.hashes()
+        errors = cache.error_hashes()
+        for config_hash in hashes:
+            record = cache.load(config_hash) or {}
+            print(f"{config_hash}  {record.get('label', '?')}")
+        for config_hash in errors:
+            record = cache.load_error(config_hash) or {}
+            print(f"{config_hash}  {record.get('label', '?')}  [error]")
+        print(
+            f"{len(hashes)} result(s), {len(errors)} cached error(s) "
+            f"under {cache.directory}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.action == "prune":
+        removed = cache.prune(SPEC_SCHEMA_VERSION)
+        print(
+            f"pruned {removed} stale entr{'y' if removed == 1 else 'ies'} "
+            f"(schema != {SPEC_SCHEMA_VERSION}) from {cache.directory}"
+        )
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} from {cache.directory}")
     return 0
 
 
@@ -254,13 +311,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: min(cells, cpu count))",
     )
     sub.add_argument("--report", help="also write a markdown report to this path")
+    sub.add_argument(
+        "--stream-jsonl",
+        metavar="PATH",
+        help="append every finished cell record to this JSONL file as it "
+        "completes (resumable; render with `report --from-jsonl`)",
+    )
+    sub.add_argument(
+        "--retry-errors",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="recompute cells with a cached error record "
+        "(--no-retry-errors serves the cached error instead)",
+    )
+    sub.add_argument(
+        "--share-caches",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse warm per-worker path/model caches across same-topology "
+        "cells (--no-share-caches forces isolated cold starts)",
+    )
     add_cache_args(sub)
     sub.set_defaults(handler=_cmd_sweep)
 
     sub = subparsers.add_parser("report", help="re-render the report from the cache")
     sub.add_argument("--output", help="also write a markdown report to this path")
+    sub.add_argument(
+        "--from-jsonl",
+        metavar="PATH",
+        help="render from a sweep's --stream-jsonl file (works on the "
+        "partial stream of an interrupted sweep) instead of the cache",
+    )
     add_cache_args(sub)
     sub.set_defaults(handler=_cmd_report)
+
+    sub = subparsers.add_parser("cache", help="inspect or maintain the result cache")
+    sub.add_argument(
+        "action",
+        choices=("list", "prune", "clear"),
+        help="list entries / prune stale-schema entries / delete everything",
+    )
+    add_cache_args(sub)
+    sub.set_defaults(handler=_cmd_cache)
 
     return parser
 

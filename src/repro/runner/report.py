@@ -11,7 +11,10 @@ variant so they render on any forge.
 
 from __future__ import annotations
 
+import json
 import math
+import os
+from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.dynamics.loop import format_epoch_table
@@ -21,6 +24,53 @@ from repro.runner.engine import BASELINE_SCHEMES
 #: Scheme columns of the comparison table, in display order (derived from
 #: the engine's runner map so adding a baseline updates the reports too).
 REPORT_SCHEMES = ("fubar", *BASELINE_SCHEMES)
+
+
+def append_jsonl_record(path: os.PathLike, record: Mapping[str, object]) -> None:
+    """Append *record* to the JSONL stream at *path* as one line.
+
+    The line is serialized first and written with a single flushed call, so
+    a crash mid-sweep can truncate at most the final line — which
+    :func:`load_jsonl_records` then skips.  Parent directories are created
+    on demand.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+
+
+def load_jsonl_records(path: os.PathLike) -> List[Dict[str, object]]:
+    """Read a sweep's JSONL stream back into a record list.
+
+    Tolerates the partial streams an interrupted sweep leaves behind:
+    corrupt (truncated) lines are skipped, and when a cell appears more than
+    once — e.g. a resumed sweep re-emitting a cache hit, or a retried error
+    followed by a success — the *last* occurrence wins, keyed by
+    ``config_hash``.  First-appearance order is preserved.
+    """
+    by_hash: Dict[str, Dict[str, object]] = {}
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                key = str(record.get("config_hash", id(record)))
+                # dict preserves first-insertion order; assignment replaces
+                # the value without reordering.
+                by_hash[key] = record
+    except FileNotFoundError:
+        return []
+    return list(by_hash.values())
 
 
 def _scheme_utility(record: Mapping[str, object], scheme: str) -> float:

@@ -109,6 +109,48 @@ class CellSpec:
         rendered = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
         return f"{self.family}[{rendered}]/seed{self.seed}"
 
+    def cache_affinity_key(self) -> str:
+        """Groups cells that build the same (or a related) topology.
+
+        The sweep engine dispatches cells sharing an affinity key to the same
+        worker process so its warm path/model caches hit.  The key covers
+        everything that determines which topology a cell instantiates:
+
+        * the topology identity — the ``topology`` param where present (the
+          sweep/dynamic/failure/provisioning families), the tier ``size`` for
+          the tiered families, else the family name;
+        * the sizing params (``num_pops`` / ``num_nodes`` / ``num_aggregates``)
+          and ``provisioning_ratio`` (capacity scaling changes link capacities
+          and therefore the topology signature);
+        * the seed, but *only* for families whose topology is drawn from the
+          seed (waxman / random-core / tiered) — named topologies like
+          hurricane-electric are seed-independent, so their seed sweeps
+          share one warm cache.
+
+        Affinity is purely a scheduling hint: a wrong grouping costs cache
+        misses, never correctness (the caches key on topology content).
+
+        Call this on a *resolved* spec (see
+        :func:`repro.runner.registry.resolve_spec`) — unresolved specs omit
+        family defaults and may group more coarsely than they could.
+        """
+        from repro.experiments.scenarios import RANDOM_TOPOLOGY_FAMILIES
+
+        params = self.params
+        if "size" in params or self.family.startswith("tiered"):
+            topology = f"tiered-{params.get('size', 'small')}"
+            seed_drawn = True
+        else:
+            topology = str(params.get("topology", self.family))
+            seed_drawn = topology in RANDOM_TOPOLOGY_FAMILIES
+        key: Dict[str, object] = {"topology": topology}
+        for sizing in ("num_pops", "num_nodes", "num_aggregates", "provisioning_ratio"):
+            if params.get(sizing) is not None:
+                key[sizing] = _canonical_value(params[sizing])
+        if seed_drawn:
+            key["seed"] = self.seed
+        return canonical_json(key)
+
     # -------------------------------------------------------- serialization
 
     def to_dict(self) -> Dict[str, object]:

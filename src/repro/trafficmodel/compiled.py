@@ -1429,3 +1429,75 @@ class BatchedCandidateScorer:
                 for candidate, solution in zip(compiled, solved)
             )
         return scores
+
+
+#: Default number of distinct (topology, config) engines a cache retains.
+DEFAULT_MODEL_CACHE_ENTRIES = 16
+
+
+class CompiledModelCache:
+    """LRU cache of :class:`CompiledTrafficModel` engines keyed by topology content.
+
+    The sweep runner evaluates many cells on the same topology; each cell
+    historically built a fresh engine and recompiled every (aggregate, path)
+    row from the network graph.  Keying engines by
+    :func:`~repro.paths.cache.topology_signature` plus the (hashable, frozen)
+    :class:`~repro.trafficmodel.waterfill.TrafficModelConfig` lets consecutive
+    cells reuse warm row caches.  Sharing is correctness-safe: ``_row_for``
+    validates every cached row against the requesting bundle's utility
+    function, so a cell whose traffic matrix assigns different utilities to
+    the same (aggregate, path) pair rebuilds those rows instead of reusing
+    stale ones.  Capacity overrides and degraded (failure) views change the
+    signature, so they never share an engine with the base network.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_engines")
+
+    def __init__(self, max_entries: int = DEFAULT_MODEL_CACHE_ENTRIES) -> None:
+        if max_entries < 1:
+            raise TrafficModelError(
+                f"max_entries must be positive, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._engines: Dict[Tuple[str, TrafficModelConfig], CompiledTrafficModel] = {}
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def engine_for(
+        self, network: Network, config: Optional[TrafficModelConfig] = None
+    ) -> CompiledTrafficModel:
+        """The cached engine for *network*'s topology and *config*, building on miss.
+
+        A hit returns the previously built engine — including its warm
+        per-(aggregate, path) row cache — for any network whose content
+        signature matches, even a different object.
+        """
+        from repro.paths.cache import topology_signature
+
+        key = (topology_signature(network), config or TrafficModelConfig())
+        engine = self._engines.get(key)
+        if engine is not None:
+            self.hits += 1
+            # Reorder for LRU eviction (dicts preserve insertion order).
+            self._engines.pop(key)
+            self._engines[key] = engine
+            return engine
+        self.misses += 1
+        engine = CompiledTrafficModel(network, config)
+        self._engines[key] = engine
+        while len(self._engines) > self.max_entries:
+            self._engines.pop(next(iter(self._engines)))
+        return engine
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (for reports and tests)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._engines)}
+
+    def clear(self) -> None:
+        """Drop every cached engine and reset the counters."""
+        self._engines.clear()
+        self.hits = 0
+        self.misses = 0

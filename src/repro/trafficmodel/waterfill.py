@@ -206,6 +206,21 @@ class TrafficModel:
         self.config = config or TrafficModelConfig()
         self.engine = CompiledTrafficModel(network, self.config)
 
+    @classmethod
+    def from_engine(cls, engine) -> "TrafficModel":
+        """Wrap an existing :class:`CompiledTrafficModel` without rebuilding it.
+
+        Used by the sweep runner's worker caches: a cached engine carries its
+        warm per-(aggregate, path) row cache and its evaluation counter, both
+        of which the wrapper shares (callers that count evaluations snapshot
+        the counter at run start, so sharing is bookkeeping-safe).
+        """
+        model = cls.__new__(cls)
+        model.network = engine.network
+        model.config = engine.config
+        model.engine = engine
+        return model
+
     @property
     def evaluations(self) -> int:
         """Number of model evaluations performed (full or patched)."""
