@@ -142,7 +142,10 @@ def _load_json(path: Path) -> Optional[Dict]:
     try:
         with path.open("r", encoding="utf-8") as handle:
             loaded = json.load(handle)
-    except (OSError, json.JSONDecodeError):
+    except FileNotFoundError:
+        return None  # reported as "missing or unreadable" by the caller
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"warning: unreadable record {path}: {error}", file=sys.stderr)
         return None
     return loaded if isinstance(loaded, dict) else None
 

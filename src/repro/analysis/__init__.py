@@ -1,0 +1,51 @@
+"""Static analysis for reproducibility invariants (``python -m repro.analysis``).
+
+An AST-based linter with project-specific rules: unseeded entropy (DET001),
+order-escaping set iteration (DET002), unseeded RNG construction (DET003),
+pickle-unsafe worker dispatch (MP001), cache-signature completeness
+(SIG001), and silently swallowed exceptions (EXC001).  Inline suppressions
+use ``# repro: allow[CODE] — justification`` and are themselves checked for
+staleness (SUP001) and missing justifications (SUP002).
+
+See README «Static analysis» for the catalogue and how to add a rule.
+"""
+
+from repro.analysis.base import (
+    FILE_SCOPE,
+    PROJECT_SCOPE,
+    ModuleContext,
+    Rule,
+    Violation,
+)
+from repro.analysis.registry import (
+    AnalysisError,
+    build_rules,
+    get_rule,
+    register_rule,
+    rule_codes,
+)
+from repro.analysis.suppressions import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
+from repro.analysis.walker import AnalysisReport, analyze_paths, discover_files
+
+__all__ = [
+    "FILE_SCOPE",
+    "PROJECT_SCOPE",
+    "AnalysisError",
+    "AnalysisReport",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "Violation",
+    "analyze_paths",
+    "apply_suppressions",
+    "build_rules",
+    "discover_files",
+    "get_rule",
+    "parse_suppressions",
+    "register_rule",
+    "rule_codes",
+]

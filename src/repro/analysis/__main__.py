@@ -1,0 +1,85 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 clean, 1 violations found, 2 usage/configuration error —
+the same contract as the test suite, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.registry import AnalysisError, get_rule, rule_codes
+from repro.analysis.reporters import REPORTERS
+from repro.analysis.walker import analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Determinism & invariant linter: AST rules guarding the repo's "
+            "reproducibility invariants (seeded entropy, ordered iteration, "
+            "pickle-safe dispatch, cache-signature completeness)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for per-file analysis (default: CPU count; "
+        "1 forces serial)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code in rule_codes():
+            print(f"{code}  {get_rule(code).summary}")
+        print("SUP001  orphan suppression: allow[...] comment with no matching violation")
+        print("SUP002  suppression without a one-line justification")
+        return 0
+    select = (
+        [code.strip().upper() for code in args.select.split(",") if code.strip()]
+        if args.select
+        else None
+    )
+    try:
+        report = analyze_paths(args.paths, select=select, jobs=args.jobs)
+    except AnalysisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    REPORTERS[args.format](report, sys.stdout)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

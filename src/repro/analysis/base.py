@@ -1,0 +1,124 @@
+"""Core datatypes of the static-analysis framework.
+
+A :class:`Rule` inspects one parsed module (:class:`ModuleContext`) — or,
+for project-scoped rules, every parsed module at once — and yields
+:class:`Violation` records.  Rules never mutate anything and never execute
+the code under analysis; everything is derived from the AST and the raw
+source lines, so analysis is safe to run on arbitrary trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Rules that look at one file at a time (run in parallel across files).
+FILE_SCOPE = "file"
+
+#: Rules that need every parsed module at once (run once, in-process).
+PROJECT_SCOPE = "project"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule code anchored to a source location."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.code)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """A parsed module handed to rules: path, source text, AST, and lines."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleContext":
+        """Parse *source*; raises :class:`SyntaxError` on unparsable input."""
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree, lines=source.splitlines())
+
+    def violation(
+        self, node: ast.AST, code: str, message: str
+    ) -> Violation:
+        """Build a violation anchored at *node*'s location."""
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class every checker derives from.
+
+    Subclasses set ``code`` (e.g. ``"DET001"``), ``summary`` (one line,
+    shown by ``--list-rules``) and ``scope`` (:data:`FILE_SCOPE` or
+    :data:`PROJECT_SCOPE`), then implement :meth:`check` (file scope) or
+    :meth:`check_project` (project scope).
+    """
+
+    code: str = ""
+    summary: str = ""
+    scope: str = FILE_SCOPE
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        """Yield violations for one module (file-scope rules)."""
+        return iter(())
+
+    def check_project(
+        self, modules: Sequence[ModuleContext]
+    ) -> Iterator[Violation]:
+        """Yield violations across all modules (project-scope rules)."""
+        return iter(())
+
+
+def call_name(node: ast.AST) -> Optional[str]:
+    """Dotted name of a call target, e.g. ``np.random.choice`` — or None.
+
+    Only resolves plain ``Name``/``Attribute`` chains; anything dynamic
+    (subscripts, calls) yields None.
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """Last segment of a call target (``pool.imap_unordered`` → ``imap_unordered``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,69 @@
+"""Checker registry.
+
+Rules self-register at import time via :func:`register_rule`; the walker and
+the CLI only ever talk to the registry, so adding a rule is: write the class
+in :mod:`repro.analysis.rules` (or any imported module), decorate it, done.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.analysis.base import Rule
+from repro.exceptions import ReproError
+
+
+class AnalysisError(ReproError):
+    """Raised for analysis-configuration mistakes (unknown rule, bad path)."""
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_class* to the global registry."""
+    code = rule_class.code
+    if not code:
+        raise AnalysisError(f"rule {rule_class.__name__} has no code")
+    if code in _RULES and _RULES[code] is not rule_class:
+        raise AnalysisError(f"duplicate rule code {code!r}")
+    _RULES[code] = rule_class
+    return rule_class
+
+
+def _ensure_loaded() -> None:
+    # Import for the registration side effect; idempotent.
+    import repro.analysis.rules  # noqa: F401
+
+
+def rule_codes() -> List[str]:
+    """Sorted codes of every registered rule."""
+    _ensure_loaded()
+    return sorted(_RULES)
+
+
+def get_rule(code: str) -> Type[Rule]:
+    """The rule class registered under *code*."""
+    _ensure_loaded()
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule {code!r}; available: {', '.join(sorted(_RULES))}"
+        ) from None
+
+
+def build_rules(
+    select: Optional[Sequence[str]] = None,
+    factory: Optional[Callable[[Type[Rule]], Rule]] = None,
+) -> List[Rule]:
+    """Instantiate the selected rules (all registered rules by default).
+
+    ``select`` filters by code; unknown codes raise :class:`AnalysisError`
+    so a typo in ``--select`` fails loudly instead of silently checking
+    nothing.
+    """
+    _ensure_loaded()
+    codes = rule_codes() if select is None else list(select)
+    make = factory or (lambda rule_class: rule_class())
+    return [make(get_rule(code)) for code in codes]

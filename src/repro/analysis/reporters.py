@@ -1,0 +1,35 @@
+"""Render an :class:`~repro.analysis.walker.AnalysisReport` for humans or tools."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.analysis.walker import AnalysisReport
+
+
+def render_text(report: AnalysisReport, stream: IO[str]) -> None:
+    """One ``path:line:col: CODE message`` line per violation plus a summary."""
+    for violation in report.violations:
+        stream.write(violation.render() + "\n")
+    counts = report.to_dict()["counts"]
+    if report.violations:
+        summary = ", ".join(f"{code}: {count}" for code, count in counts.items())  # type: ignore[union-attr]
+        stream.write(
+            f"\n{len(report.violations)} violation(s) in "
+            f"{report.files_analyzed} file(s) ({summary})\n"
+        )
+    else:
+        stream.write(
+            f"clean: {report.files_analyzed} file(s), "
+            f"{len(report.rules_run)} rule(s)\n"
+        )
+
+
+def render_json(report: AnalysisReport, stream: IO[str]) -> None:
+    """The full report as one JSON document (stable key order)."""
+    json.dump(report.to_dict(), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+REPORTERS = {"text": render_text, "json": render_json}

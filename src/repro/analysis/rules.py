@@ -1,0 +1,986 @@
+"""Project-specific determinism and invariant rules.
+
+Every rule here guards an invariant the repo's correctness story depends on
+(see README «Static analysis» for the catalogue):
+
+* **DET001** — unseeded entropy: the stdlib ``random`` global API, the
+  legacy ``np.random.*`` global API, ``os.urandom``, builtin ``hash()``
+  (salted per process for ``str``), and wall-clock time used as a seed.
+  All randomness must flow through an explicitly seeded
+  ``np.random.Generator``.
+* **DET002** — iteration over an unordered ``set``/``frozenset`` whose
+  order escapes (for-loops, comprehensions, ``list``/``tuple``/``zip``/
+  ``enumerate``/``join``) without an explicit ``sorted()``.  Hash-salted
+  string sets iterate in a different order every *process*, which silently
+  perturbs results, cache keys and RNG draw order.  Dict iteration is
+  insertion-ordered on the supported interpreters and is not flagged.
+* **DET003** — an RNG constructed without a seed: ``default_rng()`` /
+  ``SeedSequence()`` / bit generators with no argument (or a literal
+  ``None``) fall back to OS entropy.  Seeds must come from a config/spec
+  field so a record's seed regenerates its run.
+* **MP001** — pickle-unsafe callables handed to worker pools /
+  processes: lambdas, nested functions and ``self``-bound methods cannot
+  cross a ``spawn`` boundary and break the sweep engine's workers.
+* **SIG001** — content-signature completeness: the fields of the classes
+  that feed :func:`repro.paths.cache.topology_signature` and
+  :meth:`repro.runner.spec.CellSpec.canonical` must each be hashed (or be
+  on the rule's explicit, justified exclusion list), and classes used
+  verbatim as cache-key components must stay frozen dataclasses.  This is
+  the stale-cache bug class: add a behaviour-affecting field without
+  extending the signature and every cache silently serves wrong results.
+* **EXC001** — silently swallowed exceptions: a handler for a broad type
+  (bare / ``Exception`` / ``BaseException``) or for I/O + decode errors
+  (``OSError``, ``json.JSONDecodeError``) must re-raise, use the bound
+  exception, log, or record an error — never just ``pass``/``continue``/
+  ``return None``.  (``FileNotFoundError`` alone is a legitimate cache
+  miss and is not flagged.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import (
+    PROJECT_SCOPE,
+    ModuleContext,
+    Rule,
+    Violation,
+    call_name,
+    terminal_name,
+)
+from repro.analysis.registry import register_rule
+
+# --------------------------------------------------------------------------
+# shared AST helpers
+# --------------------------------------------------------------------------
+
+#: numpy.random attributes that are *constructors for seeded RNGs*, not the
+#: legacy global API.
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Bit-generator / seed constructors that DET003 checks for a missing seed.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {"default_rng", "SeedSequence", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+_TIME_ENTROPY_FUNCTIONS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Resolve local aliases of the modules the rules care about."""
+
+    def __init__(self) -> None:
+        #: local alias -> canonical module path ("numpy", "random", ...)
+        self.module_aliases: Dict[str, str] = {}
+        #: names imported *from* random ("from random import choice")
+        self.random_names: Set[str] = set()
+        #: names imported from functools ("partial")
+        self.functools_names: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            root = alias.name.split(".")[0]
+            if root in {"numpy", "random", "os", "time", "functools", "json"}:
+                # "import numpy.random as npr" binds the full dotted path.
+                target = alias.name if alias.asname else root
+                self.module_aliases[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                self.random_names.add(alias.asname or alias.name)
+        elif node.module == "functools":
+            for alias in node.names:
+                self.functools_names.add(alias.asname or alias.name)
+        elif node.module in {"numpy", "numpy.random"}:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if node.module == "numpy" and alias.name == "random":
+                    self.module_aliases[local] = "numpy.random"
+                elif node.module == "numpy.random":
+                    self.module_aliases[local] = f"numpy.random.{alias.name}"
+
+
+def _resolve_dotted(name: Optional[str], imports: _ImportTracker) -> Optional[str]:
+    """Canonicalize a dotted call name through the module's import aliases.
+
+    ``np.random.choice`` → ``numpy.random.choice`` when ``np`` aliases
+    numpy; returns the input unchanged when no alias applies.
+    """
+    if name is None:
+        return None
+    head, _, tail = name.partition(".")
+    canonical_head = imports.module_aliases.get(head)
+    if canonical_head is None:
+        return name
+    return f"{canonical_head}.{tail}" if tail else canonical_head
+
+
+def _iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _enclosing_function_names(tree: ast.Module) -> Dict[int, str]:
+    """Map every AST node id to the name of its innermost enclosing function."""
+    owner: Dict[int, str] = {}
+
+    def assign(node: ast.AST, name: str) -> None:
+        for child in ast.walk(node):
+            owner.setdefault(id(child), name)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            assign(node, node.name)
+    return owner
+
+
+# --------------------------------------------------------------------------
+# DET001 — unseeded entropy
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class UnseededEntropyRule(Rule):
+    code = "DET001"
+    summary = (
+        "unseeded entropy: stdlib random, legacy np.random globals, os.urandom, "
+        "builtin hash(), or wall-clock time used as a seed"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        imports = _ImportTracker()
+        imports.visit(module.tree)
+        function_of = _enclosing_function_names(module.tree)
+        for node in _iter_calls(module.tree):
+            dotted = _resolve_dotted(call_name(node.func), imports)
+            if dotted is None:
+                continue
+            violation = self._classify(node, dotted, imports, function_of)
+            if violation is not None:
+                yield module.violation(node, self.code, violation)
+            yield from self._seed_context_violations(module, node, dotted, imports)
+
+    def _classify(
+        self,
+        node: ast.Call,
+        dotted: str,
+        imports: _ImportTracker,
+        function_of: Dict[int, str],
+    ) -> Optional[str]:
+        head, _, tail = dotted.partition(".")
+        if head == "random" and tail:
+            return (
+                f"call to the process-global stdlib RNG random.{tail}; draw from "
+                f"an explicitly seeded np.random.Generator instead"
+            )
+        if dotted in imports.random_names and not tail:
+            return (
+                f"call to stdlib random.{dotted} (imported from random); draw "
+                f"from an explicitly seeded np.random.Generator instead"
+            )
+        if dotted.startswith("numpy.random."):
+            function = dotted.rsplit(".", 1)[1]
+            if function not in _NP_RANDOM_CONSTRUCTORS:
+                return (
+                    f"call to the legacy numpy global RNG np.random.{function}; "
+                    f"use a seeded np.random.Generator"
+                )
+        if dotted == "os.urandom":
+            return "os.urandom draws OS entropy; results cannot be regenerated"
+        if dotted == "hash" and isinstance(node.func, ast.Name):
+            if function_of.get(id(node)) == "__hash__":
+                return None  # in-process identity only; never persisted
+            return (
+                "builtin hash() is salted per process for str (PYTHONHASHSEED); "
+                "use hashlib for any value that feeds results or cache keys"
+            )
+        return None
+
+    def _seed_context_violations(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        dotted: str,
+        imports: _ImportTracker,
+    ) -> Iterator[Violation]:
+        """Flag wall-clock time flowing into a seed position of *node*."""
+        function = dotted.rsplit(".", 1)[-1]
+        seed_arguments: List[ast.AST] = []
+        if function in _SEEDED_CONSTRUCTORS or function == "Generator":
+            seed_arguments.extend(node.args)
+        seed_arguments.extend(
+            keyword.value
+            for keyword in node.keywords
+            if keyword.arg is not None and "seed" in keyword.arg.lower()
+        )
+        for argument in seed_arguments:
+            for inner in _iter_calls(argument):
+                inner_dotted = _resolve_dotted(call_name(inner.func), imports)
+                if inner_dotted in _TIME_ENTROPY_FUNCTIONS:
+                    yield module.violation(
+                        inner,
+                        self.code,
+                        f"{inner_dotted}() used as a seed; seeds must come from "
+                        f"a config/spec field so runs are regenerable",
+                    )
+
+
+# --------------------------------------------------------------------------
+# DET002 — order-sensitive iteration over unordered sets
+# --------------------------------------------------------------------------
+
+#: Calling one of these on a set is order-insensitive, hence safe.
+_ORDER_SAFE_CONSUMERS = frozenset(
+    {
+        "sorted",
+        "len",
+        "min",
+        "max",
+        "sum",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+        "bool",
+        "isdisjoint",
+        "issubset",
+        "issuperset",
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+        "update",
+    }
+)
+
+#: Calling one of these *exposes* iteration order.
+_ORDER_EXPOSING_CONSUMERS = frozenset(
+    {"list", "tuple", "iter", "enumerate", "zip", "join", "next", "fromkeys"}
+)
+
+#: Attribute names the project guarantees to be sets (degraded-view fields).
+_KNOWN_SET_ATTRIBUTES = frozenset({"failed_links", "failed_nodes"})
+
+_SET_ANNOTATION_RE = re.compile(
+    r"^(typing\.)?(Set|FrozenSet|MutableSet|AbstractSet|set|frozenset)\b"
+)
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation) if hasattr(ast, "unparse") else ""
+    return bool(_SET_ANNOTATION_RE.match(text.strip()))
+
+
+class _SetTracker:
+    """Track which plain names are definitely sets, per function scope."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    def is_set_expression(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = terminal_name(node.func)
+            if name in {"set", "frozenset"}:
+                return True
+            if name in {
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            } and isinstance(node.func, ast.Attribute):
+                return self.is_set_expression(node.func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expression(node.left) or self.is_set_expression(
+                node.right
+            )
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in _KNOWN_SET_ATTRIBUTES
+        return False
+
+    def learn_assignment(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign) and self.is_set_expression(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_is_set(node.annotation) or (
+                node.value is not None and self.is_set_expression(node.value)
+            ):
+                self.set_names.add(node.target.id)
+
+    def learn_parameters(self, node: ast.AST) -> None:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        arguments = node.args
+        for argument in [
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ]:
+            if _annotation_is_set(argument.annotation):
+                self.set_names.add(argument.arg)
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    code = "DET002"
+    summary = (
+        "iteration order of an unordered set escapes (loop/comprehension/"
+        "list/tuple/zip/join) without sorted()"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        # One pass per function scope (plus module top level) so local
+        # set-ness does not leak across functions.
+        scopes: List[Tuple[ast.AST, _SetTracker]] = []
+        module_tracker = _SetTracker()
+        scopes.append((module.tree, module_tracker))
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                tracker = _SetTracker()
+                tracker.learn_parameters(node)
+                scopes.append((node, tracker))
+        for scope_root, tracker in scopes:
+            yield from self._check_scope(module, scope_root, tracker)
+
+    def _direct_children(self, scope_root: ast.AST) -> Iterator[ast.AST]:
+        """Walk the scope but do not descend into nested function scopes."""
+        stack = list(ast.iter_child_nodes(scope_root))
+        while stack:
+            node = stack.pop(0)
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _check_scope(
+        self, module: ModuleContext, scope_root: ast.AST, tracker: _SetTracker
+    ) -> Iterator[Violation]:
+        nodes = list(self._direct_children(scope_root))
+        for node in nodes:  # learn assignments first: order-independent result
+            tracker.learn_assignment(node)
+        for node in nodes:
+            yield from self._check_node(module, node, tracker)
+
+    def _message(self, node: ast.AST, how: str) -> str:
+        described = ast.unparse(node) if hasattr(ast, "unparse") else "set"
+        if len(described) > 40:
+            described = described[:37] + "..."
+        return (
+            f"iteration order of unordered set {described!r} escapes via {how}; "
+            f"wrap it in sorted() to fix the order"
+        )
+
+    def _check_node(
+        self, module: ModuleContext, node: ast.AST, tracker: _SetTracker
+    ) -> Iterator[Violation]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if tracker.is_set_expression(node.iter):
+                yield module.violation(node.iter, self.code, self._message(node.iter, "a for-loop"))
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+            for generator in node.generators:
+                if tracker.is_set_expression(generator.iter):
+                    # A set comprehension produces another unordered set, so
+                    # its own draw order never escapes.
+                    if isinstance(node, ast.SetComp):
+                        continue
+                    yield module.violation(
+                        generator.iter,
+                        self.code,
+                        self._message(generator.iter, "a comprehension"),
+                    )
+        elif isinstance(node, ast.Call):
+            name = terminal_name(node.func)
+            if name in _ORDER_EXPOSING_CONSUMERS:
+                for argument in node.args:
+                    if tracker.is_set_expression(argument):
+                        yield module.violation(
+                            argument,
+                            self.code,
+                            self._message(argument, f"{name}()"),
+                        )
+        elif isinstance(node, ast.Starred) and tracker.is_set_expression(node.value):
+            yield module.violation(
+                node.value, self.code, self._message(node.value, "unpacking")
+            )
+
+
+# --------------------------------------------------------------------------
+# DET003 — RNG constructed without a seed
+# --------------------------------------------------------------------------
+
+
+@register_rule
+class UnseededGeneratorRule(Rule):
+    code = "DET003"
+    summary = (
+        "np.random RNG constructed without a seed (default_rng()/SeedSequence()/"
+        "bit generators with no argument fall back to OS entropy)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        imports = _ImportTracker()
+        imports.visit(module.tree)
+        for node in _iter_calls(module.tree):
+            dotted = _resolve_dotted(call_name(node.func), imports)
+            if dotted is None:
+                continue
+            function = dotted.rsplit(".", 1)[-1]
+            if function not in _SEEDED_CONSTRUCTORS:
+                continue
+            if not (dotted.startswith("numpy.random") or dotted == function):
+                continue
+            seed_keywords = [
+                keyword for keyword in node.keywords if keyword.arg == "seed"
+            ]
+            candidates: List[ast.AST] = list(node.args[:1]) + [
+                keyword.value for keyword in seed_keywords
+            ]
+            if not candidates:
+                yield module.violation(
+                    node,
+                    self.code,
+                    f"{function}() without a seed draws OS entropy; pass a seed "
+                    f"derived from a config/spec field",
+                )
+                continue
+            for candidate in candidates:
+                if isinstance(candidate, ast.Constant) and candidate.value is None:
+                    yield module.violation(
+                        node,
+                        self.code,
+                        f"{function}(None) is explicitly unseeded; pass a seed "
+                        f"derived from a config/spec field",
+                    )
+
+
+# --------------------------------------------------------------------------
+# MP001 — pickle-unsafe callables crossing a process boundary
+# --------------------------------------------------------------------------
+
+#: Attribute methods that submit a positional callable to a pool.
+_POOL_SUBMIT_METHODS = frozenset(
+    {
+        "submit",
+        "apply",
+        "apply_async",
+        "map",
+        "map_async",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+    }
+)
+
+#: Keyword arguments that carry a callable across a process boundary.
+_CALLABLE_KEYWORDS = frozenset({"target", "initializer", "func"})
+
+
+@register_rule
+class PickleUnsafeCallableRule(Rule):
+    code = "MP001"
+    summary = (
+        "pickle-unsafe callable (lambda / nested function / self-bound method) "
+        "submitted to a worker pool or Process"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        nested = self._nested_callable_names(module.tree)
+        for node in _iter_calls(module.tree):
+            for candidate, context in self._submitted_callables(node):
+                problem = self._problem(candidate, nested)
+                if problem is not None:
+                    yield module.violation(
+                        candidate,
+                        self.code,
+                        f"{problem} handed to {context} cannot be pickled by a "
+                        f"spawn-based worker; move it to module level",
+                    )
+
+    def _nested_callable_names(self, tree: ast.Module) -> FrozenSet[str]:
+        """Names of functions defined inside another function, plus names
+        bound to lambdas anywhere."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(node):
+                    if child is node:
+                        continue
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        names.add(child.name)
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return frozenset(names)
+
+    def _submitted_callables(
+        self, node: ast.Call
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        method = terminal_name(node.func)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and method in _POOL_SUBMIT_METHODS
+            and self._looks_like_pool(node.func.value)
+            and node.args
+        ):
+            yield node.args[0], f"{method}()"
+        constructor = terminal_name(node.func)
+        for keyword in node.keywords:
+            if keyword.arg in _CALLABLE_KEYWORDS:
+                if keyword.arg == "func" and constructor not in _POOL_SUBMIT_METHODS:
+                    continue
+                yield keyword.value, f"{constructor}({keyword.arg}=...)"
+
+    def _looks_like_pool(self, receiver: ast.AST) -> bool:
+        name = (terminal_name(receiver) or "").lower()
+        return any(hint in name for hint in ("pool", "executor", "worker"))
+
+    def _problem(
+        self, candidate: ast.AST, nested: FrozenSet[str]
+    ) -> Optional[str]:
+        if isinstance(candidate, ast.Lambda):
+            return "lambda"
+        if isinstance(candidate, ast.Name) and candidate.id in nested:
+            return f"nested function {candidate.id!r}"
+        if (
+            isinstance(candidate, ast.Attribute)
+            and isinstance(candidate.value, ast.Name)
+            and candidate.value.id == "self"
+        ):
+            return f"bound method self.{candidate.attr}"
+        if isinstance(candidate, ast.Call):
+            inner = terminal_name(candidate.func)
+            if inner == "partial" and candidate.args:
+                return self._problem(candidate.args[0], nested)
+        return None
+
+
+# --------------------------------------------------------------------------
+# SIG001 — content-signature completeness
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldCoverageSpec:
+    """One audited (signature function ← source class) pair.
+
+    ``excluded`` maps field names that are *deliberately* not hashed to the
+    one-line justification recorded here; the rule re-reports an exclusion
+    that the function in fact references (a stale exclusion is as wrong as
+    a missing field).
+    """
+
+    function_module: str        #: module path suffix, e.g. "repro/paths/cache.py"
+    function_name: str          #: plain or Class.method name
+    class_module: str
+    class_name: str
+    excluded: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FrozenKeySpec:
+    """A class used verbatim as a cache-key component: must stay a frozen
+    dataclass so equality/hash cover every field by construction."""
+
+    class_module: str
+    class_name: str
+
+
+#: The project's cache-key audit table.  PathSetCache and CompiledModelCache
+#: key on topology_signature (× TrafficModelConfig); ResultCache keys on
+#: CellSpec.canonical().  Every behaviour-affecting field of the source
+#: classes must be hashed; exclusions carry their safety argument.
+PROJECT_SIGNATURE_SPECS: Tuple[object, ...] = (
+    FieldCoverageSpec(
+        function_module="repro/paths/cache.py",
+        function_name="topology_signature",
+        class_module="repro/topology/graph.py",
+        class_name="Link",
+        excluded={
+            "index": "assigned from insertion order, which the per-link hash "
+            "loop already covers ordinally",
+            "metadata": "free-form annotations; no routing/model/optimizer "
+            "code path reads link metadata",
+        },
+    ),
+    FieldCoverageSpec(
+        function_module="repro/paths/cache.py",
+        function_name="topology_signature",
+        class_module="repro/topology/graph.py",
+        class_name="Node",
+        excluded={
+            "latitude": "coordinates only shape delays at topology build "
+            "time; the derived per-link delay_s is hashed",
+            "longitude": "coordinates only shape delays at topology build "
+            "time; the derived per-link delay_s is hashed",
+            "metadata": "free-form annotations; no routing/model/optimizer "
+            "code path reads node metadata",
+        },
+    ),
+    FieldCoverageSpec(
+        function_module="repro/runner/spec.py",
+        function_name="CellSpec.canonical",
+        class_module="repro/runner/spec.py",
+        class_name="CellSpec",
+    ),
+    FrozenKeySpec(
+        class_module="repro/trafficmodel/waterfill.py",
+        class_name="TrafficModelConfig",
+    ),
+    FrozenKeySpec(
+        class_module="repro/paths/policy.py",
+        class_name="PathPolicy",
+    ),
+)
+
+
+def _module_matches(path: str, suffix: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return normalized.endswith(suffix)
+
+
+def _class_field_names(class_node: ast.ClassDef) -> List[str]:
+    """Field names of a dataclass (annotated class attributes) or, failing
+    that, the ``self.X = ...`` assignments of ``__init__``."""
+    annotated = [
+        statement.target.id
+        for statement in class_node.body
+        if isinstance(statement, ast.AnnAssign)
+        and isinstance(statement.target, ast.Name)
+        and not statement.target.id.startswith("_")
+    ]
+    if annotated:
+        return annotated
+    fields: List[str] = []
+    for statement in class_node.body:
+        if (
+            isinstance(statement, ast.FunctionDef)
+            and statement.name == "__init__"
+        ):
+            for child in ast.walk(statement):
+                if (
+                    isinstance(child, ast.Assign)
+                    and len(child.targets) == 1
+                    and isinstance(child.targets[0], ast.Attribute)
+                    and isinstance(child.targets[0].value, ast.Name)
+                    and child.targets[0].value.id == "self"
+                    and not child.targets[0].attr.startswith("_")
+                ):
+                    if child.targets[0].attr not in fields:
+                        fields.append(child.targets[0].attr)
+    return fields
+
+
+def _referenced_names(function_node: ast.AST) -> Set[str]:
+    """Every identifier a signature function can possibly read a field by:
+    attribute accesses, plain names, and string literals (getattr keys)."""
+    names: Set[str] = set()
+    for node in ast.walk(function_node):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+    return names
+
+
+def _is_frozen_dataclass(class_node: ast.ClassDef) -> bool:
+    for decorator in class_node.decorator_list:
+        if isinstance(decorator, ast.Call) and terminal_name(
+            decorator.func
+        ) == "dataclass":
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+    return False
+
+
+@register_rule
+class SignatureCompletenessRule(Rule):
+    code = "SIG001"
+    summary = (
+        "cache-key signature functions must hash every behaviour-affecting "
+        "field of the classes they fingerprint (stale-cache bug class)"
+    )
+    scope = PROJECT_SCOPE
+
+    def __init__(self, specs: Optional[Sequence[object]] = None) -> None:
+        self.specs: Tuple[object, ...] = tuple(
+            specs if specs is not None else PROJECT_SIGNATURE_SPECS
+        )
+
+    def check_project(
+        self, modules: Sequence[ModuleContext]
+    ) -> Iterator[Violation]:
+        for spec in self.specs:
+            if isinstance(spec, FieldCoverageSpec):
+                yield from self._check_coverage(spec, modules)
+            elif isinstance(spec, FrozenKeySpec):
+                yield from self._check_frozen(spec, modules)
+
+    # -- helpers
+
+    def _find_class(
+        self, modules: Sequence[ModuleContext], module_suffix: str, name: str
+    ) -> Optional[Tuple[ModuleContext, ast.ClassDef]]:
+        for module in modules:
+            if not _module_matches(module.path, module_suffix):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    return module, node
+        return None
+
+    def _find_function(
+        self, modules: Sequence[ModuleContext], module_suffix: str, dotted: str
+    ) -> Optional[Tuple[ModuleContext, ast.AST]]:
+        class_name, _, method_name = dotted.rpartition(".")
+        for module in modules:
+            if not _module_matches(module.path, module_suffix):
+                continue
+            if class_name:
+                found = self._find_class(
+                    [module], module_suffix, class_name
+                )
+                if found is None:
+                    continue
+                for node in found[1].body:
+                    if (
+                        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and node.name == method_name
+                    ):
+                        return module, node
+            else:
+                for node in module.tree.body:
+                    if (
+                        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and node.name == dotted
+                    ):
+                        return module, node
+        return None
+
+    def _check_coverage(
+        self, spec: FieldCoverageSpec, modules: Sequence[ModuleContext]
+    ) -> Iterator[Violation]:
+        relevant = [
+            module
+            for module in modules
+            if _module_matches(module.path, spec.function_module)
+            or _module_matches(module.path, spec.class_module)
+        ]
+        if not relevant:
+            return  # the audited files are outside the analyzed paths
+        class_found = self._find_class(modules, spec.class_module, spec.class_name)
+        function_found = self._find_function(
+            modules, spec.function_module, spec.function_name
+        )
+        if class_found is None or function_found is None:
+            # Only complain when the analyzed paths include the file that
+            # should contain the missing definition — analysing a subtree
+            # must not produce spurious config-rot findings.
+            missing_suffix = (
+                spec.class_module if class_found is None else spec.function_module
+            )
+            for module in modules:
+                if _module_matches(module.path, missing_suffix):
+                    missing = (
+                        f"class {spec.class_name}"
+                        if class_found is None
+                        else f"function {spec.function_name}"
+                    )
+                    yield Violation(
+                        path=module.path,
+                        line=1,
+                        column=1,
+                        code=self.code,
+                        message=(
+                            f"signature audit table names {missing} in "
+                            f"{missing_suffix} but it was not found; update "
+                            f"PROJECT_SIGNATURE_SPECS"
+                        ),
+                    )
+                    break
+            return
+        function_module, function_node = function_found
+        _, class_node = class_found
+        fields = _class_field_names(class_node)
+        referenced = _referenced_names(function_node)
+        anchor_line = getattr(function_node, "lineno", 1)
+        for field_name in fields:
+            if field_name in spec.excluded:
+                continue
+            if field_name not in referenced:
+                yield Violation(
+                    path=function_module.path,
+                    line=anchor_line,
+                    column=1,
+                    code=self.code,
+                    message=(
+                        f"{spec.function_name} does not hash field "
+                        f"{spec.class_name}.{field_name}; cached entries will "
+                        f"be served stale when it changes (add it to the "
+                        f"signature or record a justified exclusion in "
+                        f"PROJECT_SIGNATURE_SPECS)"
+                    ),
+                )
+        for field_name in spec.excluded:
+            if field_name in fields and field_name in referenced:
+                yield Violation(
+                    path=function_module.path,
+                    line=anchor_line,
+                    column=1,
+                    code=self.code,
+                    message=(
+                        f"stale exclusion: {spec.function_name} now references "
+                        f"{spec.class_name}.{field_name}, which the audit "
+                        f"table excludes; drop the exclusion"
+                    ),
+                )
+
+    def _check_frozen(
+        self, spec: FrozenKeySpec, modules: Sequence[ModuleContext]
+    ) -> Iterator[Violation]:
+        found = self._find_class(modules, spec.class_module, spec.class_name)
+        if found is None:
+            return
+        module, class_node = found
+        if not _is_frozen_dataclass(class_node):
+            yield Violation(
+                path=module.path,
+                line=class_node.lineno,
+                column=1,
+                code=self.code,
+                message=(
+                    f"{spec.class_name} is used verbatim as a cache-key "
+                    f"component and must stay a @dataclass(frozen=True) so "
+                    f"equality and hash cover every field"
+                ),
+            )
+
+
+# --------------------------------------------------------------------------
+# EXC001 — silently swallowed exceptions
+# --------------------------------------------------------------------------
+
+#: Handler types that must never swallow silently.  FileNotFoundError alone
+#: is a legitimate cache miss and deliberately absent.
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+_NOISY_IO_NAMES = frozenset(
+    {"OSError", "IOError", "EnvironmentError", "JSONDecodeError"}
+)
+
+#: A call whose terminal name matches this is "recording" the failure.
+_RECORDING_CALL_RE = re.compile(
+    r"log|warn|print|error|record|report|debug|info|exception|critical|fail",
+    re.IGNORECASE,
+)
+
+#: An assignment target matching this counts as an error record / counter.
+_RECORDING_TARGET_RE = re.compile(
+    r"error|corrupt|skip|drop|fail|invalid|stale", re.IGNORECASE
+)
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    code = "EXC001"
+    summary = (
+        "broad or I/O exception handler swallows silently: re-raise, use the "
+        "exception, log, or record an error"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            matched = self._matched_types(node.type)
+            if not matched:
+                continue
+            if self._is_silent(node):
+                yield module.violation(
+                    node,
+                    self.code,
+                    f"handler for {', '.join(sorted(matched))} swallows the "
+                    f"exception without re-raising, logging, or recording an "
+                    f"error",
+                )
+
+    def _matched_types(self, type_node: Optional[ast.AST]) -> List[str]:
+        if type_node is None:
+            return ["bare except"]
+        candidates = (
+            list(type_node.elts) if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        matched: List[str] = []
+        for candidate in candidates:
+            name = terminal_name(candidate)
+            if name in _BROAD_EXCEPTION_NAMES or name in _NOISY_IO_NAMES:
+                matched.append(str(name))
+        return matched
+
+    def _is_silent(self, handler: ast.ExceptHandler) -> bool:
+        bound_name = handler.name
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return False
+            if (
+                bound_name
+                and isinstance(node, ast.Name)
+                and node.id == bound_name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return False
+            if isinstance(node, ast.Call):
+                name = terminal_name(node.func) or ""
+                if _RECORDING_CALL_RE.search(name):
+                    return False
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    target_name = terminal_name(target) or ""
+                    if _RECORDING_TARGET_RE.search(target_name):
+                        return False
+        return True

@@ -1,0 +1,223 @@
+"""File discovery and (parallel) per-file analysis.
+
+The walker discovers ``.py`` files under the given paths, runs every
+file-scope rule on each file — in parallel worker processes when there is
+enough work — then runs the project-scope rules once over all parsed
+modules, applies the inline suppressions, and returns one sorted, stable
+report.  Output order is deterministic regardless of worker scheduling:
+violations sort by (path, line, column, code).
+
+The per-file worker is a module-level function on purpose: the walker must
+itself satisfy MP001 (pickle-safe dispatch).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.base import FILE_SCOPE, PROJECT_SCOPE, ModuleContext, Violation
+from repro.analysis.registry import AnalysisError, build_rules, rule_codes
+from repro.analysis.suppressions import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+#: Files under these directory names are never analyzed.
+SKIPPED_DIRECTORIES = frozenset({"__pycache__", ".git", ".fubar-cache"})
+
+#: Below this many files, forking workers costs more than it saves.
+MIN_FILES_FOR_PARALLEL = 8
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analysis run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_analyzed: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return {
+            "files_analyzed": self.files_analyzed,
+            "rules": list(self.rules_run),
+            "violations": [violation.to_dict() for violation in self.violations],
+            "counts": {code: counts[code] for code in sorted(counts)},
+            "clean": self.clean,
+        }
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    """Python files under *paths* (files or directories), sorted, deduplicated."""
+    found: Dict[Path, None] = {}
+    for entry in paths:
+        path = Path(entry)
+        if path.is_file():
+            if path.suffix == ".py":
+                found.setdefault(path.resolve(), None)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if any(part in SKIPPED_DIRECTORIES for part in candidate.parts):
+                    continue
+                found.setdefault(candidate.resolve(), None)
+        else:
+            raise AnalysisError(f"no such file or directory: {entry}")
+    return sorted(found)
+
+
+def _display_path(path: Path) -> str:
+    """Repo-relative path when possible (stable across machines), else absolute."""
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def _analyze_source(
+    display_path: str, source: str, select: Sequence[str]
+) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+    """Run the file-scope rules on one source text.
+
+    Returns plain dicts (violations, suppressions) so the result crosses a
+    process boundary without custom picklers.
+    """
+    try:
+        module = ModuleContext.parse(display_path, source)
+    except SyntaxError as error:
+        violation = Violation(
+            path=display_path,
+            line=error.lineno or 1,
+            column=(error.offset or 0) + 1,
+            code="PARSE001",
+            message=f"file does not parse: {error.msg}",
+        )
+        return [violation.to_dict()], []
+    violations: List[Violation] = []
+    for rule in build_rules(select):
+        if rule.scope == FILE_SCOPE:
+            violations.extend(rule.check(module))
+    suppressions = parse_suppressions(display_path, module.lines)
+    return (
+        [violation.to_dict() for violation in violations],
+        [suppression.to_dict() for suppression in suppressions],
+    )
+
+
+def _analyze_file_task(
+    task: Tuple[str, str, Tuple[str, ...]]
+) -> Tuple[List[Dict[str, object]], List[Dict[str, object]]]:
+    """Worker entry point: (absolute path, display path, selected codes)."""
+    absolute, display, select = task
+    with open(absolute, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return _analyze_source(display, source, list(select))
+
+
+def default_jobs(num_files: int) -> int:
+    """Worker count: capped by the scheduler-visible CPUs and the file count."""
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - macOS / Windows
+        available = os.cpu_count() or 1
+    return max(1, min(num_files, available))
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    project_rules: Optional[Sequence[object]] = None,
+) -> AnalysisReport:
+    """Analyze every Python file under *paths* and return the report.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to analyze.
+    select:
+        Rule codes to run (default: every registered rule).  SUP001/SUP002
+        always run — suppression hygiene is not optional.
+    jobs:
+        Worker processes for the per-file stage; ``1`` forces the serial
+        path (identical results, useful under debuggers and in tests).
+    project_rules:
+        Pre-instantiated project-scope rules to use instead of the
+        registered ones (tests inject custom SIG001 tables this way).
+    """
+    selected = list(select) if select is not None else rule_codes()
+    for code in selected:
+        build_rules([code])  # fail loudly on unknown codes before any work
+    files = discover_files(paths)
+    tasks = [
+        (str(path), _display_path(path), tuple(selected)) for path in files
+    ]
+
+    raw_violations: List[Dict[str, object]] = []
+    raw_suppressions: List[Dict[str, object]] = []
+    worker_count = default_jobs(len(tasks)) if jobs is None else max(1, jobs)
+    if worker_count > 1 and len(tasks) >= MIN_FILES_FOR_PARALLEL:
+        with multiprocessing.Pool(processes=worker_count) as pool:
+            results = pool.map(_analyze_file_task, tasks)
+    else:
+        results = [_analyze_file_task(task) for task in tasks]
+    for file_violations, file_suppressions in results:
+        raw_violations.extend(file_violations)
+        raw_suppressions.extend(file_suppressions)
+
+    violations = [
+        Violation(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            column=int(data["column"]),  # type: ignore[arg-type]
+            code=str(data["code"]),
+            message=str(data["message"]),
+        )
+        for data in raw_violations
+    ]
+
+    # Project-scope rules run once, in-process, over every parsed module.
+    modules: List[ModuleContext] = []
+    for absolute, display, _ in tasks:
+        with open(absolute, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            modules.append(ModuleContext.parse(display, source))
+        except SyntaxError:
+            continue  # already reported as PARSE001 by the file stage
+    if project_rules is None:
+        project_rules = [
+            rule
+            for rule in build_rules(selected)
+            if rule.scope == PROJECT_SCOPE
+        ]
+    for rule in project_rules:
+        violations.extend(rule.check_project(modules))  # type: ignore[attr-defined]
+
+    suppressions = [Suppression.from_dict(data) for data in raw_suppressions]
+    # Codes outside the selected set did not run, so their suppressions are
+    # unverifiable this run — exempt them from the orphan check.
+    active = set(selected) | {rule.code for rule in project_rules}  # type: ignore[attr-defined]
+    for suppression in suppressions:
+        for code in suppression.codes:
+            if code not in active:
+                suppression.used[code] = True
+    kept, meta = apply_suppressions(violations, suppressions)
+    kept.extend(meta)
+    kept.sort(key=Violation.sort_key)
+    return AnalysisReport(
+        violations=kept,
+        files_analyzed=len(tasks),
+        rules_run=tuple(sorted(active)),
+    )

@@ -13,7 +13,11 @@ This is the top of the public API and what the quickstart example uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.paths.cache import PathSetCache
+    from repro.trafficmodel.compiled import CompiledModelCache
 
 from repro.core.config import FubarConfig
 from repro.core.optimizer import FubarOptimizer, FubarResult
@@ -96,8 +100,8 @@ class Fubar:
         config: Optional[FubarConfig] = None,
         policy: Optional[PathPolicy] = None,
         model_config: Optional[TrafficModelConfig] = None,
-        path_cache=None,
-        model_cache=None,
+        path_cache: Optional["PathSetCache"] = None,
+        model_cache: Optional["CompiledModelCache"] = None,
     ) -> None:
         require_routable(network)
         self.network = network

@@ -11,7 +11,7 @@ the current solution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.paths.generator import PathGenerator
 from repro.paths.pathset import PathSet
 from repro.topology.graph import LinkId, Path
 from repro.traffic.aggregate import AggregateKey
+from repro.trafficmodel.bundle import Bundle
 from repro.trafficmodel.compiled import BatchedCandidateScorer, CompiledBundles
 from repro.trafficmodel.result import TrafficModelResult
 from repro.trafficmodel.waterfill import TrafficModel
@@ -125,7 +126,7 @@ def _candidate_moves(
     config: FubarConfig,
     current_result: TrafficModelResult,
     escalation_level: int,
-):
+) -> Iterator[Tuple[Bundle, Path, int]]:
     """Yield every (bundle, candidate path, flows to move) tested by a step."""
     for outcome in current_result.outcomes_on_link(link_id):
         bundle = outcome.bundle

@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.trafficmodel.compiled import CompiledModelCache
 
 from repro.core.config import FubarConfig
 from repro.core.controller import FubarPlan
@@ -272,7 +275,7 @@ class ControlLoopResult:
 
 
 def bundles_from_routing(
-    routing, traffic_matrix: TrafficMatrix
+    routing: RoutingTable, traffic_matrix: TrafficMatrix
 ) -> Tuple[List[Bundle], List[Aggregate]]:
     """Route *traffic_matrix* over an installed routing table.
 
@@ -334,7 +337,7 @@ def run_control_loop(
     model_config: Optional[TrafficModelConfig] = None,
     failures: Optional[FailureSchedule] = None,
     path_cache: Optional[PathSetCache] = None,
-    model_cache=None,
+    model_cache: Optional["CompiledModelCache"] = None,
 ) -> ControlLoopResult:
     """Run the closed control loop over *process* on *network*.
 

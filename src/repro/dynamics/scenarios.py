@@ -12,7 +12,10 @@ it sees the metadata.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.trafficmodel.compiled import CompiledModelCache
 
 from repro.dynamics.loop import ControlLoopConfig, ControlLoopResult, run_control_loop
 from repro.dynamics.processes import TrafficProcess, build_process
@@ -274,7 +277,9 @@ def loop_inputs(scenario: Scenario) -> Tuple[TrafficProcess, ControlLoopConfig]:
 
 
 def run_scenario_loop(
-    scenario: Scenario, path_cache=None, model_cache=None
+    scenario: Scenario,
+    path_cache: Optional[PathSetCache] = None,
+    model_cache: Optional["CompiledModelCache"] = None,
 ) -> ControlLoopResult:
     """Run a dynamic scenario's control loop end to end.
 

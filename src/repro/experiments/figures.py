@@ -9,7 +9,7 @@ and EXPERIMENTS.md records the measured numbers next to the paper's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -125,17 +125,17 @@ def run_figure1_figure2(num_points: int = 21) -> Dict[str, Dict[str, List[float]
     return curves
 
 
-def run_figure3(seed: int = 0, **scenario_kwargs) -> SingleRunResult:
+def run_figure3(seed: int = 0, **scenario_kwargs: Any) -> SingleRunResult:
     """Figure 3: a single run of the provisioned case."""
     return run_scenario(provisioned_scenario(seed=seed, **scenario_kwargs))
 
 
-def run_figure4(seed: int = 0, **scenario_kwargs) -> SingleRunResult:
+def run_figure4(seed: int = 0, **scenario_kwargs: Any) -> SingleRunResult:
     """Figure 4: a single run of the underprovisioned case."""
     return run_scenario(underprovisioned_scenario(seed=seed, **scenario_kwargs))
 
 
-def run_figure5(seed: int = 0, **scenario_kwargs) -> SingleRunResult:
+def run_figure5(seed: int = 0, **scenario_kwargs: Any) -> SingleRunResult:
     """Figure 5: the underprovisioned case with large flows prioritized."""
     return run_scenario(prioritized_scenario(seed=seed, **scenario_kwargs))
 
@@ -172,7 +172,7 @@ def run_figure6(
     seed: int = 0,
     relax_factor: float = 2.0,
     delay_cutoff_scale: Optional[float] = None,
-    **scenario_kwargs,
+    **scenario_kwargs: Any,
 ) -> DelayExperimentResult:
     """Figure 6: flow-delay CDFs, underprovisioned vs relaxed-delay."""
     from repro.experiments.scenarios import full_scale_enabled
@@ -246,7 +246,7 @@ class RepeatabilityResult:
 
 
 def run_figure7(
-    num_runs: int = 10, base_seed: int = 0, **scenario_kwargs
+    num_runs: int = 10, base_seed: int = 0, **scenario_kwargs: Any
 ) -> RepeatabilityResult:
     """Figure 7: repeat the provisioned case over many random traffic matrices.
 
@@ -289,7 +289,7 @@ class RunningTimeResult:
         }
 
 
-def run_running_time(seed: int = 0, **scenario_kwargs) -> RunningTimeResult:
+def run_running_time(seed: int = 0, **scenario_kwargs: Any) -> RunningTimeResult:
     """Measure convergence wall-clock for the provisioned and underprovisioned cases."""
     return RunningTimeResult(
         provisioned=run_figure3(seed=seed, **scenario_kwargs),

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.baselines.shortest_path import shortest_path_routing
 from repro.core.config import FubarConfig
@@ -276,24 +276,24 @@ def default_num_pops() -> int:
     return 31 if full_scale_enabled() else REDUCED_NUM_POPS
 
 
-def provisioned_scenario(seed: int = 0, **kwargs) -> Scenario:
+def provisioned_scenario(seed: int = 0, **kwargs: Any) -> Scenario:
     """The Figure 3 scenario."""
     return build_paper_scenario(provisioned=True, seed=seed, **kwargs)
 
 
-def underprovisioned_scenario(seed: int = 0, **kwargs) -> Scenario:
+def underprovisioned_scenario(seed: int = 0, **kwargs: Any) -> Scenario:
     """The Figure 4 scenario."""
     return build_paper_scenario(provisioned=False, seed=seed, **kwargs)
 
 
-def prioritized_scenario(seed: int = 0, **kwargs) -> Scenario:
+def prioritized_scenario(seed: int = 0, **kwargs: Any) -> Scenario:
     """The Figure 5 scenario (underprovisioned, large flows weighted up)."""
     return build_paper_scenario(
         provisioned=False, seed=seed, prioritize_large_flows=True, **kwargs
     )
 
 
-def relaxed_delay_scenario(seed: int = 0, factor: float = 2.0, **kwargs) -> Scenario:
+def relaxed_delay_scenario(seed: int = 0, factor: float = 2.0, **kwargs: Any) -> Scenario:
     """The Figure 6 comparison scenario (small-flow delay parameter doubled)."""
     return build_paper_scenario(
         provisioned=False, seed=seed, relax_delay_factor=factor, **kwargs

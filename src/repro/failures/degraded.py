@@ -38,7 +38,10 @@ def normalize_failed_links(
     """
     dead: set = set()
     nodes = frozenset(failed_nodes)
-    for node in nodes:
+    # sorted(): node names are strings and str hashes are salted per process,
+    # so bare frozenset iteration would pick which unknown-node error fires
+    # first nondeterministically.
+    for node in sorted(nodes):
         if not network.has_node(node):
             raise FailureError(f"cannot fail unknown node {node!r}")
         dead.update(link.link_id for link in network.out_links(node))

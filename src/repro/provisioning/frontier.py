@@ -28,7 +28,7 @@ Two properties make the search cheap and its output trustworthy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.config import FubarConfig
 from repro.core.optimizer import FubarOptimizer, FubarResult
@@ -40,6 +40,11 @@ from repro.topology.graph import Network
 from repro.traffic.aggregate import AggregateKey
 from repro.traffic.matrix import TrafficMatrix
 from repro.trafficmodel.waterfill import TrafficModel
+
+if TYPE_CHECKING:
+    from repro.paths.cache import PathSetCache
+    from repro.trafficmodel.compiled import CompiledModelCache
+
 
 #: Default bisection bounds, as fractions of the network's largest link
 #: capacity (the uniform-capacity reference).
@@ -164,8 +169,8 @@ class _ProbeRunner:
         traffic_matrix: TrafficMatrix,
         config: Optional[FubarConfig],
         warm_start: bool,
-        path_cache=None,
-        model_cache=None,
+        path_cache: Optional["PathSetCache"] = None,
+        model_cache: Optional["CompiledModelCache"] = None,
     ) -> None:
         traffic_matrix.require_routable_on(network)
         self.network = network
@@ -306,8 +311,8 @@ def minimal_uniform_capacity(
     max_probes: int = 12,
     fubar_config: Optional[FubarConfig] = None,
     warm_start: bool = True,
-    path_cache=None,
-    model_cache=None,
+    path_cache: Optional["PathSetCache"] = None,
+    model_cache: Optional["CompiledModelCache"] = None,
 ) -> CapacityFrontier:
     """Find the smallest uniform link capacity that meets a utility target.
 

@@ -14,7 +14,7 @@ hashing, result cache and parallel sweep engine unchanged;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.exceptions import ProvisioningError
 from repro.experiments.scenarios import (
@@ -29,6 +29,11 @@ from repro.provisioning.frontier import (
 )
 from repro.provisioning.survivable import SurvivableCapacityResult, survivable_capacity
 from repro.provisioning.upgrades import UpgradePlan, greedy_link_upgrades
+
+if TYPE_CHECKING:
+    from repro.paths.cache import PathSetCache
+    from repro.trafficmodel.compiled import CompiledModelCache
+
 
 #: Metadata key marking a scenario as a provisioning cell.
 PROVISIONING_METADATA_KEY = "provisioning"
@@ -148,7 +153,9 @@ class ProvisioningOutcome:
 
 
 def run_scenario_provisioning(
-    scenario: Scenario, path_cache=None, model_cache=None
+    scenario: Scenario,
+    path_cache: Optional["PathSetCache"] = None,
+    model_cache: Optional["CompiledModelCache"] = None,
 ) -> ProvisioningOutcome:
     """Answer a provisioning scenario's capacity-planning question.
 

@@ -21,7 +21,7 @@ search.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.config import FubarConfig
 from repro.core.optimizer import FubarOptimizer
@@ -41,6 +41,11 @@ from repro.provisioning.frontier import (
 )
 from repro.topology.graph import LinkId, Network
 from repro.traffic.matrix import TrafficMatrix
+
+if TYPE_CHECKING:
+    from repro.paths.cache import PathSetCache
+    from repro.trafficmodel.compiled import CompiledModelCache
+
 
 
 @dataclass(frozen=True)
@@ -112,7 +117,7 @@ def utility_under_failure(
     warm_path_sets: Optional[Dict] = None,
     routable: Optional[TrafficMatrix] = None,
     stranded_flows: Optional[int] = None,
-    path_cache=None,
+    path_cache: Optional["PathSetCache"] = None,
 ) -> Tuple[float, int]:
     """Re-optimized utility of *traffic_matrix* after one fibre cut.
 
@@ -180,7 +185,9 @@ class _FailureCase:
 
 
 def _enumerate_failures(
-    network: Network, traffic_matrix: TrafficMatrix, path_cache=None
+    network: Network,
+    traffic_matrix: TrafficMatrix,
+    path_cache: Optional["PathSetCache"] = None,
 ) -> List[_FailureCase]:
     """Precompute the routability split of every single-fibre cut.
 
@@ -218,8 +225,8 @@ def survivable_capacity(
     fubar_config: Optional[FubarConfig] = None,
     warm_start: bool = True,
     skip_disconnecting: bool = True,
-    path_cache=None,
-    model_cache=None,
+    path_cache: Optional["PathSetCache"] = None,
+    model_cache: Optional["CompiledModelCache"] = None,
 ) -> SurvivableCapacityResult:
     """Find the smallest uniform capacity that survives every fibre cut.
 

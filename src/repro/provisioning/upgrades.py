@@ -25,7 +25,7 @@ trajectory achieved after each commit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,11 @@ from repro.provisioning.frontier import rebase_state
 from repro.topology.graph import LinkId, Network
 from repro.traffic.matrix import TrafficMatrix
 from repro.trafficmodel.compiled import CompiledTrafficModel
+
+if TYPE_CHECKING:
+    from repro.paths.cache import PathSetCache
+    from repro.trafficmodel.compiled import CompiledModelCache
+
 
 #: Termination reasons recorded on :class:`UpgradePlan`.
 STOPPED_NO_CONGESTION = "no congestion remains"
@@ -158,8 +163,8 @@ def greedy_link_upgrades(
     candidates_per_round: int = 4,
     fubar_config: Optional[FubarConfig] = None,
     warm_start: bool = True,
-    path_cache=None,
-    model_cache=None,
+    path_cache: Optional["PathSetCache"] = None,
+    model_cache: Optional["CompiledModelCache"] = None,
 ) -> UpgradePlan:
     """Greedily upgrade the most valuable congested fibres.
 

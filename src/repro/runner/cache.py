@@ -15,10 +15,13 @@ leaves a truncated entry behind.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
+
+_log = logging.getLogger(__name__)
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV_VAR = "FUBAR_CACHE_DIR"
@@ -63,7 +66,8 @@ class ResultCache:
                 return json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError) as error:
+            _log.warning("treating unreadable cache entry %s as a miss: %s", path, error)
             return None
 
     def store(self, config_hash: str, record: Dict[str, object]) -> Path:
@@ -85,6 +89,7 @@ class ResultCache:
         except BaseException:
             try:
                 os.unlink(temp_name)
+            # repro: allow[EXC001] — best-effort temp-file cleanup; the original error is re-raised below
             except OSError:
                 pass
             raise
@@ -106,18 +111,26 @@ class ResultCache:
 
     def load_error(self, config_hash: str) -> Optional[Dict[str, object]]:
         """The cached error record for *config_hash*, or None."""
+        path = self._error_path_for(config_hash)
         try:
-            with self._error_path_for(config_hash).open("r", encoding="utf-8") as handle:
+            with path.open("r", encoding="utf-8") as handle:
                 return json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as error:
+            _log.warning("treating unreadable error entry %s as a miss: %s", path, error)
             return None
 
     def discard_error(self, config_hash: str) -> bool:
         """Drop the cached error for *config_hash* (e.g. after a retry succeeds)."""
+        path = self._error_path_for(config_hash)
         try:
-            self._error_path_for(config_hash).unlink()
+            path.unlink()
             return True
-        except OSError:
+        except FileNotFoundError:
+            return False
+        except OSError as error:
+            _log.warning("could not discard error entry %s: %s", path, error)
             return False
 
     def error_hashes(self) -> List[str]:
@@ -135,7 +148,8 @@ class ResultCache:
             try:
                 with path.open("r", encoding="utf-8") as handle:
                     yield json.load(handle)
-            except (OSError, json.JSONDecodeError):
+            except (OSError, json.JSONDecodeError) as error:
+                _log.warning("skipping unreadable cache entry %s: %s", path, error)
                 continue
 
     def hashes(self) -> List[str]:
@@ -155,7 +169,10 @@ class ResultCache:
             try:
                 path.unlink()
                 removed += 1
-            except OSError:
+            except FileNotFoundError:
+                continue  # raced with a concurrent clear/prune: already gone
+            except OSError as error:
+                _log.warning("could not delete cache entry %s: %s", path, error)
                 continue
         return removed
 
@@ -183,7 +200,10 @@ class ResultCache:
                 try:
                     path.unlink()
                     removed += 1
-                except OSError:
+                except FileNotFoundError:
+                    continue  # raced with a concurrent clear/prune: already gone
+                except OSError as error:
+                    _log.warning("could not prune cache entry %s: %s", path, error)
                     continue
         return removed
 

@@ -40,7 +40,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, TextIO
 
 from repro.exceptions import ExperimentError
 from repro.metrics.reporting import format_table
@@ -83,7 +83,7 @@ def _parse_seeds(text: str) -> List[int]:
         ) from None
 
 
-def _progress_printer(stream):
+def _progress_printer(stream: TextIO) -> Callable[[str, CellSpec], None]:
     def notify(event: str, spec: CellSpec) -> None:
         tag = {"hit": "cache", "queued": "queue", "done": "done ", "error": "FAIL "}.get(
             event, event
@@ -171,7 +171,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.stream_jsonl:
         stream_path = Path(args.stream_jsonl)
 
-        def on_record(event: str, record) -> None:  # noqa: F811
+        def on_record(event: str, record: Dict[str, object]) -> None:  # noqa: F811
             append_jsonl_record(stream_path, record)
 
     result = run_sweep(

@@ -327,7 +327,7 @@ def default_jobs(num_cells: int) -> int:
     return max(1, min(num_cells, available))
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer fork on Linux (cheap, inherits the imported interpreter).
 
     macOS lists fork as available but forking after Objective-C / Accelerate
@@ -339,7 +339,11 @@ def _pool_context():
     return multiprocessing.get_context(None)
 
 
-def _worker_main(task_queue, result_queue, share_caches: bool) -> None:
+def _worker_main(
+    task_queue: "multiprocessing.queues.Queue",
+    result_queue: "multiprocessing.queues.Queue",
+    share_caches: bool,
+) -> None:
     """Worker-process loop: evaluate affinity chunks until the sentinel.
 
     The pool initializer installs this process's :class:`WorkerCaches` once;

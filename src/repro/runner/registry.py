@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Tuple
 
 from repro.dynamics.scenarios import build_dynamic_scenario, build_failure_scenario
 from repro.exceptions import ExperimentError
@@ -184,7 +184,7 @@ _SWEEP_AXES = (
 
 
 def _sweep_family(
-    name: str, description: str, sweepable: Tuple[str, ...] = _SWEEP_AXES, **defaults
+    name: str, description: str, sweepable: Tuple[str, ...] = _SWEEP_AXES, **defaults: Any
 ) -> ScenarioFamily:
     return register_family(
         ScenarioFamily(
@@ -260,7 +260,7 @@ _TIERED_AXES = (
 )
 
 
-def _tiered_family(name: str, description: str, **defaults) -> ScenarioFamily:
+def _tiered_family(name: str, description: str, **defaults: Any) -> ScenarioFamily:
     return register_family(
         ScenarioFamily(
             name=name,
@@ -315,7 +315,7 @@ _DYNAMIC_AXES = (
 )
 
 
-def _dynamic_family(name: str, description: str, **defaults) -> ScenarioFamily:
+def _dynamic_family(name: str, description: str, **defaults: Any) -> ScenarioFamily:
     return register_family(
         ScenarioFamily(
             name=name,
@@ -372,7 +372,7 @@ _FAILURE_AXES = (
 )
 
 
-def _failure_family(name: str, description: str, **defaults) -> ScenarioFamily:
+def _failure_family(name: str, description: str, **defaults: Any) -> ScenarioFamily:
     return register_family(
         ScenarioFamily(
             name=name,
@@ -433,7 +433,7 @@ _PROVISIONING_AXES = (
 )
 
 
-def _provisioning_family(name: str, description: str, **defaults) -> ScenarioFamily:
+def _provisioning_family(name: str, description: str, **defaults: Any) -> ScenarioFamily:
     return register_family(
         ScenarioFamily(
             name=name,

@@ -12,10 +12,13 @@ variant so they render on any forge.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+_log = logging.getLogger(__name__)
 
 from repro.dynamics.loop import format_epoch_table
 from repro.metrics.reporting import format_markdown_table, format_table
@@ -52,17 +55,29 @@ def load_jsonl_records(path: os.PathLike) -> List[Dict[str, object]]:
     ``config_hash``.  First-appearance order is preserved.
     """
     by_hash: Dict[str, Dict[str, object]] = {}
+    skipped_lines = 0
     try:
         with Path(path).open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
-                except json.JSONDecodeError:
+                except json.JSONDecodeError as error:
+                    skipped_lines += 1
+                    _log.warning(
+                        "skipping corrupt JSONL line %d of %s: %s",
+                        line_number,
+                        path,
+                        error,
+                    )
                     continue
                 if not isinstance(record, dict):
+                    skipped_lines += 1
+                    _log.warning(
+                        "skipping non-record JSONL line %d of %s", line_number, path
+                    )
                     continue
                 key = str(record.get("config_hash", id(record)))
                 # dict preserves first-insertion order; assignment replaces
@@ -70,6 +85,13 @@ def load_jsonl_records(path: os.PathLike) -> List[Dict[str, object]]:
                 by_hash[key] = record
     except FileNotFoundError:
         return []
+    if skipped_lines:
+        _log.warning(
+            "%s: skipped %d unreadable line(s); a truncated tail is expected "
+            "after an interrupted sweep",
+            path,
+            skipped_lines,
+        )
     return list(by_hash.values())
 
 

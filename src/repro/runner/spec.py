@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Mapping, Optional
 
 from repro.exceptions import ExperimentError
 
@@ -186,7 +186,7 @@ def parse_param_value(text: str) -> object:
     return text
 
 
-def parse_param_overrides(pairs) -> Dict[str, object]:
+def parse_param_overrides(pairs: Optional[Iterable[str]]) -> Dict[str, object]:
     """Parse repeated ``key=value`` strings into a parameter dict."""
     overrides: Dict[str, object] = {}
     for pair in pairs or ():

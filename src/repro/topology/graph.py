@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import (
     DuplicateLinkError,
@@ -449,7 +449,9 @@ class Network:
 
     # ------------------------------------------------------------------ copy
 
-    def _rebuilt(self, name: str, capacity_of) -> "Network":
+    def _rebuilt(
+        self, name: str, capacity_of: Callable[["Link"], float]
+    ) -> "Network":
         """Deep-copy nodes and links, with per-link capacity from *capacity_of*.
 
         The single rebuild loop behind every capacity-variant helper below:
@@ -530,7 +532,7 @@ class Network:
 
     # -------------------------------------------------------------- networkx
 
-    def to_networkx(self):
+    def to_networkx(self) -> "Any":
         """Return a :class:`networkx.DiGraph` view of this network.
 
         The graph carries ``capacity_bps`` and ``delay_s`` edge attributes.
@@ -555,7 +557,7 @@ class Network:
         return graph
 
     @classmethod
-    def from_networkx(cls, graph, name: Optional[str] = None) -> "Network":
+    def from_networkx(cls, graph: "Any", name: Optional[str] = None) -> "Network":
         """Build a :class:`Network` from a networkx graph.
 
         Edge attributes ``capacity_bps`` and ``delay_s`` are required.  An

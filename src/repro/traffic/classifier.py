@@ -10,7 +10,7 @@ before they are folded into aggregates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.exceptions import TrafficError
 from repro.traffic.classes import BULK, LARGE_TRANSFER, REAL_TIME
@@ -136,7 +136,7 @@ class HeuristicClassifier:
             return BULK
         return self.config.default_class
 
-    def classify_many(self, records) -> Dict[str, int]:
+    def classify_many(self, records: Iterable["FlowRecord"]) -> Dict[str, int]:
         """Classify an iterable of records and return per-class counts."""
         counts: Dict[str, int] = {}
         for record in records:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import TrafficError
 from repro.topology.graph import Network
@@ -182,7 +182,9 @@ class TrafficMatrix:
         scaled.dropped_aggregates = dropped
         return scaled
 
-    def filtered(self, predicate, name: Optional[str] = None) -> "TrafficMatrix":
+    def filtered(
+        self, predicate: Callable[[Aggregate], bool], name: Optional[str] = None
+    ) -> "TrafficMatrix":
         """Return a copy containing only aggregates for which *predicate* is true."""
         selected = TrafficMatrix(name=name or f"{self.name}-filtered")
         for aggregate in self._aggregates.values():

@@ -29,7 +29,7 @@ Two implementations live side by side:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.exceptions import TrafficModelError
 from repro.topology.graph import Network
 from repro.trafficmodel.bundle import Bundle
 from repro.trafficmodel.result import BundleOutcome, TrafficModelResult
+
+if TYPE_CHECKING:
+    from repro.trafficmodel.compiled import CompiledTrafficModel
 
 #: RTT floor, seconds.  Keeps growth rates finite on zero-delay test topologies.
 MIN_RTT_S = 1e-4
@@ -207,7 +210,7 @@ class TrafficModel:
         self.engine = CompiledTrafficModel(network, self.config)
 
     @classmethod
-    def from_engine(cls, engine) -> "TrafficModel":
+    def from_engine(cls, engine: "CompiledTrafficModel") -> "TrafficModel":
         """Wrap an existing :class:`CompiledTrafficModel` without rebuilding it.
 
         Used by the sweep runner's worker caches: a cached engine carries its

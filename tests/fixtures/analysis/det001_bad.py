@@ -1,0 +1,41 @@
+"""Known-bad corpus for DET001: every entropy source the rule must flag."""
+
+import os
+import random
+import time
+from random import choice
+
+import numpy as np
+
+
+def stdlib_global_rng():
+    value = random.random()  # expect: DET001
+    pick = random.choice([1, 2, 3])  # expect: DET001
+    return value, pick
+
+
+def imported_name():
+    return choice([1, 2, 3])  # expect: DET001
+
+
+def numpy_legacy_global():
+    np.random.seed(7)  # expect: DET001
+    return np.random.uniform(0.0, 1.0)  # expect: DET001
+
+
+def os_entropy():
+    return os.urandom(16)  # expect: DET001
+
+
+def salted_hash(key):
+    return hash(key) % 100  # expect: DET001
+
+
+def time_as_seed():
+    rng = np.random.default_rng(int(time.time()))  # expect: DET001
+    return rng
+
+
+class Identity:
+    def __hash__(self):
+        return hash(("identity",))  # exempt: in-process __hash__ only

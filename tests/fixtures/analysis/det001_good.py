@@ -1,0 +1,21 @@
+"""Known-good corpus for DET001: seeded generators and content hashing."""
+
+import hashlib
+import time
+
+import numpy as np
+
+
+def seeded_generator(seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0)
+
+
+def content_hash(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def timing_metrics():
+    # Wall-clock reads are fine when they only time things, not seed them.
+    started = time.perf_counter()
+    return time.perf_counter() - started

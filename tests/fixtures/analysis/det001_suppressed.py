@@ -1,0 +1,8 @@
+"""Suppressed corpus for DET001: a justified allow silences the finding."""
+
+import os
+
+
+def session_token() -> bytes:
+    # This token is *meant* to be unpredictable; it never feeds results.
+    return os.urandom(16)  # repro: allow[DET001] — cryptographic token, deliberately non-reproducible

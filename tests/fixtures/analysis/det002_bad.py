@@ -1,0 +1,26 @@
+"""Known-bad corpus for DET002: set iteration order escaping."""
+
+
+def loop_over_set_literal():
+    total = []
+    for name in {"c", "a", "b"}:  # expect: DET002
+        total.append(name)
+    return total
+
+
+def comprehension_over_set_call(items):
+    labels = set(items)
+    return [label.upper() for label in labels]  # expect: DET002
+
+
+def list_of_union(left: set, right: set):
+    return list(left | right)  # expect: DET002
+
+
+def annotated_parameter(failed: frozenset):
+    collected = frozenset(failed)
+    return tuple(collected)  # expect: DET002
+
+
+def known_attribute(view):
+    return [link for link in view.failed_links]  # expect: DET002

@@ -1,0 +1,25 @@
+"""Known-good corpus for DET002: sorted, order-insensitive, or ordered types."""
+
+
+def sorted_iteration(items):
+    names = set(items)
+    return [name for name in sorted(names)]
+
+
+def order_insensitive_consumers(items):
+    names = set(items)
+    return len(names), min(names), sum(1 for _ in ()), names.union({"x"})
+
+
+def membership_and_bool(names: set, probe: str):
+    return probe in names and bool(names)
+
+
+def dict_iteration_is_insertion_ordered(mapping):
+    # Dicts iterate in insertion order on every supported interpreter.
+    return [key for key in mapping], list(mapping.values())
+
+
+def set_to_set_stays_unordered(items):
+    # A set comprehension over a set produces another set: no order escapes.
+    return {item.lower() for item in set(items)}

@@ -1,0 +1,10 @@
+"""Suppressed corpus for DET002."""
+
+
+def accumulate_commutatively(values):
+    bucket = set(values)
+    total = 0.0
+    # repro: allow[DET002] — float addition here is order-robust: all values are non-negative ints
+    for value in bucket:
+        total += value
+    return total

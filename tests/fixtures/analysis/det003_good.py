@@ -1,0 +1,20 @@
+"""Known-good corpus for DET003: every RNG seeded from a config field."""
+
+from typing import Optional
+
+import numpy as np
+
+
+def from_config_field(seed: int):
+    return np.random.default_rng(seed)
+
+
+def forwarded_optional(rng: Optional[np.random.Generator], seed: Optional[int]):
+    # The static rule cannot prove `seed` is not None here; the call site is
+    # accountable for passing a real seed (DET003 flags only literal
+    # missing/None seeds).
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
+def seeded_bit_generator(seed: int):
+    return np.random.Generator(np.random.PCG64(seed))

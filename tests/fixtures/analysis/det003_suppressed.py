@@ -1,0 +1,8 @@
+"""Suppressed corpus for DET003."""
+
+import numpy as np
+
+
+def throwaway_shuffle_rng():
+    # repro: allow[DET003] — demo-only jitter; output is never recorded
+    return np.random.default_rng()

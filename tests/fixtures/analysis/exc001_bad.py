@@ -1,0 +1,25 @@
+"""Known-bad corpus for EXC001: silent swallows."""
+
+import json
+
+
+def bare_swallow(work):
+    try:
+        return work()
+    except:  # expect: EXC001
+        pass
+
+
+def broad_swallow(work):
+    try:
+        return work()
+    except Exception:  # expect: EXC001
+        return None
+
+
+def io_swallow(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):  # expect: EXC001
+        return None

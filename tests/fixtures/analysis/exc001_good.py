@@ -1,0 +1,38 @@
+"""Known-good corpus for EXC001: handlers that record, log, raise, or narrow."""
+
+import json
+import logging
+
+_log = logging.getLogger(__name__)
+
+
+def records_error(work):
+    try:
+        return work()
+    except Exception as error:
+        return {"error": str(error)}
+
+
+def logs_and_misses(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None  # a miss, not a failure: FileNotFoundError is exempt
+    except (OSError, json.JSONDecodeError) as error:
+        _log.warning("unreadable %s: %s", path, error)
+        return None
+
+
+def reraises(work):
+    try:
+        return work()
+    except BaseException:
+        raise
+
+
+def narrow_control_flow(text):
+    try:
+        return int(text)
+    except ValueError:
+        return None  # narrow, intentional parse fallback: not EXC001's business

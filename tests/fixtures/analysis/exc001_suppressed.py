@@ -1,0 +1,10 @@
+"""Suppressed corpus for EXC001."""
+
+
+def best_effort_cleanup(path, original):
+    try:
+        path.unlink()
+    # repro: allow[EXC001] — best-effort cleanup; the original error is re-raised next
+    except OSError:
+        pass
+    raise original

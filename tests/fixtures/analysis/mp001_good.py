@@ -1,0 +1,30 @@
+"""Known-good corpus for MP001: module-level callables only."""
+
+import multiprocessing
+from functools import partial
+
+
+def evaluate_cell(cell):
+    return cell * 2
+
+
+def submit_module_level(pool):
+    return pool.map(evaluate_cell, range(4))
+
+
+def process_module_target():
+    return multiprocessing.Process(target=evaluate_cell, args=(1,))
+
+
+def partial_over_module_level(pool):
+    return pool.apply_async(partial(evaluate_cell, 2))
+
+
+def plain_builtin_map(values):
+    # builtin map never crosses a process boundary.
+    return list(map(str, values))
+
+
+def lambda_stays_in_process(values):
+    # sorted() key functions run in this process; lambdas are fine.
+    return sorted(values, key=lambda value: -value)

@@ -1,0 +1,6 @@
+"""Suppressed corpus for MP001."""
+
+
+def fork_only_dispatch(pool):
+    # repro: allow[MP001] — this pool is fork-started on Linux only; closures survive fork
+    return pool.map(lambda cell: cell, range(4))

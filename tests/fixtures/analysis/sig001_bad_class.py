@@ -1,0 +1,15 @@
+"""SIG001 corpus: a cached class whose signature function misses a field."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CachedThing:
+    width: float
+    height: float
+    colour: str  # behaviour-affecting, but sig001_bad_signature misses it
+
+
+@dataclass
+class MutableKey:  # expect: SIG001 (frozen-key spec: not frozen)
+    alpha: int = 0

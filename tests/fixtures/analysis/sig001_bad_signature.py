@@ -1,0 +1,10 @@
+"""SIG001 corpus: the incomplete signature function (misses ``colour``)."""
+
+import hashlib
+
+
+def thing_signature(thing) -> str:  # expect: SIG001 (misses CachedThing.colour)
+    digest = hashlib.sha256()
+    digest.update(repr(thing.width).encode())
+    digest.update(repr(thing.height).encode())
+    return digest.hexdigest()

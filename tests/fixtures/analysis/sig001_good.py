@@ -1,0 +1,24 @@
+"""SIG001 corpus: a complete signature function plus a frozen key class."""
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodThing:
+    width: float
+    height: float
+    label: str
+
+
+@dataclass(frozen=True)
+class FrozenKey:
+    alpha: int = 0
+
+
+def good_signature(thing: GoodThing) -> str:
+    digest = hashlib.sha256()
+    digest.update(repr(thing.width).encode())
+    digest.update(repr(thing.height).encode())
+    digest.update(thing.label.encode())
+    return digest.hexdigest()

@@ -1,0 +1,7 @@
+"""SUP001 corpus: a stale suppression with nothing left to suppress."""
+
+
+def already_fixed(seed: int):
+    import numpy as np
+
+    return np.random.default_rng(seed)  # repro: allow[DET003] — stale: the call is seeded now

@@ -1,0 +1,7 @@
+"""SUP002 corpus: a suppression without a justification."""
+
+import os
+
+
+def token() -> bytes:
+    return os.urandom(8)  # repro: allow[DET001]
