@@ -11,13 +11,20 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.callgraph import ProgramModel
+    from repro.analysis.config import AnalysisConfig
 
 #: Rules that look at one file at a time (run in parallel across files).
 FILE_SCOPE = "file"
 
 #: Rules that need every parsed module at once (run once, in-process).
 PROJECT_SCOPE = "project"
+
+#: Rules that need the whole-program call graph and dataflow summaries.
+PROGRAM_SCOPE = "program"
 
 
 @dataclass(frozen=True)
@@ -78,9 +85,10 @@ class Rule:
     """Base class every checker derives from.
 
     Subclasses set ``code`` (e.g. ``"DET001"``), ``summary`` (one line,
-    shown by ``--list-rules``) and ``scope`` (:data:`FILE_SCOPE` or
-    :data:`PROJECT_SCOPE`), then implement :meth:`check` (file scope) or
-    :meth:`check_project` (project scope).
+    shown by ``--list-rules``) and ``scope`` (:data:`FILE_SCOPE`,
+    :data:`PROJECT_SCOPE` or :data:`PROGRAM_SCOPE`), then implement
+    :meth:`check` (file scope), :meth:`check_project` (project scope) or
+    :meth:`check_program` (whole-program scope).
     """
 
     code: str = ""
@@ -96,6 +104,19 @@ class Rule:
     ) -> Iterator[Violation]:
         """Yield violations across all modules (project-scope rules)."""
         return iter(())
+
+    def check_program(self, program: "ProgramModel") -> Iterator[Violation]:
+        """Yield violations over the whole-program model (program scope)."""
+        return iter(())
+
+    def is_enabled(self, config: "AnalysisConfig") -> bool:
+        """Whether this rule can produce findings under *config*.
+
+        Config-gated rules (ASY101, DEAD101) override this; a rule that is
+        selected but inert cannot verify its suppressions, so the orphan
+        check must leave them alone.
+        """
+        return True
 
 
 def call_name(node: ast.AST) -> Optional[str]:

@@ -1,0 +1,489 @@
+"""Over-approximate whole-program call graph built from module summaries.
+
+Call targets recorded by :mod:`repro.analysis.summaries` are canonical
+dotted names; this module resolves them to concrete functions through
+
+* import aliases and package re-exports (``from repro.analysis import
+  analyze_paths`` resolves through ``repro.analysis.__init__``),
+* methods on inferred self-types (``self.m()`` dispatches over the
+  enclosing class, its ancestors *and* its descendants — dynamic dispatch
+  is over-approximated, never missed),
+* local instantiations and parameter annotations (``gen = PathGenerator(...)``
+  makes ``gen.paths_between()`` a method call on ``PathGenerator``),
+* ``functools.partial`` and pool submissions (``pool.map(f, ...)``,
+  ``Process(target=f)``) — the wrapped callable becomes an edge,
+* module-level dispatch tables (``BUILDERS[name](...)`` fans out to every
+  table member).
+
+Each edge carries, per callee parameter, the caller parameters and the
+caller call sites whose results may flow into it — enough for the forward
+taint engine in :mod:`repro.analysis.flow` without re-reading any source.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.summaries import (
+    ArgFlow,
+    CallSite,
+    FunctionSummary,
+    ModuleSummary,
+)
+
+#: Parameter names that receive the instance, skipped in positional mapping.
+_RECEIVER_PARAMS = ("self", "cls")
+
+#: Maximum alias-chain length followed through package re-exports.
+_MAX_REEXPORT_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class ParamFlow:
+    """How one callee parameter derives from the calling context."""
+
+    param: str
+    caller_params: Tuple[str, ...] = ()
+    caller_calls: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One resolved call: caller function → callee function."""
+
+    caller: str
+    callee: str
+    line: int
+    column: int
+    kind: str = "call"      #: ``call`` or ``submit``
+    param_flows: Tuple[ParamFlow, ...] = ()
+
+
+class CallGraph:
+    """Resolved functions, edges, and per-site callee targets."""
+
+    def __init__(self) -> None:
+        #: fqid → function summary.
+        self.functions: Dict[str, FunctionSummary] = {}
+        #: fqid → owning module name.
+        self.function_module: Dict[str, str] = {}
+        #: caller fqid → outgoing edges (sorted by callee, line).
+        self.edges_from: Dict[str, List[Edge]] = {}
+        #: caller fqid → call-site index → resolved callee fqids.
+        self.call_targets: Dict[str, Dict[int, Tuple[str, ...]]] = {}
+        #: (canonical callable, line, column) submissions per caller fqid.
+        self.submissions: Dict[str, Tuple[Tuple[str, int, int], ...]] = {}
+
+    def reachable(
+        self, roots: Sequence[str], kinds: Optional[FrozenSet[str]] = None
+    ) -> Dict[str, Tuple[str, ...]]:
+        """BFS closure from *roots*: fqid → call chain (root first, self last)."""
+        chains: Dict[str, Tuple[str, ...]] = {}
+        queue: "collections.deque[str]" = collections.deque()
+        for root in sorted(set(roots)):
+            if root in self.functions and root not in chains:
+                chains[root] = (root,)
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            for edge in self.edges_from.get(current, ()):
+                if kinds is not None and edge.kind not in kinds:
+                    continue
+                if edge.callee in chains:
+                    continue
+                chains[edge.callee] = chains[current] + (edge.callee,)
+                queue.append(edge.callee)
+        return chains
+
+
+def render_chain(chain: Sequence[str], limit: int = 5) -> str:
+    """Human-readable call chain for violation messages."""
+    shown = list(chain)
+    if len(shown) > limit:
+        shown = shown[: limit - 1] + ["…", shown[-1]]
+    return " -> ".join(shown)
+
+
+class _SymbolTable:
+    """Module/class/function indexes the resolver queries."""
+
+    def __init__(self, modules: Mapping[str, ModuleSummary]) -> None:
+        self.modules = dict(modules)
+        self.functions: Dict[str, FunctionSummary] = {}
+        self.function_module: Dict[str, str] = {}
+        self.class_methods: Dict[str, Dict[str, str]] = {}
+        self.class_bases: Dict[str, Tuple[str, ...]] = {}
+        self.subclasses: Dict[str, List[str]] = {}
+        self.tables: Dict[str, Tuple[str, ...]] = {}
+        self.imports: Dict[str, Dict[str, str]] = {}
+
+        for module_name in sorted(self.modules):
+            summary = self.modules[module_name]
+            self.imports[module_name] = dict(summary.imports)
+            for name, members in summary.callable_tables:
+                self.tables[f"{module_name}.{name}"] = members
+            for function in summary.functions:
+                fqid = f"{module_name}.{function.qualname}"
+                self.functions[fqid] = function
+                self.function_module[fqid] = module_name
+            for class_summary in summary.classes:
+                fq_class = f"{module_name}.{class_summary.name}"
+                methods: Dict[str, str] = {}
+                for method in class_summary.methods:
+                    methods[method] = f"{fq_class}.{method}"
+                self.class_methods[fq_class] = methods
+                self.class_bases[fq_class] = class_summary.bases
+
+        # Resolve base-name strings to fully-qualified classes, then invert.
+        for fq_class in sorted(self.class_bases):
+            module_name = fq_class.rsplit(".", 1)[0]
+            for base in self.class_bases[fq_class]:
+                base_fq = self._resolve_class_name(module_name, base)
+                if base_fq is not None:
+                    self.subclasses.setdefault(base_fq, []).append(fq_class)
+
+    def _resolve_class_name(self, module_name: str, dotted: str) -> Optional[str]:
+        if "." not in dotted:
+            candidate = f"{module_name}.{dotted}"
+            return candidate if candidate in self.class_methods else None
+        if dotted in self.class_methods:
+            return dotted
+        resolved = self.resolve_through_reexports(dotted)
+        return resolved if resolved in self.class_methods else None
+
+    def resolve_through_reexports(self, dotted: str) -> str:
+        """Follow ``pkg/__init__`` aliases: ``repro.analysis.analyze_paths`` →
+        ``repro.analysis.walker.analyze_paths``."""
+        current = dotted
+        for _ in range(_MAX_REEXPORT_DEPTH):
+            module_name = self._longest_module_prefix(current)
+            if module_name is None:
+                return current
+            rest = current[len(module_name) + 1 :]
+            if not rest:
+                return current
+            head = rest.split(".", 1)[0]
+            alias_target = self.imports[module_name].get(head)
+            if alias_target is None or alias_target == current:
+                return current
+            remainder = rest[len(head) :]
+            current = alias_target + remainder
+        return current
+
+    def _longest_module_prefix(self, dotted: str) -> Optional[str]:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def ancestors(self, fq_class: str) -> List[str]:
+        """The class plus every transitive project-local base, BFS order."""
+        seen: List[str] = []
+        queue = [fq_class]
+        while queue:
+            current = queue.pop(0)
+            if current in seen or current not in self.class_methods:
+                continue
+            seen.append(current)
+            module_name = current.rsplit(".", 1)[0]
+            for base in self.class_bases.get(current, ()):
+                resolved = self._resolve_class_name(module_name, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return seen
+
+    def descendants(self, fq_class: str) -> List[str]:
+        seen: List[str] = []
+        queue = list(self.subclasses.get(fq_class, ()))
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.append(current)
+            queue.extend(self.subclasses.get(current, ()))
+        return seen
+
+    def method_targets(self, fq_class: str, method: str) -> List[str]:
+        """``self.method`` dispatch: the class, its ancestors, its descendants."""
+        found: List[str] = []
+        for candidate in self.ancestors(fq_class):
+            fqid = self.class_methods.get(candidate, {}).get(method)
+            if fqid is not None:
+                found.append(fqid)
+                break  # nearest ancestor definition wins for the static part
+        for candidate in self.descendants(fq_class):
+            fqid = self.class_methods.get(candidate, {}).get(method)
+            if fqid is not None:
+                found.append(fqid)
+        return sorted(set(found))
+
+    def constructor_targets(self, fq_class: str) -> List[str]:
+        for candidate in self.ancestors(fq_class):
+            fqid = self.class_methods.get(candidate, {}).get("__init__")
+            if fqid is not None:
+                return [fqid]
+        return []
+
+    def resolve(self, module_name: str, caller_qualname: str, target: str) -> List[str]:
+        """Resolve one canonical call target to function fqids."""
+        if not target:
+            return []
+        if target.endswith("[]"):
+            return self._resolve_table(module_name, target[:-2])
+        if target.startswith("self."):
+            rest = target[5:]
+            if "." in rest:
+                return []
+            caller = self.functions.get(f"{module_name}.{caller_qualname}")
+            if caller is None or caller.class_name is None:
+                return []
+            return self.method_targets(f"{module_name}.{caller.class_name}", rest)
+        if "." not in target:
+            return self._resolve_bare(module_name, caller_qualname, target)
+        return self._resolve_dotted(module_name, target)
+
+    def _resolve_table(self, module_name: str, base: str) -> List[str]:
+        members: Optional[Tuple[str, ...]] = None
+        if "." not in base:
+            members = self.tables.get(f"{module_name}.{base}")
+        else:
+            canonical = self.resolve_through_reexports(base)
+            members = self.tables.get(canonical)
+        if members is None:
+            return []
+        found: List[str] = []
+        for member in members:
+            if "." in member:
+                found.extend(self._resolve_dotted(module_name, member))
+            else:
+                found.extend(self._resolve_bare(module_name, "", member))
+        return sorted(set(found))
+
+    def _resolve_bare(
+        self, module_name: str, caller_qualname: str, name: str
+    ) -> List[str]:
+        # Nested definitions shadow module-level ones: walk the caller's
+        # qualname scopes from innermost outwards.
+        scope_parts = caller_qualname.split(".") if caller_qualname else []
+        for cut in range(len(scope_parts), -1, -1):
+            prefix = ".".join(scope_parts[:cut])
+            fqid = (
+                f"{module_name}.{prefix}.{name}" if prefix else f"{module_name}.{name}"
+            )
+            if fqid in self.functions and self.functions[fqid].class_name is None:
+                return [fqid]
+        fq_class = f"{module_name}.{name}"
+        if fq_class in self.class_methods:
+            return self.constructor_targets(fq_class)
+        return []
+
+    def _resolve_dotted(self, module_name: str, dotted: str) -> List[str]:
+        canonical = self.resolve_through_reexports(dotted)
+        # Own-module attribute paths first: ``Helper.compute`` written without
+        # a module prefix resolves against the caller's module.
+        own = self._resolve_in_module(module_name, canonical)
+        if own:
+            return own
+        prefix = self._longest_module_prefix(canonical)
+        if prefix is None:
+            return []
+        rest = canonical[len(prefix) + 1 :]
+        if not rest:
+            return []
+        return self._resolve_in_module(prefix, rest)
+
+    def _resolve_in_module(self, module_name: str, rest: str) -> List[str]:
+        if module_name not in self.modules:
+            return []
+        fqid = f"{module_name}.{rest}"
+        if fqid in self.functions:
+            summary = self.functions[fqid]
+            if summary.class_name is None or "." in rest:
+                return [fqid]
+        parts = rest.split(".")
+        fq_class = f"{module_name}.{parts[0]}"
+        if fq_class in self.class_methods:
+            if len(parts) == 1:
+                return self.constructor_targets(fq_class)
+            if len(parts) == 2:
+                return self.method_targets(fq_class, parts[1])
+        return []
+
+
+def _is_method(summary: FunctionSummary) -> bool:
+    return bool(
+        summary.class_name is not None
+        and summary.params
+        and summary.params[0] in _RECEIVER_PARAMS
+    )
+
+
+def _map_arguments(
+    site: CallSite, callee: FunctionSummary
+) -> Tuple[ParamFlow, ...]:
+    """Align a call site's argument flows with the callee's parameters."""
+    params = list(callee.params)
+    if _is_method(callee):
+        params = params[1:]
+    flows: Dict[str, Tuple[Set[str], Set[int]]] = {}
+
+    def feed(param: str, flow: ArgFlow) -> None:
+        bucket = flows.setdefault(param, (set(), set()))
+        bucket[0].update(flow.params)
+        bucket[1].update(flow.calls)
+
+    for position, flow in enumerate(site.args):
+        if position < len(params):
+            feed(params[position], flow)
+        elif params:
+            feed(params[-1], flow)  # overflow into *args/**kwargs slot
+    named = set(params)
+    for name, flow in site.keywords:
+        if name in named:
+            feed(name, flow)
+        elif params:
+            feed(params[-1], flow)
+    return tuple(
+        ParamFlow(
+            param=param,
+            caller_params=tuple(sorted(flows[param][0])),
+            caller_calls=tuple(sorted(flows[param][1])),
+        )
+        for param in sorted(flows)
+    )
+
+
+def _partial_target(site: CallSite) -> Optional[Tuple[str, CallSite]]:
+    """Rewrite ``functools.partial(f, ...)`` as a call to ``f``."""
+    if site.target not in ("functools.partial", "partial"):
+        return None
+    if not site.args:
+        return None
+    first = site.args[0]
+    if first.params or len(first.names) != 1:
+        return None
+    rewritten = CallSite(
+        index=site.index,
+        target=first.names[0],
+        line=site.line,
+        column=site.column,
+        args=site.args[1:],
+        keywords=site.keywords,
+        candidates=(),
+    )
+    return first.names[0], rewritten
+
+
+def build_call_graph(modules: Mapping[str, ModuleSummary]) -> CallGraph:
+    """Resolve every recorded call site into a :class:`CallGraph`."""
+    table = _SymbolTable(modules)
+    graph = CallGraph()
+    graph.functions = table.functions
+    graph.function_module = table.function_module
+
+    for fqid in sorted(table.functions):
+        module_name = table.function_module[fqid]
+        summary = table.functions[fqid]
+        site_targets: Dict[int, Tuple[str, ...]] = {}
+        resolved_sites: List[Tuple[CallSite, Tuple[str, ...]]] = []
+        for site in summary.calls:
+            effective = site
+            rewritten = _partial_target(site)
+            if rewritten is not None:
+                effective = rewritten[1]
+            if site.candidates:
+                callees: List[str] = []
+                for candidate in site.candidates:
+                    callees.extend(
+                        table.resolve(module_name, summary.qualname, candidate)
+                    )
+                targets = tuple(sorted(set(callees)))
+            else:
+                targets = tuple(
+                    table.resolve(module_name, summary.qualname, effective.target)
+                )
+            site_targets[site.index] = targets
+            resolved_sites.append((effective, targets))
+
+        edges: List[Edge] = []
+        for effective, targets in resolved_sites:
+            for callee in targets:
+                edges.append(
+                    Edge(
+                        caller=fqid,
+                        callee=callee,
+                        line=effective.line,
+                        column=effective.column,
+                        kind="call",
+                        param_flows=_map_arguments(
+                            effective, table.functions[callee]
+                        ),
+                    )
+                )
+        for submitted, line, column in summary.submitted:
+            for callee in table.resolve(module_name, summary.qualname, submitted):
+                edges.append(
+                    Edge(
+                        caller=fqid,
+                        callee=callee,
+                        line=line,
+                        column=column,
+                        kind="submit",
+                        param_flows=(),
+                    )
+                )
+        edges.sort(key=lambda edge: (edge.callee, edge.line, edge.column, edge.kind))
+        if edges:
+            graph.edges_from[fqid] = edges
+        graph.call_targets[fqid] = site_targets
+        if summary.submitted:
+            graph.submissions[fqid] = summary.submitted
+    return graph
+
+
+@dataclass
+class ProgramModel:
+    """Everything a program-scope rule sees: summaries, graph, and config."""
+
+    modules: Dict[str, ModuleSummary]
+    graph: CallGraph
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    #: Lazily loaded terminal names referenced by the reference roots
+    #: (tests/benchmarks/examples) — DEAD101's external liveness signal.
+    reference_loader: Optional[Callable[[], FrozenSet[str]]] = None
+    _reference_names: Optional[FrozenSet[str]] = None
+
+    def module_for(self, fqid: str) -> Optional[ModuleSummary]:
+        module_name = self.graph.function_module.get(fqid)
+        return None if module_name is None else self.modules.get(module_name)
+
+    def path_for(self, fqid: str) -> str:
+        summary = self.module_for(fqid)
+        return summary.path if summary is not None else "<unknown>"
+
+    def reference_names(self) -> FrozenSet[str]:
+        if self._reference_names is None:
+            if self.reference_loader is None:
+                self._reference_names = frozenset()
+            else:
+                self._reference_names = self.reference_loader()
+        return self._reference_names
+
+
+def build_program_model(
+    modules: Mapping[str, ModuleSummary],
+    config: Optional[AnalysisConfig] = None,
+    reference_loader: Optional[Callable[[], FrozenSet[str]]] = None,
+) -> ProgramModel:
+    """Assemble the whole-program model handed to program-scope rules."""
+    return ProgramModel(
+        modules=dict(modules),
+        graph=build_call_graph(modules),
+        config=config if config is not None else AnalysisConfig(),
+        reference_loader=reference_loader,
+    )

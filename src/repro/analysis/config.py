@@ -1,0 +1,168 @@
+"""Project configuration for the interprocedural checkers (``analysis.toml``).
+
+The intra-file rules are self-contained, but the whole-program rules need
+project-level declarations that do not belong in code:
+
+* ``[analysis.async_ready]`` — modules the ROADMAP's asyncio-daemon work
+  wants to run inside an event loop.  ASY101 proves (at lint time) that no
+  blocking call is transitively reachable from them, so the migration
+  starts from a machine-checked inventory instead of hope.
+* ``[analysis.dead_code]`` — the package prefixes DEAD101 audits and the
+  *reference roots* (tests, benchmarks, examples) whose usages count as
+  liveness even though those trees are not themselves linted.
+
+The file is optional: an absent ``analysis.toml`` yields the defaults below,
+so analyzing a bare checkout (or the fixtures corpus) never requires one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on the 3.9 CI matrix leg
+    tomllib = None  # type: ignore[assignment]
+
+#: Default file name probed in the working directory.
+CONFIG_FILENAME = "analysis.toml"
+
+
+class AnalysisConfigError(ReproError):
+    """Raised when ``analysis.toml`` is present but malformed."""
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Parsed interprocedural-analysis configuration."""
+
+    #: Modules whose reachable call trees must be free of blocking calls.
+    async_ready_modules: Tuple[str, ...] = ()
+    #: Dotted package prefixes DEAD101 audits (empty disables the rule).
+    dead_code_packages: Tuple[str, ...] = ()
+    #: Directories (relative to the config file) whose references keep
+    #: public functions alive for DEAD101.
+    reference_roots: Tuple[str, ...] = ()
+    #: Directory the config was loaded from (resolves reference roots).
+    base_directory: Path = field(default_factory=Path)
+
+    def reference_root_paths(self) -> List[Path]:
+        """Existing reference-root directories, resolved against the config."""
+        found: List[Path] = []
+        for root in self.reference_roots:
+            candidate = self.base_directory / root
+            if candidate.is_dir():
+                found.append(candidate)
+        return found
+
+
+def _string_list(value: object, where: str) -> Tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise AnalysisConfigError(f"{where} must be a list of strings")
+    return tuple(value)
+
+
+_SECTION_RE = re.compile(r"^\[(?P<name>[A-Za-z0-9_.\-]+)\]\s*$")
+_KEY_RE = re.compile(r"^(?P<key>[A-Za-z0-9_\-]+)\s*=\s*(?P<value>.+)$")
+_STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def _parse_toml_subset(text: str, where: str) -> Dict[str, Any]:
+    """Tiny fallback parser for the config's TOML subset (Python < 3.11).
+
+    Supports ``[dotted.section]`` headers and ``key = [ "str", ... ]`` /
+    ``key = "str"`` assignments (lists may span lines).  That is the whole
+    grammar ``analysis.toml`` uses, so the 3.9 test matrix does not need the
+    stdlib ``tomllib``.
+    """
+    document: Dict[str, Any] = {}
+    section: Dict[str, Any] = document
+    pending_key: Optional[str] = None
+    pending_value = ""
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip() if '"' not in raw_line else raw_line.strip()
+        if pending_key is not None:
+            pending_value += " " + line
+            if "]" in line:
+                section[pending_key] = _STRING_RE.findall(pending_value)
+                pending_key, pending_value = None, ""
+            continue
+        if not line or line.startswith("#"):
+            continue
+        section_match = _SECTION_RE.match(line)
+        if section_match is not None:
+            section = document
+            for part in section_match.group("name").split("."):
+                section = section.setdefault(part, {})
+            continue
+        key_match = _KEY_RE.match(line)
+        if key_match is None:
+            raise AnalysisConfigError(f"{where}: cannot parse line {line!r}")
+        key, value = key_match.group("key"), key_match.group("value").strip()
+        if value.startswith("["):
+            if "]" in value:
+                section[key] = _STRING_RE.findall(value)
+            else:
+                pending_key, pending_value = key, value
+        else:
+            strings = _STRING_RE.findall(value)
+            if len(strings) != 1:
+                raise AnalysisConfigError(
+                    f"{where}: unsupported value for {key!r}: {value!r}"
+                )
+            section[key] = strings[0]
+    if pending_key is not None:
+        raise AnalysisConfigError(f"{where}: unterminated list for {pending_key!r}")
+    return document
+
+
+def load_config(path: Optional[Path] = None) -> AnalysisConfig:
+    """Load ``analysis.toml`` from *path* (default: probe the cwd).
+
+    A missing file is not an error — the interprocedural rules then run
+    with their built-in defaults (no async-ready modules, no dead-code
+    packages), which keeps fixture analysis config-free.
+    """
+    probe = path if path is not None else Path(CONFIG_FILENAME)
+    if not probe.is_file():
+        return AnalysisConfig()
+    if tomllib is not None:
+        with probe.open("rb") as handle:
+            try:
+                document = tomllib.load(handle)
+            except tomllib.TOMLDecodeError as error:
+                raise AnalysisConfigError(f"{probe}: {error}") from error
+    else:  # pragma: no cover - exercised on the 3.9 CI matrix leg
+        document = _parse_toml_subset(
+            probe.read_text(encoding="utf-8"), str(probe)
+        )
+    section = document.get("analysis", {})
+    if not isinstance(section, dict):
+        raise AnalysisConfigError(f"{probe}: [analysis] must be a table")
+    async_ready = section.get("async_ready", {})
+    dead_code = section.get("dead_code", {})
+    if not isinstance(async_ready, dict) or not isinstance(dead_code, dict):
+        raise AnalysisConfigError(
+            f"{probe}: [analysis.async_ready] and [analysis.dead_code] "
+            f"must be tables"
+        )
+    return AnalysisConfig(
+        async_ready_modules=_string_list(
+            async_ready.get("modules", []), "[analysis.async_ready] modules"
+        ),
+        dead_code_packages=_string_list(
+            dead_code.get("packages", []), "[analysis.dead_code] packages"
+        ),
+        reference_roots=_string_list(
+            dead_code.get("reference_roots", []),
+            "[analysis.dead_code] reference_roots",
+        ),
+        base_directory=probe.parent,
+    )

@@ -1,0 +1,91 @@
+"""Mechanical fixes for findings the linter can repair itself.
+
+Currently one fixer: deleting SUP001-orphaned ``# repro: allow[...]``
+comments in place (``--fix-orphans``).  An orphan is a suppression whose
+rule produced no violation on the covered line — stale documentation that
+can mask a future real violation.  The fixer removes only the orphaned
+codes: a comment shared by a still-live code keeps the live code (and its
+justification); a comment whose codes are all orphaned is deleted, and the
+whole line goes with it when the comment was the only thing on it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.suppressions import SUPPRESSION_RE
+from repro.analysis.walker import OrphanSuppression
+
+
+def _rewrite_line(line: str, orphan_codes: Set[str]) -> Tuple[str, bool]:
+    """Drop *orphan_codes* from the suppression comment on *line*.
+
+    Returns ``(new_line, drop_line)``; ``drop_line`` is True when the line
+    held nothing but the now-deleted comment.
+    """
+    match = SUPPRESSION_RE.search(line)
+    if match is None:
+        return line, False
+    codes = [
+        code.strip().upper()
+        for code in match.group("codes").split(",")
+        if code.strip()
+    ]
+    remaining = [code for code in codes if code not in orphan_codes]
+    prefix = line[: match.start()].rstrip()
+    if remaining:
+        rebuilt = line[:match.start()] + line[match.start():].replace(
+            match.group("codes"), ",".join(remaining), 1
+        )
+        return rebuilt, False
+    if prefix:
+        return prefix, False
+    return "", True
+
+
+def fix_orphan_suppressions(
+    orphans: Sequence[OrphanSuppression], dry_run: bool = False
+) -> List[str]:
+    """Delete orphaned allow-codes in place; return one message per edit.
+
+    With ``dry_run`` the files are left untouched and every message is
+    prefixed ``would``; otherwise each file is rewritten once with all its
+    orphan edits applied.
+    """
+    by_file: Dict[str, Dict[int, Set[str]]] = {}
+    for orphan in orphans:
+        by_file.setdefault(orphan.path, {}).setdefault(orphan.line, set()).add(
+            orphan.code
+        )
+    messages: List[str] = []
+    verb = "would remove" if dry_run else "removed"
+    for path in sorted(by_file):
+        target = Path(path)
+        text = target.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        trailing_newline = text.endswith("\n")
+        dropped: List[int] = []
+        for line_number in sorted(by_file[path]):
+            index = line_number - 1
+            if index >= len(lines):
+                continue
+            codes = by_file[path][line_number]
+            new_line, drop = _rewrite_line(lines[index], codes)
+            listed = ",".join(sorted(codes))
+            messages.append(
+                f"{path}:{line_number}: {verb} stale allow[{listed}]"
+            )
+            if drop:
+                dropped.append(index)
+            else:
+                lines[index] = new_line
+        if dry_run:
+            continue
+        for index in sorted(dropped, reverse=True):
+            del lines[index]
+        rebuilt = "\n".join(lines)
+        if trailing_newline and rebuilt:
+            rebuilt += "\n"
+        target.write_text(rebuilt, encoding="utf-8")
+    return messages

@@ -1,0 +1,128 @@
+"""Forward dataflow over the call graph: taint propagation and value origins.
+
+Two engines, both deliberately *may*-analyses (union semantics, fixpoint,
+over-approximate) so a violation is only suppressed when the property
+provably holds:
+
+* :func:`propagate_taint` — starting from entry functions whose named
+  parameters carry the cell seed, walk call edges and mark, per reached
+  function, which of its parameters may derive from a seed.  SEED101 then
+  checks every reachable RNG construction against that set.
+* :func:`store_producers` — given a cache-store site, climb the value's
+  derivation *backwards* (through the parameters of nested helpers like a
+  ``finish(payload, record)`` closure) to the functions whose return values
+  are actually cached.  PURE101 then audits those producers' transitive
+  call trees for ambient reads.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, Edge
+from repro.analysis.summaries import StoreSite
+
+
+@dataclass(frozen=True)
+class TaintResult:
+    """Reachability chains plus per-function tainted parameter sets."""
+
+    chains: Dict[str, Tuple[str, ...]]
+    tainted: Dict[str, FrozenSet[str]]
+
+
+def propagate_taint(
+    graph: CallGraph, seeds: Mapping[str, FrozenSet[str]]
+) -> TaintResult:
+    """Combined reachability + may-taint fixpoint from *seeds*.
+
+    ``seeds`` maps entry fqids to the parameter names that carry the taint
+    (e.g. ``{"repro.runner.engine.evaluate_cell": {"spec"}}``).  Every
+    function reachable from an entry appears in ``chains``; its ``tainted``
+    set holds the parameters that may derive from a seeded source.
+    """
+    chains: Dict[str, Tuple[str, ...]] = {}
+    tainted: Dict[str, Set[str]] = {}
+    queue: "collections.deque[str]" = collections.deque()
+
+    for fqid in sorted(seeds):
+        if fqid not in graph.functions:
+            continue
+        chains[fqid] = (fqid,)
+        tainted[fqid] = set(seeds[fqid])
+        queue.append(fqid)
+
+    while queue:
+        current = queue.popleft()
+        current_taint = tainted.get(current, set())
+        for edge in graph.edges_from.get(current, ()):
+            incoming: Set[str] = set()
+            for flow in edge.param_flows:
+                if current_taint.intersection(flow.caller_params):
+                    incoming.add(flow.param)
+            callee_taint = tainted.setdefault(edge.callee, set())
+            grew = not incoming.issubset(callee_taint)
+            callee_taint.update(incoming)
+            if edge.callee not in chains:
+                chains[edge.callee] = chains[current] + (edge.callee,)
+                queue.append(edge.callee)
+            elif grew:
+                queue.append(edge.callee)
+
+    return TaintResult(
+        chains=chains,
+        tainted={fqid: frozenset(params) for fqid, params in tainted.items()},
+    )
+
+
+def _callers_of(graph: CallGraph) -> Dict[str, List[Edge]]:
+    incoming: Dict[str, List[Edge]] = {}
+    for caller in sorted(graph.edges_from):
+        for edge in graph.edges_from[caller]:
+            incoming.setdefault(edge.callee, []).append(edge)
+    return incoming
+
+
+def store_producers(
+    graph: CallGraph,
+    store_function: str,
+    store: StoreSite,
+    max_depth: int = 12,
+) -> Tuple[str, ...]:
+    """Functions whose return values may flow into *store*.
+
+    Starts from the store's own value derivation (call results resolve
+    directly through the caller's call-site targets) and climbs through
+    parameters: when the stored value derives from a parameter of the
+    storing function, every caller's matching argument is inspected, so a
+    closure that caches its ``record`` argument attributes the cached value
+    to whatever call produced that argument at each call site.
+    """
+    incoming = _callers_of(graph)
+    producers: Set[str] = set()
+    site_targets = graph.call_targets.get(store_function, {})
+    for index in store.value.calls:
+        producers.update(site_targets.get(index, ()))
+
+    seen: Set[Tuple[str, str]] = set()
+    queue: "collections.deque[Tuple[str, str, int]]" = collections.deque()
+    for param in store.value.params:
+        queue.append((store_function, param, 0))
+
+    while queue:
+        function, param, depth = queue.popleft()
+        if (function, param) in seen or depth > max_depth:
+            continue
+        seen.add((function, param))
+        for edge in incoming.get(function, ()):
+            caller_targets = graph.call_targets.get(edge.caller, {})
+            for flow in edge.param_flows:
+                if flow.param != param:
+                    continue
+                for index in flow.caller_calls:
+                    producers.update(caller_targets.get(index, ()))
+                for caller_param in flow.caller_params:
+                    queue.append((edge.caller, caller_param, depth + 1))
+    return tuple(sorted(producers))

@@ -1,0 +1,415 @@
+"""The interprocedural (program-scope) rules.
+
+Every rule here consumes the :class:`~repro.analysis.callgraph.ProgramModel`
+— module summaries, the resolved call graph, and ``analysis.toml`` — and
+proves a whole-program property the per-file rules structurally cannot:
+
+* **SEED101** — every RNG construction reachable from ``evaluate_cell`` or
+  a registered scenario-family builder must be data-flow-derivable from the
+  cell seed parameter.  DET003 catches *unseeded* constructions; this
+  catches *wrongly seeded* ones (a constant, the wall clock, a module
+  global) any number of call levels below the entry point.
+* **PURE101** — functions whose return values end up in a cache must be
+  transitively free of ambient reads (env vars, wall clock, filesystem,
+  host identity): the interprocedural completion of SIG001's
+  key-completeness check.
+* **ASY101** — no blocking call may be transitively reachable from modules
+  declared async-ready in ``[analysis.async_ready]``; the asyncio-daemon
+  migration starts from a machine-checked inventory.
+* **MP101** — module-level mutable state written after import by code
+  reachable from a worker entry point (pool submission, ``Process``
+  target): such writes silently diverge across fork/spawn workers.
+* **DEAD101** — public module-level functions never referenced from any
+  entry point (CLI, runners, benchmarks, tests, examples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import PROGRAM_SCOPE, Rule, Violation
+from repro.analysis.callgraph import ProgramModel, render_chain
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.flow import propagate_taint, store_producers
+from repro.analysis.registry import register_rule
+from repro.analysis.summaries import MODULE_BODY, FunctionSummary
+
+#: The sweep-cell entry point whose parameters carry the cell seed.
+_CELL_ENTRY_NAME = "evaluate_cell"
+
+#: Class whose ``builder=`` keyword registers a scenario-family entry point.
+_FAMILY_CLASS_TERMINAL = "ScenarioFamily"
+
+#: The builder parameter that carries the scenario seed.
+_SEED_PARAM = "seed"
+
+
+def _sorted_functions(program: ProgramModel) -> List[Tuple[str, FunctionSummary]]:
+    graph = program.graph
+    return [(fqid, graph.functions[fqid]) for fqid in sorted(graph.functions)]
+
+
+def _seed_roots(program: ProgramModel) -> Dict[str, FrozenSet[str]]:
+    """Entry fqids → tainted parameter names for SEED101."""
+    roots: Dict[str, FrozenSet[str]] = {}
+    graph = program.graph
+    for fqid, summary in _sorted_functions(program):
+        if summary.name == _CELL_ENTRY_NAME and summary.class_name is None:
+            roots[fqid] = frozenset(summary.params)
+    # Builders wired through ``ScenarioFamily(builder=...)``.
+    for fqid, summary in _sorted_functions(program):
+        module_name = graph.function_module[fqid]
+        for site in summary.calls:
+            if site.target.rsplit(".", 1)[-1] != _FAMILY_CLASS_TERMINAL:
+                continue
+            for name, flow in site.keywords:
+                if name != "builder" or flow.params or len(flow.names) != 1:
+                    continue
+                resolved = _resolve_builder(program, module_name, flow.names[0])
+                if resolved is None:
+                    continue
+                builder_summary = graph.functions[resolved]
+                taint = (
+                    frozenset({_SEED_PARAM})
+                    if _SEED_PARAM in builder_summary.params
+                    else frozenset(builder_summary.params)
+                )
+                roots[resolved] = roots.get(resolved, frozenset()) | taint
+    return roots
+
+
+def _resolve_builder(
+    program: ProgramModel, module_name: str, canonical: str
+) -> Optional[str]:
+    candidates = program.graph.functions
+    resolved = canonical
+    if resolved in candidates:
+        return resolved
+    # Bare name: the builder lives in (or is imported into) the caller module.
+    if "." not in canonical:
+        local = f"{module_name}.{canonical}"
+        if local in candidates:
+            return local
+        module = program.modules.get(module_name)
+        if module is not None:
+            imported = dict(module.imports).get(canonical)
+            if imported is not None and imported in candidates:
+                return imported
+        return None
+    # Re-exported dotted name (``repro.experiments.build_x``).
+    prefix, _, terminal = canonical.rpartition(".")
+    for fqid in sorted(candidates):
+        if fqid.endswith(f".{terminal}") and fqid.startswith(prefix.split(".")[0]):
+            summary = candidates[fqid]
+            if summary.class_name is None and summary.name == terminal:
+                return fqid
+    return None
+
+
+@register_rule
+class Seed101(Rule):
+    """RNG constructions reachable from an entry must derive from its seed."""
+
+    code = "SEED101"
+    summary = (
+        "RNG construction reachable from evaluate_cell or a scenario-family "
+        "builder is not derived from the cell seed parameter"
+    )
+    scope = PROGRAM_SCOPE
+
+    def check_program(self, program: ProgramModel) -> Iterator[Violation]:
+        roots = _seed_roots(program)
+        if not roots:
+            return
+        result = propagate_taint(program.graph, roots)
+        seen: Set[Tuple[str, int, int]] = set()
+        for fqid in sorted(result.chains):
+            summary = program.graph.functions[fqid]
+            tainted = result.tainted.get(fqid, frozenset())
+            path = program.path_for(fqid)
+            for site in summary.rng_sites:
+                if site.kind == "missing":
+                    continue  # DET003's department: unseeded construction
+                if site.kind == "derived" and tainted.intersection(site.seed.params):
+                    continue
+                key = (path, site.line, site.column)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Violation(
+                    path=path,
+                    line=site.line,
+                    column=site.column,
+                    code=self.code,
+                    message=(
+                        f"{site.constructor} seeded with a {site.kind} value, "
+                        f"not the cell seed; reachable via "
+                        f"{render_chain(result.chains[fqid])}"
+                    ),
+                )
+
+
+@register_rule
+class Pure101(Rule):
+    """Cache-stored values must come from ambient-free producers."""
+
+    code = "PURE101"
+    summary = (
+        "function whose result is cached performs an ambient read (env, "
+        "clock, filesystem, host) the cache key cannot capture"
+    )
+    scope = PROGRAM_SCOPE
+
+    def check_program(self, program: ProgramModel) -> Iterator[Violation]:
+        graph = program.graph
+        seen: Set[Tuple[str, int, int]] = set()
+        for fqid, summary in _sorted_functions(program):
+            for store in summary.store_sites:
+                producers = store_producers(graph, fqid, store)
+                if not producers:
+                    continue
+                reach = graph.reachable(producers)
+                for reached in sorted(reach):
+                    reached_summary = graph.functions[reached]
+                    path = program.path_for(reached)
+                    for read in reached_summary.ambient_reads:
+                        key = (path, read.line, read.column)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield Violation(
+                            path=path,
+                            line=read.line,
+                            column=read.column,
+                            code=self.code,
+                            message=(
+                                f"ambient {read.kind} read ({read.name}) in a "
+                                f"cached computation: value stored at "
+                                f"{program.path_for(fqid)}:{store.line} via "
+                                f"{render_chain(reach[reached])}"
+                            ),
+                        )
+
+
+@register_rule
+class Asy101(Rule):
+    """Async-ready modules must not reach blocking calls."""
+
+    code = "ASY101"
+    summary = (
+        "blocking call (sleep, sync I/O, subprocess, pool join) transitively "
+        "reachable from a module declared in [analysis.async_ready]"
+    )
+    scope = PROGRAM_SCOPE
+
+    def is_enabled(self, config: "AnalysisConfig") -> bool:
+        return bool(config.async_ready_modules)
+
+    def check_program(self, program: ProgramModel) -> Iterator[Violation]:
+        declared = program.config.async_ready_modules
+        if not declared:
+            return
+        graph = program.graph
+        roots: List[str] = []
+        for fqid in sorted(graph.functions):
+            module_name = graph.function_module[fqid]
+            if _module_matches(module_name, declared):
+                roots.append(fqid)
+        reach = graph.reachable(roots)
+        seen: Set[Tuple[str, int, int]] = set()
+        for reached in sorted(reach):
+            summary = graph.functions[reached]
+            path = program.path_for(reached)
+            for site in summary.blocking_calls:
+                key = (path, site.line, site.column)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Violation(
+                    path=path,
+                    line=site.line,
+                    column=site.column,
+                    code=self.code,
+                    message=(
+                        f"blocking call {site.name} reachable from async-ready "
+                        f"module {graph.function_module[reach[reached][0]]} via "
+                        f"{render_chain(reach[reached])}"
+                    ),
+                )
+
+
+def _module_matches(module_name: str, declared: Sequence[str]) -> bool:
+    for entry in declared:
+        if module_name == entry or module_name.startswith(entry + "."):
+            return True
+    return False
+
+
+@register_rule
+class Mp101(Rule):
+    """Worker-reachable code must not write module-level state."""
+
+    code = "MP101"
+    summary = (
+        "module-level mutable state written after import by code reachable "
+        "from a worker entry point (pool submission / Process target)"
+    )
+    scope = PROGRAM_SCOPE
+
+    def check_program(self, program: ProgramModel) -> Iterator[Violation]:
+        graph = program.graph
+        roots: Set[str] = set()
+        for caller in sorted(graph.edges_from):
+            for edge in graph.edges_from[caller]:
+                if edge.kind == "submit":
+                    roots.add(edge.callee)
+        if not roots:
+            return
+        reach = graph.reachable(sorted(roots))
+        seen: Set[Tuple[str, int, int]] = set()
+        for reached in sorted(reach):
+            summary = graph.functions[reached]
+            if summary.qualname == MODULE_BODY:
+                continue  # import-time initialization is not an after-import write
+            path = program.path_for(reached)
+            for write in summary.global_writes:
+                key = (path, write.line, write.column)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Violation(
+                    path=path,
+                    line=write.line,
+                    column=write.column,
+                    code=self.code,
+                    message=(
+                        f"worker-reachable code writes module-level state "
+                        f"{write.name!r} ({write.kind}); workers must keep all "
+                        f"mutable state in WorkerCaches — via "
+                        f"{render_chain(reach[reached])}"
+                    ),
+                )
+
+
+@register_rule
+class Dead101(Rule):
+    """Public functions unreachable from every entry point are dead."""
+
+    code = "DEAD101"
+    summary = (
+        "public module-level function never referenced from any entry point "
+        "(CLI, runners, benchmarks, tests)"
+    )
+    scope = PROGRAM_SCOPE
+
+    def is_enabled(self, config: "AnalysisConfig") -> bool:
+        return bool(config.dead_code_packages)
+
+    def check_program(self, program: ProgramModel) -> Iterator[Violation]:
+        packages = program.config.dead_code_packages
+        if not packages:
+            return
+        audited = [
+            name
+            for name in sorted(program.modules)
+            if _module_matches(name, packages)
+        ]
+        has_candidates = any(
+            function.public and function.class_name is None
+            and "." not in function.qualname
+            for name in audited
+            for function in program.modules[name].functions
+        )
+        if not has_candidates:
+            return
+        live = self._liveness(program)
+        for module_name in audited:
+            summary = program.modules[module_name]
+            for function in summary.functions:
+                if (
+                    not function.public
+                    or function.class_name is not None
+                    or "." in function.qualname
+                    or function.name in ("main", MODULE_BODY)
+                ):
+                    continue
+                if function.name in live:
+                    continue
+                yield Violation(
+                    path=summary.path,
+                    line=function.line,
+                    column=1,
+                    code=self.code,
+                    message=(
+                        f"public function {function.name!r} is never referenced "
+                        f"from any entry point (CLI, runners, benchmarks, "
+                        f"tests); delete it or exercise it"
+                    ),
+                )
+
+    def _liveness(self, program: ProgramModel) -> FrozenSet[str]:
+        """Terminal-name closure: reference roots + import-time references,
+        expanded through the bodies of live functions and classes."""
+        live: Set[str] = set(program.reference_names())
+        by_name: Dict[str, List[FunctionSummary]] = {}
+        class_methods: Dict[str, List[FunctionSummary]] = {}
+        for module_name in sorted(program.modules):
+            summary = program.modules[module_name]
+            for function in summary.functions:
+                if function.qualname == MODULE_BODY:
+                    live.update(function.references)
+                elif function.class_name is not None:
+                    class_methods.setdefault(function.class_name, []).append(
+                        function
+                    )
+                    by_name.setdefault(function.name, []).append(function)
+                else:
+                    by_name.setdefault(function.name, []).append(function)
+        expanded: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(live):
+                if name in expanded:
+                    continue
+                expanded.add(name)
+                for function in by_name.get(name, ()):
+                    for reference in function.references:
+                        if reference not in live:
+                            live.add(reference)
+                            changed = True
+                for method in class_methods.get(name, ()):
+                    for reference in method.references:
+                        if reference not in live:
+                            live.add(reference)
+                            changed = True
+        return frozenset(live)
+
+
+def async_readiness_map(program: ProgramModel) -> Dict[str, Dict[str, object]]:
+    """Per-module async readiness: blocking sites transitively reachable.
+
+    Informational (the ``--async-map`` CLI mode): unlike ASY101 this covers
+    *every* analyzed module, so it is the planning inventory for choosing
+    which modules to declare in ``[analysis.async_ready]``.
+    """
+    graph = program.graph
+    by_module: Dict[str, List[str]] = {}
+    for fqid in sorted(graph.functions):
+        by_module.setdefault(graph.function_module[fqid], []).append(fqid)
+    result: Dict[str, Dict[str, object]] = {}
+    for module_name in sorted(by_module):
+        reach = graph.reachable(by_module[module_name])
+        sites: List[str] = []
+        for reached in sorted(reach):
+            summary = graph.functions[reached]
+            for site in summary.blocking_calls:
+                sites.append(
+                    f"{program.path_for(reached)}:{site.line} {site.name}"
+                )
+        unique = sorted(set(sites))
+        result[module_name] = {
+            "ready": not unique,
+            "blocking_sites": unique,
+        }
+    return result

@@ -33,6 +33,7 @@ def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
 
 def _ensure_loaded() -> None:
     # Import for the registration side effect; idempotent.
+    import repro.analysis.iprules  # noqa: F401
     import repro.analysis.rules  # noqa: F401
 
 

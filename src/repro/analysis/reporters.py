@@ -32,4 +32,82 @@ def render_json(report: AnalysisReport, stream: IO[str]) -> None:
     stream.write("\n")
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+#: Rule metadata for codes that are not registry classes.
+_META_RULE_SUMMARIES = {
+    "SUP001": "orphan suppression: allow[...] comment with no matching violation",
+    "SUP002": "suppression without a one-line justification",
+    "PARSE001": "file does not parse",
+}
+
+
+def render_sarif(report: AnalysisReport, stream: IO[str]) -> None:
+    """SARIF 2.1.0 — GitHub code-scanning uploads annotate PR diffs with it."""
+    from repro.analysis.registry import AnalysisError, get_rule
+
+    rule_ids = sorted(
+        set(report.rules_run)
+        | {violation.code for violation in report.violations}
+    )
+    rules = []
+    for code in rule_ids:
+        if code in _META_RULE_SUMMARIES:
+            summary = _META_RULE_SUMMARIES[code]
+        else:
+            try:
+                summary = get_rule(code).summary
+            except AnalysisError:
+                summary = code
+        rules.append(
+            {
+                "id": code,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results = [
+        {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.column,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in report.violations
+    ]
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": "https://example.invalid/repro-analysis",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    json.dump(document, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+REPORTERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

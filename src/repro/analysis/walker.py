@@ -3,9 +3,16 @@
 The walker discovers ``.py`` files under the given paths, runs every
 file-scope rule on each file — in parallel worker processes when there is
 enough work — then runs the project-scope rules once over all parsed
-modules, applies the inline suppressions, and returns one sorted, stable
-report.  Output order is deterministic regardless of worker scheduling:
-violations sort by (path, line, column, code).
+modules, builds the whole-program model (summaries + call graph) for the
+program-scope rules, applies the inline suppressions, and returns one
+sorted, stable report.  Output order is deterministic regardless of worker
+scheduling: violations sort by (path, line, column, code).
+
+Per-function summaries are content-hashed and cached on disk
+(:class:`~repro.analysis.summaries.SummaryCache`), so a warm whole-program
+run re-summarizes only the files whose content changed.  ``--changed-only``
+narrows the *file-scope* stage to git-modified files while the project and
+program stages still see the whole tree through the warm cache.
 
 The per-file worker is a module-level function on purpose: the walker must
 itself satisfy MP001 (pickle-safe dispatch).
@@ -13,25 +20,58 @@ itself satisfy MP001 (pickle-safe dispatch).
 
 from __future__ import annotations
 
+import ast
+import logging
 import multiprocessing
 import os
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.base import FILE_SCOPE, PROJECT_SCOPE, ModuleContext, Violation
+from repro.analysis.base import (
+    FILE_SCOPE,
+    PROGRAM_SCOPE,
+    PROJECT_SCOPE,
+    ModuleContext,
+    Violation,
+)
+from repro.analysis.callgraph import ProgramModel, build_program_model
+from repro.analysis.config import AnalysisConfig, load_config
 from repro.analysis.registry import AnalysisError, build_rules, rule_codes
+from repro.analysis.summaries import (
+    ModuleSummary,
+    SummaryCache,
+    module_name_for,
+    summarize_module,
+)
 from repro.analysis.suppressions import (
     Suppression,
     apply_suppressions,
     parse_suppressions,
 )
 
+LOGGER = logging.getLogger(__name__)
+
 #: Files under these directory names are never analyzed.
-SKIPPED_DIRECTORIES = frozenset({"__pycache__", ".git", ".fubar-cache"})
+SKIPPED_DIRECTORIES = frozenset(
+    {"__pycache__", ".git", ".fubar-cache", ".repro-analysis-cache"}
+)
 
 #: Below this many files, forking workers costs more than it saves.
 MIN_FILES_FOR_PARALLEL = 8
+
+
+@dataclass(frozen=True)
+class OrphanSuppression:
+    """A stale ``# repro: allow[CODE]`` comment (surfaced for ``--fix-orphans``)."""
+
+    path: str
+    line: int
+    code: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "code": self.code}
 
 
 @dataclass
@@ -41,6 +81,9 @@ class AnalysisReport:
     violations: List[Violation] = field(default_factory=list)
     files_analyzed: int = 0
     rules_run: Tuple[str, ...] = ()
+    files_summarized: int = 0
+    summary_cache_hits: int = 0
+    orphans: List[OrphanSuppression] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -52,6 +95,8 @@ class AnalysisReport:
             counts[violation.code] = counts.get(violation.code, 0) + 1
         return {
             "files_analyzed": self.files_analyzed,
+            "files_summarized": self.files_summarized,
+            "summary_cache_hits": self.summary_cache_hits,
             "rules": list(self.rules_run),
             "violations": [violation.to_dict() for violation in self.violations],
             "counts": {code: counts[code] for code in sorted(counts)},
@@ -68,7 +113,7 @@ def discover_files(paths: Sequence[str]) -> List[Path]:
             if path.suffix == ".py":
                 found.setdefault(path.resolve(), None)
         elif path.is_dir():
-            for candidate in sorted(path.rglob("*.py")):
+            for candidate in sorted(path.rglob("*.py")):  # repro: allow[PURE101] — file discovery defines the analysis input set; it is not a cached computation
                 if any(part in SKIPPED_DIRECTORIES for part in candidate.parts):
                     continue
                 found.setdefault(candidate.resolve(), None)
@@ -83,6 +128,42 @@ def _display_path(path: Path) -> str:
         return str(path.relative_to(Path.cwd()))
     except ValueError:
         return str(path)
+
+
+def git_changed_files() -> Optional[Set[Path]]:
+    """Resolved paths of files git reports as modified/added/untracked.
+
+    Returns ``None`` (caller falls back to a full run) when git is absent or
+    the working directory is not inside a repository.
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as error:
+        LOGGER.warning("--changed-only: git unavailable (%s); analyzing all files", error)
+        return None
+    changed: Set[Path] = set()
+    root = Path(top)
+    for line in status.splitlines():
+        if len(line) < 4:
+            continue
+        entry = line[3:]
+        if " -> " in entry:
+            entry = entry.split(" -> ", 1)[1]
+        entry = entry.strip().strip('"')
+        if entry:
+            changed.add((root / entry).resolve())
+    return changed
 
 
 def _analyze_source(
@@ -134,11 +215,91 @@ def default_jobs(num_files: int) -> int:
     return max(1, min(num_files, available))
 
 
+def _reference_name_loader(
+    config: AnalysisConfig,
+) -> "FrozenSet[str]":
+    """Terminal names referenced anywhere under the configured reference roots."""
+    names: Set[str] = set()
+    for root in config.reference_root_paths():
+        for candidate in sorted(root.rglob("*.py")):
+            if any(part in SKIPPED_DIRECTORIES for part in candidate.parts):
+                continue
+            try:
+                tree = ast.parse(candidate.read_text(encoding="utf-8"))
+            except (OSError, SyntaxError) as error:
+                LOGGER.warning("skipping reference file %s: %s", candidate, error)
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    names.add(node.attr)
+                elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                    for alias in node.names:
+                        names.add(alias.name.rsplit(".", 1)[-1])
+    return frozenset(names)
+
+
+def _summarize_files(
+    tasks: Sequence[Tuple[str, str, Tuple[str, ...]]],
+    cache: SummaryCache,
+) -> Dict[str, ModuleSummary]:
+    """Summarize every file (through the content-hash cache), keyed by module."""
+    summaries: Dict[str, ModuleSummary] = {}
+    for absolute, display, _ in tasks:
+        path = Path(absolute)
+        with open(absolute, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        module_name = module_name_for(path)
+        summary = cache.get(display, source, module_name)
+        if summary is None:
+            try:
+                summary = summarize_module(
+                    display,
+                    source,
+                    module_name,
+                    is_package=path.name == "__init__.py",
+                )
+            except SyntaxError:
+                continue  # already reported as PARSE001 by the file stage
+            cache.put(summary)
+        # Later files win on module-name collisions; sorted input keeps this
+        # deterministic (collisions only happen outside package roots).
+        summaries[module_name] = summary
+    cache.flush()
+    return summaries
+
+
+def build_program(
+    paths: Sequence[str],
+    config: Optional[AnalysisConfig] = None,
+    summary_cache_dir: Optional[Path] = None,
+) -> "ProgramModel":
+    """Summarize *paths* and build the whole-program model (no rules run).
+
+    Backs ``--async-map`` and the call-graph unit tests: everything the
+    program-scope rules see, without producing violations.
+    """
+    files = discover_files(paths)
+    tasks = [(str(path), _display_path(path), ()) for path in files]
+    cache = SummaryCache(summary_cache_dir)
+    summaries = _summarize_files(tasks, cache)
+    effective_config = config if config is not None else load_config()
+    return build_program_model(
+        summaries,
+        config=effective_config,
+        reference_loader=lambda: _reference_name_loader(effective_config),
+    )
+
+
 def analyze_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
     project_rules: Optional[Sequence[object]] = None,
+    config: Optional[AnalysisConfig] = None,
+    summary_cache_dir: Optional[Path] = None,
+    changed_only: bool = False,
 ) -> AnalysisReport:
     """Analyze every Python file under *paths* and return the report.
 
@@ -155,6 +316,17 @@ def analyze_paths(
     project_rules:
         Pre-instantiated project-scope rules to use instead of the
         registered ones (tests inject custom SIG001 tables this way).
+    config:
+        Interprocedural configuration; ``None`` probes ``analysis.toml`` in
+        the working directory.
+    summary_cache_dir:
+        Directory for the on-disk summary cache; ``None`` keeps summaries
+        in memory only (every run is cold).
+    changed_only:
+        Restrict the *file-scope* stage to git-modified files.  The project
+        and program stages still cover the full tree (warm summaries make
+        that cheap); suppressions of file-scope rules in unchanged files
+        are exempted from the orphan check since they were not verifiable.
     """
     selected = list(select) if select is not None else rule_codes()
     for code in selected:
@@ -164,14 +336,27 @@ def analyze_paths(
         (str(path), _display_path(path), tuple(selected)) for path in files
     ]
 
+    changed: Optional[Set[Path]] = None
+    if changed_only:
+        changed = git_changed_files()
+    if changed is not None:
+        file_stage_tasks = [
+            task for task, path in zip(tasks, files) if path in changed
+        ]
+    else:
+        file_stage_tasks = list(tasks)
+    file_stage_paths = {task[1] for task in file_stage_tasks}
+
     raw_violations: List[Dict[str, object]] = []
     raw_suppressions: List[Dict[str, object]] = []
-    worker_count = default_jobs(len(tasks)) if jobs is None else max(1, jobs)
-    if worker_count > 1 and len(tasks) >= MIN_FILES_FOR_PARALLEL:
+    worker_count = (
+        default_jobs(len(file_stage_tasks)) if jobs is None else max(1, jobs)
+    )
+    if worker_count > 1 and len(file_stage_tasks) >= MIN_FILES_FOR_PARALLEL:
         with multiprocessing.Pool(processes=worker_count) as pool:
-            results = pool.map(_analyze_file_task, tasks)
+            results = pool.map(_analyze_file_task, file_stage_tasks)
     else:
-        results = [_analyze_file_task(task) for task in tasks]
+        results = [_analyze_file_task(task) for task in file_stage_tasks]
     for file_violations, file_suppressions in results:
         raw_violations.extend(file_violations)
         raw_suppressions.extend(file_suppressions)
@@ -187,15 +372,22 @@ def analyze_paths(
         for data in raw_violations
     ]
 
-    # Project-scope rules run once, in-process, over every parsed module.
+    # Project-scope rules run once, in-process, over every parsed module;
+    # the same loop collects suppressions for files the (possibly narrowed)
+    # file stage did not visit, so program-scope violations anywhere in the
+    # tree can still be suppressed inline.
     modules: List[ModuleContext] = []
+    extra_suppressions: List[Suppression] = []
     for absolute, display, _ in tasks:
         with open(absolute, "r", encoding="utf-8") as handle:
             source = handle.read()
         try:
-            modules.append(ModuleContext.parse(display, source))
+            parsed = ModuleContext.parse(display, source)
         except SyntaxError:
             continue  # already reported as PARSE001 by the file stage
+        modules.append(parsed)
+        if display not in file_stage_paths:
+            extra_suppressions.extend(parse_suppressions(display, parsed.lines))
     if project_rules is None:
         project_rules = [
             rule
@@ -205,19 +397,74 @@ def analyze_paths(
     for rule in project_rules:
         violations.extend(rule.check_project(modules))  # type: ignore[attr-defined]
 
+    # Program-scope rules: summaries -> call graph -> interprocedural checks.
+    program_rules = [
+        rule for rule in build_rules(selected) if rule.scope == PROGRAM_SCOPE
+    ]
+    effective_config = config if config is not None else load_config()
+    summary_cache = SummaryCache(summary_cache_dir)
+    files_summarized = 0
+    summary_cache_hits = 0
+    if program_rules:
+        summaries = _summarize_files(tasks, summary_cache)
+        files_summarized = summary_cache.summarized
+        summary_cache_hits = summary_cache.hits
+        program = build_program_model(
+            summaries,
+            config=effective_config,
+            reference_loader=lambda: _reference_name_loader(effective_config),
+        )
+        for rule in program_rules:
+            violations.extend(rule.check_program(program))
+
     suppressions = [Suppression.from_dict(data) for data in raw_suppressions]
+    suppressions.extend(extra_suppressions)
     # Codes outside the selected set did not run, so their suppressions are
-    # unverifiable this run — exempt them from the orphan check.
+    # unverifiable this run — exempt them from the orphan check.  With
+    # --changed-only the file-scope rules did not run on unchanged files, so
+    # their file-scope suppressions are likewise exempt.
     active = set(selected) | {rule.code for rule in project_rules}  # type: ignore[attr-defined]
+    active |= {rule.code for rule in program_rules}
+    verifiable_everywhere = {
+        rule.code
+        for rule in list(project_rules) + list(program_rules)  # type: ignore[arg-type]
+    }
+    # Config-gated rules (ASY101 with no async-ready modules, DEAD101 with
+    # no audited packages) ran as no-ops: their suppressions are likewise
+    # unverifiable and must not surface as orphans.
+    inert = {
+        rule.code
+        for rule in program_rules
+        if not rule.is_enabled(effective_config)
+    }
     for suppression in suppressions:
         for code in suppression.codes:
-            if code not in active:
+            if code not in active or code in inert:
+                suppression.used[code] = True
+            elif (
+                suppression.path not in file_stage_paths
+                and code not in verifiable_everywhere
+            ):
                 suppression.used[code] = True
     kept, meta = apply_suppressions(violations, suppressions)
+    orphans = [
+        OrphanSuppression(
+            path=suppression.path,
+            line=suppression.line,
+            code=code,
+        )
+        for suppression in suppressions
+        for code in suppression.codes
+        if not suppression.used.get(code, False)
+    ]
+    orphans.sort(key=lambda orphan: (orphan.path, orphan.line, orphan.code))
     kept.extend(meta)
     kept.sort(key=Violation.sort_key)
     return AnalysisReport(
         violations=kept,
-        files_analyzed=len(tasks),
+        files_analyzed=len(file_stage_tasks) if changed is not None else len(tasks),
         rules_run=tuple(sorted(active)),
+        files_summarized=files_summarized,
+        summary_cache_hits=summary_cache_hits,
+        orphans=orphans,
     )

@@ -63,13 +63,13 @@ class OptimizationRecorder:
 
     def start(self) -> None:
         """Mark the beginning of the run (wall-clock zero)."""
-        self._start = time.perf_counter()
+        self._start = time.perf_counter()  # repro: allow[PURE101] — trace timestamps are telemetry; result equality compares utilities and allocations, never wall-clock fields
 
     def elapsed_s(self) -> float:
         """Seconds since :meth:`start` (0 when not started)."""
         if self._start is None:
             return 0.0
-        return time.perf_counter() - self._start
+        return time.perf_counter() - self._start  # repro: allow[PURE101] — trace timestamps are telemetry; result equality compares utilities and allocations, never wall-clock fields
 
     def record(self, step: int, result: TrafficModelResult, event: str) -> TracePoint:
         """Capture one trace point from a traffic-model result."""

@@ -437,7 +437,7 @@ def run_control_loop(
         else:
             routable = observed
 
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow[PURE101] — per-step optimize wall time is telemetry; dynamics outcomes compare utilities/routings, never timings
         if len(routable) == 0:
             # Every observed aggregate is stranded: nothing to optimize.
             # Install an empty table so no stale rule pretends to route.
@@ -470,7 +470,7 @@ def run_control_loop(
             if loop_config.warm_start:
                 warm_state, warm_path_sets = result.state, result.path_sets
             install = sdn.install_routing(plan.routing)
-        optimize_wall = time.perf_counter() - started
+        optimize_wall = time.perf_counter() - started  # repro: allow[PURE101] — per-step optimize wall time is telemetry; dynamics outcomes compare utilities/routings, never timings
         if invalidated:
             install = install.with_invalidated(invalidated)
 

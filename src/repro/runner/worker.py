@@ -93,7 +93,7 @@ def install_worker_caches(caches: Optional[WorkerCaches] = None) -> WorkerCaches
     serial path around its evaluation loop.
     """
     global _ACTIVE
-    _ACTIVE = caches or WorkerCaches()
+    _ACTIVE = caches or WorkerCaches()  # repro: allow[MP101] — WorkerCaches is the one sanctioned per-worker mutable slot, installed once by the pool initializer
     return _ACTIVE
 
 

@@ -1,0 +1,1 @@
+"""ASY101 corpus: a declared-async-ready module reaching a blocking call."""

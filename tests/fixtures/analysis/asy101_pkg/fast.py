@@ -1,0 +1,7 @@
+"""Declared async-ready (via AnalysisConfig in the tests)."""
+
+from .helpers import audited_flush, blocked_refresh, computed_total
+
+
+def tick(state):
+    return computed_total(state) + blocked_refresh(state) + audited_flush(state)

@@ -1,0 +1,18 @@
+"""Helpers reached from the async-ready module — one of them blocks."""
+
+import time
+
+
+def computed_total(state):
+    return sum(state)
+
+
+def blocked_refresh(state):
+    time.sleep(0.01)  # expect: ASY101
+    return len(state)
+
+
+def audited_flush(state):
+    # repro: allow[ASY101] — pacing sleep runs only under the CLI flag, not the loop
+    time.sleep(0.0)
+    return 0

@@ -1,0 +1,1 @@
+"""Call-graph resolution corpus: aliases, partials, method dispatch."""

@@ -1,0 +1,19 @@
+"""Indirect calls: module alias, symbol alias, functools.partial."""
+
+import functools
+
+from . import leaf as lf
+from .leaf import leaf_value as renamed
+
+
+def through_module_alias(x):
+    return lf.leaf_value(x)
+
+
+def through_symbol_alias(x):
+    return renamed(x)
+
+
+def through_partial(x):
+    fn = functools.partial(renamed, x)
+    return fn()

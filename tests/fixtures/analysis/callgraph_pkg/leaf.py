@@ -1,0 +1,5 @@
+"""The leaf every edge in this corpus should resolve to."""
+
+
+def leaf_value(x):
+    return x + 1

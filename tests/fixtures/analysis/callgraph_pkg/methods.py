@@ -1,0 +1,19 @@
+"""Method dispatch: ``self.``-calls resolve over ancestors and overrides."""
+
+
+class Base:
+    def helper(self):
+        return 1
+
+    def run(self):
+        return self.helper()
+
+
+class Child(Base):
+    def helper(self):
+        return 2
+
+
+def drive():
+    worker = Child()
+    return worker.run()

@@ -1,0 +1,1 @@
+"""DEAD101 corpus: public API with one live, one dead, one audited entry."""

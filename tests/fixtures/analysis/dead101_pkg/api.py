@@ -1,0 +1,18 @@
+"""Public functions: the reference root uses only ``live_api``."""
+
+
+def live_api(spec):
+    return _shared(spec)
+
+
+def dead_api(spec):  # expect: DEAD101
+    return _shared(spec)
+
+
+# repro: allow[DEAD101] — kept for the notebook walkthrough in the docs
+def audited_api(spec):
+    return _shared(spec)
+
+
+def _shared(spec):
+    return len(spec)

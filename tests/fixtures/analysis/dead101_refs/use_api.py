@@ -1,0 +1,7 @@
+"""Reference root for the DEAD101 corpus: keeps ``live_api`` alive."""
+
+from dead101_pkg.api import live_api
+
+
+def main():
+    return live_api("x")

@@ -1,0 +1,1 @@
+"""MP101 corpus: pool workers writing (and not writing) module state."""

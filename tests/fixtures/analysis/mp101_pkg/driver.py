@@ -1,0 +1,13 @@
+"""Pool submissions that make the worker bodies MP101 roots."""
+
+from multiprocessing import Pool
+
+from .worker import audited_handle, handle, handle_with_caches
+
+
+def run_all(items):
+    with Pool(2) as pool:
+        good = pool.map(handle_with_caches, items)
+        bad = pool.map(handle, items)
+        audited = pool.map(audited_handle, items)
+    return good, bad, audited

@@ -1,0 +1,8 @@
+"""Module-level state and the sanctioned per-worker cache holder."""
+
+REGISTRY = {}
+
+
+class WorkerCaches:
+    def __init__(self):
+        self.entries = {}

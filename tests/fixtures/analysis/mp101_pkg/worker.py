@@ -1,0 +1,21 @@
+"""Worker bodies: one writes module state, one uses the passed-in caches."""
+
+from .state import REGISTRY
+
+_SCRATCH = {}
+
+
+def handle(item):
+    REGISTRY[item] = item * 2  # expect: MP101
+    return item * 2
+
+
+def handle_with_caches(item, caches):
+    caches.entries[item] = item * 2
+    return item * 2
+
+
+def audited_handle(item):
+    # repro: allow[MP101] — per-process memo only; entries are never read across workers
+    _SCRATCH[item] = item
+    return item

@@ -1,0 +1,1 @@
+"""PURE101 corpus: cache-stored values with pure and ambient producers."""

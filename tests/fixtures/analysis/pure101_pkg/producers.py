@@ -1,0 +1,22 @@
+"""Producers for the cached values — one pure, one ambient, one audited."""
+
+import os
+import socket
+
+
+def pure_payload(spec):
+    return {"spec": spec, "total": len(spec)}
+
+
+def ambient_payload(spec):
+    return {"spec": spec, "flag": read_flag()}
+
+
+def read_flag():
+    return os.environ.get("PURE101_FLAG", "")  # expect: PURE101
+
+
+def audited_payload(spec):
+    # repro: allow[PURE101] — host tag is display-only metadata, never compared
+    host = socket.gethostname()
+    return {"spec": spec, "host": host}

@@ -1,0 +1,18 @@
+"""The cache boundary: every value stored here must have pure producers."""
+
+from .producers import ambient_payload, audited_payload, pure_payload
+
+
+class ResultCache:
+    def __init__(self):
+        self._data = {}
+
+    def store(self, key, value):
+        self._data[key] = value
+
+
+def run(cache, spec):
+    cache.store(spec, pure_payload(spec))
+    cache.store(spec, ambient_payload(spec))
+    cache.store(spec, audited_payload(spec))
+    return cache

@@ -1,0 +1,1 @@
+"""SEED101 corpus: seed provenance through a two-level call chain."""

@@ -1,0 +1,7 @@
+"""A scenario-family builder: registration makes it a SEED101 entry."""
+
+from .rngs import family_stream
+
+
+def build_family(spec, seed):
+    return family_stream(seed)

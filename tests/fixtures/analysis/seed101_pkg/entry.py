@@ -1,0 +1,7 @@
+"""The sweep-cell entry point; its parameters carry the cell seed."""
+
+from .middle import run_middle
+
+
+def evaluate_cell(spec, seed):
+    return run_middle(spec, seed)

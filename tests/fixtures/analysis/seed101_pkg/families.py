@@ -1,0 +1,12 @@
+"""``ScenarioFamily(builder=...)`` wires the builder up as an entry point."""
+
+from .builders import build_family
+
+
+class ScenarioFamily:
+    def __init__(self, name, builder):
+        self.name = name
+        self.builder = builder
+
+
+FAMILY = ScenarioFamily(name="demo", builder=build_family)

@@ -1,0 +1,11 @@
+"""One level of indirection between the entry point and the RNG leaves."""
+
+from .rngs import audited_stream, clock_stream, constant_stream, derived_stream
+
+
+def run_middle(spec, seed):
+    good = derived_stream(seed)
+    bad_clock = clock_stream(spec)
+    bad_constant = constant_stream(spec)
+    audited = audited_stream(spec)
+    return good, bad_clock, bad_constant, audited

@@ -1,0 +1,32 @@
+"""RNG leaves two call levels below ``evaluate_cell``.
+
+``derived_stream`` and ``family_stream`` are the known-good cases (seed
+arithmetic still derives from the entry's seed); the clock and constant
+streams are the known-bad cases; ``audited_stream`` carries a justified
+suppression.
+"""
+
+import time
+
+import numpy as np
+
+
+def derived_stream(seed):
+    return np.random.default_rng(seed + 1)
+
+
+def clock_stream(spec):
+    return np.random.default_rng(int(time.time()))  # expect: SEED101
+
+
+def constant_stream(spec):
+    return np.random.default_rng(1234)  # expect: SEED101
+
+
+def audited_stream(spec):
+    # repro: allow[SEED101] — calibration-only stream, compared against itself
+    return np.random.default_rng(99)
+
+
+def family_stream(seed):
+    return np.random.default_rng(2 * seed)

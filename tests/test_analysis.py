@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -20,10 +21,12 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import (
+    AnalysisConfig,
     AnalysisError,
     ModuleContext,
     Violation,
     analyze_paths,
+    build_program,
     parse_suppressions,
     rule_codes,
 )
@@ -341,6 +344,292 @@ def test_sig001_catches_unfrozen_traffic_model_config():
 
 
 # ---------------------------------------------------------------------------
+# interprocedural rules: fixture packages (known-bad / known-good / suppressed)
+# ---------------------------------------------------------------------------
+
+
+def package_markers(package: str) -> set:
+    """(file, line, code) triples from every ``# expect:`` marker in *package*."""
+    markers = set()
+    for path in sorted((FIXTURES / package).rglob("*.py")):
+        for line, code in expected_markers(path):
+            markers.add((path.name, line, code))
+    return markers
+
+
+def flagged_files(report) -> set:
+    return {
+        (Path(v.path).name, v.line, v.code) for v in report.violations
+    }
+
+
+def run_package(package: str, code: str, config=None):
+    return analyze_paths(
+        [str(FIXTURES / package)], select=[code], jobs=1, config=config
+    )
+
+
+_ASY_CONFIG = AnalysisConfig(async_ready_modules=("asy101_pkg.fast",))
+_DEAD_CONFIG = AnalysisConfig(
+    dead_code_packages=("dead101_pkg",),
+    reference_roots=("dead101_refs",),
+    base_directory=FIXTURES,
+)
+
+
+@pytest.mark.parametrize(
+    "package, code, config",
+    [
+        ("seed101_pkg", "SEED101", None),
+        ("pure101_pkg", "PURE101", None),
+        ("asy101_pkg", "ASY101", _ASY_CONFIG),
+        ("mp101_pkg", "MP101", None),
+        ("dead101_pkg", "DEAD101", _DEAD_CONFIG),
+    ],
+)
+def test_program_rule_flags_exactly_the_marked_lines(package, code, config):
+    """Bidirectional ``# expect:`` match: no missed line, no spurious line.
+
+    Each package carries a known-bad, a known-good and a suppressed case, so
+    this single assertion also proves the good case stays clean and the
+    justified suppression silences without going orphan (an orphan would
+    surface as an unexpected SUP001)."""
+    report = run_package(package, code, config=config)
+    assert flagged_files(report) == package_markers(package), [
+        v.render() for v in report.violations
+    ]
+
+
+def test_seed101_chain_message_names_the_entry_point():
+    report = run_package("seed101_pkg", "SEED101")
+    messages = [v.message for v in report.violations]
+    assert all("evaluate_cell" in message for message in messages)
+    # The chain spells out both interprocedural levels.
+    assert any("run_middle" in message for message in messages)
+
+
+def test_seed101_family_builder_counts_as_entry(tmp_path):
+    """A builder registered via ScenarioFamily(builder=...) is a seed root:
+    re-seeding its RNG leaf from the clock must trip SEED101 even though
+    evaluate_cell never reaches it."""
+    package = tmp_path / "seed101_pkg"
+    shutil.copytree(FIXTURES / "seed101_pkg", package)
+    (package / "entry.py").unlink()  # leave only the family entry point
+    rngs = package / "rngs.py"
+    source = rngs.read_text(encoding="utf-8")
+    rngs.write_text(
+        source.replace(
+            "np.random.default_rng(2 * seed)",
+            "np.random.default_rng(int(time.time()))",
+        ),
+        encoding="utf-8",
+    )
+    report = analyze_paths([str(package)], select=["SEED101"], jobs=1)
+    flagged_now = flagged_files(report)
+    assert any(
+        name == "rngs.py" and code == "SEED101"
+        for name, line, code in flagged_now
+    )
+    assert any("build_family" in v.message for v in report.violations)
+
+
+def test_pure101_message_names_the_store_site():
+    report = run_package("pure101_pkg", "PURE101")
+    assert len(report.violations) == 1
+    message = report.violations[0].message
+    assert "store.py:16" in message
+    assert "ambient_payload" in message
+
+
+def test_asy101_inert_without_config():
+    assert run_package("asy101_pkg", "ASY101", config=AnalysisConfig()).clean
+
+
+def test_dead101_inert_without_config():
+    assert run_package("dead101_pkg", "DEAD101", config=AnalysisConfig()).clean
+
+
+# ---------------------------------------------------------------------------
+# call-graph resolution
+# ---------------------------------------------------------------------------
+
+
+def _edge_pairs(graph):
+    return {
+        (edge.caller, edge.callee)
+        for edges in graph.edges_from.values()
+        for edge in edges
+    }
+
+
+def test_callgraph_resolves_aliases_partials_and_methods():
+    program = build_program(
+        [str(FIXTURES / "callgraph_pkg")], config=AnalysisConfig()
+    )
+    pairs = _edge_pairs(program.graph)
+    leaf = "callgraph_pkg.leaf.leaf_value"
+    assert ("callgraph_pkg.alias.through_module_alias", leaf) in pairs
+    assert ("callgraph_pkg.alias.through_symbol_alias", leaf) in pairs
+    assert ("callgraph_pkg.alias.through_partial", leaf) in pairs
+    # drive() infers worker = Child() and dispatches run through the
+    # nearest ancestor that defines it.
+    assert ("callgraph_pkg.methods.drive", "callgraph_pkg.methods.Base.run") in pairs
+    # self.helper() inside Base.run targets the base method and the override.
+    assert (
+        "callgraph_pkg.methods.Base.run",
+        "callgraph_pkg.methods.Base.helper",
+    ) in pairs
+    assert (
+        "callgraph_pkg.methods.Base.run",
+        "callgraph_pkg.methods.Child.helper",
+    ) in pairs
+
+
+def test_mp101_submission_edges_are_typed():
+    program = build_program(
+        [str(FIXTURES / "mp101_pkg")], config=AnalysisConfig()
+    )
+    submit_edges = {
+        (edge.caller, edge.callee)
+        for edges in program.graph.edges_from.values()
+        for edge in edges
+        if edge.kind == "submit"
+    }
+    assert submit_edges == {
+        ("mp101_pkg.driver.run_all", "mp101_pkg.worker.handle"),
+        ("mp101_pkg.driver.run_all", "mp101_pkg.worker.handle_with_caches"),
+        ("mp101_pkg.driver.run_all", "mp101_pkg.worker.audited_handle"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# summary cache: warm runs and invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_warm_run_resummarizes_zero_files(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = analyze_paths(
+        [str(FIXTURES / "seed101_pkg")],
+        select=["SEED101"],
+        jobs=1,
+        summary_cache_dir=cache_dir,
+    )
+    assert cold.files_summarized == cold.files_analyzed > 0
+    assert cold.summary_cache_hits == 0
+    warm = analyze_paths(
+        [str(FIXTURES / "seed101_pkg")],
+        select=["SEED101"],
+        jobs=1,
+        summary_cache_dir=cache_dir,
+    )
+    assert warm.files_summarized == 0
+    assert warm.summary_cache_hits == warm.files_analyzed
+    assert flagged_files(warm) == flagged_files(cold)
+
+
+def test_leaf_edit_resummarizes_only_the_leaf_and_reflags_callers(tmp_path):
+    package = tmp_path / "seed101_pkg"
+    shutil.copytree(FIXTURES / "seed101_pkg", package)
+    cache_dir = tmp_path / "cache"
+    first = analyze_paths(
+        [str(package)], select=["SEED101"], jobs=1, summary_cache_dir=cache_dir
+    )
+    baseline = {(Path(v.path).name, v.line) for v in first.violations}
+    # Break the known-good leaf: the entry chain (two files above, summaries
+    # still cached) must re-flag through the edited leaf alone.
+    rngs = package / "rngs.py"
+    source = rngs.read_text(encoding="utf-8")
+    rngs.write_text(
+        source.replace(
+            "np.random.default_rng(seed + 1)",
+            "np.random.default_rng(int(time.time()))",
+        ),
+        encoding="utf-8",
+    )
+    second = analyze_paths(
+        [str(package)], select=["SEED101"], jobs=1, summary_cache_dir=cache_dir
+    )
+    assert second.files_summarized == 1
+    assert second.summary_cache_hits == second.files_analyzed - 1
+    flagged_now = {(Path(v.path).name, v.line) for v in second.violations}
+    assert baseline < flagged_now and len(flagged_now) == len(baseline) + 1
+    refreshed = [v for v in second.violations if "derived_stream" in v.message]
+    assert refreshed and all("evaluate_cell" in v.message for v in refreshed)
+
+
+# ---------------------------------------------------------------------------
+# interprocedural rules against the real tree: the mutation gates
+# ---------------------------------------------------------------------------
+
+
+def _copy_repro_tree(tmp_path):
+    target = tmp_path / "repro"
+    shutil.copytree(
+        REPO_ROOT / "src" / "repro",
+        target,
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    return target
+
+
+def test_seed101_mutation_gate_clock_reseed_below_entry(tmp_path):
+    """Re-seeding sampled_paper_traffic from the wall clock — below the
+    registered tiered-scenario builder — must trip SEED101.  (The fixture
+    package covers the deeper two-level chain under evaluate_cell.)"""
+    tree = _copy_repro_tree(tmp_path)
+    tiered = tree / "experiments" / "tiered.py"
+    source = tiered.read_text(encoding="utf-8")
+    needle = "np.random.default_rng(seed)"
+    assert needle in source
+    tiered.write_text(
+        "import time\n"
+        + source.replace(needle, "np.random.default_rng(int(time.time()))", 1),
+        encoding="utf-8",
+    )
+    report = analyze_paths([str(tree)], select=["SEED101"], jobs=1)
+    assert [v.code for v in report.violations] == ["SEED101"]
+    message = report.violations[0].message
+    assert "opaque" in message and "sampled_paper_traffic" in message
+
+
+def test_pure101_mutation_gate_env_read_in_cached_helper(tmp_path):
+    """An os.environ read inside evaluate_cell — whose payload is
+    cache-stored — must trip PURE101 on the inserted line."""
+    tree = _copy_repro_tree(tmp_path)
+    engine = tree / "runner" / "engine.py"
+    source = engine.read_text(encoding="utf-8")
+    needle = "    started = time.perf_counter()"
+    assert needle in source
+    engine.write_text(
+        "import os\n"
+        + source.replace(
+            needle,
+            '    _ambient = os.environ.get("REPRO_MUTATION", "")\n' + needle,
+            1,
+        ),
+        encoding="utf-8",
+    )
+    report = analyze_paths([str(tree)], select=["PURE101"], jobs=1)
+    assert {v.code for v in report.violations} == {"PURE101"}
+    assert any("os.environ" in v.message for v in report.violations)
+
+
+def test_committed_tree_has_no_unsuppressed_interprocedural_findings():
+    """The five program rules, alone, on the real tree (config from repo
+    root) — the committed suppressions must be exactly sufficient."""
+    result = _run_cli(
+        "src/repro",
+        "benchmarks",
+        "--select",
+        "SEED101,PURE101,ASY101,MP101,DEAD101",
+        "--jobs",
+        "2",
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+# ---------------------------------------------------------------------------
 # framework behaviour
 # ---------------------------------------------------------------------------
 
@@ -383,9 +672,19 @@ def test_report_dict_shape():
 
 
 def test_registry_exposes_all_project_rules():
-    assert {"DET001", "DET002", "DET003", "MP001", "SIG001", "EXC001"} <= set(
-        rule_codes()
-    )
+    assert {
+        "DET001",
+        "DET002",
+        "DET003",
+        "MP001",
+        "SIG001",
+        "EXC001",
+        "SEED101",
+        "PURE101",
+        "ASY101",
+        "MP101",
+        "DEAD101",
+    } <= set(rule_codes())
 
 
 def test_violation_ordering_is_stable():
@@ -417,7 +716,20 @@ def _run_cli(*arguments, cwd=REPO_ROOT):
 def test_cli_list_rules():
     result = _run_cli("--list-rules")
     assert result.returncode == 0
-    for code in ("DET001", "DET002", "DET003", "MP001", "SIG001", "EXC001", "SUP001"):
+    for code in (
+        "DET001",
+        "DET002",
+        "DET003",
+        "MP001",
+        "SIG001",
+        "EXC001",
+        "SEED101",
+        "PURE101",
+        "ASY101",
+        "MP101",
+        "DEAD101",
+        "SUP001",
+    ):
         assert code in result.stdout
 
 
@@ -429,6 +741,117 @@ def test_cli_flags_bad_fixture_with_exit_one_and_json():
     payload = json.loads(result.stdout)
     assert payload["clean"] is False
     assert payload["counts"] == {"DET003": 5}
+
+
+def test_cli_sarif_format():
+    result = _run_cli(
+        str(FIXTURES / "det003_bad.py"),
+        "--select",
+        "DET003",
+        "--format",
+        "sarif",
+    )
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-analysis"
+    assert {r["ruleId"] for r in run["results"]} == {"DET003"}
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert "DET003" in declared
+    location = run["results"][0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("det003_bad.py")
+    assert location["region"]["startLine"] >= 1
+
+
+def test_cli_sarif_clean_report_is_valid():
+    result = _run_cli(
+        str(FIXTURES / "det003_good.py"),
+        "--select",
+        "DET003",
+        "--format",
+        "sarif",
+    )
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    assert payload["runs"][0]["results"] == []
+
+
+def test_cli_fix_orphans_dry_run_then_apply(tmp_path):
+    target = tmp_path / "sup001_orphan.py"
+    source = (FIXTURES / "sup001_orphan.py").read_text(encoding="utf-8")
+    target.write_text(source, encoding="utf-8")
+    dry = _run_cli(str(target), "--fix-orphans", "--dry-run")
+    assert dry.returncode == 1  # the orphan is still a violation
+    assert "would remove stale allow[DET003]" in dry.stdout
+    assert target.read_text(encoding="utf-8") == source
+    applied = _run_cli(str(target), "--fix-orphans")
+    assert "removed stale allow[DET003]" in applied.stdout
+    assert "repro: allow" not in target.read_text(encoding="utf-8")
+    # The post-fix re-run reports the now-clean file.
+    assert applied.returncode == 0
+
+
+def test_cli_fix_orphans_leaves_live_suppressions_alone(tmp_path):
+    for fixture in ("det001_suppressed.py", "det003_suppressed.py"):
+        target = tmp_path / fixture
+        source = (FIXTURES / fixture).read_text(encoding="utf-8")
+        target.write_text(source, encoding="utf-8")
+        result = _run_cli(str(target), "--fix-orphans")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert target.read_text(encoding="utf-8") == source
+
+
+def test_cli_changed_only_skips_unchanged_files(tmp_path):
+    """In a scratch git repo with two committed bad files, --changed-only
+    flags only the dirty one (file-scope rules narrowed; suppressions in the
+    untouched file stay exempt from SUP001)."""
+    repo = tmp_path / "scratch"
+    repo.mkdir()
+    git = ["git", "-C", str(repo), "-c", "user.email=t@t", "-c", "user.name=t"]
+    subprocess.run(["git", "init", "-q", str(repo)], check=True)
+    for fixture in ("det001_bad.py", "det003_bad.py"):
+        shutil.copy(FIXTURES / fixture, repo / fixture)
+    subprocess.run([*git, "add", "."], check=True)
+    subprocess.run([*git, "commit", "-qm", "seed"], check=True)
+    full = _run_cli(
+        ".", "--select", "DET001,DET003", "--no-summary-cache", cwd=repo
+    )
+    assert full.returncode == 1
+    narrowed = _run_cli(
+        ".",
+        "--select",
+        "DET001,DET003",
+        "--no-summary-cache",
+        "--changed-only",
+        cwd=repo,
+    )
+    assert narrowed.returncode == 0, narrowed.stdout + narrowed.stderr
+    (repo / "det003_bad.py").write_text(
+        (repo / "det003_bad.py").read_text(encoding="utf-8") + "\n",
+        encoding="utf-8",
+    )
+    dirty = _run_cli(
+        ".",
+        "--select",
+        "DET001,DET003",
+        "--no-summary-cache",
+        "--changed-only",
+        cwd=repo,
+    )
+    assert dirty.returncode == 1
+    assert {Path(v["path"]).name for v in json.loads(
+        _run_cli(
+            ".",
+            "--select",
+            "DET001,DET003",
+            "--no-summary-cache",
+            "--changed-only",
+            "--format",
+            "json",
+            cwd=repo,
+        ).stdout
+    )["violations"]} == {"det003_bad.py"}
 
 
 def test_cli_unknown_select_exits_two():

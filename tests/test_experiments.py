@@ -10,6 +10,7 @@ from repro.exceptions import ExperimentError
 from repro.experiments.figures import (
     run_figure1_figure2,
     run_figure3,
+    run_figure5,
     run_figure6,
     run_figure7,
     run_running_time,
@@ -158,6 +159,12 @@ class TestFigureRunners:
         assert len(times_u) == len(actual) == len(demanded)
         summary = result.summary()
         assert summary["scenario"].startswith("provisioned")
+
+    def test_figure5_prioritized_brackets_like_other_figures(self):
+        result = run_figure5(seed=0, **TINY)
+        assert "prioritized" in result.summary()["scenario"]
+        assert result.shortest_path_utility <= result.final_utility + 1e-9
+        assert result.final_utility <= result.upper_bound + 1e-6
 
     def test_figure6_reports_shift_and_utility(self):
         result = run_figure6(seed=0, **TINY)

@@ -9,7 +9,13 @@ from repro.exceptions import (
     UnknownLinkError,
     UnknownNodeError,
 )
-from repro.topology.graph import Link, Network, Node, great_circle_delay
+from repro.topology.graph import (
+    Link,
+    Network,
+    Node,
+    great_circle_delay,
+    merge_parallel_links,
+)
 from repro.units import mbps, ms
 
 
@@ -155,6 +161,15 @@ class TestPaths:
 
     def test_path_link_indices(self, net):
         assert net.path_link_indices(("A", "B", "C")) == (0, 1)
+
+    def test_merge_parallel_links_sums_capacity_per_id(self):
+        links = [
+            Link("A", "B", mbps(10), ms(5)),
+            Link("A", "B", mbps(30), ms(5)),
+            Link("B", "C", mbps(50), ms(15)),
+        ]
+        totals = merge_parallel_links(links)
+        assert totals == {("A", "B"): mbps(40), ("B", "C"): mbps(50)}
 
 
 class TestConnectivityAndCopies:
