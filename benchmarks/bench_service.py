@@ -1,0 +1,330 @@
+"""Controller-as-a-service benchmark: debounced vs fixed-epoch re-optimization.
+
+The batch loop re-optimizes on every epoch whether demand moved or not; the
+:class:`~repro.service.daemon.ControllerDaemon` debounces instead, running the
+optimizer only when the measured demand drifts past a threshold (bounded by
+min/max-interval hysteresis — see :mod:`repro.service.debounce`).  This
+benchmark replays the same drifting Hurricane Electric trace through two
+daemons that differ only in debounce policy:
+
+* **fixed** — ``DebounceConfig.always()``, the daemon's emulation of the
+  batch loop: one optimizer invocation per measurement;
+* **debounced** — the default drift-threshold policy.
+
+The acceptance gates are the service's whole value proposition: the
+debounced daemon must invoke the optimizer at least 25% less often, while
+the utility it actually delivers over the trace stays within 1% of the
+fixed-epoch run — skipping calm epochs must be (nearly) free.
+
+    PYTHONPATH=src python -m benchmarks.bench_service \
+        --num-pops 31 --num-epochs 12 --output BENCH_service.json
+
+The pytest entry point runs the same comparison at reduced scale inside the
+CI bench-smoke job, so a regression in the debounce policy fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from benchmarks.conftest import BENCH_SEED, print_header, run_once
+from repro.dynamics.processes import RandomWalkProcess
+from repro.experiments.scenarios import build_sweep_scenario
+from repro.metrics.reporting import format_table
+from repro.service.daemon import ControllerDaemon, TenantConfig
+from repro.service.debounce import DebounceConfig
+from repro.service.events import DecisionTelemetry, Event, MeasurementEvent
+from repro.traffic.matrix import TrafficMatrix
+
+#: Default location of the service benchmark record (repo root).
+BENCH_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+#: Schema version of BENCH_service.json.
+BENCH_SCHEMA = 1
+
+#: The debounced daemon must save at least this fraction of optimizer
+#: invocations relative to the fixed-epoch baseline.
+MIN_REOPTIMIZATIONS_SAVED = 0.25
+
+#: ... while delivering utility within this relative tolerance of it.
+DELIVERED_UTILITY_RTOL = 0.01
+
+
+def _replay_trace(
+    scenario, matrices: List[TrafficMatrix], debounce: DebounceConfig
+) -> Dict:
+    """Feed *matrices* through one single-tenant daemon; summarize its trace."""
+
+    async def run() -> Tuple[Dict[str, object], List[Event]]:
+        daemon = ControllerDaemon()
+        telemetry: List[Event] = []
+        daemon.add_telemetry_listener(telemetry.append)
+        await daemon.add_tenant(
+            TenantConfig(
+                name="bench",
+                network=scenario.network,
+                fubar_config=scenario.fubar_config,
+                debounce=debounce,
+            )
+        )
+        for epoch, matrix in enumerate(matrices):
+            await daemon.submit(
+                MeasurementEvent(tenant="bench", matrix=matrix, epoch=epoch)
+            )
+        await daemon.close()
+        return daemon.tenant_stats("bench"), telemetry
+
+    stats, telemetry = asyncio.run(run())
+    decisions = [event for event in telemetry if isinstance(event, DecisionTelemetry)]
+    records = [decision.record for decision in decisions]
+    delivered = [float(record["delivered_utility"]) for record in records]
+    churn = 0
+    for record in records:
+        install = record["install"]
+        assert isinstance(install, dict)
+        churn += (
+            int(install["rules_added"])
+            + int(install["rules_removed"])
+            + int(install["rules_updated"])
+        )
+    return {
+        "debounce": {
+            "drift_threshold": debounce.drift_threshold,
+            "min_interval": debounce.min_interval,
+            "max_interval": debounce.max_interval,
+            "metric": debounce.metric,
+        },
+        "epochs": int(stats["epochs"]),  # type: ignore[call-overload]
+        "reoptimizations": int(stats["reoptimizations"]),  # type: ignore[call-overload]
+        "skips": int(stats["skips"]),  # type: ignore[call-overload]
+        "actions": [decision.action for decision in decisions],
+        "mean_delivered_utility": sum(delivered) / len(delivered) if delivered else 0.0,
+        "total_model_evaluations": sum(
+            int(record["model_evaluations"]) for record in records
+        ),
+        "total_rule_churn": churn,
+        "epoch_records": records,
+    }
+
+
+def measure_service_debounce(
+    seed: int = BENCH_SEED,
+    num_epochs: int = 12,
+    num_pops: Optional[int] = None,
+    provisioning_ratio: float = 0.75,
+    step_std: float = 0.08,
+    drift_threshold: float = 0.15,
+    min_interval: int = 1,
+    max_interval: int = 12,
+    max_steps: Optional[int] = 60,
+) -> Dict:
+    """Replay one drifting trace through a debounced and a fixed-epoch daemon.
+
+    Both daemons see the *identical* measurement sequence (the random walk is
+    materialized once up front), so every difference in the summaries is the
+    debounce policy.  ``step_std`` defaults below the drift threshold so the
+    walk takes a few epochs to accumulate enough drift — the regime where
+    debouncing pays.
+    """
+    scenario = build_sweep_scenario(
+        topology="hurricane-electric",
+        num_pops=num_pops,
+        provisioning_ratio=provisioning_ratio,
+        seed=seed,
+        max_steps=max_steps,
+    )
+    process = RandomWalkProcess(scenario.traffic_matrix, seed=seed, step_std=step_std)
+    matrices = [process.matrix_at(epoch) for epoch in range(num_epochs)]
+
+    debounced = _replay_trace(
+        scenario,
+        matrices,
+        DebounceConfig(
+            drift_threshold=drift_threshold,
+            min_interval=min_interval,
+            max_interval=max_interval,
+        ),
+    )
+    fixed = _replay_trace(scenario, matrices, DebounceConfig.always())
+
+    fixed_reopt = fixed["reoptimizations"]
+    debounced_reopt = debounced["reoptimizations"]
+    fixed_utility = fixed["mean_delivered_utility"]
+    debounced_utility = debounced["mean_delivered_utility"]
+    return {
+        "schema": BENCH_SCHEMA,
+        "scenario": dict(scenario.summary()),
+        "seed": seed,
+        "num_epochs": num_epochs,
+        "step_std": step_std,
+        "max_steps": max_steps,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "runs": {"debounced": debounced, "fixed": fixed},
+        "comparison": {
+            "fixed_reoptimizations": fixed_reopt,
+            "debounced_reoptimizations": debounced_reopt,
+            "reoptimizations_saved_fraction": (
+                1.0 - debounced_reopt / fixed_reopt if fixed_reopt else None
+            ),
+            "fixed_mean_delivered_utility": fixed_utility,
+            "debounced_mean_delivered_utility": debounced_utility,
+            "delivered_utility_relative_gap": (
+                abs(debounced_utility - fixed_utility) / abs(fixed_utility)
+                if fixed_utility
+                else None
+            ),
+            "fixed_total_model_evaluations": fixed["total_model_evaluations"],
+            "debounced_total_model_evaluations": debounced["total_model_evaluations"],
+            "fixed_total_rule_churn": fixed["total_rule_churn"],
+            "debounced_total_rule_churn": debounced["total_rule_churn"],
+        },
+    }
+
+
+def _assert_acceptance(record: Dict) -> None:
+    """The acceptance gates, shared by pytest and the CLI."""
+    comparison = record["comparison"]
+    saved = comparison["reoptimizations_saved_fraction"]
+    assert saved is not None and saved >= MIN_REOPTIMIZATIONS_SAVED, (
+        "debouncing saved too few optimizer invocations: "
+        f"{saved} < {MIN_REOPTIMIZATIONS_SAVED} "
+        f"({comparison['debounced_reoptimizations']} vs "
+        f"{comparison['fixed_reoptimizations']})"
+    )
+    gap = comparison["delivered_utility_relative_gap"]
+    assert gap is not None and gap <= DELIVERED_UTILITY_RTOL, (
+        "debounced daemon gave up too much delivered utility: "
+        f"relative gap {gap} > {DELIVERED_UTILITY_RTOL} "
+        f"({comparison['debounced_mean_delivered_utility']} vs "
+        f"{comparison['fixed_mean_delivered_utility']})"
+    )
+
+
+def _print_record(record: Dict) -> None:
+    print_header("Controller as a service: debounced vs fixed-epoch daemon")
+    rows = []
+    for policy in ("fixed", "debounced"):
+        run = record["runs"][policy]
+        rows.append(
+            (
+                policy,
+                run["epochs"],
+                run["reoptimizations"],
+                run["skips"],
+                run["total_model_evaluations"],
+                f"{run['mean_delivered_utility']:.4f}",
+                run["total_rule_churn"],
+            )
+        )
+    print(
+        format_table(
+            (
+                "policy",
+                "epochs",
+                "reoptimized",
+                "skipped",
+                "model evals",
+                "delivered",
+                "churn",
+            ),
+            rows,
+        )
+    )
+    comparison = record["comparison"]
+    saved = comparison["reoptimizations_saved_fraction"]
+    gap = comparison["delivered_utility_relative_gap"]
+    print(
+        f"\ndebouncing saves {saved:.0%} of optimizer invocations "
+        f"({comparison['debounced_reoptimizations']} vs "
+        f"{comparison['fixed_reoptimizations']}) at a delivered-utility gap "
+        f"of {gap:.3%}"
+    )
+    print("decision trace (debounced): " + " ".join(record["runs"]["debounced"]["actions"]))
+
+
+# ------------------------------------------------------------------- pytest
+
+
+def test_service_debounce(benchmark):
+    """CI smoke gate: debouncing cuts optimizer work without losing utility."""
+    record = run_once(
+        benchmark, measure_service_debounce, num_epochs=8, max_steps=40
+    )
+    _print_record(record)
+    _assert_acceptance(record)
+
+
+# -------------------------------------------------------------------- main
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the service daemon's debounce policy and write "
+        "BENCH_service.json"
+    )
+    parser.add_argument(
+        "--num-pops",
+        type=int,
+        default=None,
+        help="POP count (defaults to the scenario default; 31 = paper scale)",
+    )
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument(
+        "--num-epochs",
+        type=int,
+        default=12,
+        help="measurements replayed through each daemon (default 12)",
+    )
+    parser.add_argument(
+        "--step-std",
+        type=float,
+        default=0.08,
+        help="random-walk drift step size (default 0.08)",
+    )
+    parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.15,
+        help="debounce drift threshold (default 0.15)",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=60,
+        help="optimizer step budget per cycle (default 60)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=BENCH_JSON_PATH,
+        help=f"where to write the JSON record (default {BENCH_JSON_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    record = measure_service_debounce(
+        seed=args.seed,
+        num_epochs=args.num_epochs,
+        num_pops=args.num_pops,
+        step_std=args.step_std,
+        drift_threshold=args.drift_threshold,
+        max_steps=args.max_steps,
+    )
+    _print_record(record)
+    _assert_acceptance(record)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

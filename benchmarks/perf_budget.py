@@ -135,6 +135,13 @@ BUDGET: Dict[str, List[Metric]] = {
             tolerance=0.15,
         ),
     ],
+    "BENCH_service.json": [
+        Metric(
+            "debounced reoptimizations saved",
+            ("comparison", "reoptimizations_saved_fraction"),
+            tolerance=0.10,
+        ),
+    ],
 }
 
 

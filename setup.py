@@ -38,6 +38,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-runner=repro.runner.cli:main",
+            "repro-service=repro.service.cli:main",
         ],
     },
     classifiers=[

@@ -9,6 +9,16 @@ traffic over the currently installed rules and measures it; the offline side
 matrix — warm-started from the previous plan by default — and differentially
 installs the new rules.
 
+The loop body itself lives in :class:`repro.service.core.ControllerCore` —
+a pure, clock-free state machine over the warm-start, failure-pruning and
+differential-install machinery.  :func:`run_control_loop` is the *batch
+driver* over that core: it owns the clock (fixed epochs, wall-clock timing
+of each optimize + install) and assembles the per-epoch records; the asyncio
+:class:`~repro.service.daemon.ControllerDaemon` is the event-driven driver
+over the very same core.  The byte-identity equivalence suite
+(``tests/test_service_equivalence.py``) gates this driver against the
+pre-refactor loop across static, dynamic and failure scenarios.
+
 Per-epoch accounting separates the two utilities the loop produces:
 
 * **planned** utility — what the optimizer believes, evaluated on the
@@ -24,35 +34,35 @@ per epoch comes from the differential install's
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.trafficmodel.compiled import CompiledModelCache
 
 from repro.core.config import FubarConfig
 from repro.core.controller import FubarPlan
-from repro.core.optimizer import FubarOptimizer
-from repro.core.routing import RoutingTable
-from repro.core.state import AllocationState, apportion_flows
 from repro.dynamics.processes import TrafficProcess
 from repro.exceptions import DynamicsError
-from repro.failures.recovery import prune_warm_start, split_routable
 from repro.failures.schedule import FailureSchedule
 from repro.metrics.reporting import format_table
 from repro.paths.cache import PathSetCache
-from repro.paths.generator import PathGenerator
 from repro.paths.policy import PathPolicy
-from repro.sdn.controller import InstallReport, SdnController
-from repro.sdn.deployment import feed_model_result
+from repro.sdn.controller import InstallReport
+from repro.service.core import ControllerCore, bundles_from_routing
 from repro.topology.graph import Network
-from repro.topology.validation import require_routable
-from repro.traffic.aggregate import Aggregate
-from repro.traffic.matrix import TrafficMatrix
-from repro.trafficmodel.bundle import Bundle
-from repro.trafficmodel.result import TrafficModelResult
-from repro.trafficmodel.waterfill import TrafficModel, TrafficModelConfig
+from repro.trafficmodel.waterfill import TrafficModelConfig
+
+__all__ = [
+    "ControlLoopConfig",
+    "ControlLoopResult",
+    "EpochRecord",
+    "bundles_from_routing",
+    "format_epoch_table",
+    "run_control_loop",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +93,21 @@ class ControlLoopConfig:
             raise DynamicsError(
                 f"epoch_duration_s must be positive, got {self.epoch_duration_s!r}"
             )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_epochs": self.num_epochs,
+            "epoch_duration_s": self.epoch_duration_s,
+            "warm_start": self.warm_start,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ControlLoopConfig":
+        return cls(
+            num_epochs=int(data["num_epochs"]),  # type: ignore[arg-type]
+            epoch_duration_s=float(data["epoch_duration_s"]),  # type: ignore[arg-type]
+            warm_start=bool(data["warm_start"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -138,6 +163,39 @@ class EpochRecord:
             "stranded_aggregates": self.stranded_aggregates,
             "stranded_demand_bps": self.stranded_demand_bps,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EpochRecord":
+        """Rebuild a record from its :meth:`as_dict` payload.
+
+        Derived fields (``accounting_gap``) are recomputed, not read back.
+        """
+        return cls(
+            epoch=int(data["epoch"]),
+            observed_aggregates=int(data["observed_aggregates"]),
+            planned_utility=float(data["planned_utility"]),
+            delivered_utility=float(data["delivered_utility"]),
+            model_evaluations=int(data["model_evaluations"]),
+            steps=int(data["steps"]),
+            optimize_wall_clock_s=float(data["optimize_wall_clock_s"]),
+            install=InstallReport.from_dict(data["install"]),
+            unrouted_aggregates=int(data["unrouted_aggregates"]),
+            failed_links=int(data.get("failed_links", 0)),
+            failed_nodes=int(data.get("failed_nodes", 0)),
+            stranded_aggregates=int(data.get("stranded_aggregates", 0)),
+            stranded_demand_bps=float(data.get("stranded_demand_bps", 0.0)),
+        )
+
+    def to_json(self) -> str:
+        """One-line JSON form (telemetry-bus / ``--stream-jsonl`` payload)."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EpochRecord":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise DynamicsError(f"EpochRecord JSON must be an object, got {type(data).__name__}")
+        return cls.from_dict(data)
 
 
 @dataclass
@@ -273,59 +331,37 @@ class ControlLoopResult:
             "epochs": [record.as_dict() for record in self.records],
         }
 
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Full JSON form, round-trippable via :meth:`from_json`.
 
-def bundles_from_routing(
-    routing: RoutingTable, traffic_matrix: TrafficMatrix
-) -> Tuple[List[Bundle], List[Aggregate]]:
-    """Route *traffic_matrix* over an installed routing table.
+        The final plan is a live optimizer artifact (allocation state, path
+        sets, trace) and is deliberately *not* serialized — a deserialized
+        result carries the trajectory and its accounting, not a deployable
+        plan.
+        """
+        payload = {
+            "config": self.config.as_dict(),
+            "process_name": self.process_name,
+            "failures_name": self.failures_name,
+            "records": [record.as_dict() for record in self.records],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
 
-    Each aggregate's (possibly new) flow count is apportioned over its
-    installed path splits proportionally to the split flow counts — the
-    online controller keeps the split weights until the offline controller
-    replaces them.  Returns the bundle list plus the aggregates the routing
-    has no route for (new aggregates are invisible to the data plane until
-    the next cycle installs rules for them).
-    """
-    bundles: List[Bundle] = []
-    unrouted: List[Aggregate] = []
-    for aggregate in traffic_matrix:
-        if aggregate.key not in routing:
-            unrouted.append(aggregate)
-            continue
-        route = routing.route_of(aggregate.key)
-        allocation = {split.path: split.num_flows for split in route.splits}
-        for path, flows in apportion_flows(allocation, aggregate.num_flows).items():
-            bundles.append(Bundle(aggregate=aggregate, path=path, num_flows=flows))
-    return bundles, unrouted
-
-
-def _carry_epoch_traffic(
-    sdn: SdnController,
-    model: TrafficModel,
-    true_matrix: TrafficMatrix,
-    interval_s: float,
-) -> Tuple[Optional[TrafficModelResult], List[Aggregate]]:
-    """Drive one epoch of true traffic through the installed rules.
-
-    The traffic model decides the per-bundle achieved rates; the ingress
-    switches observe them (fresh rates, accumulating byte totals).  Returns
-    the model result — its utility is the epoch's *delivered* utility,
-    averaged over the routed aggregates (the unrouted ones, returned
-    alongside, received no service and are reported separately) — and the
-    unrouted aggregates themselves.  The result is ``None`` when no
-    aggregate could be carried at all (a fully stranding failure).
-    """
-    routing = sdn.installed_routing
-    if routing is None:
-        raise DynamicsError("cannot carry traffic before any routing is installed")
-    bundles, unrouted = bundles_from_routing(routing, true_matrix)
-    if not bundles:
-        sdn.reset_counters()
-        return None, unrouted
-    result = model.evaluate(bundles)
-    sdn.reset_counters()
-    feed_model_result(sdn, result, interval_s=interval_s)
-    return result, unrouted
+    @classmethod
+    def from_json(cls, text: str) -> "ControlLoopResult":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise DynamicsError(
+                f"ControlLoopResult JSON must be an object, got {type(data).__name__}"
+            )
+        raw_failures = data.get("failures_name")
+        return cls(
+            records=[EpochRecord.from_dict(record) for record in data["records"]],
+            final_plan=None,
+            config=ControlLoopConfig.from_dict(data["config"]),
+            process_name=str(data["process_name"]),
+            failures_name=None if raw_failures is None else str(raw_failures),
+        )
 
 
 def run_control_loop(
@@ -359,6 +395,10 @@ def run_control_loop(
        installed rules; the switches measure it, producing the matrix epoch
        *t + 1* optimizes.
 
+    Every step is a :class:`~repro.service.core.ControllerCore` transition;
+    this function owns only the epoch clock, the wall-clock timing and the
+    record assembly.
+
     When *path_cache* is given, path generators are obtained through it
     instead of rebuilt from scratch on every topology change: a repair that
     restores a previously seen topology (most commonly the base network)
@@ -376,149 +416,51 @@ def run_control_loop(
     compiled rows instead of recompiling them.
     """
     loop_config = loop_config or ControlLoopConfig()
-    fubar_config = fubar_config or FubarConfig()
-    require_routable(network)
-    sdn = SdnController(network)
-
-    def _generator_for(topology: Network) -> PathGenerator:
-        if path_cache is not None:
-            return path_cache.generator_for(topology)
-        return PathGenerator(topology, policy)
-
-    def _model_for(topology: Network) -> TrafficModel:
-        if model_cache is not None:
-            return TrafficModel.from_engine(
-                model_cache.engine_for(topology, model_config)
-            )
-        return TrafficModel(topology, model_config)
-
-    current = network
-    generator = _generator_for(network)
-    model = _model_for(network)
-
-    observed = process.matrix_at(0)
-    plan: Optional[FubarPlan] = None
-    last_plan: Optional[FubarPlan] = None
-    warm_state: Optional[AllocationState] = None
-    warm_path_sets: Dict = {}
+    core = ControllerCore(
+        network,
+        fubar_config,
+        warm_start=loop_config.warm_start,
+        policy=policy,
+        model_config=model_config,
+        path_cache=path_cache,
+        model_cache=model_cache,
+    )
+    core.on_measurement(process.matrix_at(0))
     records: List[EpochRecord] = []
     for epoch in range(loop_config.num_epochs):
         invalidated = 0
         if failures is not None:
-            epoch_network = failures.network_at(epoch, network)
-            if epoch_network is not current:
-                # Topology changed (failure or repair).  Rules whose next
-                # hop died are uninstalled immediately — real switches drop
-                # them rather than blackhole traffic — and the warm-start
-                # seed is rebased onto the new topology.
-                dead = getattr(epoch_network, "failed_links", frozenset())
-                previously_dead = getattr(current, "failed_links", frozenset())
-                newly_dead = dead - previously_dead
-                if newly_dead:
-                    invalidated = sdn.uninstall_rules_crossing(newly_dead)
-                current = epoch_network
-                generator = _generator_for(current)
-                model = _model_for(current)
-                if warm_state is not None:
-                    pruned = prune_warm_start(
-                        warm_state, warm_path_sets, current, generator
-                    )
-                    warm_state = pruned.state
-                    warm_path_sets = pruned.path_sets
-
-        if len(observed) == 0:
-            raise DynamicsError(
-                f"epoch {epoch} observed an empty traffic matrix; the loop "
-                "cannot re-optimize without measurements"
-            )
-        degraded = current is not network
-        if degraded:
-            routable, _ = split_routable(observed, generator)
-        else:
-            routable = observed
+            invalidated = core.apply_topology(failures.network_at(epoch, network))
 
         started = time.perf_counter()  # repro: allow[PURE101] — per-step optimize wall time is telemetry; dynamics outcomes compare utilities/routings, never timings
-        if len(routable) == 0:
-            # Every observed aggregate is stranded: nothing to optimize.
-            # Install an empty table so no stale rule pretends to route.
-            plan = None
-            warm_state, warm_path_sets = None, {}
-            install = sdn.install_routing(RoutingTable({}))
-        else:
-            optimizer = FubarOptimizer(
-                current,
-                routable,
-                config=fubar_config,
-                path_generator=generator,
-                traffic_model=(
-                    _model_for(current) if model_cache is not None else None
-                ),
-                model_config=None if model_cache is not None else model_config,
-            )
-            initial_state = None
-            initial_path_sets = None
-            if loop_config.warm_start and warm_state is not None:
-                initial_state = AllocationState.warm_start(
-                    warm_state, routable, generator
-                )
-                initial_path_sets = warm_path_sets
-            result = optimizer.run(
-                initial_state=initial_state, initial_path_sets=initial_path_sets
-            )
-            plan = FubarPlan(result=result, routing=RoutingTable.from_state(result.state))
-            last_plan = plan
-            if loop_config.warm_start:
-                warm_state, warm_path_sets = result.state, result.path_sets
-            install = sdn.install_routing(plan.routing)
+        outcome = core.reoptimize()
+        install = core.install(outcome.plan)
         optimize_wall = time.perf_counter() - started  # repro: allow[PURE101] — per-step optimize wall time is telemetry; dynamics outcomes compare utilities/routings, never timings
         if invalidated:
             install = install.with_invalidated(invalidated)
 
-        true_matrix = process.matrix_at(epoch)
-        delivered, unrouted = _carry_epoch_traffic(
-            sdn, model, true_matrix, loop_config.epoch_duration_s
-        )
-        if degraded:
-            stranded = [
-                aggregate
-                for aggregate in unrouted
-                if generator.lowest_delay_path(aggregate.source, aggregate.destination)
-                is None
-            ]
-        else:
-            stranded = []
+        carry = core.carry(process.matrix_at(epoch), loop_config.epoch_duration_s)
         records.append(
             EpochRecord(
                 epoch=epoch,
-                observed_aggregates=len(observed),
-                planned_utility=plan.network_utility if plan is not None else 0.0,
-                delivered_utility=(
-                    delivered.network_utility() if delivered is not None else 0.0
-                ),
-                model_evaluations=plan.result.model_evaluations if plan else 0,
-                steps=plan.result.num_steps if plan else 0,
+                observed_aggregates=outcome.observed_aggregates,
+                planned_utility=outcome.planned_utility,
+                delivered_utility=carry.delivered_utility,
+                model_evaluations=outcome.model_evaluations,
+                steps=outcome.steps,
                 optimize_wall_clock_s=optimize_wall,
                 install=install,
-                unrouted_aggregates=len(unrouted) - len(stranded),
-                failed_links=len(getattr(current, "failed_links", ())),
-                failed_nodes=len(getattr(current, "failed_nodes", ())),
-                stranded_aggregates=len(stranded),
-                stranded_demand_bps=sum(a.total_demand_bps for a in stranded),
+                unrouted_aggregates=carry.unrouted_aggregates,
+                failed_links=core.failed_links,
+                failed_nodes=core.failed_nodes,
+                stranded_aggregates=carry.stranded_aggregates,
+                stranded_demand_bps=carry.stranded_demand_bps,
             )
         )
-        observed = sdn.measured_traffic_matrix(name=f"measured-epoch{epoch}")
-        # Packet-in style discovery: aggregates with no installed rule left
-        # no counters, but their unmatched traffic reaches the controller,
-        # which hands them to the next cycle so rules get installed for them.
-        # Stranded aggregates stay in the observed set too — the moment a
-        # repair reconnects them, the next cycle routes them again.
-        for aggregate in unrouted:
-            if aggregate.key not in observed:
-                observed.add(aggregate)
 
     return ControlLoopResult(
         records=records,
-        final_plan=last_plan,
+        final_plan=core.last_plan,
         config=loop_config,
         process_name=process.name,
         failures_name=failures.describe() if failures is not None else None,

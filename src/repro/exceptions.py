@@ -104,3 +104,7 @@ class FailureError(ReproError):
 
 class ProvisioningError(ReproError):
     """Raised by the capacity-planning subsystem (:mod:`repro.provisioning`)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the controller-as-a-service subsystem (:mod:`repro.service`)."""

@@ -13,7 +13,7 @@ switch reports only its own aggregates, and the controller merges them).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import AbstractSet, Dict, Optional, Tuple
+from typing import AbstractSet, Dict, Mapping, Optional, Tuple
 
 from repro.core.routing import RoutingTable
 from repro.exceptions import MeasurementError, ReproError
@@ -81,6 +81,22 @@ class InstallReport:
     def with_invalidated(self, rules_invalidated: int) -> "InstallReport":
         """This report with the pre-install failure invalidations folded in."""
         return replace(self, rules_invalidated=rules_invalidated)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "InstallReport":
+        """Rebuild a report from its :meth:`as_dict` payload.
+
+        Derived fields (``churn``, ``churn_fraction``) are recomputed from
+        the counts, not read back.
+        """
+        return cls(
+            rules_installed=int(data["rules_installed"]),  # type: ignore[call-overload]
+            rules_added=int(data["rules_added"]),  # type: ignore[call-overload]
+            rules_removed=int(data["rules_removed"]),  # type: ignore[call-overload]
+            rules_updated=int(data["rules_updated"]),  # type: ignore[call-overload]
+            rules_unchanged=int(data["rules_unchanged"]),  # type: ignore[call-overload]
+            rules_invalidated=int(data.get("rules_invalidated", 0)),  # type: ignore[call-overload]
+        )
 
 
 class SdnController:

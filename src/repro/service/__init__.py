@@ -1,0 +1,55 @@
+"""Controller-as-a-service: the paper's deployment story as a daemon.
+
+The paper (§5) deploys FUBAR as an offline optimizer paired with an online
+controller that keeps re-optimizing as traffic drifts.  This package is that
+pairing as a *service* rather than a batch function, split into three layers:
+
+* :mod:`repro.service.core` — a pure, clock-free :class:`ControllerCore`
+  state machine over the measure → optimize → install machinery.  The batch
+  :func:`repro.dynamics.loop.run_control_loop` is a thin synchronous driver
+  over it; the daemon below is an asynchronous one.
+* :mod:`repro.service.daemon` — an asyncio :class:`ControllerDaemon` that
+  manages many independent tenant networks concurrently, debounces
+  re-optimization on demand-drift thresholds instead of fixed epochs, and
+  runs optimizer calls in an executor so the event loop never blocks.
+* :mod:`repro.service.bus` — a line-delimited-JSON event bus (Unix socket or
+  TCP) carrying inbound measurement/failure events and streaming outbound
+  per-decision telemetry.
+
+``python -m repro.service`` (see :mod:`repro.service.cli`) exposes ``serve``
+and ``replay`` commands on top.
+"""
+
+import importlib
+from typing import TYPE_CHECKING
+
+from repro.service.core import CarryOutcome, ControllerCore, ReoptimizeOutcome
+from repro.service.debounce import DebounceConfig, DebounceDecision, Debouncer, demand_drift
+
+if TYPE_CHECKING:
+    from repro.service.daemon import ControllerDaemon, TenantConfig
+
+#: Daemon exports resolved lazily (PEP 562): :mod:`repro.service.daemon`
+#: imports :class:`~repro.dynamics.loop.EpochRecord` while
+#: :mod:`repro.dynamics.loop` drives :class:`ControllerCore`, so an eager
+#: import here would close an import cycle during package initialization.
+_DAEMON_EXPORTS = ("ControllerDaemon", "TenantConfig")
+
+
+def __getattr__(name: str) -> object:
+    if name in _DAEMON_EXPORTS:
+        daemon = importlib.import_module("repro.service.daemon")
+        return getattr(daemon, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CarryOutcome",
+    "ControllerCore",
+    "ControllerDaemon",
+    "DebounceConfig",
+    "DebounceDecision",
+    "Debouncer",
+    "ReoptimizeOutcome",
+    "TenantConfig",
+    "demand_drift",
+]

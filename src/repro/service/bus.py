@@ -1,0 +1,336 @@
+"""The line-delimited-JSON event bus: the daemon's network face.
+
+One :class:`ServiceBus` binds a :class:`~repro.service.daemon.ControllerDaemon`
+to a Unix-domain socket (the default for same-host deployments) or a TCP
+port.  The wire protocol is NDJSON — one versioned event object per line,
+encoded by :mod:`repro.service.events` — in both directions:
+
+* every line a client sends is decoded and routed to its tenant's inbox;
+* every telemetry event the daemon emits is broadcast to every connected
+  client, as it happens (streaming, not request/response).
+
+A ``shutdown`` event from any client drains the daemon (all queued events
+are still processed and their telemetry delivered), broadcasts ``bye`` and
+closes every connection.  Malformed lines and unknown tenants close only
+the offending connection, with the reason in its ``bye``.
+
+:class:`BusClient` is the matching client: used by ``python -m repro.service
+replay``, the CI smoke test, and any external tooling that speaks NDJSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ServiceError
+from repro.service.daemon import ControllerDaemon
+from repro.service.events import (
+    ByeEvent,
+    Event,
+    ShutdownEvent,
+    event_from_dict,
+    event_to_dict,
+)
+
+__all__ = ["BusClient", "ServiceBus", "decode_event", "encode_event", "replay_summary"]
+
+#: StreamReader line limit: a measurement event carries a full traffic
+#: matrix, which for a large tenant is far past the 64 KiB asyncio default.
+_READ_LIMIT = 2 ** 24
+
+#: Outbox sentinel asking a connection's writer pump to flush and exit.
+_CLOSE = object()
+
+
+def encode_event(event: Event) -> bytes:
+    """One wire line (JSON object + newline) for *event*, key-sorted."""
+    return (json.dumps(event_to_dict(event), sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_event(line: bytes) -> Event:
+    """Decode one wire line; :class:`ServiceError` on any malformed input."""
+    try:
+        data = json.loads(line)
+    except ValueError as error:
+        raise ServiceError(f"undecodable event line: {error}") from error
+    if not isinstance(data, dict):
+        raise ServiceError(
+            f"event line must hold a JSON object, got {type(data).__name__}"
+        )
+    return event_from_dict(data)
+
+
+class _Connection:
+    """One connected client: its writer and pending-telemetry outbox."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.outbox: "asyncio.Queue[object]" = asyncio.Queue()
+        self.pump: Optional["asyncio.Task[None]"] = None
+
+
+class ServiceBus:
+    """NDJSON bus binding one daemon to one Unix socket or TCP endpoint.
+
+    Exactly one of *unix_path* or *port* must be given (``port=0`` binds an
+    ephemeral TCP port; read it back from :attr:`endpoint` after
+    :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        daemon: ControllerDaemon,
+        *,
+        unix_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+    ) -> None:
+        if (unix_path is None) == (port is None):
+            raise ServiceError("give exactly one of unix_path or port")
+        self.daemon = daemon
+        self.unix_path = unix_path
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: List[_Connection] = []
+        #: Set when a client asks for shutdown; serve_until_shutdown reacts.
+        self._shutdown_requested = asyncio.Event()
+        #: Set after the farewell broadcast; handlers may then close.
+        self._farewell_sent = asyncio.Event()
+        self._stopped = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind the endpoint and begin broadcasting the daemon's telemetry."""
+        if self._server is not None:
+            raise ServiceError("bus is already started")
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._serve_connection, path=self.unix_path, limit=_READ_LIMIT
+            )
+        else:
+            assert self.port is not None
+            self._server = await asyncio.start_server(
+                self._serve_connection,
+                host=self.host,
+                port=self.port,
+                limit=_READ_LIMIT,
+            )
+            sockets = self._server.sockets or ()
+            if sockets:
+                self.port = int(sockets[0].getsockname()[1])
+        self.daemon.add_telemetry_listener(self._broadcast)
+
+    @property
+    def endpoint(self) -> str:
+        """Human-readable bound endpoint (``unix:...`` or ``tcp:host:port``)."""
+        if self.unix_path is not None:
+            return f"unix:{self.unix_path}"
+        return f"tcp:{self.host}:{self.port}"
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a client sends ``shutdown``, then drain and stop.
+
+        The drain processes every event already queued (their telemetry is
+        still broadcast), then every client gets ``bye`` and the endpoint
+        closes.
+        """
+        await self._shutdown_requested.wait()
+        farewell = "daemon drain failed; closing"
+        try:
+            await self.daemon.drain()
+            farewell = "daemon drained; closing"
+        finally:
+            # The farewell must go out even when the drain fails — a client
+            # waiting for ``bye`` must never hang on a daemon-side error.
+            self._broadcast(ByeEvent(detail=farewell))
+            self._farewell_sent.set()
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Close the endpoint and every connection (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._farewell_sent.set()
+        self.daemon.remove_telemetry_listener(self._broadcast)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for connection in list(self._connections):
+            await self._close_connection(connection)
+        if self.unix_path is not None:
+            try:
+                os.unlink(self.unix_path)
+            except FileNotFoundError:
+                # Already removed (or never bound); nothing to clean up.
+                pass
+
+    # ------------------------------------------------------------- telemetry
+
+    def _broadcast(self, event: Event) -> None:
+        line = encode_event(event)
+        for connection in self._connections:
+            connection.outbox.put_nowait(line)
+
+    async def _pump_outbox(self, connection: _Connection) -> None:
+        while True:
+            item = await connection.outbox.get()
+            if item is _CLOSE:
+                break
+            assert isinstance(item, bytes)
+            try:
+                connection.writer.write(item)
+                await connection.writer.drain()
+            except (ConnectionError, OSError):  # repro: allow[EXC001] — a client that dropped mid-stream just loses its own telemetry feed; the daemon and the other clients are unaffected
+                break
+
+    # ------------------------------------------------------------ connections
+
+    async def _close_connection(self, connection: _Connection) -> None:
+        """Flush a connection's queued telemetry, then close it (idempotent).
+
+        The pump drains everything queued ahead of the ``_CLOSE`` sentinel
+        before the transport is closed, so a farewell broadcast just before
+        teardown still reaches the client.  Safe to call from both the
+        connection handler and :meth:`stop` — whichever runs second awaits
+        the already-finished pump and closes an already-closed transport.
+        """
+        if connection in self._connections:
+            self._connections.remove(connection)
+        connection.outbox.put_nowait(_CLOSE)
+        if connection.pump is not None:
+            await connection.pump
+        connection.writer.close()
+        try:
+            await connection.writer.wait_closed()
+        except (ConnectionError, OSError):  # repro: allow[EXC001] — the peer may already have dropped; the transport is gone either way
+            pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer)
+        connection.pump = asyncio.ensure_future(self._pump_outbox(connection))
+        self._connections.append(connection)
+        wants_shutdown = False
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    event = decode_event(line)
+                except ServiceError as error:
+                    connection.outbox.put_nowait(
+                        encode_event(ByeEvent(detail=str(error)))
+                    )
+                    break
+                if isinstance(event, ShutdownEvent):
+                    wants_shutdown = True
+                    self._shutdown_requested.set()
+                    break
+                try:
+                    await self.daemon.submit(event)
+                except ServiceError as error:
+                    connection.outbox.put_nowait(
+                        encode_event(ByeEvent(detail=str(error)))
+                    )
+                    break
+        finally:
+            if wants_shutdown:
+                # Keep the connection open until the post-drain telemetry
+                # and the farewell have been queued on its outbox.
+                await self._farewell_sent.wait()
+            await self._close_connection(connection)
+
+
+class BusClient:
+    """NDJSON client of a :class:`ServiceBus` endpoint."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect_unix(cls, path: str) -> "BusClient":
+        """Connect to a Unix-socket bus."""
+        reader, writer = await asyncio.open_unix_connection(path, limit=_READ_LIMIT)
+        return cls(reader, writer)
+
+    @classmethod
+    async def connect_tcp(cls, host: str, port: int) -> "BusClient":
+        """Connect to a TCP bus."""
+        reader, writer = await asyncio.open_connection(host, port, limit=_READ_LIMIT)
+        return cls(reader, writer)
+
+    async def send(self, event: Event) -> None:
+        """Send one event line."""
+        self._writer.write(encode_event(event))
+        await self._writer.drain()
+
+    async def receive(self) -> Optional[Event]:
+        """The next telemetry event, or None once the daemon closed the feed."""
+        line = await self._reader.readline()
+        if not line:
+            return None
+        return decode_event(line)
+
+    async def receive_until_bye(self) -> Tuple[List[Event], Optional[ByeEvent]]:
+        """Every telemetry event up to (not including) ``bye`` or EOF."""
+        events: List[Event] = []
+        while True:
+            event = await self.receive()
+            if event is None:
+                return events, None
+            if isinstance(event, ByeEvent):
+                return events, event
+            events.append(event)
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # repro: allow[EXC001] — the daemon side may close first during shutdown; the connection is gone either way
+            pass
+
+
+def replay_summary(events: List[Event]) -> Dict[str, Dict[str, object]]:
+    """Per-tenant decision summary of a telemetry stream (for reports)."""
+    summary: Dict[str, Dict[str, object]] = {}
+    for event in events:
+        tenant = getattr(event, "tenant", None)
+        if not isinstance(tenant, str):
+            continue
+        entry = summary.setdefault(
+            tenant,
+            {
+                "decisions": 0,
+                "reoptimizations": 0,
+                "skips": 0,
+                "delivered_utility_sum": 0.0,
+            },
+        )
+        action = getattr(event, "action", None)
+        if action is None:
+            continue
+        entry["decisions"] = int(entry["decisions"]) + 1  # type: ignore[call-overload]
+        if action == "reoptimize":
+            entry["reoptimizations"] = int(entry["reoptimizations"]) + 1  # type: ignore[call-overload]
+        else:
+            entry["skips"] = int(entry["skips"]) + 1  # type: ignore[call-overload]
+        record = getattr(event, "record", {})
+        delivered = record.get("delivered_utility", 0.0) if isinstance(record, dict) else 0.0
+        entry["delivered_utility_sum"] = (
+            float(entry["delivered_utility_sum"]) + float(delivered)  # type: ignore[arg-type]
+        )
+    return summary

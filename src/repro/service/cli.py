@@ -1,0 +1,443 @@
+"""The ``python -m repro.service`` command-line interface.
+
+Two subcommands expose the controller daemon:
+
+``serve``
+    Start a :class:`~repro.service.daemon.ControllerDaemon` with the given
+    tenants and bind it to a Unix socket (``--unix``) or TCP port
+    (``--tcp``).  Runs until a client sends a ``shutdown`` event.
+``replay``
+    Drive a daemon with synthetic drifting traffic: one random-walk trace
+    per tenant, every measurement delivered as an NDJSON event over the
+    bus, per-tenant decision telemetry streamed back and summarized.  By
+    default the daemon and bus are started in-process on a temporary Unix
+    socket (a self-contained demo of the full wire path); ``--connect``
+    replays against an external ``serve`` daemon instead — started with
+    the *same* ``--tenant`` flags, so the traces match the tenants.
+
+Examples
+--------
+::
+
+    python -m repro.service serve --unix /tmp/fubar.sock \
+        --tenant edge=hurricane-electric:6:1
+    python -m repro.service replay --epochs 6 --step-std 0.2
+    python -m repro.service replay --connect unix:/tmp/fubar.sock \
+        --tenant edge=hurricane-electric:6:1 --epochs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dynamics.processes import RandomWalkProcess
+from repro.exceptions import ReproError, ServiceError
+from repro.experiments.scenarios import build_sweep_scenario
+from repro.metrics.reporting import format_table
+from repro.service.bus import BusClient, ServiceBus, replay_summary
+from repro.service.daemon import ControllerDaemon, TenantConfig
+from repro.service.debounce import DebounceConfig
+from repro.service.events import (
+    Event,
+    FailureEvent,
+    MeasurementEvent,
+    RepairEvent,
+    ShutdownEvent,
+)
+
+#: Default replay tenants: three different topology families, one daemon.
+DEFAULT_TENANTS = (
+    "alpha=hurricane-electric:8:1",
+    "beta=abilene::2",
+    "gamma=waxman:8:3",
+)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One parsed ``--tenant`` flag: ``name=topology[:pops[:seed]]``."""
+
+    name: str
+    topology: str
+    num_pops: Optional[int]
+    seed: int
+
+
+def parse_tenant_spec(text: str) -> TenantSpec:
+    """Parse ``name=topology[:pops[:seed]]`` (empty pops = family default)."""
+    name, separator, rest = text.partition("=")
+    if not separator or not name or not rest:
+        raise ServiceError(
+            f"invalid --tenant {text!r}; expected name=topology[:pops[:seed]]"
+        )
+    parts = rest.split(":")
+    if len(parts) > 3:
+        raise ServiceError(
+            f"invalid --tenant {text!r}; expected name=topology[:pops[:seed]]"
+        )
+    topology = parts[0]
+    try:
+        num_pops = int(parts[1]) if len(parts) > 1 and parts[1] else None
+        seed = int(parts[2]) if len(parts) > 2 and parts[2] else 0
+    except ValueError:
+        raise ServiceError(
+            f"invalid --tenant {text!r}; pops and seed must be integers"
+        ) from None
+    return TenantSpec(name=name, topology=topology, num_pops=num_pops, seed=seed)
+
+
+def _parse_tenants(values: Sequence[str]) -> List[TenantSpec]:
+    specs = [parse_tenant_spec(value) for value in (values or DEFAULT_TENANTS)]
+    names = [spec.name for spec in specs]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ServiceError(f"duplicate tenant names: {', '.join(duplicates)}")
+    return specs
+
+
+def _debounce_from_args(args: argparse.Namespace) -> DebounceConfig:
+    if args.fixed_epoch:
+        return DebounceConfig.always()
+    return DebounceConfig(
+        drift_threshold=args.drift_threshold,
+        min_interval=args.min_interval,
+        max_interval=args.max_interval,
+        metric=args.metric,
+    )
+
+
+def _tenant_config(spec: TenantSpec, args: argparse.Namespace) -> TenantConfig:
+    scenario = build_sweep_scenario(
+        topology=spec.topology,
+        num_pops=spec.num_pops,
+        seed=spec.seed,
+        max_steps=args.max_steps,
+    )
+    return TenantConfig(
+        name=spec.name,
+        network=scenario.network,
+        fubar_config=scenario.fubar_config,
+        debounce=_debounce_from_args(args),
+    )
+
+
+def _parse_endpoint(text: str) -> Tuple[str, Optional[str], Optional[int]]:
+    """Parse ``unix:PATH`` or ``tcp:HOST:PORT`` into (kind, path/host, port)."""
+    kind, separator, rest = text.partition(":")
+    if kind == "unix" and separator and rest:
+        return "unix", rest, None
+    if kind == "tcp" and separator and rest:
+        host, host_separator, port_text = rest.rpartition(":")
+        if host_separator and host and port_text.isdigit():
+            return "tcp", host, int(port_text)
+    raise ServiceError(
+        f"invalid endpoint {text!r}; expected unix:PATH or tcp:HOST:PORT"
+    )
+
+
+# ------------------------------------------------------------------ serve
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    daemon = ControllerDaemon()
+    for spec in _parse_tenants(args.tenant):
+        await daemon.add_tenant(_tenant_config(spec, args))
+    if args.unix:
+        bus = ServiceBus(daemon, unix_path=args.unix)
+    else:
+        host, _, port_text = args.tcp.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ServiceError(f"invalid --tcp {args.tcp!r}; expected HOST:PORT")
+        bus = ServiceBus(daemon, host=host, port=int(port_text))
+    await bus.start()
+    print(
+        f"listening on {bus.endpoint} "
+        f"(tenants: {', '.join(daemon.tenant_names)})",
+        flush=True,
+    )
+    await bus.serve_until_shutdown()
+    await daemon.close()
+    print("daemon drained and stopped", flush=True)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if (args.unix is None) == (args.tcp is None):
+        raise ServiceError("give exactly one of --unix or --tcp")
+    return asyncio.run(_serve_async(args))
+
+
+# ------------------------------------------------------------------ replay
+
+
+def _parse_failures(
+    fail_links: Sequence[str], repairs: Sequence[str]
+) -> Dict[Tuple[str, int], List[Event]]:
+    """Schedule ``--fail-link`` / ``--repair`` flags by (tenant, epoch)."""
+    schedule: Dict[Tuple[str, int], List[Event]] = {}
+    for value in fail_links:
+        parts = value.split(":")
+        if len(parts) != 4 or not parts[1].isdigit():
+            raise ServiceError(
+                f"invalid --fail-link {value!r}; expected TENANT:EPOCH:SRC:DST"
+            )
+        tenant, epoch_text, src, dst = parts
+        schedule.setdefault((tenant, int(epoch_text)), []).append(
+            FailureEvent(tenant=tenant, failed_links=((src, dst),))
+        )
+    for value in repairs:
+        tenant, separator, epoch_text = value.partition(":")
+        if not separator or not epoch_text.isdigit():
+            raise ServiceError(f"invalid --repair {value!r}; expected TENANT:EPOCH")
+        schedule.setdefault((tenant, int(epoch_text)), []).append(
+            RepairEvent(tenant=tenant)
+        )
+    return schedule
+
+
+async def _replay_async(args: argparse.Namespace) -> int:
+    specs = _parse_tenants(args.tenant)
+    failures = _parse_failures(args.fail_link, args.repair)
+
+    processes: Dict[str, RandomWalkProcess] = {}
+    for spec in specs:
+        scenario = build_sweep_scenario(
+            topology=spec.topology,
+            num_pops=spec.num_pops,
+            seed=spec.seed,
+            max_steps=args.max_steps,
+        )
+        processes[spec.name] = RandomWalkProcess(
+            scenario.traffic_matrix, seed=spec.seed, step_std=args.step_std
+        )
+
+    daemon: Optional[ControllerDaemon] = None
+    bus: Optional[ServiceBus] = None
+    serving: Optional["asyncio.Task[None]"] = None
+    if args.connect:
+        kind, target, port = _parse_endpoint(args.connect)
+        if kind == "unix":
+            client = await BusClient.connect_unix(target)
+        else:
+            assert port is not None
+            client = await BusClient.connect_tcp(target, port)
+    else:
+        # Self-contained demo: daemon + bus in-process, but the events still
+        # travel a real Unix socket end to end.
+        daemon = ControllerDaemon()
+        for spec in specs:
+            await daemon.add_tenant(_tenant_config(spec, args))
+        socket_path = tempfile.mkdtemp(prefix="repro-service-") + "/bus.sock"
+        bus = ServiceBus(daemon, unix_path=socket_path)
+        await bus.start()
+        serving = asyncio.ensure_future(bus.serve_until_shutdown())
+        client = await BusClient.connect_unix(socket_path)
+        print(f"replaying over {bus.endpoint}", flush=True)
+
+    for epoch in range(args.epochs):
+        for spec in specs:
+            for event in failures.get((spec.name, epoch), []):
+                await client.send(event)
+            await client.send(
+                MeasurementEvent(
+                    tenant=spec.name,
+                    matrix=processes[spec.name].matrix_at(epoch),
+                    epoch=epoch,
+                    interval_s=args.interval_s,
+                )
+            )
+    await client.send(ShutdownEvent())
+    telemetry, bye = await client.receive_until_bye()
+    await client.close()
+    if serving is not None:
+        await serving
+    if daemon is not None:
+        await daemon.close()
+
+    summary = replay_summary(telemetry)
+    rows = []
+    for spec in specs:
+        entry = summary.get(spec.name, {})
+        decisions = int(entry.get("decisions", 0))  # type: ignore[call-overload]
+        reoptimizations = int(entry.get("reoptimizations", 0))  # type: ignore[call-overload]
+        skips = int(entry.get("skips", 0))  # type: ignore[call-overload]
+        delivered = float(entry.get("delivered_utility_sum", 0.0))  # type: ignore[arg-type]
+        mean_delivered = delivered / decisions if decisions else 0.0
+        rows.append(
+            (
+                spec.name,
+                spec.topology,
+                str(decisions),
+                str(reoptimizations),
+                str(skips),
+                f"{mean_delivered:.4f}",
+            )
+        )
+    print(
+        format_table(
+            ("tenant", "topology", "epochs", "reoptimized", "skipped", "mean delivered"),
+            rows,
+        )
+    )
+    if bye is not None:
+        print(f"daemon said bye: {bye.detail}")
+
+    if args.json:
+        payload = {
+            "tenants": {
+                spec.name: summary.get(spec.name, {}) for spec in specs
+            },
+            "epochs": args.epochs,
+            "telemetry_events": len(telemetry),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    expected = args.epochs * len(specs)
+    decisions_seen = sum(
+        int(entry.get("decisions", 0)) for entry in summary.values()  # type: ignore[call-overload]
+    )
+    if decisions_seen != expected:
+        print(
+            f"error: expected {expected} decision telemetry events, "
+            f"got {decisions_seen}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    return asyncio.run(_replay_async(args))
+
+
+# ------------------------------------------------------------------ parser
+
+
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME=TOPOLOGY[:POPS[:SEED]]",
+        help=(
+            "tenant network spec; repeatable "
+            f"(default: {' '.join(DEFAULT_TENANTS)})"
+        ),
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=60,
+        help="optimizer step cap per re-optimization (default 60)",
+    )
+    parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.15,
+        help="re-optimize once demand drift crosses this fraction (default 0.15)",
+    )
+    parser.add_argument(
+        "--min-interval",
+        type=int,
+        default=1,
+        help="hysteresis floor in measurements between re-optimizations",
+    )
+    parser.add_argument(
+        "--max-interval",
+        type=int,
+        default=12,
+        help="hysteresis ceiling: always re-optimize after this many measurements",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=("l1", "max"),
+        default="l1",
+        help="demand-drift metric (default l1)",
+    )
+    parser.add_argument(
+        "--fixed-epoch",
+        action="store_true",
+        help="disable debouncing: re-optimize on every measurement (batch-loop emulation)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="FUBAR controller-as-a-service: daemon, bus and replay driver",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant controller daemon on a socket"
+    )
+    serve.add_argument("--unix", metavar="PATH", help="bind a Unix-domain socket")
+    serve.add_argument("--tcp", metavar="HOST:PORT", help="bind a TCP endpoint")
+    _add_common_args(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    replay = commands.add_parser(
+        "replay", help="replay drifting traffic traces through a daemon"
+    )
+    replay.add_argument(
+        "--connect",
+        metavar="unix:PATH|tcp:HOST:PORT",
+        help="replay against an external daemon (default: self-contained in-process)",
+    )
+    replay.add_argument(
+        "--epochs", type=int, default=6, help="measurements per tenant (default 6)"
+    )
+    replay.add_argument(
+        "--step-std",
+        type=float,
+        default=0.15,
+        help="random-walk drift per epoch (log-multiplier std, default 0.15)",
+    )
+    replay.add_argument(
+        "--interval-s",
+        type=float,
+        default=60.0,
+        help="measurement interval seconds (default 60)",
+    )
+    replay.add_argument(
+        "--fail-link",
+        action="append",
+        default=[],
+        metavar="TENANT:EPOCH:SRC:DST",
+        help="inject a link failure before the given epoch; repeatable",
+    )
+    replay.add_argument(
+        "--repair",
+        action="append",
+        default=[],
+        metavar="TENANT:EPOCH",
+        help="repair a tenant's topology before the given epoch; repeatable",
+    )
+    replay.add_argument("--json", metavar="PATH", help="write the summary as JSON")
+    _add_common_args(replay)
+    replay.set_defaults(handler=_cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,208 @@
+"""Demand-drift debouncing: when is a re-optimization actually worth it?
+
+The batch loop re-optimizes on every fixed epoch whether demand moved or
+not.  The daemon instead debounces: each measurement is compared against
+the matrix the standing plan was optimized for, and the optimizer only runs
+when the accumulated *demand drift* crosses a threshold — bounded by
+min/max-interval hysteresis so a noisy tenant cannot thrash the optimizer
+and a quiet one cannot coast forever on a stale plan.  Failures override
+the debounce entirely: a topology change invalidates rules, so the next
+decision always re-optimizes.
+
+Drift metrics are deliberately cheap (one pass over both matrices, no model
+evaluation) because they run on *every* measurement event:
+
+* ``l1`` (default) — total absolute per-aggregate demand change relative to
+  the reference total demand.  Aggregates that appeared or vanished count
+  their full demand, so churn in the aggregate set is drift too.
+* ``max`` — the worst single-aggregate relative demand change; sensitive to
+  one hot aggregate drifting inside an otherwise calm matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ServiceError
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = [
+    "DRIFT_METRICS",
+    "DebounceConfig",
+    "DebounceDecision",
+    "Debouncer",
+    "demand_drift",
+]
+
+#: Debounce reasons reported in decision telemetry.
+REASON_BOOTSTRAP = "no plan installed yet"
+REASON_FAILURE = "topology changed since the last plan"
+REASON_DRIFT = "drift above threshold"
+REASON_MAX_INTERVAL = "max interval reached"
+REASON_MIN_INTERVAL = "drift above threshold but within the hysteresis floor"
+REASON_CALM = "drift below threshold"
+
+
+def _l1_drift(reference: TrafficMatrix, current: TrafficMatrix) -> float:
+    reference_total = reference.total_demand_bps
+    if reference_total <= 0.0:
+        return float("inf") if current.total_demand_bps > 0.0 else 0.0
+    moved = 0.0
+    for aggregate in current:
+        if aggregate.key in reference:
+            moved += abs(
+                aggregate.total_demand_bps
+                - reference.get(aggregate.key).total_demand_bps
+            )
+        else:
+            moved += aggregate.total_demand_bps
+    for aggregate in reference:
+        if aggregate.key not in current:
+            moved += aggregate.total_demand_bps
+    return moved / reference_total
+
+
+def _max_drift(reference: TrafficMatrix, current: TrafficMatrix) -> float:
+    worst = 0.0
+    for aggregate in current:
+        if aggregate.key in reference:
+            base = reference.get(aggregate.key).total_demand_bps
+            if base <= 0.0:
+                if aggregate.total_demand_bps > 0.0:
+                    return float("inf")
+                continue
+            worst = max(worst, abs(aggregate.total_demand_bps - base) / base)
+        else:
+            return float("inf")
+    for aggregate in reference:
+        if aggregate.key not in current:
+            return float("inf")
+    return worst
+
+
+#: Registered drift metrics (``DebounceConfig.metric`` values).
+DRIFT_METRICS: Dict[str, Callable[[TrafficMatrix, TrafficMatrix], float]] = {
+    "l1": _l1_drift,
+    "max": _max_drift,
+}
+
+
+def demand_drift(
+    reference: TrafficMatrix, current: TrafficMatrix, metric: str = "l1"
+) -> float:
+    """How far *current* demand has drifted from *reference* (see module doc)."""
+    try:
+        return DRIFT_METRICS[metric](reference, current)
+    except KeyError:
+        known = ", ".join(sorted(DRIFT_METRICS))
+        raise ServiceError(
+            f"unknown drift metric {metric!r}; expected one of: {known}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class DebounceConfig:
+    """Debounce policy of one tenant.
+
+    Parameters
+    ----------
+    drift_threshold:
+        Re-optimize once the drift metric crosses this value.
+    min_interval:
+        Hysteresis floor: never re-optimize within this many measurements
+        of the previous re-optimization, however large the drift (failures
+        excepted).  1 disables the floor.
+    max_interval:
+        Hysteresis ceiling: always re-optimize once this many measurements
+        passed since the previous re-optimization, however small the drift.
+    metric:
+        Drift metric name (see :data:`DRIFT_METRICS`).
+    """
+
+    drift_threshold: float = 0.15
+    min_interval: int = 1
+    max_interval: int = 12
+    metric: str = "l1"
+
+    def __post_init__(self) -> None:
+        if self.drift_threshold < 0.0:
+            raise ServiceError(
+                f"drift_threshold must be non-negative, got {self.drift_threshold!r}"
+            )
+        if self.min_interval < 1:
+            raise ServiceError(f"min_interval must be >= 1, got {self.min_interval!r}")
+        if self.max_interval < self.min_interval:
+            raise ServiceError(
+                f"max_interval ({self.max_interval!r}) must be >= min_interval "
+                f"({self.min_interval!r})"
+            )
+        if self.metric not in DRIFT_METRICS:
+            known = ", ".join(sorted(DRIFT_METRICS))
+            raise ServiceError(
+                f"unknown drift metric {self.metric!r}; expected one of: {known}"
+            )
+
+    @classmethod
+    def always(cls) -> "DebounceConfig":
+        """The fixed-epoch policy: re-optimize on every measurement.
+
+        This is the daemon's emulation of the batch loop — the comparison
+        baseline of ``benchmarks/bench_service.py``.
+        """
+        return cls(drift_threshold=0.0, min_interval=1, max_interval=1)
+
+
+@dataclass(frozen=True)
+class DebounceDecision:
+    """One measurement's verdict: re-optimize now, or keep the standing plan."""
+
+    reoptimize: bool
+    reason: str
+    drift: float
+
+
+class Debouncer:
+    """Tracks one tenant's drift against its last-optimized matrix."""
+
+    def __init__(self, config: Optional[DebounceConfig] = None) -> None:
+        self.config = config or DebounceConfig()
+        self._reference: Optional[TrafficMatrix] = None
+        self._since_reoptimize = 0
+        self._failure_pending = False
+
+    @property
+    def reference(self) -> Optional[TrafficMatrix]:
+        """The matrix the standing plan was optimized for (None before one)."""
+        return self._reference
+
+    def notify_failure(self) -> None:
+        """Force the next decision to re-optimize (topology changed)."""
+        self._failure_pending = True
+
+    def decide(self, measurement: TrafficMatrix) -> DebounceDecision:
+        """Judge one measurement (does not commit — see :meth:`mark_reoptimized`)."""
+        config = self.config
+        if self._reference is None:
+            return DebounceDecision(True, REASON_BOOTSTRAP, float("inf"))
+        if self._failure_pending:
+            return DebounceDecision(True, REASON_FAILURE, float("inf"))
+        drift = demand_drift(self._reference, measurement, config.metric)
+        waited = self._since_reoptimize + 1
+        if waited >= config.max_interval:
+            return DebounceDecision(True, REASON_MAX_INTERVAL, drift)
+        if drift >= config.drift_threshold:
+            if waited < config.min_interval:
+                return DebounceDecision(False, REASON_MIN_INTERVAL, drift)
+            return DebounceDecision(True, REASON_DRIFT, drift)
+        return DebounceDecision(False, REASON_CALM, drift)
+
+    def mark_reoptimized(self, optimized_for: TrafficMatrix) -> None:
+        """Commit a re-optimization: *optimized_for* is the new reference."""
+        self._reference = optimized_for
+        self._since_reoptimize = 0
+        self._failure_pending = False
+
+    def mark_skipped(self) -> None:
+        """Commit a skip: the standing plan serves one more measurement."""
+        self._since_reoptimize += 1

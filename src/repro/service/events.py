@@ -1,0 +1,270 @@
+"""The service event vocabulary and its versioned wire encoding.
+
+Everything the daemon ingests or emits is one of the frozen dataclasses
+below, each with a stable JSON object form (``event_to_dict`` /
+``event_from_dict``).  The wire protocol is line-delimited JSON: one event
+object per line, every object carrying ``{"v": PROTOCOL_VERSION, "type":
+...}``.  Version mismatches are rejected loudly — a daemon and a client
+from different protocol generations must not silently misread each other.
+
+Inbound (client → daemon):
+
+* ``measurement`` — a tenant's newly observed traffic matrix (the full
+  :meth:`~repro.traffic.matrix.TrafficMatrix.to_dict` payload);
+* ``failure`` — dead links/nodes on a tenant's base network;
+* ``repair`` — the tenant's topology healed back to the base network;
+* ``shutdown`` — drain and stop the daemon.
+
+Outbound (daemon → client) telemetry:
+
+* ``decision`` — one debounce decision: whether the tenant re-optimized or
+  skipped, why, the measured demand drift, and (for re-optimizations) the
+  full :class:`~repro.dynamics.loop.EpochRecord` payload of the cycle;
+* ``tenant-status`` — tenant lifecycle notices (added, drained, failed);
+* ``bye`` — the daemon's final message before closing a connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ServiceError
+from repro.topology.graph import LinkId
+from repro.traffic.matrix import TrafficMatrix
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ByeEvent",
+    "DecisionTelemetry",
+    "Event",
+    "FailureEvent",
+    "MeasurementEvent",
+    "RepairEvent",
+    "ShutdownEvent",
+    "TenantStatus",
+    "event_from_dict",
+    "event_to_dict",
+]
+
+#: Wire-protocol generation; bumped on any incompatible message change.
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MeasurementEvent:
+    """A tenant's newly observed traffic matrix.
+
+    ``epoch`` is the client's logical epoch label; the daemon echoes it in
+    the decision telemetry so replay clients can correlate decisions with
+    trace positions.  ``interval_s`` scales the byte counters of the carry
+    that follows the decision.
+    """
+
+    tenant: str
+    matrix: TrafficMatrix
+    epoch: Optional[int] = None
+    interval_s: float = 60.0
+
+    type_name = "measurement"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """Dead links and/or nodes on a tenant's base network."""
+
+    tenant: str
+    failed_links: Tuple[LinkId, ...] = ()
+    failed_nodes: Tuple[str, ...] = ()
+
+    type_name = "failure"
+
+
+@dataclass(frozen=True)
+class RepairEvent:
+    """The tenant's topology healed back to the base network."""
+
+    tenant: str
+
+    type_name = "repair"
+
+
+@dataclass(frozen=True)
+class ShutdownEvent:
+    """Drain every tenant and stop the daemon."""
+
+    type_name = "shutdown"
+
+
+@dataclass(frozen=True)
+class DecisionTelemetry:
+    """One debounce decision of one tenant (outbound telemetry).
+
+    ``action`` is ``"reoptimize"`` or ``"skip"``; ``reason`` the debounce
+    rationale (drift above threshold, hysteresis floor, max-interval
+    forcing, failure override…).  ``record`` carries the full per-epoch
+    accounting (:meth:`~repro.dynamics.loop.EpochRecord.as_dict` shape) —
+    planned/delivered utility, model evaluations, rule churn — for
+    re-optimized *and* skipped cycles alike (a skipped cycle still carries
+    traffic over the standing rules, so its delivered utility is real).
+    """
+
+    tenant: str
+    epoch: int
+    action: str
+    reason: str
+    drift: float
+    record: Dict[str, Any] = field(default_factory=dict)
+
+    type_name = "decision"
+
+
+@dataclass(frozen=True)
+class TenantStatus:
+    """Tenant lifecycle notice (outbound telemetry)."""
+
+    tenant: str
+    status: str
+    detail: str = ""
+
+    type_name = "tenant-status"
+
+
+@dataclass(frozen=True)
+class ByeEvent:
+    """The daemon's final message before closing a connection.
+
+    ``detail`` explains why: an orderly shutdown, or the protocol error that
+    made the daemon give up on this client.
+    """
+
+    detail: str = ""
+
+    type_name = "bye"
+
+
+#: Every message that may travel the bus, inbound or outbound.
+Event = Union[
+    MeasurementEvent,
+    FailureEvent,
+    RepairEvent,
+    ShutdownEvent,
+    DecisionTelemetry,
+    TenantStatus,
+    ByeEvent,
+]
+
+
+def event_to_dict(event: Event) -> Dict[str, Any]:
+    """The versioned JSON-object form of *event*."""
+    payload: Dict[str, Any] = {"v": PROTOCOL_VERSION, "type": event.type_name}
+    if isinstance(event, MeasurementEvent):
+        payload.update(
+            {
+                "tenant": event.tenant,
+                "epoch": event.epoch,
+                "interval_s": event.interval_s,
+                "matrix": event.matrix.to_dict(),
+            }
+        )
+    elif isinstance(event, FailureEvent):
+        payload.update(
+            {
+                "tenant": event.tenant,
+                "failed_links": [list(link) for link in sorted(event.failed_links)],
+                "failed_nodes": sorted(event.failed_nodes),
+            }
+        )
+    elif isinstance(event, RepairEvent):
+        payload["tenant"] = event.tenant
+    elif isinstance(event, DecisionTelemetry):
+        payload.update(
+            {
+                "tenant": event.tenant,
+                "epoch": event.epoch,
+                "action": event.action,
+                "reason": event.reason,
+                "drift": event.drift,
+                "record": event.record,
+            }
+        )
+    elif isinstance(event, TenantStatus):
+        payload.update(
+            {"tenant": event.tenant, "status": event.status, "detail": event.detail}
+        )
+    elif isinstance(event, ByeEvent):
+        payload["detail"] = event.detail
+    # ShutdownEvent carries no payload beyond its type.
+    return payload
+
+
+def _require_str(data: Mapping[str, Any], key: str) -> str:
+    value = data.get(key)
+    if not isinstance(value, str) or not value:
+        raise ServiceError(f"event field {key!r} must be a non-empty string, got {value!r}")
+    return value
+
+
+def event_from_dict(data: Mapping[str, Any]) -> Event:
+    """Decode one wire object back into its event dataclass.
+
+    Raises :class:`~repro.exceptions.ServiceError` on a version mismatch,
+    an unknown type, or a malformed payload — the bus surfaces these to the
+    offending client instead of crashing the daemon.
+    """
+    version = data.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            f"unsupported protocol version {version!r} (this daemon speaks "
+            f"v{PROTOCOL_VERSION})"
+        )
+    event_type = data.get("type")
+    if event_type == MeasurementEvent.type_name:
+        matrix_data = data.get("matrix")
+        if not isinstance(matrix_data, dict):
+            raise ServiceError("measurement event carries no matrix object")
+        raw_epoch = data.get("epoch")
+        return MeasurementEvent(
+            tenant=_require_str(data, "tenant"),
+            matrix=TrafficMatrix.from_dict(matrix_data),
+            epoch=None if raw_epoch is None else int(raw_epoch),
+            interval_s=float(data.get("interval_s", 60.0)),
+        )
+    if event_type == FailureEvent.type_name:
+        raw_links = data.get("failed_links", [])
+        raw_nodes = data.get("failed_nodes", [])
+        if not isinstance(raw_links, list) or not isinstance(raw_nodes, list):
+            raise ServiceError("failure event targets must be lists")
+        links: Tuple[LinkId, ...] = tuple(
+            (str(pair[0]), str(pair[1])) for pair in raw_links
+        )
+        return FailureEvent(
+            tenant=_require_str(data, "tenant"),
+            failed_links=links,
+            failed_nodes=tuple(str(node) for node in raw_nodes),
+        )
+    if event_type == RepairEvent.type_name:
+        return RepairEvent(tenant=_require_str(data, "tenant"))
+    if event_type == ShutdownEvent.type_name:
+        return ShutdownEvent()
+    if event_type == DecisionTelemetry.type_name:
+        record = data.get("record", {})
+        if not isinstance(record, dict):
+            raise ServiceError("decision telemetry record must be an object")
+        return DecisionTelemetry(
+            tenant=_require_str(data, "tenant"),
+            epoch=int(data.get("epoch", 0)),
+            action=_require_str(data, "action"),
+            reason=_require_str(data, "reason"),
+            drift=float(data.get("drift", 0.0)),
+            record=record,
+        )
+    if event_type == TenantStatus.type_name:
+        return TenantStatus(
+            tenant=_require_str(data, "tenant"),
+            status=_require_str(data, "status"),
+            detail=str(data.get("detail", "")),
+        )
+    if event_type == ByeEvent.type_name:
+        return ByeEvent(detail=str(data.get("detail", "")))
+    raise ServiceError(f"unknown event type {event_type!r}")
